@@ -1,0 +1,285 @@
+//! Experiment driver: one subcommand per paper table/figure.
+//!
+//! ```text
+//! experiments <cmd> [--reps N] [--budget N] [--out DIR]
+//!
+//!   fig2       model-comparison CV R² (Fig. 2)
+//!   fig3       best-config execution time vs baselines (Fig. 3)
+//!   fig4       search cost vs baselines (Fig. 4)
+//!   fig5       evaluation-time distributions (Fig. 5)
+//!   fig6       best-so-far curves, cold vs memoized (Fig. 6)
+//!   fig7       selection recall vs sample count (Fig. 7)
+//!   fig8       cores-vs-memory sampling scatter (Fig. 8)
+//!   fig9       GP response-surface snapshots (Fig. 9)
+//!   tab2       iterations-to-within-x% (Table 2)
+//!   default    tuned vs Spark factory default (§5.2)
+//!   ablation   all five design-choice ablations
+//!   all        everything above + regenerate EXPERIMENTS.md fodder
+//! ```
+
+use std::path::PathBuf;
+
+use robotune_bench::exp::{ablation, defaults, fig2, fig5, fig6, fig7, fig8, fig9, tab2, GridResults};
+use robotune_bench::report::write_results;
+use robotune_bench::{run_baseline, run_robotune_sequence, TunerKind};
+use robotune_sparksim::{Dataset, Workload};
+
+struct Args {
+    reps: usize,
+    budget: usize,
+    out: PathBuf,
+}
+
+fn parse_args(rest: &[String]) -> Args {
+    let mut args = Args {
+        reps: 5,
+        budget: 100,
+        out: PathBuf::from("results"),
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => args.reps = it.next().expect("--reps N").parse().expect("reps"),
+            "--budget" => args.budget = it.next().expect("--budget N").parse().expect("budget"),
+            "--out" => args.out = PathBuf::from(it.next().expect("--out DIR")),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().map(String::as_str).unwrap_or("help");
+    let args = parse_args(argv.get(1..).unwrap_or(&[]));
+
+    match cmd {
+        "fig2" => emit(&args, "fig2", fig2::run()),
+        "fig3" | "fig4" | "fig5" | "fig6" | "tab2" | "fig8" => {
+            let grid = run_grid(&args);
+            grid_outputs(cmd, &args, &grid);
+        }
+        "fig7" => emit(&args, "fig7", fig7::run(5)),
+        "fig9" => {
+            let (md, csvs) = fig9::run();
+            print!("{md}");
+            write_results(&args.out, "fig9", &md, None);
+            for (name, csv) in csvs {
+                std::fs::create_dir_all(&args.out).expect("results dir");
+                std::fs::write(args.out.join(format!("{name}.csv")), csv).expect("csv");
+            }
+        }
+        "default" => emit(&args, "default", defaults::run(args.budget)),
+        "extras" => {
+            let md = run_extras(&args);
+            print!("{md}");
+            write_results(&args.out, "extras", &md, None);
+        }
+        "ablation" => {
+            let md = run_ablations(&args);
+            print!("{md}");
+            write_results(&args.out, "ablation", &md, None);
+        }
+        "all" => run_all(&args),
+        "calibrate" => calibrate(),
+        "debug-select" => debug_select(),
+        "debug-dist" => debug_dist(),
+        _ => {
+            eprintln!(
+                "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|all> \
+                 [--reps N] [--budget N] [--out DIR]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn emit(args: &Args, name: &str, (md, json): (String, serde_json::Value)) {
+    print!("{md}");
+    write_results(&args.out, name, &md, Some(&json));
+}
+
+fn run_grid(args: &Args) -> GridResults {
+    eprintln!(
+        "running the evaluation grid: 4 tuners x 5 workloads x 3 datasets x {} reps, budget {}",
+        args.reps, args.budget
+    );
+    GridResults::run(args.reps, args.budget)
+}
+
+fn grid_outputs(cmd: &str, args: &Args, grid: &GridResults) {
+    match cmd {
+        "fig3" => {
+            let md = grid.render_fig3();
+            print!("{md}");
+            write_results(&args.out, "fig3", &md, Some(&grid.to_json()));
+        }
+        "fig4" => {
+            let md = grid.render_fig4();
+            print!("{md}");
+            write_results(&args.out, "fig4", &md, Some(&grid.to_json()));
+        }
+        "fig5" => {
+            let md = fig5::render(grid);
+            print!("{md}");
+            write_results(&args.out, "fig5", &md, None);
+        }
+        "fig6" => {
+            let (md, json) = fig6::render(grid);
+            print!("{md}");
+            write_results(&args.out, "fig6", &md, Some(&json));
+        }
+        "tab2" => {
+            let (md, json) = tab2::render(grid);
+            print!("{md}");
+            write_results(&args.out, "tab2", &md, Some(&json));
+        }
+        "fig8" => {
+            let (md, csvs) = fig8::render(grid);
+            print!("{md}");
+            write_results(&args.out, "fig8", &md, None);
+            for (name, csv) in csvs {
+                std::fs::write(args.out.join(format!("{name}.csv")), csv).expect("csv");
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn run_extras(args: &Args) -> String {
+    use robotune_bench::exp::extras;
+    let mut md = String::new();
+    md.push_str(&extras::pattern_search(args.reps, args.budget));
+    md.push('\n');
+    md.push_str(&extras::early_stopping(args.reps, args.budget));
+    md.push('\n');
+    md.push_str(&extras::ard_kernel(args.reps));
+    md
+}
+
+fn run_ablations(args: &Args) -> String {
+    let mut md = String::new();
+    md.push_str(&ablation::acquisitions(args.reps, args.budget));
+    md.push('\n');
+    md.push_str(&ablation::memoization(args.reps, args.budget));
+    md.push('\n');
+    md.push_str(&ablation::init_design(args.reps, args.budget));
+    md.push('\n');
+    md.push_str(&ablation::grouped_mda(args.reps));
+    md.push('\n');
+    md.push_str(&ablation::full_dim(args.reps, args.budget));
+    md
+}
+
+fn run_all(args: &Args) {
+    let grid = run_grid(args);
+    for cmd in ["fig3", "fig4", "fig5", "fig6", "tab2", "fig8"] {
+        grid_outputs(cmd, args, &grid);
+    }
+    emit(args, "fig2", fig2::run());
+    emit(args, "fig7", fig7::run(5));
+    let (md9, csvs9) = fig9::run();
+    print!("{md9}");
+    write_results(&args.out, "fig9", &md9, None);
+    for (name, csv) in csvs9 {
+        std::fs::write(args.out.join(format!("{name}.csv")), csv).expect("csv");
+    }
+    emit(args, "default", defaults::run(args.budget));
+    let abl = run_ablations(args);
+    print!("{abl}");
+    write_results(&args.out, "ablation", &abl, None);
+    let extras = run_extras(args);
+    print!("{extras}");
+    write_results(&args.out, "extras", &extras, None);
+    eprintln!("\nall experiment outputs written under {}/", args.out.display());
+}
+
+/// Quick shape check: one rep of each tuner on three workloads.
+fn calibrate() {
+    for w in [Workload::PageRank, Workload::KMeans, Workload::TeraSort] {
+        println!("== {:?} D1 (budget 100) ==", w);
+        let rt = run_robotune_sequence(
+            w,
+            &[Dataset::D1, Dataset::D3],
+            100,
+            0,
+            robotune::RoboTuneOptions::default(),
+        );
+        for r in &rt {
+            println!(
+                "  ROBOTune {:?}: best={:?} cost={:.0} sel_cost={:.0}",
+                r.dataset, r.best_time, r.search_cost, r.selection_cost
+            );
+        }
+        for kind in TunerKind::BASELINES {
+            let r = run_baseline(kind, w, Dataset::D1, 100, 0);
+            println!(
+                "  {:>10} {:?}: best={:?} cost={:.0}",
+                r.tuner, r.dataset, r.best_time, r.search_cost
+            );
+        }
+    }
+}
+
+/// Prints the ranked grouped importances per workload.
+fn debug_select() {
+    use robotune::select::ParameterSelector;
+    use robotune_sparksim::SparkJob;
+    let space = robotune_space::spark::spark_space();
+    for w in robotune_sparksim::ALL_WORKLOADS {
+        let mut job = SparkJob::new(space.clone(), w, Dataset::D1, 11);
+        let selector = ParameterSelector::default();
+        let mut rng = robotune_stats::rng_from_seed(5);
+        let result = selector.select(&space, &mut job, &mut rng);
+        println!(
+            "== {:?}: oob_r2={:.3}, selected={:?}",
+            w,
+            result.oob_r2,
+            result.selected_names(&space)
+        );
+        for g in result.importances.iter().take(12) {
+            println!("   {:>28}  {:.4}", g.name, g.importance);
+        }
+    }
+}
+
+/// Prints the outcome distribution of 300 random configs per workload.
+fn debug_dist() {
+    use robotune_space::SearchSpace;
+    use robotune_sparksim::{Outcome, SparkJob};
+    let space = robotune_space::spark::spark_space();
+    let mut rng = robotune_stats::rng_from_seed(3);
+    use rand::Rng;
+    for w in robotune_sparksim::ALL_WORKLOADS {
+        let job = SparkJob::new(space.clone(), w, Dataset::D1, 11).with_noise(0.0);
+        let (mut oom, mut launch, mut capped) = (0, 0, 0);
+        let mut times = Vec::new();
+        for _ in 0..300 {
+            let pt: Vec<f64> = (0..space.dim()).map(|_| rng.gen::<f64>()).collect();
+            let r = job.dry_run(&space.decode(&pt));
+            match r.outcome {
+                Outcome::Completed(t) if t > 480.0 => capped += 1,
+                Outcome::Completed(t) => times.push(t),
+                Outcome::Oom { .. } => oom += 1,
+                Outcome::LaunchFailure => launch += 1,
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |q: f64| times[((times.len() - 1) as f64 * q) as usize];
+        println!(
+            "{:>4}: oom={:3} launch={:2} capped={:3} ok={:3}  p10={:6.0} p50={:6.0} p90={:6.0} min={:5.0}",
+            w.short_name(),
+            oom,
+            launch,
+            capped,
+            times.len(),
+            pct(0.1),
+            pct(0.5),
+            pct(0.9),
+            times[0]
+        );
+    }
+}

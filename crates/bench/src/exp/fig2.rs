@@ -1,0 +1,104 @@
+//! Figure 2: five-fold cross-validated R² of Lasso, ElasticNet, Random
+//! Forests and Extra Trees on 200 LHS configuration/runtime samples, for
+//! PageRank and KMeans across their three datasets.
+
+use robotune_ml::{
+    cross_val_r2, ElasticNet, ExtraTrees, ForestParams, Lasso, LinearParams, RandomForest,
+    Regressor,
+};
+use robotune_space::spark::spark_space;
+use robotune_space::SearchSpace;
+use robotune_sparksim::workload::ALL_DATASETS;
+use robotune_sparksim::{SparkJob, Workload};
+use robotune_stats::{mean, rng_from_seed};
+use robotune_tuners::Objective;
+
+use crate::report::markdown_table;
+use crate::runner::par_map;
+
+/// Collects 200 LHS samples and returns the design matrix (feature
+/// vectors, not unit points — matching how the models are used in §3.3)
+/// and runtimes.
+fn collect(w: Workload, d: robotune_sparksim::Dataset, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let space = spark_space();
+    let mut job = SparkJob::new(space.clone(), w, d, 0xF162 ^ d.index() as u64);
+    let mut rng = rng_from_seed(0x200 + d.index() as u64);
+    let points = robotune_sampling::lhs_maximin(n, space.dim(), &mut rng, 8);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for p in &points {
+        let config = space.decode(p);
+        let eval = job.evaluate(&config, 480.0);
+        x.push(config.to_features());
+        y.push(eval.objective_value(480.0));
+    }
+    (x, y)
+}
+
+/// Mean five-fold CV R² of each model on one (workload, dataset).
+fn scores(w: Workload, d: robotune_sparksim::Dataset) -> [f64; 4] {
+    let (x, y) = collect(w, d, 200);
+    let seed = 0x0CF0 + d.index() as u64;
+    let lasso = mean(&cross_val_r2(&x, &y, 5, &mut rng_from_seed(seed), |xt, yt| {
+        Lasso::fit(xt, yt, &LinearParams { alpha: 0.1, ..LinearParams::default() })
+    }));
+    let enet = mean(&cross_val_r2(&x, &y, 5, &mut rng_from_seed(seed), |xt, yt| {
+        ElasticNet::fit(xt, yt, 0.5, &LinearParams { alpha: 0.1, ..LinearParams::default() })
+    }));
+    let forest_params = ForestParams { n_trees: 100, ..ForestParams::default() };
+    let mut rf_rng = rng_from_seed(seed ^ 1);
+    let rf = mean(&cross_val_r2(&x, &y, 5, &mut rng_from_seed(seed), |xt, yt| {
+        RandomForest::fit(xt, yt, &forest_params, &mut rf_rng)
+    }));
+    let mut et_rng = rng_from_seed(seed ^ 2);
+    let et = mean(&cross_val_r2(&x, &y, 5, &mut rng_from_seed(seed), |xt, yt| {
+        Wrap(ExtraTrees::fit(xt, yt, &forest_params, &mut et_rng))
+    }));
+    [lasso, enet, rf, et]
+}
+
+struct Wrap(ExtraTrees);
+impl Regressor for Wrap {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        self.0.predict_row(x)
+    }
+}
+
+/// Runs the experiment and renders the table.
+pub fn run() -> (String, serde_json::Value) {
+    let cells: Vec<(Workload, robotune_sparksim::Dataset)> = [Workload::PageRank, Workload::KMeans]
+        .iter()
+        .flat_map(|&w| ALL_DATASETS.iter().map(move |&d| (w, d)))
+        .collect();
+    let all = par_map(cells.clone(), |(w, d)| scores(w, d));
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for ((w, d), s) in cells.iter().zip(&all) {
+        rows.push(vec![
+            format!("{}-D{}", w.short_name(), d.index() + 1),
+            format!("{:.3}", s[0]),
+            format!("{:.3}", s[1]),
+            format!("{:.3}", s[2]),
+            format!("{:.3}", s[3]),
+        ]);
+        json_rows.push(serde_json::json!({
+            "cell": format!("{}-D{}", w.short_name(), d.index() + 1),
+            "lasso": s[0], "elasticnet": s[1], "rf": s[2], "et": s[3],
+        }));
+    }
+    let mut md = String::from(
+        "## Figure 2 — five-fold CV R² per model (higher is better)\n\n\
+         Paper: linear models (Lasso, ElasticNet) score far below the\n\
+         tree ensembles; RF performs best overall.\n\n",
+    );
+    md.push_str(&markdown_table(&["cell", "Lasso", "ElasticNet", "RF", "ET"], &rows));
+
+    // Shape check lines.
+    let rf_mean = mean(&all.iter().map(|s| s[2]).collect::<Vec<_>>());
+    let lin_mean = mean(&all.iter().flat_map(|s| [s[0], s[1]]).collect::<Vec<_>>());
+    md.push_str(&format!(
+        "\nMean RF R² = {rf_mean:.3}; mean linear-model R² = {lin_mean:.3}.\n"
+    ));
+    (md, serde_json::json!(json_rows))
+}

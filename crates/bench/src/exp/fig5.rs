@@ -1,0 +1,54 @@
+//! Figure 5: distribution of per-evaluation execution times for PR and KM
+//! — the "why is the search cost lower" evidence of §5.3. The paper
+//! reports baseline medians at 1.35–1.53× ROBOTune's and KM 90th
+//! percentiles at 3.4–4.2×.
+
+use robotune_sparksim::{Dataset, Workload};
+use robotune_stats::percentile;
+
+use crate::exp::grid::GridResults;
+use crate::report::markdown_table;
+
+/// Renders the distribution summary for PR-D3 and KM-D3 from the grid.
+pub fn render(grid: &GridResults) -> String {
+    let tuners = ["ROBOTune", "BestConfig", "Gunther", "RS"];
+    let mut md = String::from(
+        "## Figure 5 — distribution of evaluation times (PR-D3, KM-D3)\n\n",
+    );
+    for (w, d) in [(Workload::PageRank, Dataset::D3), (Workload::KMeans, Dataset::D3)] {
+        let mut rows = Vec::new();
+        let rt_median = pooled_percentile(grid, "ROBOTune", w, d, 50.0);
+        for t in tuners {
+            let p50 = pooled_percentile(grid, t, w, d, 50.0);
+            let p90 = pooled_percentile(grid, t, w, d, 90.0);
+            rows.push(vec![
+                t.to_string(),
+                format!("{p50:.0}"),
+                format!("{p90:.0}"),
+                format!("{:.2}", p50 / rt_median),
+            ]);
+        }
+        md.push_str(&format!("### {}-D{}\n\n", w.short_name(), d.index() + 1));
+        md.push_str(&markdown_table(
+            &["tuner", "median (s)", "p90 (s)", "median / ROBOTune median"],
+            &rows,
+        ));
+        md.push('\n');
+    }
+    let km_rt_p90 = pooled_percentile(grid, "ROBOTune", Workload::KMeans, Dataset::D3, 90.0);
+    let km_rs_p90 = pooled_percentile(grid, "RS", Workload::KMeans, Dataset::D3, 90.0);
+    md.push_str(&format!(
+        "KM tail: RS p90 / ROBOTune p90 = {:.2} (paper: 3.4–4.2×).\n",
+        km_rs_p90 / km_rt_p90
+    ));
+    md
+}
+
+fn pooled_percentile(grid: &GridResults, tuner: &str, w: Workload, d: Dataset, q: f64) -> f64 {
+    let times: Vec<f64> = grid
+        .cell(tuner, w, d)
+        .iter()
+        .flat_map(|r| r.session.times())
+        .collect();
+    percentile(&times, q)
+}

@@ -1,0 +1,88 @@
+//! Figure 6: minimum execution time at each iteration for PR-D1 (cold
+//! start) and PR-D3 (memoized) — the memoized-sampling speedup of §5.4.
+
+use robotune_sparksim::{Dataset, Workload};
+
+use crate::exp::grid::GridResults;
+use crate::report::markdown_table;
+
+/// Renders the best-so-far curves (mean over reps, selected iterations)
+/// plus the iterations-to-within-5% comparison.
+pub fn render(grid: &GridResults) -> (String, serde_json::Value) {
+    let tuners = ["ROBOTune", "BestConfig", "Gunther", "RS"];
+    let checkpoints = [1usize, 5, 10, 20, 30, 40, 60, 80, 100];
+    let mut md = String::from("## Figure 6 — best-so-far vs iteration (PR)\n\n");
+    let mut json = serde_json::Map::new();
+
+    for d in [Dataset::D1, Dataset::D3] {
+        let label = format!("PR-D{}", d.index() + 1);
+        let mut rows = Vec::new();
+        let mut curves = serde_json::Map::new();
+        for t in tuners {
+            let curve = mean_curve(grid, t, Workload::PageRank, d);
+            let mut row = vec![t.to_string()];
+            for &c in &checkpoints {
+                let v = curve.get(c.min(curve.len()) - 1).copied().unwrap_or(f64::NAN);
+                row.push(if v.is_finite() { format!("{v:.0}") } else { "∞".into() });
+            }
+            curves.insert(t.to_string(), serde_json::json!(curve));
+            rows.push(row);
+        }
+        md.push_str(&format!(
+            "### {label} ({})\n\n",
+            if d == Dataset::D1 { "cold — no memoized configs" } else { "warm — memoized configs available" }
+        ));
+        let headers: Vec<String> = std::iter::once("tuner".to_string())
+            .chain(checkpoints.iter().map(|c| format!("it {c}")))
+            .collect();
+        let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        md.push_str(&markdown_table(&hrefs, &rows));
+        md.push('\n');
+        json.insert(label, serde_json::Value::Object(curves));
+    }
+
+    // Iterations for ROBOTune to reach within 5% of its best, cold vs warm.
+    let within = |d: Dataset| -> f64 {
+        let its: Vec<f64> = grid
+            .cell("ROBOTune", Workload::PageRank, d)
+            .iter()
+            .filter_map(|r| r.session.iterations_to_within(0.05))
+            .map(|i| i as f64)
+            .collect();
+        robotune_stats::mean(&its)
+    };
+    md.push_str(&format!(
+        "ROBOTune iterations to reach within 5% of its best: PR-D1 (cold) = {:.0}, \
+         PR-D3 (memoized) = {:.0} (paper: 58 vs 21).\n",
+        within(Dataset::D1),
+        within(Dataset::D3)
+    ));
+    (md, serde_json::Value::Object(json))
+}
+
+/// Mean best-so-far curve over reps; infinite prefixes (before the first
+/// completion) propagate as infinity.
+fn mean_curve(grid: &GridResults, tuner: &str, w: Workload, d: Dataset) -> Vec<f64> {
+    let sessions = grid.cell(tuner, w, d);
+    let len = sessions
+        .iter()
+        .map(|r| r.session.len())
+        .max()
+        .unwrap_or(0);
+    (0..len)
+        .map(|i| {
+            let vals: Vec<f64> = sessions
+                .iter()
+                .map(|r| {
+                    let c = r.session.best_so_far();
+                    c.get(i.min(c.len() - 1)).copied().unwrap_or(f64::INFINITY)
+                })
+                .collect();
+            if vals.iter().any(|v| v.is_infinite()) {
+                f64::INFINITY
+            } else {
+                robotune_stats::mean(&vals)
+            }
+        })
+        .collect()
+}

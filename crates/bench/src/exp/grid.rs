@@ -1,0 +1,189 @@
+//! The main evaluation grid (§5.1): every tuner on every workload and
+//! dataset, `reps` repetitions each — the raw material of Figs. 3–6 and
+//! Table 2.
+
+use robotune::RoboTuneOptions;
+use robotune_sparksim::workload::ALL_DATASETS;
+use robotune_sparksim::{Dataset, Workload, ALL_WORKLOADS};
+
+use crate::report::{geo_mean, markdown_table};
+use crate::runner::{par_map, run_baseline, run_robotune_sequence, SessionResult, TunerKind};
+
+/// All sessions of one full grid run.
+pub struct GridResults {
+    /// Every session: 4 tuners × 5 workloads × 3 datasets × reps.
+    pub results: Vec<SessionResult>,
+    /// Repetitions per cell.
+    pub reps: usize,
+    /// Evaluation budget per session.
+    pub budget: usize,
+}
+
+impl GridResults {
+    /// Runs the grid. ROBOTune runs as per-rep D1→D2→D3 sequences (cold
+    /// selection on D1, cache hits + memoized warm starts after), exactly
+    /// the repeated-workload scenario of §3.2.
+    pub fn run(reps: usize, budget: usize) -> Self {
+        // Work items: ROBOTune sequences per (workload, rep), plus each
+        // baseline per (workload, dataset, rep).
+        enum Item {
+            Robo(Workload, usize),
+            Base(TunerKind, Workload, Dataset, usize),
+        }
+        let mut items = Vec::new();
+        for &w in &ALL_WORKLOADS {
+            for rep in 0..reps {
+                items.push(Item::Robo(w, rep));
+                for kind in TunerKind::BASELINES {
+                    for &d in &ALL_DATASETS {
+                        items.push(Item::Base(kind, w, d, rep));
+                    }
+                }
+            }
+        }
+        let results: Vec<Vec<SessionResult>> = par_map(items, |item| match item {
+            Item::Robo(w, rep) => {
+                run_robotune_sequence(w, &ALL_DATASETS, budget, rep, RoboTuneOptions::default())
+            }
+            Item::Base(kind, w, d, rep) => vec![run_baseline(kind, w, d, budget, rep)],
+        });
+        GridResults {
+            results: results.into_iter().flatten().collect(),
+            reps,
+            budget,
+        }
+    }
+
+    /// Sessions of one tuner/workload/dataset cell.
+    pub fn cell(&self, tuner: &str, w: Workload, d: Dataset) -> Vec<&SessionResult> {
+        self.results
+            .iter()
+            .filter(|r| r.tuner == tuner && r.workload == w && r.dataset == d)
+            .collect()
+    }
+
+    /// Mean best execution time of a cell (completed sessions only).
+    pub fn mean_best(&self, tuner: &str, w: Workload, d: Dataset) -> Option<f64> {
+        let times: Vec<f64> = self
+            .cell(tuner, w, d)
+            .iter()
+            .filter_map(|r| r.best_time)
+            .collect();
+        (!times.is_empty()).then(|| robotune_stats::mean(&times))
+    }
+
+    /// Mean search cost of a cell.
+    pub fn mean_cost(&self, tuner: &str, w: Workload, d: Dataset) -> f64 {
+        let costs: Vec<f64> = self
+            .cell(tuner, w, d)
+            .iter()
+            .map(|r| r.search_cost)
+            .collect();
+        robotune_stats::mean(&costs)
+    }
+
+    /// Renders Figure 3: best execution time scaled to Random Search
+    /// (lower is better), with the paper-style average/max summary.
+    pub fn render_fig3(&self) -> String {
+        self.render_scaled("Figure 3 — execution time of suggested configurations scaled to RS",
+            |g, t, w, d| g.mean_best(t, w, d))
+    }
+
+    /// Renders Figure 4: search cost scaled to Random Search.
+    pub fn render_fig4(&self) -> String {
+        self.render_scaled(
+            "Figure 4 — search cost scaled to RS",
+            |g, t, w, d| Some(g.mean_cost(t, w, d)),
+        )
+    }
+
+    fn render_scaled(
+        &self,
+        title: &str,
+        metric: impl Fn(&Self, &str, Workload, Dataset) -> Option<f64>,
+    ) -> String {
+        let tuners = ["ROBOTune", "BestConfig", "Gunther", "RS"];
+        let mut rows = Vec::new();
+        // Per-tuner ratios vs RS across all 15 cells (for avg/max lines).
+        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); tuners.len()];
+        for &w in &ALL_WORKLOADS {
+            for &d in &ALL_DATASETS {
+                let rs = metric(self, "RS", w, d);
+                let mut row = vec![format!("{}-D{}", w.short_name(), d.index() + 1)];
+                for (ti, t) in tuners.iter().enumerate() {
+                    match (metric(self, t, w, d), rs) {
+                        (Some(v), Some(rsv)) if rsv > 0.0 => {
+                            let scaled = v / rsv;
+                            ratios[ti].push(scaled);
+                            row.push(format!("{scaled:.2}"));
+                        }
+                        _ => row.push("—".into()),
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        let mut out = format!("## {title}\n\n");
+        out.push_str(&markdown_table(
+            &["cell", "ROBOTune", "BestConfig", "Gunther", "RS"],
+            &rows,
+        ));
+        out.push_str("\nROBOTune improvement over each tuner (geo-mean and max over cells):\n\n");
+        let rt = &ratios[0];
+        for (ti, t) in tuners.iter().enumerate().skip(1) {
+            let per_cell: Vec<f64> = ratios[ti]
+                .iter()
+                .zip(rt)
+                .map(|(o, r)| o / r)
+                .collect();
+            let max = per_cell.iter().copied().fold(0.0, f64::max);
+            out.push_str(&format!(
+                "* vs {t}: {:.2}x average, up to {max:.2}x\n",
+                geo_mean(&per_cell)
+            ));
+        }
+        out
+    }
+
+    /// JSON dump of the per-cell scaled values for plotting.
+    pub fn to_json(&self) -> serde_json::Value {
+        let cells: Vec<serde_json::Value> = self
+            .results
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "tuner": r.tuner,
+                    "workload": r.workload.short_name(),
+                    "dataset": r.dataset.index() + 1,
+                    "rep": r.rep,
+                    "best_time": r.best_time,
+                    "search_cost": r.search_cost,
+                    "selection_cost": r.selection_cost,
+                })
+            })
+            .collect();
+        serde_json::json!({"reps": self.reps, "budget": self.budget, "sessions": cells})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_has_every_cell() {
+        let g = GridResults::run(1, 8);
+        assert_eq!(g.results.len(), 4 * 5 * 3);
+        for &w in &ALL_WORKLOADS {
+            for &d in &ALL_DATASETS {
+                for t in ["ROBOTune", "BestConfig", "Gunther", "RS"] {
+                    assert_eq!(g.cell(t, w, d).len(), 1, "{t}/{w:?}/{d:?}");
+                }
+            }
+        }
+        let fig3 = g.render_fig3();
+        assert!(fig3.contains("PR-D1"));
+        let fig4 = g.render_fig4();
+        assert!(fig4.contains("vs BestConfig"));
+    }
+}

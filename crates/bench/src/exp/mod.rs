@@ -1,0 +1,16 @@
+//! One module per paper table/figure, plus the shared session grid and
+//! the ablation studies DESIGN.md calls out.
+
+pub mod ablation;
+pub mod defaults;
+pub mod extras;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod grid;
+pub mod tab2;
+
+pub use grid::GridResults;

@@ -1,0 +1,43 @@
+//! Table 2: average iterations for ROBOTune to reach within 1% / 5% /
+//! 10% of its best achieved time, per workload.
+
+use robotune_sparksim::workload::ALL_DATASETS;
+use robotune_sparksim::ALL_WORKLOADS;
+use robotune_stats::mean;
+
+use crate::exp::grid::GridResults;
+use crate::report::markdown_table;
+
+/// Renders Table 2 from the grid's ROBOTune sessions.
+pub fn render(grid: &GridResults) -> (String, serde_json::Value) {
+    let fracs = [0.01, 0.05, 0.10];
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for &w in &ALL_WORKLOADS {
+        let mut cells = vec![w.short_name().to_string()];
+        let mut json_cell = serde_json::Map::new();
+        json_cell.insert("workload".into(), serde_json::json!(w.short_name()));
+        for &f in &fracs {
+            let its: Vec<f64> = ALL_DATASETS
+                .iter()
+                .flat_map(|&d| grid.cell("ROBOTune", w, d))
+                .filter_map(|r| r.session.iterations_to_within(f))
+                .map(|i| i as f64)
+                .collect();
+            let m = mean(&its);
+            cells.push(format!("{m:.0}"));
+            json_cell.insert(format!("within_{}", (f * 100.0) as u32), serde_json::json!(m));
+        }
+        rows.push(cells);
+        json_rows.push(serde_json::Value::Object(json_cell));
+    }
+    let mut md = String::from(
+        "## Table 2 — avg. iterations to reach within x% of the best achieved time\n\n\
+         Paper values: PR 83/33/26, KM 57/17/12, CC 70/32/21, LR 42/20/20, TS 86/37/19.\n\n",
+    );
+    md.push_str(&markdown_table(
+        &["Workload", "Within 1%", "Within 5%", "Within 10%"],
+        &rows,
+    ));
+    (md, serde_json::json!(json_rows))
+}

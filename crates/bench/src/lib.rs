@@ -1,0 +1,18 @@
+//! Experiment machinery for regenerating the paper's tables and figures.
+//!
+//! The `experiments` binary (one subcommand per table/figure) drives the
+//! helpers here: [`runner`] executes tuning sessions over the Spark
+//! simulator with deterministic seeding and thread-level parallelism;
+//! [`report`] renders markdown tables and JSON series into `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod report;
+pub mod runner;
+
+pub use report::{geo_mean, write_results};
+pub use runner::{
+    par_map, run_baseline, run_robotune_sequence, seed_for, SessionResult, TunerKind,
+};

@@ -1,0 +1,79 @@
+//! Result rendering: markdown tables and JSON series under `results/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Geometric mean of strictly positive values. `NaN` on empty input.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    debug_assert!(xs.iter().all(|&x| x > 0.0), "geo_mean needs positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Writes `markdown` to `results/<name>.md` and, when provided, `json`
+/// to `results/<name>.json`. Returns the markdown path.
+pub fn write_results(dir: &Path, name: &str, markdown: &str, json: Option<&serde_json::Value>) -> PathBuf {
+    fs::create_dir_all(dir).expect("create results directory");
+    let md_path = dir.join(format!("{name}.md"));
+    fs::write(&md_path, markdown).expect("write markdown result");
+    if let Some(v) = json {
+        let json_path = dir.join(format!("{name}.json"));
+        fs::write(json_path, serde_json::to_string_pretty(v).expect("serialise"))
+            .expect("write json result");
+    }
+    md_path
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push_str("\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_known() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geo_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn write_results_creates_files() {
+        let dir = std::env::temp_dir().join("robotune-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = write_results(&dir, "t", "# hi\n", Some(&serde_json::json!({"x": 1})));
+        assert!(p.exists());
+        assert!(dir.join("t.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,250 @@
+//! Session execution over the Spark simulator.
+
+use robotune::{RoboTune, RoboTuneOptions};
+use robotune_space::spark::spark_space;
+use robotune_space::{ConfigSpace, Configuration};
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{BestConfig, Gunther, RandomSearch, Tuner, TuningSession};
+use std::sync::Arc;
+
+/// Which tuner to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunerKind {
+    /// This paper's system.
+    RoboTune,
+    /// BestConfig (divide & diverge + recursive bound and search).
+    BestConfig,
+    /// Gunther (genetic algorithm).
+    Gunther,
+    /// Random Search.
+    RandomSearch,
+}
+
+impl TunerKind {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TunerKind::RoboTune => "ROBOTune",
+            TunerKind::BestConfig => "BestConfig",
+            TunerKind::Gunther => "Gunther",
+            TunerKind::RandomSearch => "RS",
+        }
+    }
+
+    /// The three baselines.
+    pub const BASELINES: [TunerKind; 3] =
+        [TunerKind::BestConfig, TunerKind::Gunther, TunerKind::RandomSearch];
+}
+
+/// Outcome of one tuning session, reduced to what the figures need.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// Workload tuned.
+    pub workload: Workload,
+    /// Dataset tuned.
+    pub dataset: Dataset,
+    /// Tuner display name.
+    pub tuner: String,
+    /// Repetition index.
+    pub rep: usize,
+    /// Best completed execution time, if anything completed.
+    pub best_time: Option<f64>,
+    /// Total search cost in simulated seconds (§5.3 definition).
+    pub search_cost: f64,
+    /// One-time parameter-selection cost (ROBOTune cache misses only).
+    pub selection_cost: f64,
+    /// The full session trace.
+    pub session: TuningSession,
+    /// Best configuration found, if any.
+    pub best_config: Option<Configuration>,
+}
+
+impl SessionResult {
+    fn from_session(
+        workload: Workload,
+        dataset: Dataset,
+        tuner: &str,
+        rep: usize,
+        session: TuningSession,
+        selection_cost: f64,
+    ) -> Self {
+        let best = session.best();
+        SessionResult {
+            workload,
+            dataset,
+            tuner: tuner.to_string(),
+            rep,
+            best_time: best.map(|r| r.eval.time_s),
+            best_config: best.map(|r| r.config.clone()),
+            search_cost: session.search_cost(),
+            selection_cost,
+            session,
+        }
+    }
+}
+
+/// Deterministic seed for a (workload, dataset, tuner, rep) cell.
+pub fn seed_for(workload: Workload, dataset: Dataset, tuner: &str, rep: usize) -> u64 {
+    // FNV-style mixing over the cell identity.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    mix(workload.short_name().bytes().map(u64::from).sum());
+    mix(dataset.index() as u64 + 101);
+    for b in tuner.bytes() {
+        mix(u64::from(b));
+    }
+    mix(rep as u64 + 7);
+    h
+}
+
+/// The shared 44-parameter space.
+pub fn space() -> Arc<ConfigSpace> {
+    Arc::new(spark_space())
+}
+
+/// Runs one baseline tuner session.
+pub fn run_baseline(
+    kind: TunerKind,
+    workload: Workload,
+    dataset: Dataset,
+    budget: usize,
+    rep: usize,
+) -> SessionResult {
+    assert_ne!(kind, TunerKind::RoboTune, "use run_robotune_sequence");
+    let sp = space();
+    let seed = seed_for(workload, dataset, kind.name(), rep);
+    let mut job = SparkJob::new((*sp).clone(), workload, dataset, seed ^ 0x5151);
+    let mut rng = rng_from_seed(seed);
+    let session = match kind {
+        TunerKind::BestConfig => {
+            BestConfig::default().tune(sp.as_ref(), &mut job, budget, &mut rng)
+        }
+        TunerKind::Gunther => Gunther::default().tune(sp.as_ref(), &mut job, budget, &mut rng),
+        TunerKind::RandomSearch => {
+            RandomSearch::default().tune(sp.as_ref(), &mut job, budget, &mut rng)
+        }
+        TunerKind::RoboTune => unreachable!(),
+    };
+    SessionResult::from_session(workload, dataset, kind.name(), rep, session, 0.0)
+}
+
+/// Runs ROBOTune across a dataset sequence with one shared framework
+/// instance: the first dataset pays for parameter selection; later ones
+/// hit the cache and warm-start from memoized configurations — exactly
+/// the paper's repeated-workload scenario (§3.2, §5.4).
+pub fn run_robotune_sequence(
+    workload: Workload,
+    datasets: &[Dataset],
+    budget: usize,
+    rep: usize,
+    opts: RoboTuneOptions,
+) -> Vec<SessionResult> {
+    let sp = space();
+    let mut tuner = RoboTune::new(opts);
+    let seed = seed_for(workload, datasets[0], "ROBOTune", rep);
+    let mut rng = rng_from_seed(seed);
+    let mut out = Vec::with_capacity(datasets.len());
+    for &dataset in datasets {
+        let mut job = SparkJob::new(
+            (*sp).clone(),
+            workload,
+            dataset,
+            seed ^ (dataset.index() as u64 + 0xABCD),
+        );
+        let outcome =
+            tuner.tune_workload(&sp, workload.short_name(), &mut job, budget, &mut rng);
+        out.push(SessionResult::from_session(
+            workload,
+            dataset,
+            "ROBOTune",
+            rep,
+            outcome.session,
+            outcome.selection_cost_s,
+        ));
+    }
+    out
+}
+
+/// Maps `f` over `items` on up to `available_parallelism` threads,
+/// preserving order. Experiments are embarrassingly parallel over
+/// (workload, dataset, tuner, rep) cells.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(work);
+    let results = parking_lot::Mutex::new(&mut slots);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let item = queue.lock().pop();
+                let Some((i, t)) = item else { break };
+                let u = f(t);
+                results.lock()[i] = Some(u);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_across_cells() {
+        let a = seed_for(Workload::PageRank, Dataset::D1, "RS", 0);
+        let b = seed_for(Workload::PageRank, Dataset::D1, "RS", 1);
+        let c = seed_for(Workload::PageRank, Dataset::D2, "RS", 0);
+        let d = seed_for(Workload::KMeans, Dataset::D1, "RS", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn baseline_sessions_have_the_right_shape() {
+        let r = run_baseline(TunerKind::RandomSearch, Workload::TeraSort, Dataset::D1, 12, 0);
+        assert_eq!(r.session.len(), 12);
+        assert_eq!(r.tuner, "RS");
+        assert!(r.search_cost > 0.0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn robotune_sequence_warm_starts() {
+        let results = run_robotune_sequence(
+            Workload::TeraSort,
+            &[Dataset::D1, Dataset::D2],
+            15,
+            0,
+            robotune::RoboTuneOptions::fast(),
+        );
+        assert_eq!(results.len(), 2);
+        assert!(results[0].selection_cost > 0.0, "first dataset pays selection");
+        assert_eq!(results[1].selection_cost, 0.0, "second dataset hits the cache");
+    }
+}

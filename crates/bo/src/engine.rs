@@ -1,0 +1,415 @@
+//! The ask/tell BO engine (paper Algorithm 1).
+//!
+//! One [`BoEngine::suggest`] + [`BoEngine::observe`] round trip performs
+//! lines 9–13 of the paper's Algorithm 1: fit a GP on the priors, let each
+//! acquisition in the portfolio nominate its optimum, Hedge-select the
+//! point to evaluate, and (on the next fit) reward every acquisition with
+//! the negated posterior mean at its own nominee.
+
+use rand::Rng;
+use robotune_gp::hyper::{fit_gp, HyperFitOptions};
+use robotune_gp::kernel::Matern52;
+use robotune_gp::model::GpModel;
+
+use crate::acquisition::{AcquisitionKind, ALL_ACQUISITIONS};
+use crate::hedge::Hedge;
+use crate::optimize::{maximize_acquisition, OptimizeOptions};
+
+/// BO engine configuration.
+#[derive(Debug, Clone)]
+pub struct BoOptions {
+    /// PI/EI exploration margin ξ (paper §4: 0.01).
+    pub xi: f64,
+    /// LCB confidence multiplier κ (paper §4: 1.96).
+    pub kappa: f64,
+    /// Hedge learning rate η.
+    pub hedge_eta: f64,
+    /// Hyperparameter fitting options.
+    pub hyper: HyperFitOptions,
+    /// Acquisition-maximisation options.
+    pub optimize: OptimizeOptions,
+    /// Re-optimise GP hyperparameters every this many new observations
+    /// (the Cholesky refit itself happens every round).
+    pub refit_every: usize,
+    /// Points closer than this (∞-norm) to an existing observation are
+    /// nudged randomly to keep the kernel matrix well conditioned.
+    pub dedup_tol: f64,
+    /// Force a single acquisition function instead of the Hedge portfolio
+    /// (the paper's design calls for Hedge; this exists for ablations).
+    pub acquisition_override: Option<AcquisitionKind>,
+}
+
+impl Default for BoOptions {
+    fn default() -> Self {
+        BoOptions {
+            xi: 0.01,
+            kappa: 1.96,
+            hedge_eta: 1.0,
+            hyper: HyperFitOptions::default(),
+            optimize: OptimizeOptions::default(),
+            refit_every: 5,
+            dedup_tol: 1e-6,
+            acquisition_override: None,
+        }
+    }
+}
+
+/// Ask/tell Bayesian optimiser over `[0, 1]^dim`, minimising the objective.
+#[derive(Debug, Clone)]
+pub struct BoEngine {
+    dim: usize,
+    opts: BoOptions,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    hedge: Hedge,
+    /// Nominees of the previous round, awaiting their Hedge reward.
+    pending_nominees: Option<[Vec<f64>; 3]>,
+    model: Option<GpModel<Matern52>>,
+    /// Kernel hyperparameters carried between full refits.
+    kernel_cache: Option<(Matern52, f64)>,
+    observations_at_last_hyperfit: usize,
+}
+
+impl BoEngine {
+    /// Creates an engine for a `dim`-dimensional problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, opts: BoOptions) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let hedge = Hedge::new(opts.hedge_eta);
+        BoEngine {
+            dim,
+            opts,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            hedge,
+            pending_nominees: None,
+            model: None,
+            kernel_cache: None,
+            observations_at_last_hyperfit: 0,
+        }
+    }
+
+    /// Number of observations recorded so far.
+    pub fn n_observations(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// All observations, in arrival order.
+    pub fn observations(&self) -> (&[Vec<f64>], &[f64]) {
+        (&self.xs, &self.ys)
+    }
+
+    /// The incumbent: lowest observed value and its point.
+    pub fn best(&self) -> Option<(&[f64], f64)> {
+        self.ys
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN observation"))
+            .map(|(i, &y)| (self.xs[i].as_slice(), y))
+    }
+
+    /// The Hedge portfolio state (for diagnostics / Fig. 8-style plots).
+    pub fn hedge(&self) -> &Hedge {
+        &self.hedge
+    }
+
+    /// Records an evaluated point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or a non-finite objective value —
+    /// failed runs must be mapped to a finite penalty by the caller (the
+    /// paper's threshold-stopping assigns them the timeout value).
+    pub fn observe(&mut self, x: Vec<f64>, y: f64) {
+        assert_eq!(x.len(), self.dim, "observation dimension mismatch");
+        assert!(y.is_finite(), "objective must be finite (penalise failures)");
+        self.xs.push(x);
+        self.ys.push(y);
+        self.model = None; // stale
+    }
+
+    /// Posterior (mean, variance) at `q` under the most recently fitted
+    /// model, if any. Mainly for response-surface rendering (Fig. 9).
+    /// Returns `None` when observations arrived after the last fit — call
+    /// [`BoEngine::refit`] first in that case.
+    pub fn posterior(&self, q: &[f64]) -> Option<(f64, f64)> {
+        self.model.as_ref().map(|m| m.predict(q))
+    }
+
+    /// Ensures the GP reflects all observations (e.g. before reading the
+    /// posterior at the end of a loop). No-op with fewer than two
+    /// observations.
+    pub fn refit<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.ys.len() >= 2 {
+            self.ensure_model(rng);
+        }
+    }
+
+    /// Fits (or refits) the GP over the current data.
+    fn ensure_model<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.model.is_some() {
+            return;
+        }
+        let need_hyperfit = self.kernel_cache.is_none()
+            || self.ys.len() >= self.observations_at_last_hyperfit + self.opts.refit_every;
+        if need_hyperfit {
+            let m = fit_gp(&self.xs, &self.ys, &self.opts.hyper, rng);
+            self.kernel_cache = Some((*m.kernel(), m.noise()));
+            self.observations_at_last_hyperfit = self.ys.len();
+            self.model = Some(m);
+        } else {
+            let (kernel, noise) = self.kernel_cache.expect("cache checked above");
+            let m = GpModel::fit(self.xs.clone(), &self.ys, kernel, noise)
+                .unwrap_or_else(|_| fit_gp(&self.xs, &self.ys, &self.opts.hyper, rng));
+            self.model = Some(m);
+        }
+    }
+
+    /// Suggests the next point to evaluate.
+    ///
+    /// With fewer than two observations the suggestion is uniform random
+    /// (there is nothing to model yet). Otherwise: GP fit → pending-gain
+    /// update → per-acquisition nomination → Hedge selection.
+    pub fn suggest<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<f64> {
+        if self.ys.len() < 2 {
+            return (0..self.dim).map(|_| rng.gen::<f64>()).collect();
+        }
+        self.ensure_model(rng);
+        let model = self.model.as_ref().expect("ensure_model just ran");
+
+        // Reward last round's nominees under the refreshed posterior.
+        // Gains use standardised units so η keeps a consistent meaning.
+        if let Some(nominees) = self.pending_nominees.take() {
+            let mean = self.ys.iter().sum::<f64>() / self.ys.len() as f64;
+            let var = self
+                .ys
+                .iter()
+                .map(|&y| (y - mean) * (y - mean))
+                .sum::<f64>()
+                / self.ys.len() as f64;
+            let std = if var > 0.0 { var.sqrt() } else { 1.0 };
+            let mut rewards = [0.0; 3];
+            for (r, nominee) in rewards.iter_mut().zip(&nominees) {
+                let (mu, _) = model.predict(nominee);
+                *r = -(mu - mean) / std;
+            }
+            self.hedge.update(rewards);
+        }
+
+        let best = self.best().expect(">=2 observations").1;
+        let (xi, kappa) = (self.opts.xi, self.opts.kappa);
+        let mut nominees: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (slot, kind) in nominees.iter_mut().zip(ALL_ACQUISITIONS) {
+            *slot = maximize_acquisition(
+                |p| {
+                    let (mu, var) = model.predict(p);
+                    kind.score(mu, var.sqrt(), best, xi, kappa)
+                },
+                self.dim,
+                &self.opts.optimize,
+                rng,
+            );
+        }
+
+        let chosen_kind = match self.opts.acquisition_override {
+            Some(kind) => kind,
+            None => self.hedge.choose(rng),
+        };
+        let idx = ALL_ACQUISITIONS
+            .iter()
+            .position(|&k| k == chosen_kind)
+            .expect("kind comes from the list");
+        let mut chosen = nominees[idx].clone();
+        self.pending_nominees = Some(nominees);
+
+        // De-duplicate against existing observations.
+        let too_close = |p: &[f64], xs: &[Vec<f64>], tol: f64| {
+            xs.iter().any(|x| {
+                x.iter()
+                    .zip(p)
+                    .all(|(a, b)| (a - b).abs() < tol)
+            })
+        };
+        while too_close(&chosen, &self.xs, self.opts.dedup_tol) {
+            for v in &mut chosen {
+                *v = (*v + rng.gen::<f64>() * 0.05 - 0.025).clamp(0.0, 1.0);
+            }
+        }
+        chosen
+    }
+
+    /// Which acquisition the portfolio currently favours (for reporting).
+    pub fn dominant_acquisition(&self) -> AcquisitionKind {
+        let p = self.hedge.probabilities();
+        let i = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .map(|(i, _)| i)
+            .expect("three entries");
+        ALL_ACQUISITIONS[i]
+    }
+}
+
+/// Result of [`minimize`]: `(best_x, best_y, history)`.
+pub type MinimizeResult = (Vec<f64>, f64, Vec<(Vec<f64>, f64)>);
+
+/// Convenience driver: LHS-free minimisation loop with `n_init` random
+/// initial points followed by `budget − n_init` BO iterations.
+///
+/// Returns `(best_x, best_y, history)` where `history` holds every
+/// `(point, value)` in evaluation order. Library users with custom
+/// initial designs (like ROBOTune's memoized sampler) should drive
+/// [`BoEngine`] directly instead.
+pub fn minimize<F, R>(
+    mut f: F,
+    dim: usize,
+    n_init: usize,
+    budget: usize,
+    opts: BoOptions,
+    rng: &mut R,
+) -> MinimizeResult
+where
+    F: FnMut(&[f64]) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(budget >= n_init.max(1), "budget too small");
+    let mut engine = BoEngine::new(dim, opts);
+    let mut history = Vec::with_capacity(budget);
+    for _ in 0..n_init {
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+        let y = f(&x);
+        history.push((x.clone(), y));
+        engine.observe(x, y);
+    }
+    for _ in n_init..budget {
+        let x = engine.suggest(rng);
+        let y = f(&x);
+        history.push((x.clone(), y));
+        engine.observe(x, y);
+    }
+    let (bx, by) = engine.best().expect("budget >= 1");
+    (bx.to_vec(), by, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_stats::rng_from_seed;
+
+    fn cheap_opts() -> BoOptions {
+        BoOptions {
+            hyper: HyperFitOptions {
+                restarts: 1,
+                evals_per_restart: 40,
+                ..HyperFitOptions::default()
+            },
+            optimize: OptimizeOptions {
+                candidates: 64,
+                refine_top: 2,
+                halvings: 4,
+                ..OptimizeOptions::default()
+            },
+            ..BoOptions::default()
+        }
+    }
+
+    #[test]
+    fn minimises_a_smooth_bowl_better_than_its_init() {
+        let mut rng = rng_from_seed(1);
+        let f = |p: &[f64]| (p[0] - 0.3).powi(2) + (p[1] - 0.6).powi(2);
+        let (x, y, history) = minimize(f, 2, 5, 25, cheap_opts(), &mut rng);
+        let init_best = history[..5]
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::INFINITY, f64::min);
+        assert!(y <= init_best, "BO should not be worse than its init");
+        assert!(y < 0.01, "final value {y} at {x:?}");
+    }
+
+    #[test]
+    fn beats_random_search_on_a_narrow_optimum() {
+        // The Fig. 3 story in miniature: a narrow quadratic well that
+        // random search rarely lands in but exploitation finds.
+        let f = |p: &[f64]| {
+            let d2: f64 = p.iter().map(|&v| (v - 0.42).powi(2)).sum();
+            1.0 - (-d2 / 0.005).exp()
+        };
+        let budget = 30;
+        let mut bo_rng = rng_from_seed(2);
+        let (_, bo_y, _) = minimize(f, 3, 8, budget, cheap_opts(), &mut bo_rng);
+        let mut rs_rng = rng_from_seed(3);
+        let rs_y = (0..budget)
+            .map(|_| {
+                let p: Vec<f64> = (0..3).map(|_| rand::Rng::gen::<f64>(&mut rs_rng)).collect();
+                f(&p)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            bo_y < rs_y,
+            "BO ({bo_y}) should beat random search ({rs_y}) on a narrow optimum"
+        );
+    }
+
+    #[test]
+    fn suggest_before_data_is_random_but_in_bounds() {
+        let mut engine = BoEngine::new(4, cheap_opts());
+        let mut rng = rng_from_seed(4);
+        let p = engine.suggest(&mut rng);
+        assert_eq!(p.len(), 4);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn best_tracks_the_minimum() {
+        let mut engine = BoEngine::new(1, cheap_opts());
+        engine.observe(vec![0.1], 5.0);
+        engine.observe(vec![0.2], 2.0);
+        engine.observe(vec![0.3], 7.0);
+        let (x, y) = engine.best().unwrap();
+        assert_eq!(x, &[0.2]);
+        assert_eq!(y, 2.0);
+    }
+
+    #[test]
+    fn duplicate_suggestions_get_nudged() {
+        let mut engine = BoEngine::new(2, cheap_opts());
+        let mut rng = rng_from_seed(5);
+        // A constant objective makes every point equally attractive, which
+        // tends to re-nominate corners; the dedup must keep points distinct.
+        for i in 0..6 {
+            let x = engine.suggest(&mut rng);
+            engine.observe(x, 1.0 + i as f64 * 1e-9);
+        }
+        let (xs, _) = engine.observations();
+        for i in 0..xs.len() {
+            for j in i + 1..xs.len() {
+                assert_ne!(xs[i], xs[j], "suggestions {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "objective must be finite")]
+    fn non_finite_observations_rejected() {
+        let mut engine = BoEngine::new(1, cheap_opts());
+        engine.observe(vec![0.5], f64::INFINITY);
+    }
+
+    #[test]
+    fn hedge_gains_accumulate_over_rounds() {
+        let mut engine = BoEngine::new(2, cheap_opts());
+        let mut rng = rng_from_seed(6);
+        for i in 0..8 {
+            let x = engine.suggest(&mut rng);
+            let y = (x[0] - 0.5).powi(2) + i as f64 * 0.001;
+            engine.observe(x, y);
+        }
+        // After several rounds the gains are no longer all zero.
+        let g = engine.hedge().gains();
+        assert!(g.iter().any(|&v| v != 0.0), "gains never updated: {g:?}");
+    }
+}

@@ -1,0 +1,159 @@
+//! The GP-Hedge adaptive acquisition portfolio.
+//!
+//! Hoffman, Brochu & de Freitas (UAI 2011): run all acquisition functions
+//! in parallel as "experts"; at each round sample one nominee with
+//! probability `p_i ∝ exp(η·g_i)` where `g_i` is expert *i*'s cumulative
+//! gain; after the GP is updated, reward every expert with the (negated,
+//! for minimisation) posterior mean at *its own* nominee. Empirically the
+//! portfolio tracks whichever of PI/EI/LCB suits the current optimisation
+//! stage (paper §3.4).
+
+use rand::Rng;
+
+use crate::acquisition::{AcquisitionKind, ALL_ACQUISITIONS};
+
+/// Exponential-weights portfolio over the three acquisitions.
+#[derive(Debug, Clone)]
+pub struct Hedge {
+    gains: [f64; 3],
+    eta: f64,
+    picks: [usize; 3],
+}
+
+impl Hedge {
+    /// Creates a portfolio with learning rate `eta` (> 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eta` is positive and finite.
+    pub fn new(eta: f64) -> Self {
+        assert!(eta > 0.0 && eta.is_finite(), "eta must be positive");
+        Hedge {
+            gains: [0.0; 3],
+            eta,
+            picks: [0; 3],
+        }
+    }
+
+    /// Current selection probabilities (PI, EI, LCB order).
+    pub fn probabilities(&self) -> [f64; 3] {
+        // Shift by the max gain for numerical stability; softmax is
+        // shift-invariant.
+        let m = self.gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps = self.gains.map(|g| (self.eta * (g - m)).exp());
+        let z: f64 = exps.iter().sum();
+        exps.map(|e| e / z)
+    }
+
+    /// Samples one acquisition according to the current probabilities.
+    pub fn choose<R: Rng + ?Sized>(&mut self, rng: &mut R) -> AcquisitionKind {
+        let probs = self.probabilities();
+        let mut u = rng.gen::<f64>();
+        for (i, p) in probs.iter().enumerate() {
+            if u < *p {
+                self.picks[i] += 1;
+                return ALL_ACQUISITIONS[i];
+            }
+            u -= p;
+        }
+        self.picks[2] += 1;
+        ALL_ACQUISITIONS[2]
+    }
+
+    /// Adds this round's rewards (one per expert, PI/EI/LCB order).
+    /// Rewards should be on a roughly unit scale — the BO engine feeds
+    /// negated posterior means of *standardised* targets.
+    pub fn update(&mut self, rewards: [f64; 3]) {
+        for (g, r) in self.gains.iter_mut().zip(rewards) {
+            debug_assert!(r.is_finite(), "non-finite hedge reward");
+            *g += r;
+        }
+    }
+
+    /// Cumulative gains (PI, EI, LCB order).
+    pub fn gains(&self) -> [f64; 3] {
+        self.gains
+    }
+
+    /// How many times each expert has been chosen so far.
+    pub fn pick_counts(&self) -> [usize; 3] {
+        self.picks
+    }
+}
+
+impl Default for Hedge {
+    /// η = 1.0, a common default that adapts quickly at BO's sample sizes.
+    fn default() -> Self {
+        Hedge::new(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_stats::rng_from_seed;
+
+    #[test]
+    fn starts_uniform() {
+        let h = Hedge::default();
+        for p in h.probabilities() {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rewards_shift_probability_mass() {
+        let mut h = Hedge::default();
+        for _ in 0..5 {
+            h.update([1.0, 0.0, 0.0]); // PI keeps winning
+        }
+        let p = h.probabilities();
+        assert!(p[0] > 0.9, "PI probability {}", p[0]);
+        assert!(p[1] < 0.05 && p[2] < 0.05);
+    }
+
+    #[test]
+    fn probabilities_always_normalised() {
+        let mut h = Hedge::new(0.5);
+        h.update([1000.0, -1000.0, 3.0]); // extreme gains stay stable
+        let p = h.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn choose_follows_the_distribution() {
+        let mut h = Hedge::default();
+        h.update([2.0, 0.0, 0.0]);
+        let mut rng = rng_from_seed(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            match h.choose(&mut rng) {
+                AcquisitionKind::Pi => counts[0] += 1,
+                AcquisitionKind::Ei => counts[1] += 1,
+                AcquisitionKind::Lcb => counts[2] += 1,
+            }
+        }
+        let p = h.probabilities();
+        for i in 0..3 {
+            let emp = counts[i] as f64 / 3000.0;
+            assert!((emp - p[i]).abs() < 0.03, "expert {i}: emp {emp} vs {}", p[i]);
+        }
+        assert_eq!(h.pick_counts().iter().sum::<usize>(), 3000);
+    }
+
+    #[test]
+    fn higher_eta_commits_faster() {
+        let mut slow = Hedge::new(0.1);
+        let mut fast = Hedge::new(5.0);
+        slow.update([1.0, 0.0, 0.0]);
+        fast.update([1.0, 0.0, 0.0]);
+        assert!(fast.probabilities()[0] > slow.probabilities()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be positive")]
+    fn rejects_bad_eta() {
+        Hedge::new(0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Acquisition maximisation over the unit hypercube.
+//!
+//! The original implementation hands this to L-BFGS-B; we use the equally
+//! standard derivative-free recipe: score a batch of random candidates,
+//! then refine the best few with a coordinate pattern search (step halving
+//! with box clamping). At BO's dimensionalities (≤ ~10 after parameter
+//! selection) this finds acquisition optima reliably and cheaply.
+
+use rand::Rng;
+
+/// Options for [`maximize_acquisition`].
+#[derive(Debug, Clone)]
+pub struct OptimizeOptions {
+    /// Random candidates scored in the global phase.
+    pub candidates: usize,
+    /// How many of the top candidates get local refinement.
+    pub refine_top: usize,
+    /// Initial pattern-search step (unit-cube units).
+    pub initial_step: f64,
+    /// Step halvings before the local search stops.
+    pub halvings: usize,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions {
+            candidates: 256,
+            refine_top: 3,
+            initial_step: 0.1,
+            halvings: 6,
+        }
+    }
+}
+
+/// Maximises `score` over `[0, 1]^dim`; returns the best point found.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or the candidate budget is zero.
+pub fn maximize_acquisition<F, R>(
+    mut score: F,
+    dim: usize,
+    opts: &OptimizeOptions,
+    rng: &mut R,
+) -> Vec<f64>
+where
+    F: FnMut(&[f64]) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(dim > 0, "dimension must be positive");
+    assert!(opts.candidates > 0, "need at least one candidate");
+
+    // Global phase: random scatter.
+    let mut scored: Vec<(f64, Vec<f64>)> = (0..opts.candidates)
+        .map(|_| {
+            let p: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+            (score(&p), p)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(opts.refine_top.max(1));
+
+    // Local phase: coordinate pattern search from each survivor.
+    let mut best = scored[0].clone();
+    for (mut fx, mut x) in scored {
+        let mut step = opts.initial_step;
+        for _ in 0..=opts.halvings {
+            let mut improved = true;
+            while improved {
+                improved = false;
+                for d in 0..dim {
+                    for dir in [-1.0, 1.0] {
+                        let orig = x[d];
+                        let cand = (orig + dir * step).clamp(0.0, 1.0);
+                        if cand == orig {
+                            continue;
+                        }
+                        x[d] = cand;
+                        let f = score(&x);
+                        if f > fx {
+                            fx = f;
+                            improved = true;
+                        } else {
+                            x[d] = orig;
+                        }
+                    }
+                }
+            }
+            step *= 0.5;
+        }
+        if fx > best.0 {
+            best = (fx, x);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_stats::rng_from_seed;
+
+    #[test]
+    fn finds_an_interior_peak() {
+        let mut rng = rng_from_seed(1);
+        let target = [0.3, 0.7];
+        let x = maximize_acquisition(
+            |p| -(p[0] - target[0]).powi(2) - (p[1] - target[1]).powi(2),
+            2,
+            &OptimizeOptions::default(),
+            &mut rng,
+        );
+        assert!((x[0] - 0.3).abs() < 0.01, "x0 = {}", x[0]);
+        assert!((x[1] - 0.7).abs() < 0.01, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn respects_the_box_on_boundary_peaks() {
+        let mut rng = rng_from_seed(2);
+        // Optimum outside the box: the maximiser should pin to the corner.
+        let x = maximize_acquisition(
+            |p| p[0] + p[1],
+            2,
+            &OptimizeOptions::default(),
+            &mut rng,
+        );
+        assert!(x[0] > 0.999 && x[1] > 0.999, "corner not reached: {x:?}");
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn multimodal_surface_finds_the_better_mode() {
+        let mut rng = rng_from_seed(3);
+        // Two Gaussian bumps; the one at 0.8 is taller.
+        let f = |p: &[f64]| {
+            let a = (-((p[0] - 0.2) / 0.05).powi(2)).exp() * 0.8;
+            let b = (-((p[0] - 0.8) / 0.05).powi(2)).exp();
+            a + b
+        };
+        let x = maximize_acquisition(f, 1, &OptimizeOptions::default(), &mut rng);
+        assert!((x[0] - 0.8).abs() < 0.02, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn works_in_higher_dimensions() {
+        let mut rng = rng_from_seed(4);
+        let x = maximize_acquisition(
+            |p| -p.iter().map(|&v| (v - 0.5).powi(2)).sum::<f64>(),
+            8,
+            &OptimizeOptions::default(),
+            &mut rng,
+        );
+        for &v in &x {
+            assert!((v - 0.5).abs() < 0.05, "coordinate {v}");
+        }
+    }
+}

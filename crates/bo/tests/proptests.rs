@@ -1,0 +1,93 @@
+//! Property-based tests of the acquisition functions and the Hedge
+//! portfolio.
+
+use proptest::prelude::*;
+use robotune_bo::{AcquisitionKind, Hedge};
+
+const XI: f64 = 0.01;
+const KAPPA: f64 = 1.96;
+
+proptest! {
+    #[test]
+    fn ei_is_nonnegative(mu in -1e3f64..1e3, sigma in 0.0f64..1e3, best in -1e3f64..1e3) {
+        prop_assert!(AcquisitionKind::Ei.score(mu, sigma, best, XI, KAPPA) >= 0.0);
+    }
+
+    #[test]
+    fn ei_monotone_in_sigma(
+        mu in -100.0f64..100.0,
+        best in -100.0f64..100.0,
+        s1 in 0.01f64..50.0,
+        s2 in 0.01f64..50.0,
+    ) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let a = AcquisitionKind::Ei.score(mu, lo, best, XI, KAPPA);
+        let b = AcquisitionKind::Ei.score(mu, hi, best, XI, KAPPA);
+        prop_assert!(b >= a - 1e-9, "EI must grow with uncertainty: {a} vs {b}");
+    }
+
+    #[test]
+    fn ei_and_pi_monotone_decreasing_in_mu(
+        m1 in -100.0f64..100.0,
+        m2 in -100.0f64..100.0,
+        sigma in 0.01f64..50.0,
+        best in -100.0f64..100.0,
+    ) {
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        for kind in [AcquisitionKind::Ei, AcquisitionKind::Pi] {
+            let better = kind.score(lo, sigma, best, XI, KAPPA);
+            let worse = kind.score(hi, sigma, best, XI, KAPPA);
+            prop_assert!(better >= worse - 1e-9, "{kind:?} must prefer lower means");
+        }
+    }
+
+    #[test]
+    fn pi_stays_a_probability(
+        mu in -1e4f64..1e4,
+        sigma in 0.0f64..1e4,
+        best in -1e4f64..1e4,
+    ) {
+        let p = AcquisitionKind::Pi.score(mu, sigma, best, XI, KAPPA);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn lcb_is_exactly_linear(mu in -100.0f64..100.0, sigma in 0.0f64..100.0) {
+        let v = AcquisitionKind::Lcb.score(mu, sigma, 0.0, XI, KAPPA);
+        prop_assert!((v - (-(mu - KAPPA * sigma))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hedge_probabilities_always_form_a_distribution(
+        rewards in proptest::collection::vec(
+            (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0), 0..50),
+        eta in 0.01f64..10.0,
+    ) {
+        let mut hedge = Hedge::new(eta);
+        for (a, b, c) in rewards {
+            hedge.update([a, b, c]);
+            let p = hedge.probabilities();
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn hedge_favours_the_consistently_rewarded_expert(
+        winner in 0usize..3,
+        rounds in 3usize..30,
+    ) {
+        let mut hedge = Hedge::default();
+        for _ in 0..rounds {
+            let mut r = [0.0; 3];
+            r[winner] = 1.0;
+            hedge.update(r);
+        }
+        let p = hedge.probabilities();
+        for i in 0..3 {
+            if i != winner {
+                prop_assert!(p[winner] > p[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Memoized sampling: the parameter-selection cache and the configuration
+//! memoization buffer (paper §3.2).
+//!
+//! High-impact parameters stay stable across dataset sizes of the same
+//! workload, and well-tuned configurations for one dataset sit near the
+//! optimum for another. ROBOTune therefore keys both structures by a
+//! *workload identity* string: a repeated workload pulls its selected
+//! parameter set from the cache (skipping the 100-sample selection run)
+//! and seeds the BO training set with its best recent configurations.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use robotune_space::{ConfigSpace, Configuration, SearchSpace, Subspace};
+
+/// Workload → selected parameter *names* (names, not indices, so the cache
+/// survives space revisions).
+#[derive(Debug, Clone, Default)]
+pub struct ParameterSelectionCache {
+    entries: HashMap<String, Vec<String>>,
+}
+
+impl ParameterSelectionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the selected parameter indices for `workload` within
+    /// `space`. A hit requires every cached name to still resolve.
+    pub fn get(&self, workload: &str, space: &ConfigSpace) -> Option<Vec<usize>> {
+        let names = self.entries.get(workload)?;
+        let mut out = Vec::with_capacity(names.len());
+        for n in names {
+            out.push(space.index_of(n)?);
+        }
+        Some(out)
+    }
+
+    /// Stores a selection.
+    pub fn put(&mut self, workload: &str, space: &ConfigSpace, selected: &[usize]) {
+        let names = selected
+            .iter()
+            .map(|&i| space.params()[i].name.clone())
+            .collect();
+        self.entries.insert(workload.to_string(), names);
+    }
+
+    /// Whether the cache holds an entry for `workload`.
+    pub fn contains(&self, workload: &str) -> bool {
+        self.entries.contains_key(workload)
+    }
+
+    /// Number of cached workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Workload → best recent configurations with their runtimes, capped at
+/// [`ConfigMemoBuffer::CAPACITY`] entries per workload, best first.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigMemoBuffer {
+    entries: HashMap<String, Vec<(Configuration, f64)>>,
+}
+
+impl ConfigMemoBuffer {
+    /// Retained configurations per workload.
+    pub const CAPACITY: usize = 8;
+
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed configuration for `workload`.
+    pub fn record(&mut self, workload: &str, config: Configuration, time_s: f64) {
+        let list = self.entries.entry(workload.to_string()).or_default();
+        list.push((config, time_s));
+        list.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        list.truncate(Self::CAPACITY);
+    }
+
+    /// The `n` best recent configurations for `workload` (may be fewer).
+    pub fn best_recent(&self, workload: &str, n: usize) -> Vec<&(Configuration, f64)> {
+        self.entries
+            .get(workload)
+            .map(|l| l.iter().take(n).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether anything is memoized for `workload`.
+    pub fn contains(&self, workload: &str) -> bool {
+        self.entries.get(workload).is_some_and(|l| !l.is_empty())
+    }
+}
+
+/// The initial BO training design produced by memoized sampling.
+#[derive(Debug, Clone)]
+pub struct InitialDesign {
+    /// Unit-cube points in the *subspace*, LHS part first.
+    pub points: Vec<Vec<f64>>,
+    /// How many of `points` came from the memoization buffer.
+    pub memoized: usize,
+}
+
+/// Builds initial designs per §3.2: 20 LHS tuning samples for a cold
+/// workload; 16 LHS + 4 best recent configurations for a warm one.
+#[derive(Debug, Clone)]
+pub struct MemoizedSampler {
+    /// Total initial training points (paper: 20).
+    pub tuning_samples: usize,
+    /// Memoized configurations blended in on a warm start (paper: 4).
+    pub memo_configs: usize,
+}
+
+impl Default for MemoizedSampler {
+    fn default() -> Self {
+        MemoizedSampler {
+            tuning_samples: 20,
+            memo_configs: 4,
+        }
+    }
+}
+
+impl MemoizedSampler {
+    /// Builds the initial design for `workload` over `sub`.
+    pub fn initial_design<R: Rng + ?Sized>(
+        &self,
+        sub: &Subspace,
+        workload: &str,
+        buffer: &ConfigMemoBuffer,
+        rng: &mut R,
+    ) -> InitialDesign {
+        let recent = buffer.best_recent(workload, self.memo_configs);
+        let n_lhs = self.tuning_samples.saturating_sub(recent.len());
+        // Memoized configurations go first: they are the likely
+        // near-optimum, so even a tight budget benefits immediately and
+        // the GP sees the high-performing region from iteration one.
+        let memoized = recent.len();
+        let mut points = Vec::with_capacity(self.tuning_samples);
+        for (config, _) in recent {
+            points.push(sub.encode(config));
+        }
+        points.extend(robotune_sampling::lhs_maximin(
+            n_lhs,
+            sub.dim(),
+            rng,
+            robotune_sampling::lhs::DEFAULT_MAXIMIN_CANDIDATES,
+        ));
+        InitialDesign { points, memoized }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_space::spark::{names, spark_space};
+    use robotune_stats::rng_from_seed;
+    use std::sync::Arc;
+
+    fn space() -> Arc<ConfigSpace> {
+        Arc::new(spark_space())
+    }
+
+    #[test]
+    fn selection_cache_round_trips_by_name() {
+        let s = space();
+        let mut cache = ParameterSelectionCache::new();
+        assert!(cache.get("pr", &s).is_none());
+        let sel = vec![0usize, 1, 7];
+        cache.put("pr", &s, &sel);
+        assert!(cache.contains("pr"));
+        assert_eq!(cache.get("pr", &s), Some(sel));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn memo_buffer_keeps_the_best_sorted() {
+        let s = space();
+        let mut buf = ConfigMemoBuffer::new();
+        for (i, t) in [90.0, 30.0, 60.0, 45.0].iter().enumerate() {
+            let mut c = s.default_configuration();
+            c.set(0, robotune_space::ParamValue::Int(1 + i as i64));
+            buf.record("km", c, *t);
+        }
+        let best = buf.best_recent("km", 2);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].1, 30.0);
+        assert_eq!(best[1].1, 45.0);
+        assert!(buf.contains("km"));
+        assert!(!buf.contains("pr"));
+    }
+
+    #[test]
+    fn memo_buffer_truncates_at_capacity() {
+        let s = space();
+        let mut buf = ConfigMemoBuffer::new();
+        for t in 0..20 {
+            buf.record("w", s.default_configuration(), 100.0 - t as f64);
+        }
+        assert_eq!(
+            buf.best_recent("w", usize::MAX).len(),
+            ConfigMemoBuffer::CAPACITY
+        );
+    }
+
+    #[test]
+    fn cold_design_is_pure_lhs_of_20() {
+        let s = space();
+        let sub = s.subspace(&[0, 1, 7], s.default_configuration());
+        let buf = ConfigMemoBuffer::new();
+        let mut rng = rng_from_seed(1);
+        let d = MemoizedSampler::default().initial_design(&sub, "pr", &buf, &mut rng);
+        assert_eq!(d.points.len(), 20);
+        assert_eq!(d.memoized, 0);
+        assert!(d.points.iter().all(|p| p.len() == 3));
+    }
+
+    #[test]
+    fn warm_design_is_16_lhs_plus_4_memoized() {
+        let s = space();
+        let cores = s.index_of(names::EXECUTOR_CORES).unwrap();
+        let sub = s.subspace(&[cores], s.default_configuration());
+        let mut buf = ConfigMemoBuffer::new();
+        for i in 0..6 {
+            let mut c = s.default_configuration();
+            c.set(cores, robotune_space::ParamValue::Int(8 + i));
+            buf.record("pr", c, 50.0 + i as f64);
+        }
+        let mut rng = rng_from_seed(2);
+        let d = MemoizedSampler::default().initial_design(&sub, "pr", &buf, &mut rng);
+        assert_eq!(d.points.len(), 20);
+        assert_eq!(d.memoized, 4);
+        // Memoized points lead the design and decode back to the recorded
+        // best configs (best first: time 50 → cores 8).
+        let decoded = sub.decode(&d.points[0]);
+        assert_eq!(decoded.get(cores).as_int(), 8);
+    }
+
+    #[test]
+    fn warm_design_with_fewer_memos_tops_up_with_lhs() {
+        let s = space();
+        let sub = s.subspace(&[0], s.default_configuration());
+        let mut buf = ConfigMemoBuffer::new();
+        buf.record("cc", s.default_configuration(), 70.0);
+        let mut rng = rng_from_seed(3);
+        let d = MemoizedSampler::default().initial_design(&sub, "cc", &buf, &mut rng);
+        assert_eq!(d.points.len(), 20);
+        assert_eq!(d.memoized, 1);
+    }
+
+    #[test]
+    fn cache_miss_on_unknown_name() {
+        let s = space();
+        let mut cache = ParameterSelectionCache::new();
+        cache.entries.insert("w".into(), vec!["no.such.param".into()]);
+        assert!(cache.get("w", &s).is_none());
+    }
+}

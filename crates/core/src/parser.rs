@@ -1,0 +1,231 @@
+//! Parsing framework configuration syntax back into [`Configuration`]s —
+//! the inverse of [`crate::encoder`].
+//!
+//! Lets a deployment seed the memoization buffer from existing
+//! `spark-defaults.conf` files, or validate a hand-written configuration
+//! against the tuning space.
+
+use robotune_space::{ConfigSpace, Configuration, ParamKind, ParamValue, Unit};
+
+/// A parse failure with enough context to fix the input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line had no `=` separator.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A key is not a parameter of the space.
+    UnknownParameter {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown key.
+        name: String,
+    },
+    /// A value failed to parse or is out of the parameter's domain.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// Parameter name.
+        name: String,
+        /// The raw value text.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MalformedLine { line, text } => {
+                write!(f, "line {line}: missing '=' in {text:?}")
+            }
+            ParseError::UnknownParameter { line, name } => {
+                write!(f, "line {line}: unknown parameter {name}")
+            }
+            ParseError::BadValue { line, name, value } => {
+                write!(f, "line {line}: bad value {value:?} for {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `key=value` lines (comments `#` and blank lines ignored) into a
+/// full configuration. Parameters absent from the text keep the space's
+/// defaults. Size/time suffixes are understood per the parameter's unit
+/// (`4096m`, `32k`, `120s`, `3000ms`) and bare numbers are accepted too.
+pub fn parse_conf(space: &ConfigSpace, text: &str) -> Result<Configuration, ParseError> {
+    let mut config = space.default_configuration();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = trimmed.split_once('=') else {
+            return Err(ParseError::MalformedLine {
+                line,
+                text: trimmed.to_string(),
+            });
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(idx) = space.index_of(key) else {
+            return Err(ParseError::UnknownParameter {
+                line,
+                name: key.to_string(),
+            });
+        };
+        let def = &space.params()[idx];
+        let parsed = parse_value(&def.kind, def.unit, value).ok_or_else(|| ParseError::BadValue {
+            line,
+            name: key.to_string(),
+            value: value.to_string(),
+        })?;
+        if !def.contains(&parsed) {
+            return Err(ParseError::BadValue {
+                line,
+                name: key.to_string(),
+                value: value.to_string(),
+            });
+        }
+        config.set(idx, parsed);
+    }
+    Ok(config)
+}
+
+fn parse_value(kind: &ParamKind, unit: Unit, text: &str) -> Option<ParamValue> {
+    match kind {
+        ParamKind::Int { .. } => {
+            let stripped = strip_unit_suffix(text, unit);
+            stripped.parse::<i64>().ok().map(ParamValue::Int)
+        }
+        ParamKind::Float { .. } => text.parse::<f64>().ok().map(ParamValue::Float),
+        ParamKind::Bool => match text {
+            "true" | "TRUE" | "True" => Some(ParamValue::Bool(true)),
+            "false" | "FALSE" | "False" => Some(ParamValue::Bool(false)),
+            _ => None,
+        },
+        ParamKind::Categorical { choices } => choices
+            .iter()
+            .position(|c| c == text)
+            .map(ParamValue::Cat),
+    }
+}
+
+/// Removes the unit suffix the encoder would have added (case-insensitive),
+/// leaving bare numbers untouched.
+fn strip_unit_suffix(text: &str, unit: Unit) -> &str {
+    let suffixes: &[&str] = match unit {
+        Unit::MiB => &["m", "M"],
+        Unit::KiB => &["k", "K"],
+        Unit::Millis => &["ms", "MS"],
+        Unit::Seconds => &["s", "S"],
+        _ => &[],
+    };
+    for s in suffixes {
+        if let Some(stripped) = text.strip_suffix(s) {
+            return stripped;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode_to_conf;
+    use robotune_space::spark::{names, spark_space};
+    use robotune_space::SearchSpace;
+
+    #[test]
+    fn round_trips_the_encoder_output() {
+        let space = spark_space();
+        let mut rng = robotune_stats::rng_from_seed(1);
+        use rand::Rng;
+        for _ in 0..50 {
+            let pt: Vec<f64> = (0..space.dim()).map(|_| rng.gen::<f64>()).collect();
+            let config = space.decode(&pt);
+            let text = encode_to_conf(&space, &config);
+            let parsed = parse_conf(&space, &text).expect("encoder output must parse");
+            // Floats render at 4 decimals, so compare via a second render:
+            // the parse→render fixpoint must be exact.
+            assert_eq!(encode_to_conf(&space, &parsed), text);
+            // Everything except floats round-trips exactly.
+            for (i, def) in space.params().iter().enumerate() {
+                if !matches!(def.kind, robotune_space::ParamKind::Float { .. }) {
+                    assert_eq!(parsed.get(i), config.get(i), "{}", def.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_files_keep_defaults_elsewhere() {
+        let space = spark_space();
+        let config = parse_conf(&space, "spark.executor.cores=8\n").unwrap();
+        assert_eq!(config.get_by_name(&space, names::EXECUTOR_CORES).unwrap().as_int(), 8);
+        assert_eq!(
+            config.get_by_name(&space, names::EXECUTOR_MEMORY).unwrap().as_int(),
+            8192,
+            "untouched parameters keep the space default"
+        );
+    }
+
+    #[test]
+    fn comments_blanks_and_spacing_are_tolerated() {
+        let space = spark_space();
+        let text = "# a comment\n\n  spark.executor.cores = 4  \nspark.serializer=kryo\n";
+        let config = parse_conf(&space, text).unwrap();
+        assert_eq!(config.get_by_name(&space, names::EXECUTOR_CORES).unwrap().as_int(), 4);
+        assert_eq!(config.get_by_name(&space, names::SERIALIZER).unwrap().as_cat(), 1);
+    }
+
+    #[test]
+    fn bare_numbers_accepted_for_unit_parameters() {
+        let space = spark_space();
+        let config = parse_conf(&space, "spark.executor.memory=16384\n").unwrap();
+        assert_eq!(config.get_by_name(&space, names::EXECUTOR_MEMORY).unwrap().as_int(), 16384);
+    }
+
+    #[test]
+    fn unknown_parameter_is_an_error() {
+        let space = spark_space();
+        let err = parse_conf(&space, "spark.nope=1\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownParameter { line: 1, .. }));
+    }
+
+    #[test]
+    fn out_of_domain_values_are_rejected() {
+        let space = spark_space();
+        let err = parse_conf(&space, "spark.executor.cores=99\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadValue { .. }));
+        let err = parse_conf(&space, "spark.io.compression.codec=gzip\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadValue { .. }));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let space = spark_space();
+        let err = parse_conf(&space, "spark.executor.cores=2\nnot a line\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::MalformedLine { line: 2, text: "not a line".to_string() }
+        );
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn booleans_and_floats_parse() {
+        let space = spark_space();
+        let text = "spark.speculation=true\nspark.memory.fraction=0.75\n";
+        let config = parse_conf(&space, text).unwrap();
+        assert!(config.get_by_name(&space, names::SPECULATION).unwrap().as_bool());
+        assert!(
+            (config.get_by_name(&space, names::MEMORY_FRACTION).unwrap().as_float() - 0.75).abs()
+                < 1e-12
+        );
+    }
+}

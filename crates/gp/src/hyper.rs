@@ -1,0 +1,265 @@
+//! Maximum-likelihood GP hyperparameter fitting.
+//!
+//! Optimises `(log ℓ, log σ², log σ_n²)` of a Matérn 5/2 + white-noise GP
+//! by multi-start Nelder–Mead on the log marginal likelihood. Targets are
+//! standardised inside [`crate::model::GpModel`], so the same search box
+//! works across workloads.
+
+use rand::Rng;
+
+use crate::kernel::{Matern52, Matern52Ard};
+use crate::model::GpModel;
+use crate::opt::nelder_mead;
+
+/// Options for [`fit_gp`].
+#[derive(Debug, Clone)]
+pub struct HyperFitOptions {
+    /// Number of random restarts in addition to the default start point.
+    pub restarts: usize,
+    /// Nelder–Mead evaluation budget per restart.
+    pub evals_per_restart: usize,
+    /// Bounds on `log ℓ` (unit-cube length scales).
+    pub log_length_bounds: (f64, f64),
+    /// Bounds on `log σ²`.
+    pub log_variance_bounds: (f64, f64),
+    /// Bounds on `log σ_n²`.
+    pub log_noise_bounds: (f64, f64),
+}
+
+impl Default for HyperFitOptions {
+    fn default() -> Self {
+        HyperFitOptions {
+            restarts: 3,
+            evals_per_restart: 120,
+            // ℓ from ~0.02 to ~7.4 in unit-cube units.
+            log_length_bounds: (-4.0, 2.0),
+            // σ² from ~0.05 to ~20 (targets are standardised).
+            log_variance_bounds: (-3.0, 3.0),
+            // σ_n² from ~5e-5 to ~1: measured runtimes are noisy, never exact.
+            log_noise_bounds: (-10.0, 0.0),
+        }
+    }
+}
+
+fn clamp3(theta: &[f64], opts: &HyperFitOptions) -> (f64, f64, f64) {
+    (
+        theta[0].clamp(opts.log_length_bounds.0, opts.log_length_bounds.1),
+        theta[1].clamp(opts.log_variance_bounds.0, opts.log_variance_bounds.1),
+        theta[2].clamp(opts.log_noise_bounds.0, opts.log_noise_bounds.1),
+    )
+}
+
+/// Fits a Matérn 5/2 + white-noise GP with ML-II hyperparameters.
+///
+/// Returns the fitted model with the best marginal likelihood found over
+/// all restarts. Falls back to sensible defaults (ℓ = 0.5, σ² = 1,
+/// σ_n² = 1e-4) if every optimised candidate fails to factor.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs (via [`GpModel::fit`]).
+pub fn fit_gp<R: Rng + ?Sized>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    opts: &HyperFitOptions,
+    rng: &mut R,
+) -> GpModel<Matern52> {
+    let neg_lml = |theta: &[f64]| -> f64 {
+        let (ll, lv, ln) = clamp3(theta, opts);
+        match GpModel::fit(x.to_vec(), y, Matern52::new(ll.exp(), lv.exp()), ln.exp()) {
+            Ok(m) => -m.log_marginal_likelihood(),
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    // Default start: mid-range length scale, unit variance, small noise.
+    let mut starts = vec![vec![(0.5f64).ln(), 0.0, (1e-3f64).ln()]];
+    for _ in 0..opts.restarts {
+        starts.push(vec![
+            rng.gen_range(opts.log_length_bounds.0..opts.log_length_bounds.1),
+            rng.gen_range(opts.log_variance_bounds.0..opts.log_variance_bounds.1),
+            rng.gen_range(opts.log_noise_bounds.0..opts.log_noise_bounds.1),
+        ]);
+    }
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for s in &starts {
+        let r = nelder_mead(neg_lml, s, 0.7, opts.evals_per_restart, 1e-8);
+        if r.fx.is_finite() && best.as_ref().is_none_or(|(b, _)| r.fx < *b) {
+            best = Some((r.fx, r.x));
+        }
+    }
+
+    let theta = best.map(|(_, t)| t).unwrap_or_else(|| vec![(0.5f64).ln(), 0.0, (1e-4f64).ln()]);
+    let (ll, lv, ln) = clamp3(&theta, opts);
+    GpModel::fit(x.to_vec(), y, Matern52::new(ll.exp(), lv.exp()), ln.exp())
+        .or_else(|_| GpModel::fit(x.to_vec(), y, Matern52::new(0.5, 1.0), 1e-4))
+        .expect("fallback GP hyperparameters must factor")
+}
+
+/// Fits an ARD Matérn 5/2 + white-noise GP with ML-II hyperparameters:
+/// `d` log length scales plus log variance and log noise, optimised by
+/// multi-start Nelder–Mead.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs.
+pub fn fit_gp_ard<R: Rng + ?Sized>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    opts: &HyperFitOptions,
+    rng: &mut R,
+) -> GpModel<Matern52Ard> {
+    assert!(!x.is_empty(), "cannot fit a GP on zero observations");
+    let d = x[0].len();
+    let clamp = |theta: &[f64]| -> (Vec<f64>, f64, f64) {
+        let scales: Vec<f64> = theta[..d]
+            .iter()
+            .map(|&t| t.clamp(opts.log_length_bounds.0, opts.log_length_bounds.1).exp())
+            .collect();
+        let v = theta[d]
+            .clamp(opts.log_variance_bounds.0, opts.log_variance_bounds.1)
+            .exp();
+        let n = theta[d + 1]
+            .clamp(opts.log_noise_bounds.0, opts.log_noise_bounds.1)
+            .exp();
+        (scales, v, n)
+    };
+    let neg_lml = |theta: &[f64]| -> f64 {
+        let (scales, v, n) = clamp(theta);
+        match GpModel::fit(x.to_vec(), y, Matern52Ard::new(scales, v), n) {
+            Ok(m) => -m.log_marginal_likelihood(),
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    let mut start = vec![(0.5f64).ln(); d];
+    start.push(0.0);
+    start.push((1e-3f64).ln());
+    let mut starts = vec![start];
+    for _ in 0..opts.restarts {
+        let mut s: Vec<f64> = (0..d)
+            .map(|_| rng.gen_range(opts.log_length_bounds.0..opts.log_length_bounds.1))
+            .collect();
+        s.push(rng.gen_range(opts.log_variance_bounds.0..opts.log_variance_bounds.1));
+        s.push(rng.gen_range(opts.log_noise_bounds.0..opts.log_noise_bounds.1));
+        starts.push(s);
+    }
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    // ARD has d+2 parameters; scale the evaluation budget with dimension.
+    let evals = opts.evals_per_restart * (1 + d / 2);
+    for s in &starts {
+        let r = nelder_mead(neg_lml, s, 0.7, evals, 1e-8);
+        if r.fx.is_finite() && best.as_ref().is_none_or(|(b, _)| r.fx < *b) {
+            best = Some((r.fx, r.x));
+        }
+    }
+
+    let theta = best.map(|(_, t)| t).unwrap_or_else(|| {
+        let mut t = vec![(0.5f64).ln(); d];
+        t.push(0.0);
+        t.push((1e-4f64).ln());
+        t
+    });
+    let (scales, v, n) = clamp(&theta);
+    GpModel::fit(x.to_vec(), y, Matern52Ard::new(scales, v), n)
+        .or_else(|_| {
+            GpModel::fit(x.to_vec(), y, Matern52Ard::new(vec![0.5; d], 1.0), 1e-4)
+        })
+        .expect("fallback ARD hyperparameters must factor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_stats::rng_from_seed;
+
+    #[test]
+    fn fitted_model_beats_bad_fixed_hyperparameters() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 9.0).sin() * 2.0).collect();
+        let mut rng = rng_from_seed(1);
+        let fitted = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
+        let clumsy = GpModel::fit(x.clone(), &y, Matern52::new(5.0, 0.1), 0.5).unwrap();
+        assert!(
+            fitted.log_marginal_likelihood() > clumsy.log_marginal_likelihood(),
+            "ML-II fit should dominate an arbitrary kernel"
+        );
+    }
+
+    #[test]
+    fn fitted_model_predicts_held_out_points() {
+        let x: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 / 24.0]).collect();
+        let f = |t: f64| (t * 7.0).sin() + 0.3 * t;
+        let y: Vec<f64> = x.iter().map(|p| f(p[0])).collect();
+        let mut rng = rng_from_seed(2);
+        let m = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
+        for q in [0.13, 0.47, 0.81] {
+            let (mu, _) = m.predict(&[q]);
+            assert!((mu - f(q)).abs() < 0.1, "at {q}: {mu} vs {}", f(q));
+        }
+    }
+
+    #[test]
+    fn noisy_data_yields_nonzero_noise_estimate() {
+        let mut rng = rng_from_seed(3);
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|p| p[0] * 2.0 + 0.3 * robotune_stats::standard_normal(&mut rng))
+            .collect();
+        let m = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
+        assert!(m.noise() > 1e-4, "noise estimate {} too small", m.noise());
+    }
+
+    #[test]
+    fn ard_learns_to_ignore_an_irrelevant_dimension() {
+        use rand::Rng as _;
+        let mut rng = rng_from_seed(5);
+        // y depends on x0 only; x1 is noise.
+        let x: Vec<Vec<f64>> = (0..35)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 7.0).sin()).collect();
+        let m = fit_gp_ard(&x, &y, &HyperFitOptions::default(), &mut rng);
+        let scales = &m.kernel().length_scales;
+        assert!(
+            scales[1] > 2.0 * scales[0],
+            "irrelevant dimension should get a longer scale: {scales:?}"
+        );
+    }
+
+    #[test]
+    fn ard_marginal_likelihood_at_least_matches_isotropic_on_anisotropic_data() {
+        use rand::Rng as _;
+        let mut rng = rng_from_seed(6);
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        // Fast variation along x0, slow along x1.
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 12.0).sin() + 0.3 * p[1]).collect();
+        let iso = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
+        let ard = fit_gp_ard(&x, &y, &HyperFitOptions::default(), &mut rng);
+        assert!(
+            ard.log_marginal_likelihood() >= iso.log_marginal_likelihood() - 1.0,
+            "ARD ({}) should not lose badly to isotropic ({})",
+            ard.log_marginal_likelihood(),
+            iso.log_marginal_likelihood()
+        );
+    }
+
+    #[test]
+    fn works_at_higher_dimension() {
+        let mut rng = rng_from_seed(4);
+        use rand::Rng as _;
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|_| (0..5).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let y: Vec<f64> = x.iter().map(|p| p[0] * 3.0 - p[1] + (p[2] * 4.0).cos()).collect();
+        let m = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
+        // Sanity: posterior at a training point tracks its target.
+        let (mu, _) = m.predict(&x[0]);
+        assert!((mu - y[0]).abs() < 0.5);
+    }
+}

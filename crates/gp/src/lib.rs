@@ -1,0 +1,25 @@
+//! Gaussian-process regression for the ROBOTune BO engine.
+//!
+//! The paper's surrogate (§3.4, §4) is a GP with a **Matérn 5/2 plus white
+//! noise** covariance — "preferred to model practical functions" — over
+//! observations assumed i.i.d. Gaussian. This crate provides:
+//!
+//! * [`kernel`] — Matérn 5/2, squared-exponential and white-noise kernels;
+//! * [`model`] — [`model::GpModel`]: Cholesky-based posterior mean/variance
+//!   and the log marginal likelihood, with automatic jitter escalation;
+//! * [`hyper`] — maximum-likelihood hyperparameter fitting via multi-start
+//!   Nelder–Mead on log-parameters (our stand-in for scikit-optimize's
+//!   L-BFGS-B restarts);
+//! * [`opt`] — the Nelder–Mead simplex optimiser itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hyper;
+pub mod kernel;
+pub mod model;
+pub mod opt;
+
+pub use hyper::{fit_gp, fit_gp_ard, HyperFitOptions};
+pub use kernel::{Kernel, Matern52, Matern52Ard, SquaredExp};
+pub use model::GpModel;

@@ -1,0 +1,232 @@
+//! GP posterior inference.
+
+use robotune_linalg::{Cholesky, LinalgError, Matrix};
+
+use crate::kernel::Kernel;
+
+/// A fitted Gaussian-process regression model.
+///
+/// Targets are standardised internally (zero mean, unit variance) so the
+/// kernel's signal-variance hyperparameter has a consistent meaning across
+/// workloads whose runtimes differ by orders of magnitude. The model adds
+/// `noise` to the kernel diagonal — the *white noise* term of the paper's
+/// covariance — plus an escalating numerical jitter if the Cholesky
+/// factorisation struggles.
+#[derive(Debug, Clone)]
+pub struct GpModel<K: Kernel> {
+    x: Vec<Vec<f64>>,
+    kernel: K,
+    noise: f64,
+    chol: Cholesky,
+    /// `K⁻¹ ỹ` over standardised targets.
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    /// Standardised targets, kept for the marginal likelihood.
+    y_norm: Vec<f64>,
+}
+
+impl<K: Kernel> GpModel<K> {
+    /// Fits the GP to observations `(x, y)`.
+    ///
+    /// `noise` is the white-noise *variance* on standardised targets. If
+    /// the kernel matrix is numerically singular the jitter escalates from
+    /// `1e-10` by ×10 up to `1e-2` before giving up.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched inputs, or non-finite targets.
+    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], kernel: K, noise: f64) -> Result<Self, LinalgError> {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit a GP on zero observations");
+        assert!(y.iter().all(|v| v.is_finite()), "non-finite target");
+        assert!(noise >= 0.0, "noise variance must be non-negative");
+
+        let n = y.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let var = y.iter().map(|&v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
+        let y_std = if var > 0.0 { var.sqrt() } else { 1.0 };
+        let y_norm: Vec<f64> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
+
+        let mut k = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                kernel.diag(&x[i]) + noise
+            } else {
+                kernel.eval(&x[i], &x[j])
+            }
+        });
+
+        let mut jitter = 1e-10;
+        let chol = loop {
+            match Cholesky::factor(&k) {
+                Ok(c) => break c,
+                Err(e) => {
+                    if jitter > 1e-2 {
+                        return Err(e);
+                    }
+                    k.add_diagonal(jitter);
+                    jitter *= 10.0;
+                }
+            }
+        };
+        let alpha = chol.solve(&y_norm);
+
+        Ok(GpModel {
+            x,
+            kernel,
+            noise,
+            chol,
+            alpha,
+            y_mean,
+            y_std,
+            y_norm,
+        })
+    }
+
+    /// Number of training observations.
+    pub fn n_observations(&self) -> usize {
+        self.x.len()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The white-noise variance (standardised-target units).
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Posterior mean and variance of the *latent* function at `q`, in the
+    /// original target units. Variance is clamped at zero from below.
+    pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        let n = self.x.len();
+        let mut kstar = Vec::with_capacity(n);
+        for xi in &self.x {
+            kstar.push(self.kernel.eval(q, xi));
+        }
+        let mu_norm: f64 = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        // var = k(q,q) − ‖L⁻¹ k*‖².
+        let v = self.chol.solve_lower(&kstar);
+        let var_norm = (self.kernel.diag(q) - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        (
+            mu_norm * self.y_std + self.y_mean,
+            var_norm * self.y_std * self.y_std,
+        )
+    }
+
+    /// Posterior standard deviation at `q` (original units).
+    pub fn predict_std(&self, q: &[f64]) -> f64 {
+        self.predict(q).1.sqrt()
+    }
+
+    /// Log marginal likelihood of the standardised data under the model:
+    /// `−½ ỹᵀα − ½ log|K| − n/2 · log 2π`.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let n = self.y_norm.len() as f64;
+        let fit: f64 = self.y_norm.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        -0.5 * fit - 0.5 * self.chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Matern52;
+
+    fn toy_model(noise: f64) -> GpModel<Matern52> {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 6.0).sin() * 3.0 + 10.0).collect();
+        GpModel::fit(x, &y, Matern52::new(0.3, 1.0), noise).unwrap()
+    }
+
+    #[test]
+    fn interpolates_training_points_with_tiny_noise() {
+        let m = toy_model(1e-8);
+        for i in 0..8 {
+            let x = i as f64 / 7.0;
+            let truth = (x * 6.0).sin() * 3.0 + 10.0;
+            let (mu, var) = m.predict(&[x]);
+            assert!((mu - truth).abs() < 1e-3, "mu {mu} vs {truth}");
+            assert!(var < 1e-4, "variance at a training point should vanish, got {var}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let m = toy_model(1e-6);
+        let (_, var_near) = m.predict(&[0.5]);
+        let (_, var_far) = m.predict(&[3.0]);
+        assert!(var_far > var_near * 10.0, "near {var_near}, far {var_far}");
+    }
+
+    #[test]
+    fn far_field_reverts_to_prior_mean() {
+        let m = toy_model(1e-6);
+        let (mu, var) = m.predict(&[100.0]);
+        // Prior mean on standardised targets is 0 → original-unit y_mean.
+        let y_mean: f64 = (0..8)
+            .map(|i| ((i as f64 / 7.0) * 6.0).sin() * 3.0 + 10.0)
+            .sum::<f64>()
+            / 8.0;
+        assert!((mu - y_mean).abs() < 1e-6);
+        // And the variance approaches the prior variance (in y units).
+        assert!(var > 0.5);
+    }
+
+    #[test]
+    fn noise_smooths_interpolation() {
+        let exact = toy_model(1e-8);
+        let noisy = toy_model(0.5);
+        // With substantial white noise, the posterior no longer pins the
+        // training targets exactly.
+        let (mu_e, _) = exact.predict(&[0.0]);
+        let (mu_n, _) = noisy.predict(&[0.0]);
+        let truth = 10.0;
+        assert!((mu_e - truth).abs() < (mu_n - truth).abs());
+    }
+
+    #[test]
+    fn lml_prefers_reasonable_hyperparameters() {
+        let x: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 / 14.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 8.0).sin()).collect();
+        let good = GpModel::fit(x.clone(), &y, Matern52::new(0.2, 1.0), 1e-4)
+            .unwrap()
+            .log_marginal_likelihood();
+        let bad_short = GpModel::fit(x.clone(), &y, Matern52::new(1e-3, 1.0), 1e-4)
+            .unwrap()
+            .log_marginal_likelihood();
+        let bad_long = GpModel::fit(x, &y, Matern52::new(50.0, 1.0), 1e-4)
+            .unwrap()
+            .log_marginal_likelihood();
+        assert!(good > bad_short, "good {good} vs too-short {bad_short}");
+        assert!(good > bad_long, "good {good} vs too-long {bad_long}");
+    }
+
+    #[test]
+    fn constant_targets_do_not_blow_up() {
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let y = vec![4.2; 5];
+        let m = GpModel::fit(x, &y, Matern52::new(1.0, 1.0), 1e-6).unwrap();
+        let (mu, var) = m.predict(&[2.5]);
+        assert!((mu - 4.2).abs() < 1e-6);
+        assert!(var.is_finite());
+    }
+
+    #[test]
+    fn duplicate_inputs_survive_via_jitter() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let y = vec![1.0, 1.1, 0.9];
+        // Zero declared noise forces the jitter path.
+        let m = GpModel::fit(x, &y, Matern52::new(0.5, 1.0), 0.0).unwrap();
+        let (mu, _) = m.predict(&[0.5]);
+        assert!((mu - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero observations")]
+    fn empty_fit_rejected() {
+        let _ = GpModel::fit(Vec::new(), &[], Matern52::new(1.0, 1.0), 0.0);
+    }
+}

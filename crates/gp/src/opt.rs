@@ -1,0 +1,204 @@
+//! Nelder–Mead simplex minimisation.
+//!
+//! A derivative-free local optimiser used for GP hyperparameter fitting
+//! (three log-parameters) — small, robust, and entirely adequate at that
+//! dimensionality.
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NmResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+}
+
+/// Minimises `f` starting from `x0` with initial simplex step `step`.
+///
+/// Standard coefficients (reflection 1, expansion 2, contraction ½,
+/// shrink ½). Terminates after `max_evals` objective calls or when the
+/// simplex's objective spread falls below `tol`.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty or `max_evals == 0`.
+pub fn nelder_mead<F>(mut f: F, x0: &[f64], step: f64, max_evals: usize, tol: f64) -> NmResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!x0.is_empty(), "need at least one dimension");
+    assert!(max_evals > 0, "need a positive evaluation budget");
+    let dim = x0.len();
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus one step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(dim + 1);
+    let fx0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), fx0));
+    for d in 0..dim {
+        let mut p = x0.to_vec();
+        p[d] += step;
+        let fp = eval(&p, &mut evals);
+        simplex.push((p, fp));
+    }
+
+    while evals < max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN mapped to inf"));
+        let spread = simplex[dim].1 - simplex[0].1;
+        // Terminate on *both* a flat objective and a collapsed simplex;
+        // value ties alone (e.g. symmetric objectives) must keep moving.
+        let diameter = simplex[1..]
+            .iter()
+            .map(|(p, _)| {
+                p.iter()
+                    .zip(&simplex[0].0)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        if spread.abs() < tol && diameter < 1e-7 {
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; dim];
+        for (p, _) in &simplex[..dim] {
+            for (c, &v) in centroid.iter_mut().zip(p) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= dim as f64;
+        }
+        let worst = simplex[dim].clone();
+
+        let lerp = |t: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(&c, &w)| c + t * (c - w))
+                .collect()
+        };
+
+        let refl = lerp(1.0);
+        let f_refl = eval(&refl, &mut evals);
+        if f_refl < simplex[0].1 {
+            // Try expanding.
+            let exp = lerp(2.0);
+            let f_exp = eval(&exp, &mut evals);
+            simplex[dim] = if f_exp < f_refl { (exp, f_exp) } else { (refl, f_refl) };
+        } else if f_refl < simplex[dim - 1].1 {
+            simplex[dim] = (refl, f_refl);
+        } else {
+            // Contract toward the better of worst/reflected.
+            let (base, f_base) = if f_refl < worst.1 {
+                (refl.clone(), f_refl)
+            } else {
+                (worst.0.clone(), worst.1)
+            };
+            let contr: Vec<f64> = centroid
+                .iter()
+                .zip(&base)
+                .map(|(&c, &b)| c + 0.5 * (b - c))
+                .collect();
+            let f_contr = eval(&contr, &mut evals);
+            if f_contr < f_base {
+                simplex[dim] = (contr, f_contr);
+            } else {
+                // Shrink everything toward the best vertex.
+                let best = simplex[0].0.clone();
+                for v in simplex.iter_mut().skip(1) {
+                    for (vi, &bi) in v.0.iter_mut().zip(&best) {
+                        *vi = bi + 0.5 * (*vi - bi);
+                    }
+                    v.1 = eval(&v.0.clone(), &mut evals);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN mapped to inf"));
+    NmResult {
+        x: simplex[0].0.clone(),
+        fx: simplex[0].1,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_a_quadratic() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            0.5,
+            500,
+            1e-12,
+        );
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "x0 = {}", r.x[0]);
+        assert!((r.x[1] + 1.0).abs() < 1e-4, "x1 = {}", r.x[1]);
+        assert!(r.fx < 1e-7);
+    }
+
+    #[test]
+    fn handles_rosenbrock_reasonably() {
+        let r = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            0.5,
+            2000,
+            1e-14,
+        );
+        assert!(r.fx < 1e-5, "Rosenbrock residual {}", r.fx);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut count = 0usize;
+        let _ = nelder_mead(
+            |x| {
+                count += 1;
+                x[0] * x[0]
+            },
+            &[5.0],
+            1.0,
+            30,
+            0.0,
+        );
+        // Budget is a soft cap per iteration; allow the final iteration's
+        // few extra evals.
+        assert!(count <= 35, "used {count} evals");
+    }
+
+    #[test]
+    fn nan_objective_is_treated_as_infinite() {
+        let r = nelder_mead(
+            |x| if x[0] < 0.0 { f64::NAN } else { (x[0] - 1.0).powi(2) },
+            &[2.0],
+            0.5,
+            300,
+            1e-12,
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let r = nelder_mead(|x| (x[0] - 0.25).powi(2), &[10.0], 1.0, 400, 1e-12);
+        assert!((r.x[0] - 0.25).abs() < 1e-3, "x = {}", r.x[0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+
+use crate::{LinalgError, Matrix};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// This is the numerical core of GP regression: the kernel matrix is
+/// factored once per model fit, after which posterior means, variances and
+/// the log marginal likelihood are all cheap triangular solves.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, so callers may leave the
+    /// upper triangle unspecified. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot becomes
+    /// non-positive — GP callers respond by increasing the jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                // sum = A[i][j] - Σ_{k<j} L[i][k] * L[j][k]
+                let mut sum = a[(i, j)];
+                let (li, lj) = (l.row(i), l.row(j));
+                for k in 0..j {
+                    sum -= li[k] * lj[k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite(i));
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    #[inline]
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L y = b` by forward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the factor's dimension.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower: rhs length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= row[k] * y[k];
+            }
+            y[i] = sum / row[i];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y` by backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` does not match the factor's dimension.
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "solve_upper: rhs length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (k, xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.l[(k, i)] * xk;
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` (i.e. `L Lᵀ x = b`).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log |A| = 2 Σ log L[i][i]`, needed by the GP marginal likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Reconstructs `A = L Lᵀ` (mainly for testing).
+    pub fn reconstruct(&self) -> Matrix {
+        let lt = self.l.transpose();
+        self.l.mat_mul(&lt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0],
+        )
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        // Classic example: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let ch = Cholesky::factor(&spd_example()).unwrap();
+        let l = ch.l();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+        assert!(l[(0, 1)] == 0.0 && l[(0, 2)] == 0.0 && l[(1, 2)] == 0.0);
+    }
+
+    #[test]
+    fn reconstruct_matches_input() {
+        let a = spd_example();
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(ch.reconstruct().max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd_example();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = ch.solve(&b);
+        let back = a.mat_vec(&x);
+        for (bi, yi) in b.iter().zip(&back) {
+            assert!((bi - yi).abs() < 1e-9, "residual too large");
+        }
+    }
+
+    #[test]
+    fn log_det_known() {
+        // det = (2*1*3)^2 = 36 → log det = ln 36.
+        let ch = Cholesky::factor(&spd_example()).unwrap();
+        assert!((ch.log_det() - 36.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        match Cholesky::factor(&a) {
+            Err(LinalgError::NotPositiveDefinite(i)) => assert_eq!(i, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_spd_round_trip() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use rand::SeedableRng;
+        for n in [1usize, 2, 5, 12, 30] {
+            // Build SPD as B Bᵀ + n·I.
+            let b = Matrix::from_fn(n, n, |_, _| rng.gen::<f64>() - 0.5);
+            let mut a = b.mat_mul(&b.transpose());
+            a.add_diagonal(n as f64);
+            let ch = Cholesky::factor(&a).expect("SPD by construction");
+            assert!(ch.reconstruct().max_abs_diff(&a) < 1e-8);
+            let rhs: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+            let x = ch.solve(&rhs);
+            let back = a.mat_vec(&x);
+            for (r, y) in rhs.iter().zip(&back) {
+                assert!((r - y).abs() < 1e-7);
+            }
+        }
+    }
+}

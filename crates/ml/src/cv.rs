@@ -1,0 +1,122 @@
+//! k-fold cross-validation.
+
+use rand::Rng;
+
+use crate::metrics::r2_score;
+use crate::Regressor;
+
+/// Shuffles `0..n` and splits it into `k` folds whose sizes differ by at
+/// most one.
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ k ≤ n`.
+pub fn kfold_indices<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= n, "more folds than samples");
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut at = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        folds.push(order[at..at + len].to_vec());
+        at += len;
+    }
+    folds
+}
+
+/// `k`-fold cross-validated R² of a model family.
+///
+/// `fit` receives the training rows/targets of each split and returns a
+/// fitted [`Regressor`]; the returned vector holds one held-out R² per
+/// fold. This mirrors the five-fold cross-validation scores of the paper's
+/// Fig. 2.
+pub fn cross_val_r2<M, F, R>(x: &[Vec<f64>], y: &[f64], k: usize, rng: &mut R, mut fit: F) -> Vec<f64>
+where
+    M: Regressor,
+    F: FnMut(&[Vec<f64>], &[f64]) -> M,
+    R: Rng + ?Sized,
+{
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    let folds = kfold_indices(x.len(), k, rng);
+    let mut scores = Vec::with_capacity(k);
+    for test_fold in &folds {
+        let in_test = {
+            let mut mask = vec![false; x.len()];
+            for &i in test_fold {
+                mask[i] = true;
+            }
+            mask
+        };
+        let mut xtr = Vec::with_capacity(x.len() - test_fold.len());
+        let mut ytr = Vec::with_capacity(x.len() - test_fold.len());
+        for i in 0..x.len() {
+            if !in_test[i] {
+                xtr.push(x[i].clone());
+                ytr.push(y[i]);
+            }
+        }
+        let model = fit(&xtr, &ytr);
+        let yt: Vec<f64> = test_fold.iter().map(|&i| y[i]).collect();
+        let yp: Vec<f64> = test_fold.iter().map(|&i| model.predict_row(&x[i])).collect();
+        scores.push(r2_score(&yt, &yp));
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestParams, RandomForest};
+    use rand::Rng;
+    use robotune_stats::{mean, rng_from_seed};
+
+    #[test]
+    fn folds_partition_everything() {
+        let mut rng = rng_from_seed(1);
+        for (n, k) in [(10usize, 2usize), (11, 3), (100, 5), (7, 7)] {
+            let folds = kfold_indices(n, k, &mut rng);
+            assert_eq!(folds.len(), k);
+            let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
+            let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "fold sizes should be balanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn too_many_folds() {
+        kfold_indices(3, 4, &mut rng_from_seed(2));
+    }
+
+    #[test]
+    fn cv_scores_reasonable_on_learnable_signal() {
+        let mut rng = rng_from_seed(3);
+        let n = 150;
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.gen::<f64>();
+            let b = rng.gen::<f64>();
+            x.push(vec![a, b]);
+            y.push(a * 8.0 + (b * 6.0).sin());
+        }
+        let mut cv_rng = rng_from_seed(4);
+        let mut fit_rng = rng_from_seed(5);
+        let scores = cross_val_r2(&x, &y, 5, &mut cv_rng, |xt, yt| {
+            RandomForest::fit(xt, yt, &ForestParams { n_trees: 50, ..ForestParams::default() }, &mut fit_rng)
+        });
+        assert_eq!(scores.len(), 5);
+        assert!(mean(&scores) > 0.7, "mean CV R² = {}", mean(&scores));
+    }
+}

@@ -1,0 +1,46 @@
+//! From-scratch machine learning for the ROBOTune reproduction.
+//!
+//! The paper's parameter-selection stage (§3.3) compares four regression
+//! models on LHS-sampled configuration/runtime data (Fig. 2) and then uses
+//! Random Forests with Mean-Decrease-in-Accuracy permutation importance to
+//! pick the high-impact parameters. Everything needed for that pipeline is
+//! implemented here without external ML dependencies:
+//!
+//! * [`tree`] — CART regression trees (variance-reduction splits), with the
+//!   randomised-threshold variant used by Extremely Randomized Trees;
+//! * [`forest`] — bootstrap-bagged [`forest::RandomForest`] with out-of-bag
+//!   (OOB) scoring, and [`forest::ExtraTrees`];
+//! * [`linear`] — [`linear::Lasso`] and [`linear::ElasticNet`] via
+//!   coordinate descent on standardised features;
+//! * [`cv`] — k-fold cross-validation;
+//! * [`importance`] — grouped MDA permutation importance (10 repeats,
+//!   averaged), the paper's parameter-ranking mechanism;
+//! * [`metrics`] — R², MSE, recall.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod forest;
+pub mod importance;
+pub mod linear;
+pub mod metrics;
+pub mod tree;
+
+pub use cv::{cross_val_r2, kfold_indices};
+pub use forest::{ExtraTrees, ForestParams, RandomForest};
+pub use importance::{grouped_permutation_importance, GroupImportance};
+pub use linear::{ElasticNet, Lasso, LinearParams};
+pub use metrics::{mse, r2_score, recall};
+pub use tree::{DecisionTree, SplitMode, TreeParams};
+
+/// A fitted regression model that predicts from a feature row.
+pub trait Regressor {
+    /// Predicts the target for one feature vector.
+    fn predict_row(&self, x: &[f64]) -> f64;
+
+    /// Predicts a batch of rows.
+    fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_row(x)).collect()
+    }
+}

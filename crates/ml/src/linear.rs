@@ -1,0 +1,334 @@
+//! Lasso and ElasticNet regression via cyclic coordinate descent.
+//!
+//! These are the two linear baselines of the paper's model comparison
+//! (Fig. 2). Features are standardised internally (zero mean, unit
+//! variance) and the target centred, as scikit-learn effectively does, so
+//! the penalty treats all parameters symmetrically despite their wildly
+//! different scales (cores vs. kilobytes vs. ratios).
+//!
+//! The objective, in scikit-learn's parameterisation, is
+//!
+//! ```text
+//! 1/(2n) ‖y − Xβ‖² + α·ρ‖β‖₁ + α·(1−ρ)/2 ‖β‖²
+//! ```
+//!
+//! with `ρ = l1_ratio` (Lasso ⇔ ρ = 1).
+
+use crate::Regressor;
+
+/// Hyperparameters shared by [`Lasso`] and [`ElasticNet`].
+#[derive(Debug, Clone)]
+pub struct LinearParams {
+    /// Overall regularisation strength α.
+    pub alpha: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    /// Convergence threshold on the largest coefficient update.
+    pub tol: f64,
+}
+
+impl Default for LinearParams {
+    fn default() -> Self {
+        LinearParams {
+            alpha: 0.1,
+            max_iter: 1000,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// A fitted penalised linear model (in standardised coordinates).
+#[derive(Debug, Clone)]
+struct FittedLinear {
+    /// Coefficients in standardised feature space.
+    coef: Vec<f64>,
+    /// Per-feature means of the training data.
+    x_mean: Vec<f64>,
+    /// Per-feature standard deviations (1.0 for constant columns).
+    x_std: Vec<f64>,
+    /// Training-target mean (the intercept in centred space).
+    y_mean: f64,
+}
+
+impl FittedLinear {
+    fn fit(x: &[Vec<f64>], y: &[f64], alpha: f64, l1_ratio: f64, params: &LinearParams) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        let n = x.len();
+        let p = x[0].len();
+
+        // Standardise columns; constant columns get std 1 so they simply
+        // contribute a zero coefficient.
+        let mut x_mean = vec![0.0; p];
+        let mut x_std = vec![0.0; p];
+        for row in x {
+            for (m, &v) in x_mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut x_mean {
+            *m /= n as f64;
+        }
+        for row in x {
+            for j in 0..p {
+                let d = row[j] - x_mean[j];
+                x_std[j] += d * d;
+            }
+        }
+        for s in &mut x_std {
+            *s = (*s / n as f64).sqrt();
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+
+        // Column-major standardised design matrix for cache-friendly
+        // coordinate sweeps.
+        let mut cols = vec![vec![0.0; n]; p];
+        for (i, row) in x.iter().enumerate() {
+            for j in 0..p {
+                cols[j][i] = (row[j] - x_mean[j]) / x_std[j];
+            }
+        }
+        // After standardisation every column has ‖x_j‖²/n = 1.
+        let l1 = alpha * l1_ratio;
+        let l2 = alpha * (1.0 - l1_ratio);
+
+        let mut coef = vec![0.0; p];
+        let mut resid: Vec<f64> = y.iter().map(|&yi| yi - y_mean).collect();
+
+        for _sweep in 0..params.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for j in 0..p {
+                let col = &cols[j];
+                let old = coef[j];
+                // ρ_j = (1/n) x_jᵀ(r + x_j β_j): the partial residual
+                // correlation with coordinate j removed.
+                let mut rho = 0.0;
+                for i in 0..n {
+                    rho += col[i] * resid[i];
+                }
+                rho = rho / n as f64 + old;
+                let new = soft_threshold(rho, l1) / (1.0 + l2);
+                if new != old {
+                    let delta = new - old;
+                    for i in 0..n {
+                        resid[i] -= delta * col[i];
+                    }
+                    coef[j] = new;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < params.tol {
+                break;
+            }
+        }
+
+        FittedLinear {
+            coef,
+            x_mean,
+            x_std,
+            y_mean,
+        }
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.coef.len());
+        let mut acc = self.y_mean;
+        for (j, &c) in self.coef.iter().enumerate() {
+            acc += c * (x[j] - self.x_mean[j]) / self.x_std[j];
+        }
+        acc
+    }
+
+    /// Coefficients mapped back to the original (unstandardised) scale.
+    fn raw_coef(&self) -> Vec<f64> {
+        self.coef
+            .iter()
+            .zip(&self.x_std)
+            .map(|(&c, &s)| c / s)
+            .collect()
+    }
+}
+
+fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+/// L1-penalised linear regression.
+#[derive(Debug, Clone)]
+pub struct Lasso {
+    inner: FittedLinear,
+}
+
+impl Lasso {
+    /// Fits a Lasso model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched inputs.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &LinearParams) -> Self {
+        Lasso {
+            inner: FittedLinear::fit(x, y, params.alpha, 1.0, params),
+        }
+    }
+
+    /// Coefficients on the original feature scale.
+    pub fn coefficients(&self) -> Vec<f64> {
+        self.inner.raw_coef()
+    }
+}
+
+impl Regressor for Lasso {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        self.inner.predict_row(x)
+    }
+}
+
+/// ElasticNet: mixed L1/L2 penalty.
+#[derive(Debug, Clone)]
+pub struct ElasticNet {
+    inner: FittedLinear,
+}
+
+impl ElasticNet {
+    /// Fits an ElasticNet model with the given `l1_ratio` ∈ `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/mismatched inputs or `l1_ratio` outside `[0, 1]`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], l1_ratio: f64, params: &LinearParams) -> Self {
+        assert!((0.0..=1.0).contains(&l1_ratio), "l1_ratio must be in [0, 1]");
+        ElasticNet {
+            inner: FittedLinear::fit(x, y, params.alpha, l1_ratio, params),
+        }
+    }
+
+    /// Coefficients on the original feature scale.
+    pub fn coefficients(&self) -> Vec<f64> {
+        self.inner.raw_coef()
+    }
+}
+
+impl Regressor for ElasticNet {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        self.inner.predict_row(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+    use rand::Rng;
+    use robotune_stats::rng_from_seed;
+
+    fn linear_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 3·x0 − 2·x1 + 0·x2 + 5, features on very different scales.
+        let mut rng = rng_from_seed(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row = vec![
+                rng.gen::<f64>() * 10.0,
+                rng.gen::<f64>() * 1000.0,
+                rng.gen::<f64>(),
+            ];
+            y.push(3.0 * row[0] - 2.0 * row[1] + 5.0);
+            x.push(row);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn lasso_recovers_linear_signal() {
+        let (x, y) = linear_data(100, 1);
+        let params = LinearParams { alpha: 0.001, ..LinearParams::default() };
+        let m = Lasso::fit(&x, &y, &params);
+        let r2 = r2_score(&y, &m.predict(&x));
+        assert!(r2 > 0.999, "R² = {r2}");
+        let c = m.coefficients();
+        assert!((c[0] - 3.0).abs() < 0.05, "c0 = {}", c[0]);
+        assert!((c[1] + 2.0).abs() < 0.05, "c1 = {}", c[1]);
+    }
+
+    #[test]
+    fn lasso_shrinks_irrelevant_feature_to_zero() {
+        let (x, y) = linear_data(100, 2);
+        let params = LinearParams { alpha: 0.5, ..LinearParams::default() };
+        let m = Lasso::fit(&x, &y, &params);
+        let c = m.coefficients();
+        assert_eq!(c[2], 0.0, "noise coefficient should be exactly zero");
+    }
+
+    #[test]
+    fn heavy_alpha_kills_everything() {
+        let (x, y) = linear_data(50, 3);
+        let params = LinearParams { alpha: 1e9, ..LinearParams::default() };
+        let m = Lasso::fit(&x, &y, &params);
+        assert!(m.coefficients().iter().all(|&c| c == 0.0));
+        // Degenerates to the mean predictor.
+        let preds = m.predict(&x);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!(preds.iter().all(|&p| (p - mean).abs() < 1e-9));
+    }
+
+    #[test]
+    fn elastic_net_between_ridge_and_lasso() {
+        let (x, y) = linear_data(100, 4);
+        let params = LinearParams { alpha: 0.5, ..LinearParams::default() };
+        let lasso_zeros = Lasso::fit(&x, &y, &params)
+            .coefficients()
+            .iter()
+            .filter(|&&c| c == 0.0)
+            .count();
+        let ridge_ish = ElasticNet::fit(&x, &y, 0.0, &params);
+        let ridge_zeros = ridge_ish.coefficients().iter().filter(|&&c| c == 0.0).count();
+        // Pure L2 does not produce exact zeros on informative data.
+        assert!(ridge_zeros <= lasso_zeros);
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        let x = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]];
+        let y = vec![0.0, 2.0, 4.0, 6.0];
+        let params = LinearParams { alpha: 0.0001, ..LinearParams::default() };
+        let m = ElasticNet::fit(&x, &y, 0.5, &params);
+        let r2 = r2_score(&y, &m.predict(&x));
+        assert!(r2 > 0.999, "R² = {r2}");
+        assert_eq!(m.coefficients()[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "l1_ratio")]
+    fn elastic_net_rejects_bad_ratio() {
+        ElasticNet::fit(&[vec![1.0]], &[1.0], 1.5, &LinearParams::default());
+    }
+
+    #[test]
+    fn nonlinear_signal_defeats_linear_models() {
+        // This is the Fig. 2 story: linear models fail on the non-linear
+        // configuration-performance surface that trees capture.
+        let mut rng = rng_from_seed(5);
+        let n = 150;
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.gen::<f64>();
+            let b = rng.gen::<f64>();
+            x.push(vec![a, b]);
+            // Symmetric bowl: zero linear correlation with either feature.
+            y.push((a - 0.5).abs() * 10.0 + (b - 0.5).abs() * 10.0);
+        }
+        let lasso = Lasso::fit(&x, &y, &LinearParams { alpha: 0.01, ..LinearParams::default() });
+        let lin_r2 = r2_score(&y, &lasso.predict(&x));
+        assert!(lin_r2 < 0.3, "linear R² on a bowl should be poor, got {lin_r2}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Regression and selection metrics.
+
+use robotune_stats::mean;
+
+/// Coefficient of determination R².
+///
+/// `1 - SS_res / SS_tot`; 1.0 is a perfect fit, 0.0 matches the mean
+/// predictor, and arbitrarily negative values indicate a model worse than
+/// the mean (paper §3.3's definition). When the targets are constant the
+/// convention of scikit-learn is followed: 1.0 for an exact fit, 0.0
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "r2_score: length mismatch");
+    assert!(!y_true.is_empty(), "r2_score: empty input");
+    let m = mean(y_true);
+    let ss_tot: f64 = y_true.iter().map(|&y| (y - m) * (y - m)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "mse: length mismatch");
+    assert!(!y_true.is_empty(), "mse: empty input");
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Recall (sensitivity): the fraction of `truth` items present in
+/// `predicted`. Used by the paper's Fig. 7 to measure how many
+/// ground-truth high-impact parameters a smaller sample budget recovers.
+///
+/// Returns 1.0 when `truth` is empty (nothing to miss).
+pub fn recall<T: PartialEq>(truth: &[T], predicted: &[T]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hit = truth.iter().filter(|t| predicted.contains(t)).count();
+    hit as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2_score(&y, &y) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r2_score(&y, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_go_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let bad = [3.0, 2.0, 1.0];
+        assert!(r2_score(&y, &bad) < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_targets() {
+        assert_eq!(r2_score(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r2_score(&[5.0, 5.0], &[4.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_known() {
+        assert!((mse(&[1.0, 2.0], &[2.0, 4.0]) - 2.5).abs() < 1e-12);
+        assert_eq!(mse(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn recall_cases() {
+        assert_eq!(recall(&["a", "b"], &["b", "a", "c"]), 1.0);
+        assert_eq!(recall(&["a", "b"], &["a"]), 0.5);
+        assert_eq!(recall(&["a", "b"], &[]), 0.0);
+        assert_eq!(recall::<&str>(&[], &["x"]), 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the tree/forest learners.
+
+use proptest::prelude::*;
+use robotune_ml::{
+    r2_score, recall, DecisionTree, ForestParams, RandomForest, Regressor, TreeParams,
+};
+use robotune_stats::rng_from_seed;
+
+/// A small random regression dataset.
+fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (5usize..60, 1usize..6, 0u64..1000).prop_map(|(n, p, seed)| {
+        use rand::Rng;
+        let mut rng = rng_from_seed(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..p).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| r.iter().sum::<f64>() * 3.0 + rng.gen::<f64>())
+            .collect();
+        (x, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn tree_predictions_stay_within_target_range((x, y) in dataset(), seed in 0u64..100) {
+        let mut rng = rng_from_seed(seed);
+        let tree = DecisionTree::fit(&x, &y, &TreeParams::default(), &mut rng);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Leaves are means of target subsets, so any prediction — even at
+        // arbitrary query points — lies inside the target range.
+        for q in &x {
+            let p = tree.predict_row(q);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+        let far: Vec<f64> = vec![1e9; x[0].len()];
+        let p = tree.predict_row(&far);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn forest_predictions_stay_within_target_range((x, y) in dataset(), seed in 0u64..100) {
+        let mut rng = rng_from_seed(seed);
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams { n_trees: 15, ..ForestParams::default() },
+            &mut rng,
+        );
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for q in &x {
+            let p = forest.predict_row(q);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mdi_is_a_distribution_or_zero((x, y) in dataset(), seed in 0u64..100) {
+        let mut rng = rng_from_seed(seed);
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams { n_trees: 10, ..ForestParams::default() },
+            &mut rng,
+        );
+        let mdi = forest.mdi_importances();
+        prop_assert_eq!(mdi.len(), x[0].len());
+        prop_assert!(mdi.iter().all(|&v| v >= 0.0));
+        let total: f64 = mdi.iter().sum();
+        prop_assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r2_of_identical_vectors_is_one(ys in proptest::collection::vec(-1e3f64..1e3, 2..80)) {
+        // Exact fits score 1.0 (including the constant-target convention).
+        let score = r2_score(&ys, &ys);
+        prop_assert!((score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r2_never_exceeds_one(
+        ys in proptest::collection::vec(-1e3f64..1e3, 2..80),
+        noise in proptest::collection::vec(-1e2f64..1e2, 2..80),
+    ) {
+        let n = ys.len().min(noise.len());
+        let pred: Vec<f64> = ys[..n].iter().zip(&noise[..n]).map(|(a, b)| a + b).collect();
+        prop_assert!(r2_score(&ys[..n], &pred) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn recall_is_bounded_and_monotone_in_predictions(
+        truth in proptest::collection::vec(0usize..20, 0..10),
+        predicted in proptest::collection::vec(0usize..20, 0..15),
+    ) {
+        let r = recall(&truth, &predicted);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Adding the whole truth set to the predictions yields recall 1.
+        let mut all = predicted.clone();
+        all.extend_from_slice(&truth);
+        prop_assert_eq!(recall(&truth, &all), 1.0);
+    }
+
+    #[test]
+    fn deeper_trees_never_fit_worse_in_sample((x, y) in dataset(), seed in 0u64..100) {
+        let mut rng = rng_from_seed(seed);
+        let shallow = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeParams { max_depth: Some(2), ..TreeParams::default() },
+            &mut rng,
+        );
+        let deep = DecisionTree::fit(&x, &y, &TreeParams::default(), &mut rng);
+        let r2_shallow = r2_score(&y, &shallow.predict(&x));
+        let r2_deep = r2_score(&y, &deep.predict(&x));
+        prop_assert!(r2_deep >= r2_shallow - 1e-9);
+    }
+}

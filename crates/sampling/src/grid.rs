@@ -1,0 +1,56 @@
+//! Axis-aligned grids for response-surface rendering.
+
+/// Builds an `nx × ny` grid over two chosen dimensions of a `dim`-
+/// dimensional unit cube, holding every other coordinate at `fill`.
+///
+/// Points are returned row-major in `y`-then-`x` order:
+/// `[(x0,y0), (x1,y0), …, (x0,y1), …]`. Used to evaluate the GP posterior
+/// over the cores-vs-memory plane (paper Fig. 9).
+///
+/// # Panics
+///
+/// Panics if the two axes coincide or fall outside `dim`, or if either
+/// resolution is zero.
+pub fn grid_2d(dim: usize, axis_x: usize, axis_y: usize, nx: usize, ny: usize, fill: f64) -> Vec<Vec<f64>> {
+    assert!(axis_x < dim && axis_y < dim, "grid axes out of range");
+    assert_ne!(axis_x, axis_y, "grid axes must differ");
+    assert!(nx > 0 && ny > 0, "grid resolution must be positive");
+    let mut out = Vec::with_capacity(nx * ny);
+    for iy in 0..ny {
+        // Cell centres so decoded integer parameters hit distinct values.
+        let y = (iy as f64 + 0.5) / ny as f64;
+        for ix in 0..nx {
+            let x = (ix as f64 + 0.5) / nx as f64;
+            let mut p = vec![fill; dim];
+            p[axis_x] = x;
+            p[axis_y] = y;
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_order() {
+        let g = grid_2d(4, 0, 2, 3, 2, 0.5);
+        assert_eq!(g.len(), 6);
+        // First row: y fixed at 0.25, x sweeping.
+        assert_eq!(g[0][2], 0.25);
+        assert_eq!(g[1][2], 0.25);
+        assert_eq!(g[2][2], 0.25);
+        assert_eq!(g[3][2], 0.75);
+        assert!(g[0][0] < g[1][0] && g[1][0] < g[2][0]);
+        // Untouched dims hold the fill value.
+        assert!(g.iter().all(|p| p[1] == 0.5 && p[3] == 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "axes must differ")]
+    fn rejects_equal_axes() {
+        grid_2d(3, 1, 1, 2, 2, 0.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! Uniform random sampling of the unit hypercube.
+
+use rand::Rng;
+
+/// Draws `n` points uniformly from `[0, 1)^dim`.
+///
+/// This is both the Random Search baseline's proposal distribution (§5.1)
+/// and the initial-population generator of the Gunther baseline.
+pub fn uniform<R: Rng + ?Sized>(n: usize, dim: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_stats::rng_from_seed;
+
+    #[test]
+    fn shape_and_range() {
+        let mut rng = rng_from_seed(8);
+        let pts = uniform(25, 7, &mut rng);
+        assert_eq!(pts.len(), 25);
+        assert!(pts.iter().all(|p| p.len() == 7));
+        assert!(pts.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(
+            uniform(5, 3, &mut rng_from_seed(9)),
+            uniform(5, 3, &mut rng_from_seed(9))
+        );
+    }
+}

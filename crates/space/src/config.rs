@@ -1,0 +1,140 @@
+//! A concrete configuration: one value per parameter of a space.
+
+use crate::param::ParamValue;
+use crate::space::ConfigSpace;
+
+/// One complete assignment of values to the parameters of a [`ConfigSpace`].
+///
+/// Values are stored positionally in the space's parameter order. A
+/// `Configuration` is space-agnostic data; interpretation (names, rendering,
+/// encoding) always goes through the space that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Configuration {
+    values: Vec<ParamValue>,
+}
+
+impl Configuration {
+    /// Wraps a value vector. Callers are responsible for ordering the
+    /// values consistently with the owning space; [`ConfigSpace::validate`]
+    /// checks domains.
+    pub fn new(values: Vec<ParamValue>) -> Self {
+        Configuration { values }
+    }
+
+    /// Number of parameter values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the configuration is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at parameter index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &ParamValue {
+        &self.values[i]
+    }
+
+    /// Replaces the value at parameter index `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: ParamValue) {
+        self.values[i] = v;
+    }
+
+    /// All values in parameter order.
+    #[inline]
+    pub fn values(&self) -> &[ParamValue] {
+        &self.values
+    }
+
+    /// The configuration as a numeric feature vector (the representation
+    /// ML models train on; see [`ParamValue::as_f64`]).
+    pub fn to_features(&self) -> Vec<f64> {
+        self.values.iter().map(ParamValue::as_f64).collect()
+    }
+
+    /// Looks a value up by parameter name within `space`.
+    ///
+    /// Returns `None` when the name is unknown.
+    pub fn get_by_name<'a>(&'a self, space: &ConfigSpace, name: &str) -> Option<&'a ParamValue> {
+        space.index_of(name).map(|i| self.get(i))
+    }
+
+    /// Renders the configuration as framework `key=value` lines — the
+    /// "Configuration Encoder" of the paper's implementation section (§4).
+    pub fn render(&self, space: &ConfigSpace) -> String {
+        let mut out = String::new();
+        for (i, def) in space.params().iter().enumerate() {
+            out.push_str(&def.name);
+            out.push('=');
+            out.push_str(&def.render(&self.values[i]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{ParamDef, ParamKind, Unit};
+    use crate::space::ConfigSpace;
+
+    fn tiny_space() -> ConfigSpace {
+        ConfigSpace::new(
+            "tiny",
+            vec![
+                ParamDef::new(
+                    "a.cores",
+                    ParamKind::Int { min: 1, max: 4, log: false },
+                    ParamValue::Int(1),
+                    Unit::Count,
+                ),
+                ParamDef::new(
+                    "a.flag",
+                    ParamKind::Bool,
+                    ParamValue::Bool(false),
+                    Unit::None,
+                ),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn feature_vector() {
+        let c = Configuration::new(vec![ParamValue::Int(3), ParamValue::Bool(true)]);
+        assert_eq!(c.to_features(), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn get_by_name() {
+        let s = tiny_space();
+        let c = s.default_configuration();
+        assert_eq!(c.get_by_name(&s, "a.cores"), Some(&ParamValue::Int(1)));
+        assert_eq!(c.get_by_name(&s, "nope"), None);
+    }
+
+    #[test]
+    fn render_lines() {
+        let s = tiny_space();
+        let mut c = s.default_configuration();
+        c.set(0, ParamValue::Int(2));
+        let text = c.render(&s);
+        assert!(text.contains("a.cores=2\n"));
+        assert!(text.contains("a.flag=false\n"));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut c = Configuration::new(vec![ParamValue::Int(1)]);
+        c.set(0, ParamValue::Int(9));
+        assert_eq!(c.get(0), &ParamValue::Int(9));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Configuration-space model for cluster analytics frameworks.
+//!
+//! A tuning problem is defined over a [`ConfigSpace`]: an ordered list of
+//! typed parameters ([`ParamDef`]) together with *collinearity groups* —
+//! sets of parameters whose values are only meaningful jointly (e.g. the
+//! Kryo serializer buffer sizes only matter when the Kryo serializer is
+//! active), which the paper's parameter-selection stage permutes together.
+//!
+//! Tuners and samplers operate in the **unit hypercube**: every parameter
+//! maps to `[0, 1)` and a point decodes into a concrete [`Configuration`].
+//! Dimension reduction produces a [`Subspace`] that exposes only the
+//! selected parameters while pinning the rest to a base configuration.
+//!
+//! The [`spark`] module ships the 44-parameter Spark 2.4 space used in the
+//! paper's evaluation (§5.1), including its collinear groups and the
+//! "executor size" joint parameter built from domain knowledge (§4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod param;
+pub mod space;
+pub mod spark;
+
+pub use config::Configuration;
+pub use param::{ParamDef, ParamKind, ParamValue, Unit};
+pub use space::{ConfigSpace, ParamGroup, SearchSpace, Subspace};

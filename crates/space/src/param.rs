@@ -1,0 +1,426 @@
+//! Typed parameter definitions.
+
+use std::fmt;
+
+/// Measurement unit of a parameter, used when rendering a configuration to
+/// framework syntax (e.g. `spark.executor.memory=4096m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Dimensionless count (cores, partitions, retries, …).
+    Count,
+    /// Mebibytes; rendered with an `m` suffix.
+    MiB,
+    /// Kibibytes; rendered with a `k` suffix.
+    KiB,
+    /// Milliseconds; rendered with an `ms` suffix.
+    Millis,
+    /// Seconds; rendered with an `s` suffix.
+    Seconds,
+    /// A unitless ratio in `[0, 1]`.
+    Ratio,
+    /// No unit (booleans, categoricals).
+    None,
+}
+
+/// The value domain of a single parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamKind {
+    /// Integer range, inclusive on both ends. With `log = true` the unit
+    /// interval maps through a logarithmic scale, which suits sizes that
+    /// span several orders of magnitude (e.g. 1 GiB – 180 GiB heaps).
+    Int {
+        /// Smallest admissible value.
+        min: i64,
+        /// Largest admissible value.
+        max: i64,
+        /// Interpolate on a log scale when decoding.
+        log: bool,
+    },
+    /// Continuous range, inclusive.
+    Float {
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+    },
+    /// Boolean flag.
+    Bool,
+    /// Finite set of named choices.
+    Categorical {
+        /// The admissible choices, in declaration order.
+        choices: Vec<String>,
+    },
+}
+
+impl ParamKind {
+    /// Convenience constructor for a categorical kind.
+    pub fn categorical<S: Into<String>>(choices: impl IntoIterator<Item = S>) -> Self {
+        ParamKind::Categorical {
+            choices: choices.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of distinct values (`None` for continuous parameters).
+    pub fn cardinality(&self) -> Option<u64> {
+        match self {
+            ParamKind::Int { min, max, .. } => Some((max - min + 1) as u64),
+            ParamKind::Float { .. } => None,
+            ParamKind::Bool => Some(2),
+            ParamKind::Categorical { choices } => Some(choices.len() as u64),
+        }
+    }
+}
+
+/// A concrete value of one parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+    /// Index into the categorical choice list.
+    Cat(usize),
+}
+
+impl ParamValue {
+    /// The value as `f64` (categorical → choice index, bool → 0/1).
+    /// This is the representation ML models train on.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            ParamValue::Int(v) => *v as f64,
+            ParamValue::Float(v) => *v,
+            ParamValue::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ParamValue::Cat(i) => *i as f64,
+        }
+    }
+
+    /// Integer accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `Int`.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            ParamValue::Int(v) => *v,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// Float accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Float`.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            ParamValue::Float(v) => *v,
+            other => panic!("expected Float, got {other:?}"),
+        }
+    }
+
+    /// Boolean accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Bool`.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            ParamValue::Bool(b) => *b,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+
+    /// Categorical-index accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Cat`.
+    pub fn as_cat(&self) -> usize {
+        match self {
+            ParamValue::Cat(i) => *i,
+            other => panic!("expected Cat, got {other:?}"),
+        }
+    }
+}
+
+/// Definition of a single tunable parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDef {
+    /// Fully qualified name, e.g. `spark.executor.memory`.
+    pub name: String,
+    /// Value domain.
+    pub kind: ParamKind,
+    /// The framework's out-of-the-box default.
+    pub default: ParamValue,
+    /// Unit used when rendering to framework syntax.
+    pub unit: Unit,
+}
+
+impl ParamDef {
+    /// Creates a definition, validating that the default is in-domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default` is of the wrong variant or out of range.
+    pub fn new(name: impl Into<String>, kind: ParamKind, default: ParamValue, unit: Unit) -> Self {
+        let name = name.into();
+        let def = ParamDef {
+            name,
+            kind,
+            default,
+            unit,
+        };
+        assert!(
+            def.contains(&def.default),
+            "default {:?} out of domain for parameter {}",
+            def.default,
+            def.name
+        );
+        def
+    }
+
+    /// Whether `value` is admissible for this parameter.
+    pub fn contains(&self, value: &ParamValue) -> bool {
+        match (&self.kind, value) {
+            (ParamKind::Int { min, max, .. }, ParamValue::Int(v)) => (min..=max).contains(&v),
+            (ParamKind::Float { min, max }, ParamValue::Float(v)) => {
+                v.is_finite() && *v >= *min && *v <= *max
+            }
+            (ParamKind::Bool, ParamValue::Bool(_)) => true,
+            (ParamKind::Categorical { choices }, ParamValue::Cat(i)) => *i < choices.len(),
+            _ => false,
+        }
+    }
+
+    /// Decodes a unit-interval coordinate into a value of this parameter.
+    ///
+    /// The mapping is the stratification LHS relies on: equal sub-intervals
+    /// of `[0, 1)` map to equally probable values (or to log-equal buckets
+    /// when `log = true`).
+    pub fn decode(&self, u: f64) -> ParamValue {
+        let u = u.clamp(0.0, 1.0 - 1e-12);
+        match &self.kind {
+            ParamKind::Int { min, max, log } => {
+                let v = if *log {
+                    debug_assert!(*min >= 1, "log scale requires min >= 1");
+                    let (lo, hi) = ((*min as f64).ln(), ((*max + 1) as f64).ln());
+                    (lo + u * (hi - lo)).exp().floor() as i64
+                } else {
+                    min + (u * (max - min + 1) as f64).floor() as i64
+                };
+                ParamValue::Int(v.clamp(*min, *max))
+            }
+            ParamKind::Float { min, max } => ParamValue::Float(min + u * (max - min)),
+            ParamKind::Bool => ParamValue::Bool(u >= 0.5),
+            ParamKind::Categorical { choices } => {
+                ParamValue::Cat(((u * choices.len() as f64).floor() as usize).min(choices.len() - 1))
+            }
+        }
+    }
+
+    /// Encodes a value back to a representative unit-interval coordinate
+    /// (the centre of the cell that decodes to it), so that
+    /// `decode(encode(v)) == v` for every in-domain `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not admissible.
+    pub fn encode(&self, value: &ParamValue) -> f64 {
+        assert!(
+            self.contains(value),
+            "cannot encode out-of-domain value {value:?} for {}",
+            self.name
+        );
+        match (&self.kind, value) {
+            (ParamKind::Int { min, max, log }, ParamValue::Int(v)) => {
+                if *log {
+                    let (lo, hi) = ((*min as f64).ln(), ((*max + 1) as f64).ln());
+                    // Centre of the log-cell [v, v+1).
+                    (((*v as f64 + 0.5).ln() - lo) / (hi - lo)).clamp(0.0, 1.0 - 1e-12)
+                } else {
+                    (*v - min) as f64 / (max - min + 1) as f64 + 0.5 / (max - min + 1) as f64
+                }
+            }
+            (ParamKind::Float { min, max }, ParamValue::Float(v)) => {
+                if max > min {
+                    (v - min) / (max - min)
+                } else {
+                    0.0
+                }
+            }
+            (ParamKind::Bool, ParamValue::Bool(b)) => {
+                if *b {
+                    0.75
+                } else {
+                    0.25
+                }
+            }
+            (ParamKind::Categorical { choices }, ParamValue::Cat(i)) => {
+                (*i as f64 + 0.5) / choices.len() as f64
+            }
+            _ => unreachable!("contains() already checked the variant"),
+        }
+    }
+
+    /// Renders `value` in framework configuration syntax (e.g. `4096m`,
+    /// `true`, `snappy`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not admissible.
+    pub fn render(&self, value: &ParamValue) -> String {
+        assert!(self.contains(value), "cannot render out-of-domain value");
+        match value {
+            ParamValue::Int(v) => match self.unit {
+                Unit::MiB => format!("{v}m"),
+                Unit::KiB => format!("{v}k"),
+                Unit::Millis => format!("{v}ms"),
+                Unit::Seconds => format!("{v}s"),
+                _ => v.to_string(),
+            },
+            ParamValue::Float(v) => format!("{v:.4}"),
+            ParamValue::Bool(b) => b.to_string(),
+            ParamValue::Cat(i) => match &self.kind {
+                ParamKind::Categorical { choices } => choices[*i].clone(),
+                _ => unreachable!(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ParamDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({:?})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_param(min: i64, max: i64, log: bool) -> ParamDef {
+        ParamDef::new(
+            "p",
+            ParamKind::Int { min, max, log },
+            ParamValue::Int(min),
+            Unit::Count,
+        )
+    }
+
+    #[test]
+    fn int_decode_covers_range() {
+        let p = int_param(1, 4, false);
+        assert_eq!(p.decode(0.0), ParamValue::Int(1));
+        assert_eq!(p.decode(0.24), ParamValue::Int(1));
+        assert_eq!(p.decode(0.25), ParamValue::Int(2));
+        assert_eq!(p.decode(0.99), ParamValue::Int(4));
+        assert_eq!(p.decode(1.0), ParamValue::Int(4));
+    }
+
+    #[test]
+    fn int_encode_decode_round_trip() {
+        let p = int_param(3, 17, false);
+        for v in 3..=17 {
+            let val = ParamValue::Int(v);
+            assert_eq!(p.decode(p.encode(&val)), val, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn log_int_round_trip() {
+        let p = int_param(1, 180_000, true);
+        for v in [1i64, 2, 10, 999, 1024, 65_536, 180_000] {
+            let val = ParamValue::Int(v);
+            assert_eq!(p.decode(p.encode(&val)), val, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn log_int_spends_resolution_at_low_end() {
+        let p = int_param(1, 100_000, true);
+        // First half of the unit interval should cover roughly sqrt of the
+        // range, i.e. decode(0.5) ≈ 316, far below the linear midpoint.
+        let mid = p.decode(0.5).as_int();
+        assert!(mid < 1000, "log midpoint {mid} too high");
+        assert!(mid > 100, "log midpoint {mid} too low");
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let p = ParamDef::new(
+            "f",
+            ParamKind::Float { min: 0.3, max: 0.9 },
+            ParamValue::Float(0.6),
+            Unit::Ratio,
+        );
+        for i in 0..=10 {
+            let v = 0.3 + 0.06 * i as f64;
+            let got = p.decode(p.encode(&ParamValue::Float(v))).as_float();
+            assert!((got - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bool_and_categorical() {
+        let b = ParamDef::new("b", ParamKind::Bool, ParamValue::Bool(true), Unit::None);
+        assert_eq!(b.decode(0.1), ParamValue::Bool(false));
+        assert_eq!(b.decode(0.9), ParamValue::Bool(true));
+        assert_eq!(b.decode(b.encode(&ParamValue::Bool(false))), ParamValue::Bool(false));
+
+        let c = ParamDef::new(
+            "c",
+            ParamKind::categorical(["lz4", "lzf", "snappy", "zstd"]),
+            ParamValue::Cat(0),
+            Unit::None,
+        );
+        for i in 0..4 {
+            assert_eq!(c.decode(c.encode(&ParamValue::Cat(i))), ParamValue::Cat(i));
+        }
+        assert_eq!(c.render(&ParamValue::Cat(2)), "snappy");
+    }
+
+    #[test]
+    fn render_units() {
+        let m = ParamDef::new(
+            "mem",
+            ParamKind::Int { min: 1024, max: 4096, log: false },
+            ParamValue::Int(1024),
+            Unit::MiB,
+        );
+        assert_eq!(m.render(&ParamValue::Int(2048)), "2048m");
+    }
+
+    #[test]
+    fn contains_rejects_cross_type() {
+        let p = int_param(0, 10, false);
+        assert!(!p.contains(&ParamValue::Float(1.0)));
+        assert!(!p.contains(&ParamValue::Int(11)));
+        assert!(p.contains(&ParamValue::Int(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "default")]
+    fn new_rejects_bad_default() {
+        ParamDef::new(
+            "p",
+            ParamKind::Int { min: 0, max: 1, log: false },
+            ParamValue::Int(7),
+            Unit::Count,
+        );
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(int_param(1, 32, false).kind.cardinality(), Some(32));
+        assert_eq!(ParamKind::Bool.cardinality(), Some(2));
+        assert_eq!(ParamKind::Float { min: 0.0, max: 1.0 }.cardinality(), None);
+    }
+}

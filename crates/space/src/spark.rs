@@ -1,0 +1,313 @@
+//! The 44-parameter Spark 2.4 configuration space of the paper (§5.1).
+//!
+//! The paper tunes "a total of 44 performance-related" parameters — a
+//! superset of those considered by prior Spark tuning work, minus
+//! deprecated/streaming ones. This module reconstructs that space with the
+//! documented Spark 2.4 defaults and the value ranges the paper motivates
+//! (e.g. 1–32 executor cores, 1–180 GiB executor memory on the NoleLand
+//! nodes).
+//!
+//! Collinearity groups follow §3.3/§4: dependent parameters (Kryo buffers
+//! with the serializer choice, speculation knobs with the speculation flag,
+//! off-heap size with the off-heap flag, the external shuffle service with
+//! dynamic allocation) are permuted jointly during importance calculation,
+//! and `{spark.executor.cores, spark.executor.memory}` forms the
+//! domain-knowledge *executor size* joint parameter.
+
+use crate::param::{ParamDef, ParamKind, ParamValue, Unit};
+use crate::space::{ConfigSpace, ParamGroup};
+
+/// Canonical names for the parameters the evaluation keeps referring to.
+pub mod names {
+    /// Executor core count.
+    pub const EXECUTOR_CORES: &str = "spark.executor.cores";
+    /// Executor heap size (MiB).
+    pub const EXECUTOR_MEMORY: &str = "spark.executor.memory";
+    /// Executors requested per application.
+    pub const EXECUTOR_INSTANCES: &str = "spark.executor.instances";
+    /// Off-heap overhead per executor (MiB).
+    pub const EXECUTOR_MEMORY_OVERHEAD: &str = "spark.executor.memoryOverhead";
+    /// Default RDD partition count for shuffles.
+    pub const DEFAULT_PARALLELISM: &str = "spark.default.parallelism";
+    /// Fraction of heap shared by execution and storage.
+    pub const MEMORY_FRACTION: &str = "spark.memory.fraction";
+    /// Fraction of the unified region reserved for storage.
+    pub const MEMORY_STORAGE_FRACTION: &str = "spark.memory.storageFraction";
+    /// Serializer implementation.
+    pub const SERIALIZER: &str = "spark.serializer";
+    /// Whether map outputs are compressed.
+    pub const SHUFFLE_COMPRESS: &str = "spark.shuffle.compress";
+    /// Compression codec.
+    pub const IO_COMPRESSION_CODEC: &str = "spark.io.compression.codec";
+    /// Whether cached RDD partitions are serialized+compressed.
+    pub const RDD_COMPRESS: &str = "spark.rdd.compress";
+    /// Per-reduce fetch buffer (MiB).
+    pub const REDUCER_MAX_SIZE_IN_FLIGHT: &str = "spark.reducer.maxSizeInFlight";
+    /// Shuffle file buffer (KiB).
+    pub const SHUFFLE_FILE_BUFFER: &str = "spark.shuffle.file.buffer";
+    /// Delay scheduling wait (ms).
+    pub const LOCALITY_WAIT: &str = "spark.locality.wait";
+    /// Speculative execution master switch.
+    pub const SPECULATION: &str = "spark.speculation";
+}
+
+fn int(name: &str, min: i64, max: i64, default: i64, unit: Unit) -> ParamDef {
+    ParamDef::new(
+        name,
+        ParamKind::Int { min, max, log: false },
+        ParamValue::Int(default),
+        unit,
+    )
+}
+
+fn log_int(name: &str, min: i64, max: i64, default: i64, unit: Unit) -> ParamDef {
+    ParamDef::new(
+        name,
+        ParamKind::Int { min, max, log: true },
+        ParamValue::Int(default),
+        unit,
+    )
+}
+
+fn float(name: &str, min: f64, max: f64, default: f64) -> ParamDef {
+    ParamDef::new(
+        name,
+        ParamKind::Float { min, max },
+        ParamValue::Float(default),
+        Unit::Ratio,
+    )
+}
+
+fn boolean(name: &str, default: bool) -> ParamDef {
+    ParamDef::new(name, ParamKind::Bool, ParamValue::Bool(default), Unit::None)
+}
+
+fn cat(name: &str, choices: &[&str], default: usize) -> ParamDef {
+    ParamDef::new(
+        name,
+        ParamKind::categorical(choices.iter().copied()),
+        ParamValue::Cat(default),
+        Unit::None,
+    )
+}
+
+/// Builds the full 44-parameter Spark 2.4 space.
+///
+/// Parameter order is stable; index lookups should still go through
+/// [`ConfigSpace::index_of`] so code stays robust to future insertions.
+pub fn spark_space() -> ConfigSpace {
+    let params = vec![
+        // --- Resource sizing -------------------------------------------------
+        log_int(names::EXECUTOR_CORES, 1, 32, 1, Unit::Count),
+        // §5.1 bounds the executor heap at 8–180 GB; the 1 GiB Spark
+        // factory default sits *below* this search range (see
+        // `robotune-sparksim`'s factory defaults for the §5.2 baseline).
+        log_int(names::EXECUTOR_MEMORY, 8192, 184_320, 8192, Unit::MiB),
+        int(names::EXECUTOR_INSTANCES, 1, 40, 2, Unit::Count),
+        int("spark.driver.cores", 1, 8, 1, Unit::Count),
+        log_int("spark.driver.memory", 1024, 16_384, 1024, Unit::MiB),
+        int(names::EXECUTOR_MEMORY_OVERHEAD, 384, 8192, 384, Unit::MiB),
+        int("spark.task.cpus", 1, 2, 1, Unit::Count),
+        // --- Parallelism and scheduling --------------------------------------
+        log_int(names::DEFAULT_PARALLELISM, 8, 1000, 160, Unit::Count),
+        int(names::LOCALITY_WAIT, 0, 10_000, 3000, Unit::Millis),
+        cat("spark.scheduler.mode", &["FIFO", "FAIR"], 0),
+        int("spark.scheduler.revive.interval", 100, 5000, 1000, Unit::Millis),
+        int("spark.task.maxFailures", 1, 8, 4, Unit::Count),
+        boolean(names::SPECULATION, false),
+        float("spark.speculation.multiplier", 1.0, 5.0, 1.5),
+        float("spark.speculation.quantile", 0.3, 0.95, 0.75),
+        // --- Memory management ------------------------------------------------
+        float(names::MEMORY_FRACTION, 0.3, 0.9, 0.6),
+        float(names::MEMORY_STORAGE_FRACTION, 0.1, 0.9, 0.5),
+        boolean("spark.memory.offHeap.enabled", false),
+        int("spark.memory.offHeap.size", 0, 16_384, 0, Unit::MiB),
+        int("spark.storage.memoryMapThreshold", 1, 500, 2, Unit::MiB),
+        // --- Shuffle -----------------------------------------------------------
+        boolean(names::SHUFFLE_COMPRESS, true),
+        boolean("spark.shuffle.spill.compress", true),
+        log_int(names::SHUFFLE_FILE_BUFFER, 16, 1024, 32, Unit::KiB),
+        int("spark.shuffle.sort.bypassMergeThreshold", 50, 1000, 200, Unit::Count),
+        int("spark.shuffle.io.maxRetries", 1, 10, 3, Unit::Count),
+        boolean("spark.shuffle.io.preferDirectBufs", true),
+        int("spark.shuffle.io.numConnectionsPerPeer", 1, 8, 1, Unit::Count),
+        log_int(names::REDUCER_MAX_SIZE_IN_FLIGHT, 8, 256, 48, Unit::MiB),
+        int("spark.reducer.maxReqsInFlight", 8, 128, 64, Unit::Count),
+        // --- Compression and serialization -------------------------------------
+        cat(names::IO_COMPRESSION_CODEC, &["lz4", "lzf", "snappy", "zstd"], 0),
+        log_int("spark.io.compression.lz4.blockSize", 16, 256, 32, Unit::KiB),
+        boolean(names::RDD_COMPRESS, false),
+        boolean("spark.broadcast.compress", true),
+        int("spark.broadcast.blockSize", 1, 32, 4, Unit::MiB),
+        cat(names::SERIALIZER, &["java", "kryo"], 0),
+        log_int("spark.kryoserializer.buffer", 16, 1024, 64, Unit::KiB),
+        log_int("spark.kryoserializer.buffer.max", 16, 256, 64, Unit::MiB),
+        boolean("spark.kryo.referenceTracking", true),
+        // --- Networking and RPC -------------------------------------------------
+        int("spark.network.timeout", 60, 600, 120, Unit::Seconds),
+        int("spark.executor.heartbeatInterval", 5, 60, 10, Unit::Seconds),
+        log_int("spark.rpc.message.maxSize", 32, 512, 128, Unit::MiB),
+        log_int("spark.driver.maxResultSize", 256, 4096, 1024, Unit::MiB),
+        // --- Dynamic allocation --------------------------------------------------
+        boolean("spark.dynamicAllocation.enabled", false),
+        boolean("spark.shuffle.service.enabled", false),
+    ];
+    debug_assert_eq!(params.len(), 44);
+
+    // Group membership is declared by name so reordering params above can't
+    // silently corrupt the groups.
+    let idx = |name: &str| {
+        params
+            .iter()
+            .position(|p| p.name == name)
+            .unwrap_or_else(|| panic!("group references unknown parameter {name}"))
+    };
+    let groups = vec![
+        // Domain-knowledge joint parameter (§4): executor sizing is the
+        // shape (cores × memory) *and* the count — the three only make
+        // sense jointly (slots = instances × cores, memory/slot = heap /
+        // cores), so they are permuted and selected together.
+        ParamGroup {
+            name: "executor-size".into(),
+            members: vec![
+                idx(names::EXECUTOR_CORES),
+                idx(names::EXECUTOR_MEMORY),
+                idx(names::EXECUTOR_INSTANCES),
+            ],
+        },
+        ParamGroup {
+            name: "kryo".into(),
+            members: vec![
+                idx(names::SERIALIZER),
+                idx("spark.kryoserializer.buffer"),
+                idx("spark.kryoserializer.buffer.max"),
+                idx("spark.kryo.referenceTracking"),
+            ],
+        },
+        ParamGroup {
+            name: "speculation".into(),
+            members: vec![
+                idx(names::SPECULATION),
+                idx("spark.speculation.multiplier"),
+                idx("spark.speculation.quantile"),
+            ],
+        },
+        ParamGroup {
+            name: "off-heap".into(),
+            members: vec![
+                idx("spark.memory.offHeap.enabled"),
+                idx("spark.memory.offHeap.size"),
+            ],
+        },
+        ParamGroup {
+            name: "dynamic-allocation".into(),
+            members: vec![
+                idx("spark.dynamicAllocation.enabled"),
+                idx("spark.shuffle.service.enabled"),
+            ],
+        },
+        ParamGroup {
+            name: "compression-codec".into(),
+            members: vec![
+                idx(names::IO_COMPRESSION_CODEC),
+                idx("spark.io.compression.lz4.blockSize"),
+            ],
+        },
+    ];
+
+    ConfigSpace::new("spark-2.4", params, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+
+    #[test]
+    fn has_exactly_44_parameters() {
+        assert_eq!(spark_space().len(), 44);
+    }
+
+    #[test]
+    fn defaults_match_spark_docs() {
+        let s = spark_space();
+        let d = s.default_configuration();
+        // The space's executor-memory default is clamped to the 8 GiB
+        // search floor; the true 1 GiB factory default is handled by the
+        // simulator's factory parameters.
+        assert_eq!(d.get_by_name(&s, names::EXECUTOR_MEMORY).unwrap().as_int(), 8192);
+        assert_eq!(d.get_by_name(&s, names::EXECUTOR_CORES).unwrap().as_int(), 1);
+        assert!((d.get_by_name(&s, names::MEMORY_FRACTION).unwrap().as_float() - 0.6).abs() < 1e-12);
+        assert!(!d.get_by_name(&s, names::SPECULATION).unwrap().as_bool());
+        assert_eq!(d.get_by_name(&s, names::SERIALIZER).unwrap().as_cat(), 0); // java
+        assert!(s.validate(&d).is_ok());
+    }
+
+    #[test]
+    fn executor_plane_cardinality_matches_paper() {
+        // §5.1: cores (1–32) × memory (8–180 GB in 1 GiB steps) ≈ 5,504
+        // combinations; our memory range is MiB-granular but the GiB-step
+        // projection reproduces the paper's number.
+        let s = spark_space();
+        let cores = s.param(names::EXECUTOR_CORES).kind.cardinality().unwrap();
+        assert_eq!(cores, 32);
+        let mem = s.param(names::EXECUTOR_MEMORY);
+        if let ParamKind::Int { min, max, .. } = mem.kind {
+            let gib_steps = (max / 1024) - (8192 / 1024); // 172 one-GiB steps over 8–180 GiB
+            assert_eq!(cores as i64 * gib_steps, 5504);
+            assert_eq!(min, 8192);
+        } else {
+            panic!("executor memory should be an Int parameter");
+        }
+    }
+
+    #[test]
+    fn groups_reference_valid_disjoint_members() {
+        let s = spark_space();
+        // ConfigSpace::new validates; also check executor-size contents.
+        let g = &s.groups()[0];
+        assert_eq!(g.name, "executor-size");
+        let names: Vec<&str> = g
+            .members
+            .iter()
+            .map(|&i| s.params()[i].name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![names::EXECUTOR_CORES, names::EXECUTOR_MEMORY, names::EXECUTOR_INSTANCES]
+        );
+    }
+
+    #[test]
+    fn covering_groups_cover_all_44() {
+        let s = spark_space();
+        let cover = s.covering_groups();
+        let total: usize = cover.iter().map(|g| g.members.len()).sum();
+        assert_eq!(total, 44);
+    }
+
+    #[test]
+    fn random_points_decode_to_valid_configs() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let s = spark_space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let p: Vec<f64> = (0..s.dim()).map(|_| rng.gen::<f64>()).collect();
+            let c = s.decode(&p);
+            assert!(s.validate(&c).is_ok());
+            // Round trip through encode is identity on the decoded config.
+            assert_eq!(s.decode(&s.encode(&c)), c);
+        }
+    }
+
+    #[test]
+    fn render_produces_spark_conf_syntax() {
+        let s = spark_space();
+        let text = s.default_configuration().render(&s);
+        assert!(text.contains("spark.executor.memory=8192m"));
+        assert!(text.contains("spark.serializer=java"));
+        assert!(text.contains("spark.shuffle.compress=true"));
+        assert_eq!(text.lines().count(), 44);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of parameter encoding over *arbitrary* parameter
+//! definitions — not just the Spark space.
+
+use proptest::prelude::*;
+use robotune_space::{ParamDef, ParamKind, ParamValue, Unit};
+
+/// Strategy over arbitrary (valid) integer parameter definitions.
+fn int_def() -> impl Strategy<Value = ParamDef> {
+    (1i64..10_000, 1i64..10_000, any::<bool>()).prop_map(|(a, span, log)| {
+        let (min, max) = (a, a + span);
+        ParamDef::new(
+            "p",
+            ParamKind::Int { min, max, log },
+            ParamValue::Int(min),
+            Unit::Count,
+        )
+    })
+}
+
+fn float_def() -> impl Strategy<Value = ParamDef> {
+    (-1e5f64..1e5, 1e-3f64..1e5).prop_map(|(min, span)| {
+        ParamDef::new(
+            "f",
+            ParamKind::Float { min, max: min + span },
+            ParamValue::Float(min),
+            Unit::Ratio,
+        )
+    })
+}
+
+fn cat_def() -> impl Strategy<Value = ParamDef> {
+    (1usize..40).prop_map(|k| {
+        ParamDef::new(
+            "c",
+            ParamKind::categorical((0..k).map(|i| format!("v{i}"))),
+            ParamValue::Cat(0),
+            Unit::None,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn int_decode_is_always_in_range(def in int_def(), u in 0.0f64..1.0) {
+        let v = def.decode(u);
+        prop_assert!(def.contains(&v), "{v:?} out of range for {def}");
+    }
+
+    #[test]
+    fn int_encode_decode_round_trips(def in int_def(), u in 0.0f64..1.0) {
+        let v = def.decode(u);
+        let v2 = def.decode(def.encode(&v));
+        prop_assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn int_decode_is_monotone(def in int_def(), u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(def.decode(lo).as_int() <= def.decode(hi).as_int());
+    }
+
+    #[test]
+    fn int_extremes_hit_the_bounds(def in int_def()) {
+        if let ParamKind::Int { min, max, .. } = def.kind {
+            prop_assert_eq!(def.decode(0.0).as_int(), min);
+            prop_assert_eq!(def.decode(1.0 - 1e-12).as_int(), max);
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_tight(def in float_def(), u in 0.0f64..1.0) {
+        let v = def.decode(u);
+        let back = def.decode(def.encode(&v)).as_float();
+        let span = if let ParamKind::Float { min, max } = def.kind { max - min } else { 1.0 };
+        prop_assert!((back - v.as_float()).abs() < 1e-9 * span.max(1.0));
+    }
+
+    #[test]
+    fn categorical_round_trips_every_choice(def in cat_def()) {
+        if let ParamKind::Categorical { choices } = &def.kind {
+            for i in 0..choices.len() {
+                let v = ParamValue::Cat(i);
+                prop_assert_eq!(def.decode(def.encode(&v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn render_never_panics_on_decoded_values(def in int_def(), u in 0.0f64..1.0) {
+        let v = def.decode(u);
+        let s = def.render(&v);
+        prop_assert!(!s.is_empty());
+    }
+}

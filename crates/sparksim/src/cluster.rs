@@ -1,0 +1,89 @@
+//! The hardware model.
+
+/// A homogeneous worker cluster (the master node only runs the driver and
+/// is not modelled as a compute resource).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Physical cores per worker.
+    pub cores_per_node: usize,
+    /// RAM per worker in MiB.
+    pub memory_per_node_mb: f64,
+    /// RAM reserved for the OS and daemons per worker, MiB.
+    pub reserved_memory_mb: f64,
+    /// Sustained sequential disk bandwidth per worker, MiB/s
+    /// (7200-RPM spinning disk in the paper's testbed).
+    pub disk_mbps: f64,
+    /// Effective page-cache read bandwidth per worker, MiB/s, used when a
+    /// dataset that was recently read still fits in free RAM.
+    pub page_cache_mbps: f64,
+    /// Network bandwidth per worker, MiB/s (10 GbE ≈ 1150 MiB/s usable).
+    pub network_mbps: f64,
+}
+
+impl Cluster {
+    /// The paper's NoleLand testbed: 5 workers × (32 cores, 192 GB RAM,
+    /// 2 TB 7200-RPM disk, 10 GbE).
+    pub fn noleland() -> Self {
+        Cluster {
+            nodes: 5,
+            cores_per_node: 32,
+            memory_per_node_mb: 192.0 * 1024.0,
+            reserved_memory_mb: 4.0 * 1024.0,
+            disk_mbps: 140.0,
+            page_cache_mbps: 2500.0,
+            network_mbps: 1150.0,
+        }
+    }
+
+    /// Total worker cores.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// RAM available to executors per worker, MiB.
+    pub fn usable_memory_per_node_mb(&self) -> f64 {
+        self.memory_per_node_mb - self.reserved_memory_mb
+    }
+
+    /// Aggregate HDFS read bandwidth, MiB/s: blocks are replicated across
+    /// all workers, so reads are limited by the lesser of all disks
+    /// combined and the readers' network intake.
+    pub fn hdfs_read_mbps(&self, reader_nodes: usize) -> f64 {
+        let disks = self.nodes as f64 * self.disk_mbps;
+        let net = reader_nodes.min(self.nodes) as f64 * self.network_mbps;
+        disks.min(net).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noleland_matches_the_paper() {
+        let c = Cluster::noleland();
+        // §5.1: "a total of 192 cores and 1152 GB memory" counting the
+        // master; the 5 workers contribute 160 cores / 960 GB.
+        assert_eq!(c.total_cores(), 160);
+        assert_eq!(c.nodes, 5);
+        assert!((c.memory_per_node_mb - 196_608.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hdfs_bandwidth_is_disk_bound_for_many_readers() {
+        let c = Cluster::noleland();
+        // All five nodes reading: 5 disks = 700 MiB/s < 5 NICs.
+        assert!((c.hdfs_read_mbps(5) - 700.0).abs() < 1e-9);
+        // A single reader node is NIC-bound at 700 vs 1150 → still disk.
+        assert!((c.hdfs_read_mbps(1) - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usable_memory_excludes_reservation() {
+        let c = Cluster::noleland();
+        assert!(c.usable_memory_per_node_mb() < c.memory_per_node_mb);
+        assert!(c.usable_memory_per_node_mb() > 180.0 * 1024.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! A discrete-event task scheduler — the high-fidelity cross-check of the
+//! analytic wave model.
+//!
+//! Where [`crate::sim::simulate_plan`] estimates a stage as
+//! `waves × mean-task-time × straggler-inflation`, this module actually
+//! schedules every task onto slot timelines: each task draws its own
+//! lognormal duration, the driver dispatches at a bounded launch rate,
+//! stragglers emerge from the noise rather than from a fixed factor, and
+//! speculative execution genuinely re-launches slow tasks once the
+//! configured quantile of the stage has finished (Spark's semantics for
+//! `spark.speculation.{quantile,multiplier}`).
+//!
+//! Both engines share the per-stage [`StageProfile`] (costs, floors,
+//! spill/OOM semantics), so any divergence between them isolates the
+//! *scheduling* approximation — see the cross-validation tests at the
+//! bottom.
+
+use rand::rngs::StdRng;
+
+use robotune_stats::{lognormal, rng_from_seed};
+
+use crate::cluster::Cluster;
+use crate::layout::ExecutorLayout;
+use crate::params::SparkParams;
+use crate::sim::{consts, simulate_with, RunReport, StageCost, StageProfile};
+use crate::workload::Plan;
+
+/// Default σ of per-task lognormal duration noise. Calibrated so the
+/// emergent straggler inflation of a full wave matches the analytic
+/// model's `STRAGGLER_BASE` (~12% over the mean for ~32-task waves).
+pub const DEFAULT_TASK_SIGMA: f64 = 0.18;
+
+/// Simulates one run with the discrete-event scheduler.
+///
+/// `task_sigma` is the per-task duration noise (0 = deterministic tasks);
+/// `seed` makes the whole run reproducible.
+pub fn simulate_event(
+    cluster: &Cluster,
+    p: &SparkParams,
+    plan: &Plan,
+    seed: u64,
+    task_sigma: f64,
+) -> RunReport {
+    assert!(task_sigma >= 0.0, "task noise must be non-negative");
+    let mut rng = rng_from_seed(seed);
+    simulate_with(cluster, p, plan, |profile, layout| {
+        event_stage(profile, p, layout, task_sigma, &mut rng)
+    })
+}
+
+/// Schedules one stage's tasks and returns its cost.
+fn event_stage(
+    profile: &StageProfile,
+    p: &SparkParams,
+    layout: &ExecutorLayout,
+    task_sigma: f64,
+    rng: &mut StdRng,
+) -> StageCost {
+    let n = profile.partitions;
+    let slots = layout.total_slots.max(1);
+
+    // Draw per-task durations. The lognormal mean is e^(σ²/2); divide it
+    // out so the expected duration equals the analytic mean task time.
+    let mean_correction = (task_sigma * task_sigma / 2.0).exp();
+    let durations: Vec<f64> = (0..n)
+        .map(|_| {
+            let noise = if task_sigma > 0.0 {
+                lognormal(rng, 0.0, task_sigma) / mean_correction
+            } else {
+                1.0
+            };
+            // Per-task scheduling overhead rides inside the slot
+            // occupancy, matching the analytic model's launch cost.
+            profile.task_s * noise + consts::TASK_LAUNCH_S
+        })
+        .collect();
+
+    // Slot timelines: index of the earliest-free slot via linear scan
+    // (slot counts are ≤ 160 here; a heap would be over-engineering).
+    let mut free_at = vec![0.0f64; slots];
+    let mut starts = vec![0.0f64; n];
+    let mut ends = vec![0.0f64; n];
+    for (i, &d) in durations.iter().enumerate() {
+        let (slot, &t) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .expect("at least one slot");
+        starts[i] = t;
+        ends[i] = t + d;
+        free_at[slot] = ends[i];
+    }
+
+    // Speculative execution: once `quantile` of the stage has completed,
+    // any task still running past `multiplier ×` the median completed
+    // duration gets a speculative copy; the task finishes at the earlier
+    // of the two attempts.
+    if p.speculation && n >= 4 {
+        let mut sorted_ends = ends.clone();
+        sorted_ends.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q_idx = ((n as f64 * p.speculation_quantile).floor() as usize).min(n - 1);
+        let watch_from = sorted_ends[q_idx];
+        let mut sorted_durs = durations.clone();
+        sorted_durs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median_d = sorted_durs[n / 2];
+        let threshold = median_d * p.speculation_multiplier.max(1.0);
+        for i in 0..n {
+            let running_for = ends[i] - starts[i];
+            if ends[i] > watch_from && running_for > threshold {
+                // Copy launches when the straggler is detected; fresh noise.
+                let copy_start = (starts[i] + threshold).max(watch_from);
+                let copy_noise = if task_sigma > 0.0 {
+                    lognormal(rng, 0.0, task_sigma) / mean_correction
+                } else {
+                    1.0
+                };
+                let copy_end = copy_start + profile.task_s * copy_noise;
+                ends[i] = ends[i].min(copy_end);
+            }
+        }
+    }
+
+    let span = ends.iter().cloned().fold(0.0, f64::max);
+    profile.finish(span + profile.locality_s + profile.stage_extra_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate_plan, Outcome};
+    use crate::workload::{Dataset, Workload, ALL_WORKLOADS};
+    use robotune_space::spark::{names, spark_space};
+    use robotune_space::ParamValue;
+
+    fn tuned_params() -> SparkParams {
+        let space = spark_space();
+        let mut cfg = space.default_configuration();
+        let set = |cfg: &mut robotune_space::Configuration, name: &str, v: i64| {
+            cfg.set(space.index_of(name).unwrap(), ParamValue::Int(v));
+        };
+        set(&mut cfg, names::EXECUTOR_CORES, 8);
+        set(&mut cfg, names::EXECUTOR_MEMORY, 24 * 1024);
+        set(&mut cfg, names::EXECUTOR_INSTANCES, 20);
+        set(&mut cfg, names::DEFAULT_PARALLELISM, 400);
+        SparkParams::extract(&space, &cfg)
+    }
+
+    #[test]
+    fn noise_free_event_mode_agrees_with_the_analytic_model() {
+        // With zero task noise the only differences are the fixed
+        // straggler inflation (analytic) vs none (event) and exact slot
+        // packing vs whole waves — the two must track each other closely.
+        let c = Cluster::noleland();
+        let p = tuned_params();
+        for w in ALL_WORKLOADS {
+            let plan = w.plan(Dataset::D1);
+            let analytic = simulate_plan(&c, &p, &plan);
+            let event = simulate_event(&c, &p, &plan, 1, 0.0);
+            let (Outcome::Completed(ta), Outcome::Completed(te)) =
+                (analytic.outcome, event.outcome)
+            else {
+                panic!("{w:?}: both engines should complete");
+            };
+            let ratio = te / ta;
+            assert!(
+                (0.7..=1.05).contains(&ratio),
+                "{w:?}: event {te:.1}s vs analytic {ta:.1}s (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn event_mode_is_deterministic_given_a_seed() {
+        let c = Cluster::noleland();
+        let p = tuned_params();
+        let plan = Workload::PageRank.plan(Dataset::D2);
+        let a = simulate_event(&c, &p, &plan, 42, DEFAULT_TASK_SIGMA);
+        let b = simulate_event(&c, &p, &plan, 42, DEFAULT_TASK_SIGMA);
+        assert_eq!(a, b);
+        let c2 = simulate_event(&c, &p, &plan, 43, DEFAULT_TASK_SIGMA);
+        assert_ne!(a.elapsed_s(), c2.elapsed_s());
+    }
+
+    #[test]
+    fn task_noise_creates_emergent_stragglers() {
+        let c = Cluster::noleland();
+        let p = tuned_params();
+        let plan = Workload::KMeans.plan(Dataset::D1);
+        let quiet = simulate_event(&c, &p, &plan, 5, 0.0).elapsed_s();
+        let noisy = simulate_event(&c, &p, &plan, 5, DEFAULT_TASK_SIGMA).elapsed_s();
+        assert!(
+            noisy > quiet,
+            "stragglers must lengthen the run: {noisy:.1} vs {quiet:.1}"
+        );
+    }
+
+    #[test]
+    fn speculation_rescues_stragglers_under_noise() {
+        let c = Cluster::noleland();
+        let mut off = tuned_params();
+        off.speculation = false;
+        let mut on = tuned_params();
+        on.speculation = true;
+        on.speculation_quantile = 0.5;
+        on.speculation_multiplier = 1.3;
+        let plan = Workload::PageRank.plan(Dataset::D2);
+        // Average across seeds — speculation wins in expectation.
+        let avg = |p: &SparkParams| -> f64 {
+            (0..12)
+                .map(|s| simulate_event(&c, p, &plan, s, 0.35).elapsed_s())
+                .sum::<f64>()
+                / 12.0
+        };
+        let t_off = avg(&off);
+        let t_on = avg(&on);
+        assert!(
+            t_on < t_off,
+            "speculation should shorten noisy runs: on {t_on:.1}s vs off {t_off:.1}s"
+        );
+    }
+
+    #[test]
+    fn oom_semantics_are_identical_across_engines() {
+        let c = Cluster::noleland();
+        let space = spark_space();
+        let p = SparkParams::factory_defaults(&space);
+        let plan = Workload::PageRank.plan(Dataset::D1);
+        let analytic = simulate_plan(&c, &p, &plan);
+        let event = simulate_event(&c, &p, &plan, 7, DEFAULT_TASK_SIGMA);
+        assert!(matches!(analytic.outcome, Outcome::Oom { .. }));
+        assert!(matches!(event.outcome, Outcome::Oom { .. }));
+    }
+
+    #[test]
+    fn stage_counts_match_across_engines() {
+        let c = Cluster::noleland();
+        let p = tuned_params();
+        let plan = Workload::TeraSort.plan(Dataset::D1);
+        let analytic = simulate_plan(&c, &p, &plan);
+        let event = simulate_event(&c, &p, &plan, 9, 0.1);
+        assert_eq!(analytic.stages.len(), event.stages.len());
+        for (a, e) in analytic.stages.iter().zip(&event.stages) {
+            assert_eq!(a.name, e.name);
+        }
+    }
+}

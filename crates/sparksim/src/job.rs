@@ -1,0 +1,318 @@
+//! [`SparkJob`]: the objective function tuners evaluate.
+
+use rand::rngs::StdRng;
+use robotune_space::{ConfigSpace, Configuration};
+use robotune_stats::{lognormal, rng_from_seed};
+use robotune_tuners::{Evaluation, Objective};
+
+use crate::cluster::Cluster;
+use crate::event::simulate_event;
+use crate::params::SparkParams;
+use crate::sim::{simulate, Outcome, RunReport};
+use crate::workload::{Dataset, Workload};
+
+/// Which simulation engine evaluates configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEngine {
+    /// The analytic wave model (default; what the paper-shape experiments
+    /// run on).
+    Analytic,
+    /// The discrete-event scheduler with per-task duration noise — see
+    /// [`crate::event`].
+    Event {
+        /// Per-task lognormal duration σ.
+        task_sigma: f64,
+    },
+}
+
+/// A (workload, dataset) pair on a cluster, evaluable as an
+/// [`Objective`]. Adds multiplicative lognormal noise over the
+/// deterministic simulator — the shared-cluster interference the paper
+/// motivates BO's noise model with — and enforces the per-run cap.
+#[derive(Debug, Clone)]
+pub struct SparkJob {
+    cluster: Cluster,
+    space: ConfigSpace,
+    workload: Workload,
+    dataset: Dataset,
+    /// When set, this plan replaces `workload.plan(dataset)` — the
+    /// extension point for user-defined workloads.
+    custom_plan: Option<crate::workload::Plan>,
+    engine: SimEngine,
+    noise_sigma: f64,
+    rng: StdRng,
+    evaluations: usize,
+}
+
+impl SparkJob {
+    /// Default run-to-run noise (σ of the underlying normal).
+    pub const DEFAULT_NOISE_SIGMA: f64 = 0.05;
+
+    /// Creates a job on the NoleLand-like cluster with default noise.
+    pub fn new(space: ConfigSpace, workload: Workload, dataset: Dataset, seed: u64) -> Self {
+        SparkJob {
+            cluster: Cluster::noleland(),
+            space,
+            workload,
+            dataset,
+            custom_plan: None,
+            engine: SimEngine::Analytic,
+            noise_sigma: Self::DEFAULT_NOISE_SIGMA,
+            rng: rng_from_seed(seed),
+            evaluations: 0,
+        }
+    }
+
+    /// Replaces the built-in workload plan with a user-defined one (the
+    /// `workload`/`dataset` passed at construction become labels only).
+    /// See [`crate::sim::simulate_plan`].
+    pub fn with_custom_plan(mut self, plan: crate::workload::Plan) -> Self {
+        self.custom_plan = Some(plan);
+        self
+    }
+
+    /// Switches the evaluation engine (see [`SimEngine`]). Event mode
+    /// derives a fresh scheduler seed per evaluation from the job's RNG,
+    /// so the whole evaluation stream stays reproducible.
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the noise level (0 disables noise).
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "noise sigma must be non-negative");
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Overrides the cluster.
+    pub fn with_cluster(mut self, cluster: Cluster) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// The workload under tuning.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The dataset under tuning.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// The configuration space this job expects.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// How many evaluations this job has served.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Runs the deterministic simulator without noise or cap — useful for
+    /// inspecting the model itself.
+    pub fn dry_run(&self, config: &Configuration) -> RunReport {
+        let p = SparkParams::extract(&self.space, config);
+        match &self.custom_plan {
+            Some(plan) => crate::sim::simulate_plan(&self.cluster, &p, plan),
+            None => simulate(&self.cluster, &p, self.workload, self.dataset),
+        }
+    }
+
+    /// Runs with noise but no cap; returns the "true" noisy runtime (or
+    /// time-to-failure). Used for the §5.2 default-configuration
+    /// comparison, which measured uncapped runs.
+    pub fn run_uncapped(&mut self, config: &Configuration) -> (f64, Outcome) {
+        use rand::Rng;
+        self.evaluations += 1;
+        let report = match self.engine {
+            SimEngine::Analytic => self.dry_run(config),
+            SimEngine::Event { task_sigma } => {
+                let seed = self.rng.gen::<u64>();
+                let p = SparkParams::extract(&self.space, config);
+                let plan = self
+                    .custom_plan
+                    .clone()
+                    .unwrap_or_else(|| self.workload.plan(self.dataset));
+                simulate_event(&self.cluster, &p, &plan, seed, task_sigma)
+            }
+        };
+        let noise = if self.noise_sigma > 0.0 {
+            lognormal(&mut self.rng, 0.0, self.noise_sigma)
+        } else {
+            1.0
+        };
+        (report.elapsed_s() * noise, report.outcome)
+    }
+}
+
+impl Objective for SparkJob {
+    fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation {
+        let (t, outcome) = self.run_uncapped(config);
+        match outcome {
+            Outcome::Completed(_) => {
+                if t <= cap_s {
+                    Evaluation::completed(t)
+                } else {
+                    Evaluation::capped(cap_s)
+                }
+            }
+            Outcome::Oom { .. } | Outcome::LaunchFailure => Evaluation::failed(t.min(cap_s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_space::spark::{names, spark_space};
+    use robotune_space::{ParamValue, SearchSpace};
+
+    fn tuned_config(space: &ConfigSpace) -> Configuration {
+        let mut cfg = space.default_configuration();
+        cfg.set(space.index_of(names::EXECUTOR_CORES).unwrap(), ParamValue::Int(8));
+        cfg.set(space.index_of(names::EXECUTOR_MEMORY).unwrap(), ParamValue::Int(24 * 1024));
+        cfg.set(space.index_of(names::EXECUTOR_INSTANCES).unwrap(), ParamValue::Int(20));
+        cfg.set(space.index_of(names::DEFAULT_PARALLELISM).unwrap(), ParamValue::Int(400));
+        cfg.set(space.index_of(names::SERIALIZER).unwrap(), ParamValue::Cat(1));
+        cfg
+    }
+
+    #[test]
+    fn noise_perturbs_but_does_not_bias() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        let mut job = SparkJob::new(space.clone(), Workload::KMeans, Dataset::D1, 7);
+        let truth = job.dry_run(&cfg).elapsed_s();
+        let times: Vec<f64> = (0..200).map(|_| job.run_uncapped(&cfg).0).collect();
+        let mean = robotune_stats::mean(&times);
+        assert!((mean / truth - 1.0).abs() < 0.03, "mean {mean} vs truth {truth}");
+        // And noise actually varies.
+        assert!(robotune_stats::std_dev(&times) > 0.0);
+        assert_eq!(job.evaluations(), 200);
+    }
+
+    #[test]
+    fn zero_noise_is_exactly_deterministic() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        let mut job =
+            SparkJob::new(space, Workload::PageRank, Dataset::D2, 1).with_noise(0.0);
+        let a = job.run_uncapped(&cfg).0;
+        let b = job.run_uncapped(&cfg).0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluate_caps_and_flags_failures() {
+        let space = spark_space();
+        // A config that cannot launch (task.cpus > cores) → failed fast.
+        let mut bad = space.default_configuration();
+        bad.set(space.index_of("spark.task.cpus").unwrap(), ParamValue::Int(2));
+        let mut job = SparkJob::new(space.clone(), Workload::PageRank, Dataset::D1, 2);
+        let e = job.evaluate(&bad, 480.0);
+        assert!(e.failed);
+        assert!(e.time_s <= 480.0);
+
+        // KM on the (slow) in-range default: capped at whatever cap we pass.
+        let default = space.default_configuration();
+        let mut job = SparkJob::new(space, Workload::KMeans, Dataset::D1, 3);
+        let e = job.evaluate(&default, 100.0);
+        assert!(!e.completed && !e.failed);
+        assert_eq!(e.time_s, 100.0);
+    }
+
+    #[test]
+    fn good_config_completes_under_generous_cap() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        for w in crate::workload::ALL_WORKLOADS {
+            let mut job = SparkJob::new(space.clone(), w, Dataset::D1, 4);
+            let e = job.evaluate(&cfg, 480.0);
+            assert!(e.completed, "{w:?} should complete: {e:?}");
+        }
+    }
+
+    #[test]
+    fn event_engine_tunes_end_to_end_and_replays() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        let run = |seed: u64| -> Vec<f64> {
+            let mut job = SparkJob::new(space.clone(), Workload::KMeans, Dataset::D1, seed)
+                .with_engine(SimEngine::Event { task_sigma: crate::event::DEFAULT_TASK_SIGMA });
+            (0..5).map(|_| job.evaluate(&cfg, 480.0).time_s).collect()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "event engine must replay under a fixed seed");
+        // Per-evaluation scheduler seeds differ, so times vary within a run.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+        // And event-mode times sit near the analytic engine's.
+        let mut analytic = SparkJob::new(space.clone(), Workload::KMeans, Dataset::D1, 11);
+        let t_analytic = analytic.evaluate(&cfg, 480.0).time_s;
+        let mean_event = robotune_stats::mean(&a);
+        assert!(
+            (mean_event / t_analytic - 1.0).abs() < 0.3,
+            "event {mean_event:.1}s vs analytic {t_analytic:.1}s"
+        );
+    }
+
+    #[test]
+    fn custom_plans_drive_the_simulation() {
+        use crate::workload::{Plan, Source, Stage};
+        let space = spark_space();
+        // A tiny one-stage "word count": read 2 GiB, shuffle 200 MiB.
+        let plan = Plan {
+            load: Stage {
+                name: "wordcount",
+                input_mb: 2048.0,
+                source: Source::Hdfs,
+                shuffle_out_mb: 200.0,
+                cpu_per_mb: 0.002,
+                output_mb: 50.0,
+            },
+            iter: None,
+            iterations: 0,
+            finish: None,
+            cache_mb: 0.0,
+            balance_sensitivity: 0.2,
+            recompute_cpu_per_mb: 0.0,
+            object_factor: 0.5,
+            iter_partitions_by_parallelism: false,
+            iter_fetches_over_network: false,
+        };
+        let job = SparkJob::new(space.clone(), Workload::TeraSort, Dataset::D1, 8)
+            .with_custom_plan(plan);
+        let cfg = tuned_config(&space);
+        let report = job.dry_run(&cfg);
+        let t_custom = report.elapsed_s();
+        // The custom plan is far lighter than TeraSort-D1.
+        let t_ts = SparkJob::new(space, Workload::TeraSort, Dataset::D1, 8)
+            .dry_run(&cfg)
+            .elapsed_s();
+        assert!(t_custom < t_ts, "custom {t_custom:.1}s vs TS {t_ts:.1}s");
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.stages[0].name, "wordcount");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_whole_evaluation_stream() {
+        let space = spark_space();
+        use rand::Rng;
+        let mut point_rng = robotune_stats::rng_from_seed(5);
+        let points: Vec<Vec<f64>> = (0..10)
+            .map(|_| (0..space.dim()).map(|_| point_rng.gen::<f64>()).collect())
+            .collect();
+        let stream = |seed: u64| -> Vec<f64> {
+            let mut job = SparkJob::new(space.clone(), Workload::TeraSort, Dataset::D1, seed);
+            points
+                .iter()
+                .map(|p| job.evaluate(&space.decode(p), 480.0).time_s)
+                .collect()
+        };
+        assert_eq!(stream(42), stream(42));
+    }
+}

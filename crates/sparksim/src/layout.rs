@@ -1,0 +1,221 @@
+//! Executor packing: how many executors and task slots a configuration
+//! actually obtains from the cluster.
+
+use crate::cluster::Cluster;
+use crate::params::SparkParams;
+
+/// The resolved executor layout of a submitted application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorLayout {
+    /// Executors actually launched (≤ requested instances).
+    pub executors: usize,
+    /// Worker nodes hosting at least one executor.
+    pub nodes_used: usize,
+    /// Concurrent tasks per executor (`⌊cores / task.cpus⌋`).
+    pub slots_per_executor: usize,
+    /// Total concurrent task slots across the application.
+    pub total_slots: usize,
+    /// Concurrent tasks per used node (disk/NIC contention divisor).
+    pub slots_per_node: f64,
+    /// Executor heap, MiB.
+    pub heap_mb: f64,
+    /// Unified memory region per executor, MiB
+    /// (`(heap − 300) × spark.memory.fraction`).
+    pub unified_mb: f64,
+    /// Eviction-protected storage region per executor, MiB.
+    pub storage_mb: f64,
+    /// Execution share of the unified region per executor, MiB, plus any
+    /// off-heap execution memory.
+    pub execution_mb: f64,
+    /// User memory per executor (the 1 − memory.fraction share), MiB.
+    pub user_mb: f64,
+}
+
+impl ExecutorLayout {
+    /// Packs executors onto the cluster. Returns `None` when the
+    /// configuration cannot launch at all (an executor wouldn't fit on a
+    /// node, or yields zero task slots) — the simulator maps that to a
+    /// fast submit failure.
+    pub fn solve(cluster: &Cluster, p: &SparkParams) -> Option<Self> {
+        if p.executor_cores as usize > cluster.cores_per_node {
+            return None;
+        }
+        // Spark's actual container footprint: heap + max(overhead, 10%).
+        let overhead = p.memory_overhead_mb.max(p.executor_memory_mb * 0.10);
+        let mut footprint = p.executor_memory_mb + overhead;
+        if p.offheap_enabled {
+            footprint += p.offheap_size_mb;
+        }
+        if footprint > cluster.usable_memory_per_node_mb() {
+            return None;
+        }
+
+        let by_cores = cluster.cores_per_node / p.executor_cores as usize;
+        let by_mem = (cluster.usable_memory_per_node_mb() / footprint).floor() as usize;
+        let per_node = by_cores.min(by_mem);
+        if per_node == 0 {
+            return None;
+        }
+        let capacity = per_node * cluster.nodes;
+        let executors = capacity.min(p.executor_instances.max(0) as usize);
+        if executors == 0 {
+            return None;
+        }
+        let slots_per_executor = (p.executor_cores / p.task_cpus.max(1)) as usize;
+        if slots_per_executor == 0 {
+            return None;
+        }
+
+        // Executors spread round-robin across nodes.
+        let nodes_used = executors.min(cluster.nodes);
+        let slots_per_node = (executors * slots_per_executor) as f64 / nodes_used as f64;
+
+        let heap = p.executor_memory_mb;
+        let unified = ((heap - 300.0) * p.memory_fraction).max(0.0);
+        let storage = unified * p.storage_fraction;
+        let mut execution = unified - storage;
+        if p.offheap_enabled {
+            execution += p.offheap_size_mb;
+        }
+        let user = ((heap - 300.0) * (1.0 - p.memory_fraction)).max(0.0);
+
+        Some(ExecutorLayout {
+            executors,
+            nodes_used,
+            slots_per_executor,
+            total_slots: executors * slots_per_executor,
+            slots_per_node,
+            heap_mb: heap,
+            unified_mb: unified,
+            storage_mb: storage,
+            execution_mb: execution,
+            user_mb: user,
+        })
+    }
+
+    /// Aggregate eviction-protected cache capacity, MiB.
+    pub fn total_storage_mb(&self) -> f64 {
+        self.storage_mb * self.executors as f64
+    }
+
+    /// Execution memory available to one concurrent task, MiB.
+    pub fn execution_per_task_mb(&self) -> f64 {
+        self.execution_mb / self.slots_per_executor as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_space::spark::spark_space;
+
+    fn params_with(f: impl FnOnce(&mut SparkParams)) -> SparkParams {
+        let space = spark_space();
+        let mut p = SparkParams::extract(&space, &space.default_configuration());
+        f(&mut p);
+        p
+    }
+
+    #[test]
+    fn default_layout_launches_two_small_executors() {
+        let c = Cluster::noleland();
+        let l = ExecutorLayout::solve(&c, &params_with(|_| {})).unwrap();
+        assert_eq!(l.executors, 2);
+        assert_eq!(l.total_slots, 2);
+    }
+
+    #[test]
+    fn factory_default_heap_leaves_almost_no_unified_memory() {
+        let c = Cluster::noleland();
+        let space = spark_space();
+        let l = ExecutorLayout::solve(&c, &SparkParams::factory_defaults(&space)).unwrap();
+        assert_eq!(l.executors, 2);
+        assert!(l.unified_mb < 500.0, "1 GiB heap leaves {} MiB unified", l.unified_mb);
+    }
+
+    #[test]
+    fn oversized_executor_fails_to_launch() {
+        let c = Cluster::noleland();
+        let p = params_with(|p| p.executor_memory_mb = 200.0 * 1024.0);
+        assert!(ExecutorLayout::solve(&c, &p).is_none());
+    }
+
+    #[test]
+    fn task_cpus_above_cores_fails() {
+        let c = Cluster::noleland();
+        let p = params_with(|p| {
+            p.executor_cores = 1;
+            p.task_cpus = 2;
+        });
+        assert!(ExecutorLayout::solve(&c, &p).is_none());
+    }
+
+    #[test]
+    fn memory_limits_packing() {
+        let c = Cluster::noleland();
+        // 90 GiB executors: only 2 fit per node by memory.
+        let p = params_with(|p| {
+            p.executor_cores = 4;
+            p.executor_memory_mb = 80.0 * 1024.0;
+            p.executor_instances = 40;
+        });
+        let l = ExecutorLayout::solve(&c, &p).unwrap();
+        assert_eq!(l.executors, 10, "2 per node × 5 nodes");
+        assert_eq!(l.total_slots, 40);
+    }
+
+    #[test]
+    fn core_limits_packing() {
+        let c = Cluster::noleland();
+        let p = params_with(|p| {
+            p.executor_cores = 16;
+            p.executor_memory_mb = 8.0 * 1024.0;
+            p.executor_instances = 40;
+        });
+        let l = ExecutorLayout::solve(&c, &p).unwrap();
+        assert_eq!(l.executors, 10, "32 cores / 16 = 2 per node × 5");
+        assert_eq!(l.slots_per_executor, 16);
+    }
+
+    #[test]
+    fn memory_regions_follow_sparks_formula() {
+        let c = Cluster::noleland();
+        let p = params_with(|p| {
+            p.executor_memory_mb = 10_300.0;
+            p.memory_fraction = 0.6;
+            p.storage_fraction = 0.5;
+        });
+        let l = ExecutorLayout::solve(&c, &p).unwrap();
+        assert!((l.unified_mb - 6_000.0).abs() < 1.0);
+        assert!((l.storage_mb - 3_000.0).abs() < 1.0);
+        assert!((l.execution_mb - 3_000.0).abs() < 1.0);
+        assert!((l.user_mb - 4_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn offheap_adds_execution_memory() {
+        let c = Cluster::noleland();
+        let base = params_with(|p| p.executor_memory_mb = 8_192.0);
+        let with_off = params_with(|p| {
+            p.executor_memory_mb = 8_192.0;
+            p.offheap_enabled = true;
+            p.offheap_size_mb = 4_096.0;
+        });
+        let l0 = ExecutorLayout::solve(&c, &base).unwrap();
+        let l1 = ExecutorLayout::solve(&c, &with_off).unwrap();
+        assert!(l1.execution_mb > l0.execution_mb + 4_000.0);
+    }
+
+    #[test]
+    fn slots_per_node_accounts_for_spread() {
+        let c = Cluster::noleland();
+        let p = params_with(|p| {
+            p.executor_cores = 8;
+            p.executor_memory_mb = 16_384.0;
+            p.executor_instances = 10;
+        });
+        let l = ExecutorLayout::solve(&c, &p).unwrap();
+        assert_eq!(l.nodes_used, 5);
+        assert!((l.slots_per_node - 16.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! An analytical Spark cluster simulator.
+//!
+//! The paper evaluates ROBOTune on a six-node Spark 2.4.1 cluster
+//! (NoleLand: 2×16-core Xeon Gold 6130, 192 GB RAM, 10 GbE per node)
+//! running five SparkBench workloads. This crate substitutes for that
+//! testbed: it maps a full 44-parameter [`robotune_space::Configuration`]
+//! to an execution time (or failure) through a physically-motivated cost
+//! model, so that every tuner in the workspace optimises the same kind of
+//! response surface the paper's tuners faced:
+//!
+//! * few genuinely impactful parameters hidden among 44 (executor sizing,
+//!   parallelism, memory fractions, serializer, compression);
+//! * multimodal, workload-dependent structure — narrow high-performance
+//!   regions for PageRank/ConnectedComponents/LogisticRegression, broad
+//!   plateaus for KMeans/TeraSort (the paper's §5.2 reading of Fig. 3);
+//! * catastrophic cliffs: OOM failures at under-provisioned memory
+//!   (§5.2's default-configuration OOMs), RDD-cache eviction thrash
+//!   (§5.3's KMeans long tail), spill slowdowns;
+//! * multiplicative lognormal noise standing in for shared-cluster
+//!   interference.
+//!
+//! Modules: [`cluster`] (hardware model), [`params`] (typed decode of all
+//! 44 parameters), [`workload`] (the five workload stage plans and Table-1
+//! datasets), [`layout`] (executor packing), [`sim`] (the stage cost
+//! model), and [`job`] ([`job::SparkJob`], the
+//! [`robotune_tuners::Objective`] implementation tuners consume).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod event;
+pub mod job;
+pub mod layout;
+pub mod params;
+pub mod sim;
+pub mod workload;
+
+pub use cluster::Cluster;
+pub use event::simulate_event;
+pub use job::{SimEngine, SparkJob};
+pub use layout::ExecutorLayout;
+pub use params::SparkParams;
+pub use sim::{simulate, simulate_plan, Bottleneck, Outcome, RunReport};
+pub use workload::{Dataset, Workload, ALL_WORKLOADS};

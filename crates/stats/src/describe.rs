@@ -1,0 +1,195 @@
+//! Descriptive statistics over `f64` slices plus an online accumulator.
+
+/// Arithmetic mean of `xs`. Returns `NaN` for an empty slice.
+#[inline]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n − 1) sample variance. Returns `NaN` for fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation.
+#[inline]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median via [`percentile`] with `q = 50`.
+#[inline]
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// The `q`-th percentile (`0 ≤ q ≤ 100`) using linear interpolation between
+/// closest ranks, matching NumPy's default behaviour. Returns `NaN` on an
+/// empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile q out of range: {q}");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Welford online accumulator for mean/variance without storing samples.
+///
+/// Used by the tuning-session bookkeeping to track evaluation-time
+/// statistics as configurations stream in.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; `NaN` before the first observation.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased running variance; `NaN` before the second observation.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Running standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+∞` before the first observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-∞` before the first observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic example is 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert!((median(&xs) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile q out of range")]
+    fn percentile_rejects_bad_q() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [3.5, -1.0, 2.25, 8.0, 0.0, 4.5];
+        let mut acc = OnlineStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), xs.len() as u64);
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((acc.variance() - variance(&xs)).abs() < 1e-12);
+        assert!((acc.min() - (-1.0)).abs() < 1e-12);
+        assert!((acc.max() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_empty_state() {
+        let acc = OnlineStats::new();
+        assert_eq!(acc.count(), 0);
+        assert!(acc.mean().is_nan());
+        assert!(acc.variance().is_nan());
+    }
+}

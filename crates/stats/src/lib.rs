@@ -1,0 +1,25 @@
+//! Statistical primitives shared across the ROBOTune reproduction.
+//!
+//! This crate is intentionally dependency-light: it provides exactly the
+//! numerical building blocks the rest of the workspace needs —
+//!
+//! * the standard normal distribution ([`normal`]): `erf`, PDF, CDF and the
+//!   inverse CDF used by acquisition functions and Latin Hypercube Sampling;
+//! * descriptive statistics ([`describe`]): means, variances, medians,
+//!   arbitrary percentiles and an online (Welford) accumulator used by the
+//!   tuning-session cost accounting;
+//! * random sampling helpers ([`sample`]): seeded RNG construction,
+//!   Box–Muller Gaussian and lognormal draws used for simulator noise.
+//!
+//! Everything is `f64`-based and deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod describe;
+pub mod normal;
+pub mod sample;
+
+pub use describe::{mean, median, percentile, std_dev, variance, OnlineStats};
+pub use normal::{erf, norm_cdf, norm_pdf, norm_ppf};
+pub use sample::{lognormal, rng_from_seed, standard_normal};

@@ -1,0 +1,77 @@
+//! Seeded random-sampling helpers.
+//!
+//! Every stochastic component in the workspace (samplers, forests, the
+//! simulator's noise model, the baselines' mutation operators) draws from a
+//! [`rand::rngs::StdRng`] constructed through [`rng_from_seed`], so that a
+//! single `u64` seed makes an entire experiment reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the workspace-standard RNG from a `u64` seed.
+#[inline]
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal variate via the Box–Muller transform.
+///
+/// We deliberately avoid `rand_distr` to keep the dependency footprint at
+/// the bare `rand` crate; Box–Muller is exact (not an approximation) and
+/// plenty fast for our sample volumes.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite; u2 in [0, 1).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a lognormal variate with the given parameters of the *underlying*
+/// normal distribution (`mu`, `sigma`).
+///
+/// The simulator uses small-σ lognormal multiplicative noise to mimic the
+/// run-to-run variance of a shared cluster (§1 of the paper).
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::{mean, std_dev};
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rng_from_seed(1);
+        let mut b = rng_from_seed(2);
+        let same = (0..32).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(mean(&xs).abs() < 0.02, "mean = {}", mean(&xs));
+        assert!((std_dev(&xs) - 1.0).abs() < 0.02, "std = {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = rng_from_seed(11);
+        let mut xs: Vec<f64> = (0..50_000).map(|_| lognormal(&mut rng, 0.5, 0.25)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 0.5f64.exp()).abs() < 0.03, "median = {med}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the statistical primitives.
+
+use proptest::prelude::*;
+use robotune_stats::{mean, median, norm_cdf, norm_pdf, norm_ppf, percentile, OnlineStats};
+
+proptest! {
+    #[test]
+    fn percentiles_stay_within_the_data_range(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        q in 0.0f64..=100.0,
+    ) {
+        let p = percentile(&xs, q);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        q1 in 0.0f64..=100.0,
+        q2 in 0.0f64..=100.0,
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(percentile(&xs, lo_q) <= percentile(&xs, hi_q) + 1e-9);
+    }
+
+    #[test]
+    fn median_splits_the_data(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let m = median(&xs);
+        let below = xs.iter().filter(|&&x| x <= m + 1e-12).count();
+        let above = xs.iter().filter(|&&x| x >= m - 1e-12).count();
+        prop_assert!(below * 2 >= xs.len());
+        prop_assert!(above * 2 >= xs.len());
+    }
+
+    #[test]
+    fn online_stats_match_batch(xs in proptest::collection::vec(-1e4f64..1e4, 2..150)) {
+        let mut acc = OnlineStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        prop_assert!((acc.mean() - mean(&xs)).abs() < 1e-6);
+        let batch_var = robotune_stats::variance(&xs);
+        prop_assert!((acc.variance() - batch_var).abs() < 1e-6 * batch_var.abs().max(1.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (cl, ch) = (norm_cdf(lo), norm_cdf(hi));
+        prop_assert!(cl <= ch + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&cl));
+        prop_assert!((0.0..=1.0).contains(&ch));
+    }
+
+    #[test]
+    fn cdf_symmetry(x in -8.0f64..8.0) {
+        prop_assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn pdf_positive_and_peaked_at_zero(x in -10.0f64..10.0) {
+        prop_assert!(norm_pdf(x) >= 0.0);
+        prop_assert!(norm_pdf(x) <= norm_pdf(0.0) + 1e-15);
+    }
+
+    #[test]
+    fn ppf_round_trips(p in 0.001f64..0.999) {
+        let x = norm_ppf(p);
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-6);
+    }
+}

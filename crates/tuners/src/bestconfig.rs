@@ -1,0 +1,208 @@
+//! BestConfig (Zhu et al., SoCC '17).
+//!
+//! Two cooperating pieces:
+//!
+//! * **Divide & Diverge Sampling (DDS)** — divide every parameter range
+//!   into `k` intervals and take one sample per interval combination
+//!   "diverging" across dimensions — operationally Latin Hypercube
+//!   sampling with `k` strata;
+//! * **Recursive Bound and Search (RBS)** — bound the space to the
+//!   neighbourhood (± one stratum) of the best sample and resample inside
+//!   it; if a round fails to improve, *diverge* back to the full space.
+//!
+//! With the authors' recommended sample-set size of 100 and a 100-run
+//! budget only the initial DDS round executes — the paper's explanation
+//! (§5.2) for why BestConfig behaves like pure exploration. BestConfig
+//! also modifies its stop threshold at runtime (§5.3): after the first
+//! round the cap tracks a generous multiple of the best time seen.
+
+use rand::rngs::StdRng;
+use robotune_sampling::lhs;
+use robotune_space::SearchSpace;
+
+use crate::objective::Objective;
+use crate::session::TuningSession;
+use crate::tuner::{evaluate_point, Tuner};
+
+/// The BestConfig baseline.
+#[derive(Debug, Clone)]
+pub struct BestConfig {
+    /// Samples per DDS round (authors' recommendation: 100).
+    pub sample_set_size: usize,
+    /// Hard cap on any single run (the 480 s evaluation limit).
+    pub max_cap_s: f64,
+    /// Runtime threshold policy: later rounds cap runs at this multiple of
+    /// the best completed time so far.
+    pub adaptive_cap_multiple: f64,
+}
+
+impl BestConfig {
+    /// Creates the tuner with the paper's settings.
+    pub fn new(sample_set_size: usize, max_cap_s: f64) -> Self {
+        BestConfig {
+            sample_set_size,
+            max_cap_s,
+            adaptive_cap_multiple: 4.0,
+        }
+    }
+}
+
+impl Default for BestConfig {
+    fn default() -> Self {
+        BestConfig::new(100, 480.0)
+    }
+}
+
+impl Tuner for BestConfig {
+    fn name(&self) -> &str {
+        "BestConfig"
+    }
+
+    fn tune(
+        &mut self,
+        space: &dyn SearchSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> TuningSession {
+        let dim = space.dim();
+        let mut session = TuningSession::new(self.name());
+        let mut remaining = budget;
+        // Current bounded subregion, initially the whole cube.
+        let mut bounds: Vec<(f64, f64)> = vec![(0.0, 1.0); dim];
+        let mut overall_best: Option<(f64, Vec<f64>)> = None;
+
+        while remaining > 0 {
+            let round_size = self.sample_set_size.min(remaining);
+            remaining -= round_size;
+
+            // Runtime-modified threshold: generous in round one, tied to
+            // the incumbent afterwards.
+            let cap = match &overall_best {
+                None => self.max_cap_s,
+                Some((t, _)) => (t * self.adaptive_cap_multiple).min(self.max_cap_s),
+            };
+
+            // DDS: stratified samples mapped into the current bounds.
+            let mut round_best: Option<(f64, Vec<f64>)> = None;
+            for unit in lhs(round_size, dim, rng) {
+                let point: Vec<f64> = unit
+                    .iter()
+                    .zip(&bounds)
+                    .map(|(&u, &(lo, hi))| lo + u * (hi - lo))
+                    .collect();
+                let eval = evaluate_point(&mut session, space, objective, point.clone(), cap);
+                if eval.completed
+                    && round_best
+                        .as_ref()
+                        .is_none_or(|(t, _)| eval.time_s < *t)
+                {
+                    round_best = Some((eval.time_s, point));
+                }
+            }
+
+            let improved = match (&round_best, &overall_best) {
+                (Some((rt, _)), Some((bt, _))) => rt < bt,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if let Some((rt, rp)) = &round_best {
+                if overall_best.as_ref().is_none_or(|(bt, _)| rt < bt) {
+                    overall_best = Some((*rt, rp.clone()));
+                }
+            }
+
+            if remaining == 0 {
+                break;
+            }
+
+            if improved {
+                // Bound: shrink to ± one stratum around the round's best.
+                let (_, best_point) = round_best.expect("improved implies a best");
+                let new_bounds: Vec<(f64, f64)> = best_point
+                    .iter()
+                    .zip(&bounds)
+                    .map(|(&c, &(lo, hi))| {
+                        let w = (hi - lo) / round_size.max(1) as f64;
+                        ((c - w).max(0.0), (c + w).min(1.0))
+                    })
+                    .collect();
+                bounds = new_bounds;
+            } else {
+                // Diverge: restart from the whole space.
+                bounds = vec![(0.0, 1.0); dim];
+            }
+        }
+        session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use robotune_space::spark::spark_space;
+    use robotune_space::Configuration;
+    use robotune_stats::rng_from_seed;
+
+    fn sphere_objective() -> impl FnMut(&Configuration) -> f64 {
+        let space = spark_space();
+        move |c: &Configuration| {
+            // Distance of the first few encoded coordinates from an
+            // arbitrary optimum; scaled to stay well under the 480 s cap.
+            let p = robotune_space::SearchSpace::encode(&space, c);
+            50.0 + 100.0 * p.iter().take(4).map(|&v| (v - 0.37).powi(2)).sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let space = spark_space();
+        let mut obj = FnObjective::new(sphere_objective());
+        let mut rng = rng_from_seed(1);
+        for budget in [1usize, 50, 100, 137, 250] {
+            let s = BestConfig::default().tune(&space, &mut obj, budget, &mut rng);
+            assert_eq!(s.len(), budget, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn single_round_with_default_settings_and_100_budget() {
+        // 100-sample rounds + 100 budget ⇒ one DDS round, all caps static.
+        let space = spark_space();
+        let mut obj = FnObjective::new(sphere_objective());
+        let mut rng = rng_from_seed(2);
+        let s = BestConfig::default().tune(&space, &mut obj, 100, &mut rng);
+        assert!(s.records.iter().all(|r| r.cap_s == 480.0));
+    }
+
+    #[test]
+    fn multi_round_bounds_improve_the_best() {
+        // Small rounds on a smooth objective: RBS should refine.
+        let space = spark_space();
+        let mut obj = FnObjective::new(sphere_objective());
+        let mut rng = rng_from_seed(3);
+        let mut tuner = BestConfig::new(20, 480.0);
+        let s = tuner.tune(&space, &mut obj, 100, &mut rng);
+        let first_round_best = s.records[..20]
+            .iter()
+            .filter(|r| r.eval.completed)
+            .map(|r| r.eval.time_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            s.best_time().unwrap() <= first_round_best,
+            "RBS must not lose the round-one incumbent"
+        );
+    }
+
+    #[test]
+    fn later_rounds_use_adaptive_caps() {
+        let space = spark_space();
+        let mut obj = FnObjective::new(sphere_objective());
+        let mut rng = rng_from_seed(4);
+        let mut tuner = BestConfig::new(10, 480.0);
+        let s = tuner.tune(&space, &mut obj, 30, &mut rng);
+        // Round 2 onwards: cap = 4 × best-so-far < 480 for this objective.
+        assert!(s.records[10..].iter().all(|r| r.cap_s < 480.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Gunther (Liao, Datta & Willke, Euro-Par '13).
+//!
+//! A genetic algorithm with *aggressive* selection and mutation, built for
+//! budget-constrained Hadoop tuning and re-targeted at Spark exactly as
+//! the paper did (§5.1). Following the Gunther paper, the random initial
+//! population grows by two individuals per tuned parameter — which on a
+//! 44-parameter space consumes most of a 100-run budget, the behaviour
+//! §5.2 calls out ("initial configurations … comprise a significant
+//! portion of the allocated budget"). Augmented with the static stop
+//! threshold of §5.1.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use robotune_sampling::uniform;
+use robotune_space::SearchSpace;
+
+use crate::objective::Objective;
+use crate::session::TuningSession;
+use crate::threshold::ThresholdPolicy;
+use crate::tuner::{evaluate_point, Tuner};
+
+/// The Gunther baseline.
+#[derive(Debug, Clone)]
+pub struct Gunther {
+    /// Initial population size; `None` → `2 × dim` (the Gunther rule).
+    pub population: Option<usize>,
+    /// Fraction of the population kept as parents (aggressive truncation).
+    pub elite_fraction: f64,
+    /// Per-gene mutation probability (aggressive mutation).
+    pub mutation_rate: f64,
+    /// Stop threshold (static, per §5.1).
+    pub threshold: ThresholdPolicy,
+}
+
+impl Gunther {
+    /// Creates the tuner with the paper-faithful defaults.
+    pub fn new(threshold: ThresholdPolicy) -> Self {
+        Gunther {
+            population: None,
+            elite_fraction: 0.25,
+            mutation_rate: 0.2,
+            threshold,
+        }
+    }
+}
+
+impl Default for Gunther {
+    fn default() -> Self {
+        Gunther::new(ThresholdPolicy::Static(480.0))
+    }
+}
+
+impl Tuner for Gunther {
+    fn name(&self) -> &str {
+        "Gunther"
+    }
+
+    fn tune(
+        &mut self,
+        space: &dyn SearchSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> TuningSession {
+        let dim = space.dim();
+        let mut session = TuningSession::new(self.name());
+        let cap = self.threshold.max_cap();
+
+        // (fitness, genome); lower fitness = better. Capped/failed runs
+        // get the cap as fitness so selection weeds them out.
+        let mut population: Vec<(f64, Vec<f64>)> = Vec::new();
+
+        let init = self.population.unwrap_or(2 * dim).min(budget).max(1);
+        for point in uniform(init, dim, rng) {
+            let eval = evaluate_point(&mut session, space, objective, point.clone(), cap);
+            population.push((eval.objective_value(cap), point));
+        }
+
+        let pop_cap = init;
+        while session.len() < budget {
+            population
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fitness"));
+            population.truncate(pop_cap);
+            let elite = ((population.len() as f64 * self.elite_fraction).ceil() as usize)
+                .clamp(1, population.len());
+
+            // Uniform crossover of two elite parents + aggressive mutation.
+            let pa = &population[rng.gen_range(0..elite)].1;
+            let pb = &population[rng.gen_range(0..elite)].1;
+            let mut child: Vec<f64> = pa
+                .iter()
+                .zip(pb)
+                .map(|(&a, &b)| if rng.gen::<bool>() { a } else { b })
+                .collect();
+            for gene in &mut child {
+                if rng.gen::<f64>() < self.mutation_rate {
+                    *gene = rng.gen::<f64>();
+                }
+            }
+
+            let eval = evaluate_point(&mut session, space, objective, child.clone(), cap);
+            population.push((eval.objective_value(cap), child));
+        }
+        session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use robotune_space::spark::spark_space;
+    use robotune_space::Configuration;
+    use robotune_stats::rng_from_seed;
+    use std::sync::Arc;
+
+    fn quadratic() -> impl FnMut(&Configuration) -> f64 {
+        let space = spark_space();
+        move |c: &Configuration| {
+            let p = robotune_space::SearchSpace::encode(&space, c);
+            20.0 + 300.0 * p.iter().take(6).map(|&v| (v - 0.6).powi(2)).sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn initial_population_is_two_per_dimension() {
+        let space = spark_space(); // 44 dims → 88 initial individuals
+        let mut obj = FnObjective::new(quadratic());
+        let mut rng = rng_from_seed(1);
+        let s = Gunther::default().tune(&space, &mut obj, 100, &mut rng);
+        assert_eq!(s.len(), 100);
+        // The first 88 evaluations are the random init; detectable because
+        // they were pushed before any child: just sanity-check count ≥ 88
+        // via the documented rule.
+        assert!(2 * space.dim() == 88);
+    }
+
+    #[test]
+    fn init_clamps_to_small_budgets() {
+        let space = spark_space();
+        let mut obj = FnObjective::new(quadratic());
+        let mut rng = rng_from_seed(2);
+        let s = Gunther::default().tune(&space, &mut obj, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn ga_improves_over_its_initial_population_on_low_dim() {
+        // On a low-dimensional subspace the GA phase has budget to work.
+        let space = Arc::new(spark_space());
+        let sub = space.subspace(&[0, 1, 2, 3], space.default_configuration());
+        let mut obj = FnObjective::new(quadratic());
+        let mut rng = rng_from_seed(3);
+        let s = Gunther::default().tune(&sub, &mut obj, 60, &mut rng);
+        let init = 2 * sub.selected().len(); // 8
+        let init_best = s.records[..init]
+            .iter()
+            .map(|r| r.eval.time_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            s.best_time().unwrap() <= init_best,
+            "GA should not lose its initial best"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let space = spark_space();
+        let run = |seed| {
+            let mut obj = FnObjective::new(quadratic());
+            let mut rng = rng_from_seed(seed);
+            Gunther::default()
+                .tune(&space, &mut obj, 30, &mut rng)
+                .best_time()
+        };
+        assert_eq!(run(4), run(4));
+    }
+}

@@ -1,0 +1,45 @@
+//! Tuner abstractions and the paper's baseline tuners.
+//!
+//! Everything a configuration tuner needs, independent of the system being
+//! tuned:
+//!
+//! * [`objective`] — the [`objective::Objective`] trait: evaluate a
+//!   [`robotune_space::Configuration`] under a time cap and report what
+//!   happened (the Spark simulator implements it; so can closures in
+//!   tests);
+//! * [`session`] — [`session::TuningSession`]: the complete evaluation
+//!   trace of one tuning run, with the derived metrics every experiment in
+//!   the paper reports (best configuration, search cost, best-so-far
+//!   curves, iterations-to-within-x%);
+//! * [`threshold`] — the stop-threshold policies of §5.1 (static cap for
+//!   Gunther/RS; median-multiple for ROBOTune; BestConfig's runtime-
+//!   modified variant);
+//! * [`tuner`] — the [`tuner::Tuner`] trait binding it together;
+//! * [`random`] — Random Search (Bergstra & Bengio 2012);
+//! * [`bestconfig`] — BestConfig's divide-&-diverge sampling + recursive
+//!   bound-and-search (Zhu et al., SoCC '17);
+//! * [`gunther`] — Gunther's genetic algorithm with aggressive selection
+//!   and mutation (Liao et al., Euro-Par '13);
+//! * [`pattern`] — a Hooke–Jeeves pattern-search tuner (an extension; the
+//!   paper cites pattern search but does not evaluate it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bestconfig;
+pub mod gunther;
+pub mod objective;
+pub mod pattern;
+pub mod random;
+pub mod session;
+pub mod threshold;
+pub mod tuner;
+
+pub use bestconfig::BestConfig;
+pub use gunther::Gunther;
+pub use objective::{Evaluation, FnObjective, Objective};
+pub use pattern::PatternSearch;
+pub use random::RandomSearch;
+pub use session::{EvalRecord, TuningSession};
+pub use threshold::ThresholdPolicy;
+pub use tuner::Tuner;

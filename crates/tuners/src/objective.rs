@@ -1,0 +1,132 @@
+//! The objective-function abstraction.
+
+use robotune_space::Configuration;
+
+/// Outcome of evaluating one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Wall-clock seconds actually spent on the run. For capped or failed
+    /// runs this is the time burned before the stop, which is what search
+    /// cost must account (§5.3).
+    pub time_s: f64,
+    /// Whether the run finished within the cap.
+    pub completed: bool,
+    /// Whether the run died of its own accord (OOM, submit failure, …)
+    /// rather than hitting the cap.
+    pub failed: bool,
+}
+
+impl Evaluation {
+    /// A run that completed in `time_s`.
+    pub fn completed(time_s: f64) -> Self {
+        Evaluation {
+            time_s,
+            completed: true,
+            failed: false,
+        }
+    }
+
+    /// A run stopped by the threshold after `time_s`.
+    pub fn capped(time_s: f64) -> Self {
+        Evaluation {
+            time_s,
+            completed: false,
+            failed: false,
+        }
+    }
+
+    /// A run that crashed after `time_s`.
+    pub fn failed(time_s: f64) -> Self {
+        Evaluation {
+            time_s,
+            completed: false,
+            failed: true,
+        }
+    }
+
+    /// The value a minimising tuner should ingest: the measured time for a
+    /// completed run, and a penalty (the spent time, floored at the cap)
+    /// for anything else, so surrogate models learn to avoid the region.
+    pub fn objective_value(&self, cap_s: f64) -> f64 {
+        if self.completed {
+            self.time_s
+        } else {
+            self.time_s.max(cap_s)
+        }
+    }
+}
+
+/// Something that can run a configuration and measure it — a real cluster
+/// in the paper, the Spark simulator here, or a closure in tests.
+pub trait Objective {
+    /// Evaluates `config`, stopping the run once `cap_s` seconds have been
+    /// consumed (the "guard against bad configurations" of §4).
+    fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation;
+}
+
+/// Adapter turning a plain `FnMut(&Configuration) -> f64` (an idealised,
+/// noise-free runtime function) into an [`Objective`] with cap semantics.
+pub struct FnObjective<F: FnMut(&Configuration) -> f64> {
+    f: F,
+}
+
+impl<F: FnMut(&Configuration) -> f64> FnObjective<F> {
+    /// Wraps the closure.
+    pub fn new(f: F) -> Self {
+        FnObjective { f }
+    }
+}
+
+impl<F: FnMut(&Configuration) -> f64> Objective for FnObjective<F> {
+    fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation {
+        let t = (self.f)(config);
+        debug_assert!(t >= 0.0, "negative runtime from objective closure");
+        if t <= cap_s {
+            Evaluation::completed(t)
+        } else {
+            Evaluation::capped(cap_s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_space::{ParamDef, ParamKind, ParamValue, Unit};
+
+    fn one_param_config(v: i64) -> Configuration {
+        let _ = ParamDef::new(
+            "p",
+            ParamKind::Int { min: 0, max: 100, log: false },
+            ParamValue::Int(0),
+            Unit::Count,
+        );
+        Configuration::new(vec![ParamValue::Int(v)])
+    }
+
+    #[test]
+    fn fn_objective_caps() {
+        let mut obj = FnObjective::new(|c: &Configuration| c.get(0).as_int() as f64);
+        let fast = obj.evaluate(&one_param_config(10), 50.0);
+        assert!(fast.completed && fast.time_s == 10.0);
+        let slow = obj.evaluate(&one_param_config(99), 50.0);
+        assert!(!slow.completed && !slow.failed);
+        assert_eq!(slow.time_s, 50.0);
+    }
+
+    #[test]
+    fn objective_value_penalises_incomplete_runs() {
+        assert_eq!(Evaluation::completed(30.0).objective_value(480.0), 30.0);
+        assert_eq!(Evaluation::capped(480.0).objective_value(480.0), 480.0);
+        // A fast crash is still penalised at the cap so the model avoids it.
+        assert_eq!(Evaluation::failed(5.0).objective_value(480.0), 480.0);
+    }
+
+    #[test]
+    fn constructors_set_flags() {
+        assert!(Evaluation::completed(1.0).completed);
+        assert!(Evaluation::failed(1.0).failed);
+        let capped = Evaluation::capped(1.0);
+        assert!(!capped.completed && !capped.failed);
+    }
+}

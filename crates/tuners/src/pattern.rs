@@ -1,0 +1,167 @@
+//! Pattern search (Hooke–Jeeves / Torczon-style direct search).
+//!
+//! The paper's introduction cites pattern search as a classic
+//! configuration-tuning strategy that "can suffer from slow local
+//! (asymptotic) convergence rates" — this implementation exists to make
+//! that comparison runnable (it is an *extension*; the paper's evaluation
+//! compares only BestConfig, Gunther and RS). The variant here polls ±step
+//! along every coordinate of the incumbent, moves greedily, halves the
+//! step on a failed poll sweep, and random-restarts once the step
+//! collapses, until the evaluation budget is exhausted.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use robotune_space::SearchSpace;
+
+use crate::objective::Objective;
+use crate::session::TuningSession;
+use crate::threshold::ThresholdPolicy;
+use crate::tuner::{evaluate_point, Tuner};
+
+/// The pattern-search tuner.
+#[derive(Debug, Clone)]
+pub struct PatternSearch {
+    /// Initial poll step in unit-cube units.
+    pub initial_step: f64,
+    /// Restart once the step shrinks below this.
+    pub min_step: f64,
+    /// Stop threshold (static, like the other non-adaptive baselines).
+    pub threshold: ThresholdPolicy,
+}
+
+impl PatternSearch {
+    /// Creates the tuner with the given threshold policy.
+    pub fn new(threshold: ThresholdPolicy) -> Self {
+        PatternSearch {
+            initial_step: 0.25,
+            min_step: 0.01,
+            threshold,
+        }
+    }
+}
+
+impl Default for PatternSearch {
+    fn default() -> Self {
+        PatternSearch::new(ThresholdPolicy::Static(480.0))
+    }
+}
+
+impl Tuner for PatternSearch {
+    fn name(&self) -> &str {
+        "PatternSearch"
+    }
+
+    fn tune(
+        &mut self,
+        space: &dyn SearchSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> TuningSession {
+        let dim = space.dim();
+        let cap = self.threshold.max_cap();
+        let mut session = TuningSession::new(self.name());
+
+        'restarts: while session.len() < budget {
+            // Fresh incumbent.
+            let mut x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+            let eval = evaluate_point(&mut session, space, objective, x.clone(), cap);
+            let mut fx = eval.objective_value(cap);
+            let mut step = self.initial_step;
+
+            while step >= self.min_step {
+                if session.len() >= budget {
+                    break 'restarts;
+                }
+                // One poll sweep over randomised coordinate order.
+                let mut order: Vec<usize> = (0..dim).collect();
+                for i in (1..dim).rev() {
+                    let j = rng.gen_range(0..=i);
+                    order.swap(i, j);
+                }
+                let mut improved = false;
+                for &d in &order {
+                    for dir in [1.0, -1.0] {
+                        if session.len() >= budget {
+                            break 'restarts;
+                        }
+                        let cand_coord = (x[d] + dir * step).clamp(0.0, 1.0);
+                        if cand_coord == x[d] {
+                            continue;
+                        }
+                        let mut cand = x.clone();
+                        cand[d] = cand_coord;
+                        let e = evaluate_point(&mut session, space, objective, cand.clone(), cap);
+                        let f = e.objective_value(cap);
+                        if f < fx {
+                            x = cand;
+                            fx = f;
+                            improved = true;
+                            break; // greedy: accept and re-poll from here
+                        }
+                    }
+                    if improved {
+                        break;
+                    }
+                }
+                if !improved {
+                    step *= 0.5;
+                }
+            }
+        }
+        session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use robotune_space::spark::spark_space;
+    use robotune_space::Configuration;
+    use robotune_stats::rng_from_seed;
+    use std::sync::Arc;
+
+    fn bowl() -> impl FnMut(&Configuration) -> f64 {
+        let space = spark_space();
+        move |c: &Configuration| {
+            let p = robotune_space::SearchSpace::encode(&space, c);
+            30.0 + 150.0 * p.iter().take(3).map(|&v| (v - 0.5).powi(2)).sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let space = spark_space();
+        let mut obj = FnObjective::new(bowl());
+        let mut rng = rng_from_seed(1);
+        for budget in [1usize, 9, 40] {
+            let s = PatternSearch::default().tune(&space, &mut obj, budget, &mut rng);
+            assert_eq!(s.len(), budget);
+        }
+    }
+
+    #[test]
+    fn descends_on_a_smooth_bowl() {
+        // Low-dimensional subspace so polls are affordable.
+        let space = Arc::new(spark_space());
+        let sub = space.subspace(&[0, 1, 2], space.default_configuration());
+        let mut obj = FnObjective::new(bowl());
+        let mut rng = rng_from_seed(2);
+        let s = PatternSearch::default().tune(&sub, &mut obj, 60, &mut rng);
+        let first = s.records[0].eval.time_s;
+        let best = s.best_time().unwrap();
+        assert!(best <= first, "pattern search must not regress: {best} vs {first}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let space = spark_space();
+        let run = |seed| {
+            let mut obj = FnObjective::new(bowl());
+            let mut rng = rng_from_seed(seed);
+            PatternSearch::default().tune(&space, &mut obj, 25, &mut rng).times()
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

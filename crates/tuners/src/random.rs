@@ -1,0 +1,99 @@
+//! Random Search (Bergstra & Bengio 2012).
+//!
+//! Samples the space uniformly at random — surprisingly competitive in
+//! high dimensions (§5.1) and the yardstick every figure in the paper is
+//! scaled against. Augmented, per §5.1, with a static stop threshold.
+
+use rand::rngs::StdRng;
+use robotune_sampling::uniform;
+use robotune_space::SearchSpace;
+
+use crate::objective::Objective;
+use crate::session::TuningSession;
+use crate::threshold::ThresholdPolicy;
+use crate::tuner::{evaluate_point, Tuner};
+
+/// The Random Search baseline.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    threshold: ThresholdPolicy,
+}
+
+impl RandomSearch {
+    /// Creates the tuner with the given stop threshold (the paper's
+    /// augmentation uses a static 480 s cap).
+    pub fn new(threshold: ThresholdPolicy) -> Self {
+        RandomSearch { threshold }
+    }
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        RandomSearch::new(ThresholdPolicy::Static(480.0))
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &str {
+        "RandomSearch"
+    }
+
+    fn tune(
+        &mut self,
+        space: &dyn SearchSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> TuningSession {
+        let mut session = TuningSession::new(self.name());
+        let cap = self.threshold.max_cap();
+        for point in uniform(budget, space.dim(), rng) {
+            evaluate_point(&mut session, space, objective, point, cap);
+        }
+        session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use robotune_space::spark::spark_space;
+    use robotune_space::Configuration;
+    use robotune_stats::rng_from_seed;
+
+    #[test]
+    fn consumes_exactly_the_budget() {
+        let space = spark_space();
+        let mut obj = FnObjective::new(|_: &Configuration| 10.0);
+        let mut rng = rng_from_seed(1);
+        let session = RandomSearch::default().tune(&space, &mut obj, 25, &mut rng);
+        assert_eq!(session.len(), 25);
+        assert_eq!(session.best_time(), Some(10.0));
+        assert_eq!(session.tuner, "RandomSearch");
+    }
+
+    #[test]
+    fn caps_slow_configurations() {
+        let space = spark_space();
+        let mut obj = FnObjective::new(|_: &Configuration| 10_000.0);
+        let mut rng = rng_from_seed(2);
+        let session = RandomSearch::default().tune(&space, &mut obj, 5, &mut rng);
+        assert!(session.best_time().is_none(), "nothing should complete");
+        assert!((session.search_cost() - 5.0 * 480.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let space = spark_space();
+        let run = |seed| {
+            let mut obj =
+                FnObjective::new(|c: &Configuration| c.to_features().iter().sum::<f64>());
+            let mut rng = rng_from_seed(seed);
+            RandomSearch::default()
+                .tune(&space, &mut obj, 10, &mut rng)
+                .best_time()
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

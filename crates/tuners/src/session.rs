@@ -1,0 +1,188 @@
+//! Tuning-session traces and the metrics the evaluation derives from them.
+
+use robotune_space::Configuration;
+
+use crate::objective::Evaluation;
+
+/// One evaluated configuration inside a session.
+#[derive(Debug, Clone)]
+pub struct EvalRecord {
+    /// Zero-based evaluation index (the paper's "iteration").
+    pub index: usize,
+    /// Unit-cube point the tuner proposed (dimension of the tuner's
+    /// search space, which may be a subspace of the full one).
+    pub point: Vec<f64>,
+    /// The decoded full configuration that was run.
+    pub config: Configuration,
+    /// What happened.
+    pub eval: Evaluation,
+    /// The cap that was in force for this run.
+    pub cap_s: f64,
+}
+
+/// The complete trace of one tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningSession {
+    /// Which tuner produced it.
+    pub tuner: String,
+    /// Every evaluation, in order.
+    pub records: Vec<EvalRecord>,
+}
+
+impl TuningSession {
+    /// Creates an empty session for `tuner`.
+    pub fn new(tuner: impl Into<String>) -> Self {
+        TuningSession {
+            tuner: tuner.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends an evaluation.
+    pub fn push(&mut self, point: Vec<f64>, config: Configuration, eval: Evaluation, cap_s: f64) {
+        self.records.push(EvalRecord {
+            index: self.records.len(),
+            point,
+            config,
+            eval,
+            cap_s,
+        });
+    }
+
+    /// Number of evaluations consumed.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the session is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The best (fastest **completed**) evaluation, if any run completed.
+    pub fn best(&self) -> Option<&EvalRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.eval.completed)
+            .min_by(|a, b| a.eval.time_s.partial_cmp(&b.eval.time_s).expect("finite times"))
+    }
+
+    /// Execution time of the best completed configuration.
+    pub fn best_time(&self) -> Option<f64> {
+        self.best().map(|r| r.eval.time_s)
+    }
+
+    /// Total search cost: the wall-clock seconds spent generating and
+    /// evaluating configurations (§5.3's definition). Capped and failed
+    /// runs contribute the time they actually burned.
+    pub fn search_cost(&self) -> f64 {
+        self.records.iter().map(|r| r.eval.time_s).sum()
+    }
+
+    /// All observed per-evaluation times (for the Fig. 5 distributions).
+    pub fn times(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.eval.time_s).collect()
+    }
+
+    /// Best *completed* time seen up to and including each iteration
+    /// (`f64::INFINITY` until the first completion) — Fig. 6's curves.
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.records
+            .iter()
+            .map(|r| {
+                if r.eval.completed {
+                    best = best.min(r.eval.time_s);
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Number of iterations (1-based) needed to reach within `frac`
+    /// (e.g. 0.05 for 5%) of the session's own best achieved time —
+    /// Table 2's metric. `None` if nothing completed.
+    pub fn iterations_to_within(&self, frac: f64) -> Option<usize> {
+        let best = self.best_time()?;
+        let target = best * (1.0 + frac);
+        self.best_so_far()
+            .iter()
+            .position(|&t| t <= target)
+            .map(|i| i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_space::ParamValue;
+
+    fn cfg() -> Configuration {
+        Configuration::new(vec![ParamValue::Int(1)])
+    }
+
+    fn session_with(times: &[(f64, bool)]) -> TuningSession {
+        let mut s = TuningSession::new("test");
+        for &(t, ok) in times {
+            let e = if ok {
+                Evaluation::completed(t)
+            } else {
+                Evaluation::capped(t)
+            };
+            s.push(vec![0.5], cfg(), e, 480.0);
+        }
+        s
+    }
+
+    #[test]
+    fn best_ignores_incomplete_runs() {
+        let s = session_with(&[(100.0, true), (10.0, false), (50.0, true)]);
+        assert_eq!(s.best_time(), Some(50.0));
+        assert_eq!(s.best().unwrap().index, 2);
+    }
+
+    #[test]
+    fn search_cost_counts_everything() {
+        let s = session_with(&[(100.0, true), (480.0, false), (50.0, true)]);
+        assert!((s.search_cost() - 630.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let s = session_with(&[(100.0, true), (200.0, true), (40.0, true), (90.0, true)]);
+        assert_eq!(s.best_so_far(), vec![100.0, 100.0, 40.0, 40.0]);
+    }
+
+    #[test]
+    fn best_so_far_before_first_completion_is_infinite() {
+        let s = session_with(&[(480.0, false), (30.0, true)]);
+        let curve = s.best_so_far();
+        assert!(curve[0].is_infinite());
+        assert_eq!(curve[1], 30.0);
+    }
+
+    #[test]
+    fn iterations_to_within() {
+        // Best = 40 at iteration 3; within 10% means ≤ 44.
+        let s = session_with(&[(100.0, true), (44.0, true), (40.0, true)]);
+        assert_eq!(s.iterations_to_within(0.10), Some(2));
+        assert_eq!(s.iterations_to_within(0.0), Some(3));
+        assert_eq!(s.iterations_to_within(2.0), Some(1));
+    }
+
+    #[test]
+    fn empty_session_metrics() {
+        let s = TuningSession::new("empty");
+        assert!(s.is_empty());
+        assert!(s.best().is_none());
+        assert_eq!(s.search_cost(), 0.0);
+        assert!(s.iterations_to_within(0.05).is_none());
+    }
+
+    #[test]
+    fn all_failed_session_has_no_best() {
+        let s = session_with(&[(480.0, false), (480.0, false)]);
+        assert!(s.best_time().is_none());
+        assert!((s.search_cost() - 960.0).abs() < 1e-12);
+    }
+}

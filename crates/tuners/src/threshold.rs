@@ -1,0 +1,83 @@
+//! Stop-threshold policies for long-running bad configurations.
+//!
+//! §5.1: "ROBOTune and BestConfig both have a stopping mechanism … we
+//! augment Gunther and RS with a static threshold-based mechanism". §4:
+//! during BO search ROBOTune stops a run at "a configurable multiple of
+//! the median execution time".
+
+use robotune_stats::median;
+
+/// How the per-run cap is derived from what has been observed so far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// Fixed cap (the evaluation-wide 480 s limit).
+    Static(f64),
+    /// `multiple ×` the median of completed runtimes, clamped to `max`.
+    /// Falls back to `max` until anything has completed.
+    MedianMultiple {
+        /// Multiplier on the running median.
+        multiple: f64,
+        /// Hard upper limit (the 480 s evaluation cap).
+        max: f64,
+    },
+}
+
+impl ThresholdPolicy {
+    /// The cap to apply given the completed runtimes observed so far.
+    pub fn cap(&self, completed_times: &[f64]) -> f64 {
+        match *self {
+            ThresholdPolicy::Static(cap) => cap,
+            ThresholdPolicy::MedianMultiple { multiple, max } => {
+                if completed_times.is_empty() {
+                    max
+                } else {
+                    (median(completed_times) * multiple).min(max)
+                }
+            }
+        }
+    }
+
+    /// The hard upper limit of the policy.
+    pub fn max_cap(&self) -> f64 {
+        match *self {
+            ThresholdPolicy::Static(cap) => cap,
+            ThresholdPolicy::MedianMultiple { max, .. } => max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_policy_is_constant() {
+        let p = ThresholdPolicy::Static(480.0);
+        assert_eq!(p.cap(&[]), 480.0);
+        assert_eq!(p.cap(&[10.0, 20.0]), 480.0);
+        assert_eq!(p.max_cap(), 480.0);
+    }
+
+    #[test]
+    fn median_multiple_tracks_observations() {
+        let p = ThresholdPolicy::MedianMultiple { multiple: 3.0, max: 480.0 };
+        assert_eq!(p.cap(&[]), 480.0); // nothing completed yet
+        assert_eq!(p.cap(&[100.0]), 300.0);
+        assert_eq!(p.cap(&[50.0, 100.0, 150.0]), 300.0);
+    }
+
+    #[test]
+    fn median_multiple_respects_the_hard_max() {
+        let p = ThresholdPolicy::MedianMultiple { multiple: 3.0, max: 480.0 };
+        assert_eq!(p.cap(&[400.0]), 480.0);
+        assert_eq!(p.max_cap(), 480.0);
+    }
+
+    #[test]
+    fn tight_multiple_shrinks_cap_as_tuning_improves() {
+        let p = ThresholdPolicy::MedianMultiple { multiple: 2.0, max: 480.0 };
+        let early = p.cap(&[200.0, 220.0]);
+        let late = p.cap(&[60.0, 70.0, 80.0]);
+        assert!(late < early);
+    }
+}

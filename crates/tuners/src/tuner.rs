@@ -1,0 +1,42 @@
+//! The tuner interface.
+
+use rand::rngs::StdRng;
+use robotune_space::SearchSpace;
+
+use crate::objective::Objective;
+use crate::session::TuningSession;
+
+/// A budgeted configuration tuner.
+///
+/// Implementations sample unit-cube points from `space`, decode them, run
+/// them through `objective` under whatever stop-threshold policy they use,
+/// and return the full [`TuningSession`] trace. The budget counts
+/// *evaluations* (the paper uses 100), not seconds — seconds are what
+/// [`TuningSession::search_cost`] reports afterwards.
+pub trait Tuner {
+    /// Human-readable tuner name for reports.
+    fn name(&self) -> &str;
+
+    /// Runs one tuning session.
+    fn tune(
+        &mut self,
+        space: &dyn SearchSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> TuningSession;
+}
+
+/// Shared helper: evaluate a unit-cube point and record it.
+pub(crate) fn evaluate_point(
+    session: &mut TuningSession,
+    space: &dyn SearchSpace,
+    objective: &mut dyn Objective,
+    point: Vec<f64>,
+    cap_s: f64,
+) -> crate::objective::Evaluation {
+    let config = space.decode(&point);
+    let eval = objective.evaluate(&config, cap_s);
+    session.push(point, config, eval, cap_s);
+    eval
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the tuner abstractions.
+
+use proptest::prelude::*;
+use robotune_space::{Configuration, ParamValue};
+use robotune_tuners::{Evaluation, ThresholdPolicy, TuningSession};
+
+proptest! {
+    #[test]
+    fn median_multiple_cap_never_exceeds_the_hard_max(
+        times in proptest::collection::vec(0.1f64..1e4, 0..60),
+        multiple in 1.0f64..10.0,
+        max in 10.0f64..1000.0,
+    ) {
+        let p = ThresholdPolicy::MedianMultiple { multiple, max };
+        let cap = p.cap(&times);
+        prop_assert!(cap <= max + 1e-12);
+        prop_assert!(cap > 0.0);
+        if times.is_empty() {
+            prop_assert_eq!(cap, max);
+        }
+    }
+
+    #[test]
+    fn median_multiple_scales_with_the_data(
+        base in 1.0f64..50.0,
+        multiple in 1.0f64..5.0,
+    ) {
+        let p = ThresholdPolicy::MedianMultiple { multiple, max: 1e9 };
+        let cap1 = p.cap(&[base]);
+        let cap2 = p.cap(&[base * 2.0]);
+        prop_assert!((cap2 - 2.0 * cap1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_value_never_rewards_failure(
+        t in 0.1f64..1e4,
+        cap in 1.0f64..1e4,
+    ) {
+        // A failed/capped run's value is at least the cap — never better
+        // than any completed run under it.
+        prop_assert!(Evaluation::failed(t).objective_value(cap) >= cap);
+        prop_assert!(Evaluation::capped(t).objective_value(cap) >= cap);
+        prop_assert_eq!(Evaluation::completed(t).objective_value(cap), t);
+    }
+
+    #[test]
+    fn session_len_and_indices_always_agree(
+        times in proptest::collection::vec(0.1f64..500.0, 0..80),
+    ) {
+        let mut s = TuningSession::new("prop");
+        let cfg = Configuration::new(vec![ParamValue::Bool(true)]);
+        for &t in &times {
+            s.push(vec![0.1], cfg.clone(), Evaluation::completed(t), 480.0);
+        }
+        prop_assert_eq!(s.len(), times.len());
+        for (i, r) in s.records.iter().enumerate() {
+            prop_assert_eq!(r.index, i);
+        }
+        prop_assert_eq!(s.is_empty(), times.is_empty());
+    }
+
+    #[test]
+    fn iterations_to_within_is_monotone_in_tolerance(
+        times in proptest::collection::vec(1.0f64..500.0, 1..60),
+        f1 in 0.0f64..1.0,
+        f2 in 0.0f64..1.0,
+    ) {
+        let mut s = TuningSession::new("prop");
+        let cfg = Configuration::new(vec![ParamValue::Bool(false)]);
+        for &t in &times {
+            s.push(vec![0.5], cfg.clone(), Evaluation::completed(t), 480.0);
+        }
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let tight = s.iterations_to_within(lo).expect("all completed");
+        let loose = s.iterations_to_within(hi).expect("all completed");
+        // A looser tolerance is reached no later than a tighter one.
+        prop_assert!(loose <= tight);
+    }
+}

@@ -1,0 +1,65 @@
+//! Head-to-head: ROBOTune vs BestConfig, Gunther and Random Search on
+//! ConnectedComponents — a miniature of the paper's Figs. 3–4.
+//!
+//! ```sh
+//! cargo run --release --example compare_tuners
+//! ```
+
+use robotune::{RoboTune, RoboTuneOptions};
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{BestConfig, Gunther, RandomSearch, Tuner, TuningSession};
+use std::sync::Arc;
+
+const BUDGET: usize = 100;
+
+fn main() {
+    let space = Arc::new(spark_space());
+    let workload = Workload::ConnectedComponents;
+    let dataset = Dataset::D2;
+    println!(
+        "tuning {:?} D2 with every tuner, budget {BUDGET} evaluations each\n",
+        workload
+    );
+
+    let mut sessions: Vec<TuningSession> = Vec::new();
+
+    // ROBOTune runs its full pipeline (selection + memoized sampling + BO).
+    {
+        let mut job = SparkJob::new((*space).clone(), workload, dataset, 1);
+        let mut tuner = RoboTune::new(RoboTuneOptions::default());
+        let mut rng = rng_from_seed(11);
+        let outcome = tuner.tune_workload(&space, "cc", &mut job, BUDGET, &mut rng);
+        sessions.push(outcome.session);
+    }
+    // The baselines search the full 44-dimensional space directly.
+    let mut baselines: Vec<Box<dyn Tuner>> = vec![
+        Box::new(BestConfig::default()),
+        Box::new(Gunther::default()),
+        Box::new(RandomSearch::default()),
+    ];
+    for (i, tuner) in baselines.iter_mut().enumerate() {
+        let mut job = SparkJob::new((*space).clone(), workload, dataset, 2 + i as u64);
+        let mut rng = rng_from_seed(20 + i as u64);
+        sessions.push(tuner.tune(space.as_ref(), &mut job, BUDGET, &mut rng));
+    }
+
+    println!(
+        "{:<12} {:>10} {:>14} {:>16}",
+        "tuner", "best (s)", "search cost", "within 5% after"
+    );
+    let rs_cost = sessions.last().expect("4 sessions").search_cost();
+    for s in &sessions {
+        println!(
+            "{:<12} {:>10} {:>11.0}s ({:>4.2}x RS) {:>11}",
+            s.tuner,
+            s.best_time().map(|t| format!("{t:.1}")).unwrap_or_else(|| "—".into()),
+            s.search_cost(),
+            s.search_cost() / rs_cost,
+            s.iterations_to_within(0.05)
+                .map(|i| format!("{i} iters"))
+                .unwrap_or_else(|| "—".into()),
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Peek inside the Spark simulator: stage breakdowns, bottleneck
+//! diagnosis, cache behaviour, and what-if comparisons.
+//!
+//! ```sh
+//! cargo run --release --example inspect_simulator
+//! ```
+//!
+//! Useful when extending the substrate: shows exactly where a
+//! configuration's time goes and which resource bounds each stage.
+
+use robotune::parse_conf;
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{simulate, Cluster, Outcome, SparkParams, Workload};
+use robotune_sparksim::workload::ALL_DATASETS;
+
+const TUNED: &str = "\
+spark.executor.cores=8
+spark.executor.memory=24576m
+spark.executor.instances=20
+spark.default.parallelism=400
+spark.serializer=kryo
+";
+
+fn main() {
+    let space = spark_space();
+    let cluster = Cluster::noleland();
+    let config = parse_conf(&space, TUNED).expect("valid conf");
+    let params = SparkParams::extract(&space, &config);
+
+    println!("hand-tuned configuration (everything else at space defaults):\n{TUNED}");
+    for w in [Workload::PageRank, Workload::KMeans, Workload::TeraSort] {
+        for d in ALL_DATASETS {
+            let report = simulate(&cluster, &params, w, d);
+            match report.outcome {
+                Outcome::Completed(total) => {
+                    let layout = report.layout.as_ref().expect("launched");
+                    println!(
+                        "{}-D{}: {total:6.1}s | {} executors x {} slots, cache fit {:.0}%",
+                        w.short_name(),
+                        d.index() + 1,
+                        layout.executors,
+                        layout.slots_per_executor,
+                        report.cache_fit * 100.0
+                    );
+                    // Collapse repeated iteration stages into one line.
+                    let mut shown = std::collections::HashSet::new();
+                    for s in &report.stages {
+                        if shown.insert(s.name) {
+                            let count =
+                                report.stages.iter().filter(|t| t.name == s.name).count();
+                            println!(
+                                "    {:<18} {:6.1}s x{count:<2} bound by {:?}{}",
+                                s.name,
+                                s.seconds,
+                                s.bottleneck,
+                                if s.spilled { " (spilling)" } else { "" }
+                            );
+                        }
+                    }
+                }
+                other => println!(
+                    "{}-D{}: {:?}",
+                    w.short_name(),
+                    d.index() + 1,
+                    other
+                ),
+            }
+        }
+        println!();
+    }
+
+    // What-if: turn shuffle compression off for TeraSort.
+    let mut raw = params.clone();
+    raw.shuffle_compress = false;
+    let with = simulate(&cluster, &params, Workload::TeraSort, robotune_sparksim::Dataset::D2);
+    let without = simulate(&cluster, &raw, Workload::TeraSort, robotune_sparksim::Dataset::D2);
+    println!(
+        "what-if on TS-D2: shuffle compression {:.1}s -> {:.1}s without it",
+        with.elapsed_s(),
+        without.elapsed_s()
+    );
+}

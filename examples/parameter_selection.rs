@@ -1,0 +1,44 @@
+//! Parameter selection on its own: which of the 44 Spark parameters
+//! actually matter for a workload? (Paper §3.3 / §5.5.)
+//!
+//! ```sh
+//! cargo run --release --example parameter_selection
+//! ```
+
+use robotune::select::{ParameterSelector, SelectorOptions};
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+
+fn main() {
+    let space = spark_space();
+    let mut job = SparkJob::new(space.clone(), Workload::TeraSort, Dataset::D2, 99);
+    let selector = ParameterSelector::new(SelectorOptions::default());
+    let mut rng = rng_from_seed(5);
+
+    println!("evaluating 100 generic LHS samples of TeraSort (30 GB input)...\n");
+    let result = selector.select(&space, &mut job, &mut rng);
+
+    println!(
+        "forest OOB R² = {:.3}; sampling cost {:.0}s of cluster time (one-time)\n",
+        result.oob_r2, result.sampling_cost_s
+    );
+    println!("grouped MDA importances (drop in OOB R² when permuted):");
+    for g in result.importances.iter().take(12) {
+        let marker = if g.importance >= selector.options().threshold {
+            "SELECTED"
+        } else {
+            ""
+        };
+        println!("  {:<42} {:>7.4}  {marker}", g.name, g.importance);
+    }
+    println!(
+        "\nselected set ({} of 44 parameters): {:?}",
+        result.selected.len(),
+        result.selected_names(&space)
+    );
+    println!(
+        "\nBO will now search a {}-dimensional space instead of 44 dimensions.",
+        result.selected.len()
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: tune PageRank on the simulated NoleLand cluster.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full ROBOTune pipeline once: Random-Forests parameter
+//! selection over 100 generic LHS samples, a 20-point LHS initial design,
+//! then GP-Hedge Bayesian optimisation for the rest of a 100-evaluation
+//! budget — and prints the best configuration it found as a
+//! `spark-defaults.conf` snippet.
+
+use robotune::{encode_to_conf, RoboTune, RoboTuneOptions};
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use std::sync::Arc;
+
+fn main() {
+    let space = Arc::new(spark_space());
+    let mut job = SparkJob::new((*space).clone(), Workload::PageRank, Dataset::D1, 2024);
+    let mut tuner = RoboTune::new(RoboTuneOptions::default());
+    let mut rng = rng_from_seed(42);
+
+    println!("tuning PageRank (D1 = 5M pages) with a budget of 100 evaluations...\n");
+    let outcome = tuner.tune_workload(&space, "pagerank", &mut job, 100, &mut rng);
+
+    if let Some(selection) = &outcome.selection {
+        println!(
+            "parameter selection: {} samples, one-time cost {:.0}s of cluster time",
+            selection.samples_used, outcome.selection_cost_s
+        );
+        println!("selected high-impact parameters:");
+        for name in selection.selected_names(&space) {
+            println!("  - {name}");
+        }
+        println!();
+    }
+
+    let best = outcome.session.best().expect("at least one run completed");
+    println!(
+        "best configuration: {:.1}s (found at iteration {} of {}, search cost {:.0}s)",
+        best.eval.time_s,
+        best.index + 1,
+        outcome.session.len(),
+        outcome.session.search_cost()
+    );
+    println!("\n--- tuned spark-defaults.conf ---");
+    print!("{}", encode_to_conf(&space, &best.config));
+}

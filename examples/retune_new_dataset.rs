@@ -1,0 +1,62 @@
+//! Memoized retuning: the paper's repeated-workload scenario (§3.2, §5.4).
+//!
+//! ```sh
+//! cargo run --release --example retune_new_dataset
+//! ```
+//!
+//! Most analytics workloads recur with different input sizes. ROBOTune
+//! keeps two cross-session stores: the parameter-selection cache (the
+//! high-impact parameter set is stable across dataset sizes) and the
+//! configuration-memoization buffer (the last session's best configs seed
+//! the next session's initial design). This example tunes KMeans on D1
+//! cold, then retunes on D2 and D3 warm, and shows how much earlier the
+//! warm sessions reach a near-optimal configuration.
+
+use robotune::{RoboTune, RoboTuneOptions};
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use std::sync::Arc;
+
+fn main() {
+    let space = Arc::new(spark_space());
+    let mut tuner = RoboTune::new(RoboTuneOptions::default());
+    let mut rng = rng_from_seed(7);
+
+    println!("KMeans across three dataset sizes with one shared ROBOTune instance\n");
+    for (dataset, label) in [
+        (Dataset::D1, "200M points"),
+        (Dataset::D2, "300M points"),
+        (Dataset::D3, "400M points"),
+    ] {
+        let mut job = SparkJob::new(
+            (*space).clone(),
+            Workload::KMeans,
+            dataset,
+            100 + dataset.index() as u64,
+        );
+        let outcome = tuner.tune_workload(&space, "kmeans", &mut job, 100, &mut rng);
+        let within5 = outcome
+            .session
+            .iterations_to_within(0.05)
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "—".into());
+        println!(
+            "D{} ({label:>11}): {}, best {:.1}s, within 5% of best after {} iterations{}",
+            dataset.index() + 1,
+            if outcome.warm_start { "warm start" } else { "cold start" },
+            outcome.session.best_time().unwrap_or(f64::NAN),
+            within5,
+            if outcome.selection.is_some() {
+                format!(" (paid one-time selection: {:.0}s)", outcome.selection_cost_s)
+            } else {
+                String::from(" (selection cache hit)")
+            }
+        );
+    }
+
+    println!(
+        "\nmemoized configurations stored for \"kmeans\": {}",
+        tuner.memo().best_recent("kmeans", usize::MAX).len()
+    );
+}

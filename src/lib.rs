@@ -1,0 +1,16 @@
+//! Workspace umbrella crate for the ROBOTune reproduction.
+//!
+//! Re-exports every sub-crate under one roof so that examples and
+//! integration tests can `use robotune_repro::...` without naming each
+//! crate individually.
+
+pub use robotune as core;
+pub use robotune_bo as bo;
+pub use robotune_gp as gp;
+pub use robotune_linalg as linalg;
+pub use robotune_ml as ml;
+pub use robotune_sampling as sampling;
+pub use robotune_space as space;
+pub use robotune_sparksim as sparksim;
+pub use robotune_stats as stats;
+pub use robotune_tuners as tuners;

@@ -1,0 +1,87 @@
+//! Integration of the baseline tuners with the Spark simulator: budget
+//! accounting, threshold behaviour, and basic competence.
+
+use robotune_space::spark::spark_space;
+use robotune_space::SearchSpace as _;
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{BestConfig, Gunther, RandomSearch, ThresholdPolicy, Tuner};
+
+fn all_baselines() -> Vec<Box<dyn Tuner>> {
+    vec![
+        Box::new(RandomSearch::default()),
+        Box::new(BestConfig::default()),
+        Box::new(Gunther::default()),
+    ]
+}
+
+#[test]
+fn every_baseline_respects_the_budget_on_the_simulator() {
+    let space = spark_space();
+    for (i, mut tuner) in all_baselines().into_iter().enumerate() {
+        for budget in [1usize, 17, 50] {
+            let mut job = SparkJob::new(space.clone(), Workload::KMeans, Dataset::D1, i as u64);
+            let mut rng = rng_from_seed(100 + i as u64);
+            let session = tuner.tune(&space, &mut job, budget, &mut rng);
+            assert_eq!(session.len(), budget, "{} at budget {budget}", session.tuner);
+            assert_eq!(job.evaluations(), budget);
+        }
+    }
+}
+
+#[test]
+fn baselines_find_a_completing_configuration_within_100_runs() {
+    let space = spark_space();
+    for (i, mut tuner) in all_baselines().into_iter().enumerate() {
+        let mut job = SparkJob::new(space.clone(), Workload::TeraSort, Dataset::D1, 7 + i as u64);
+        let mut rng = rng_from_seed(200 + i as u64);
+        let session = tuner.tune(&space, &mut job, 100, &mut rng);
+        let best = session
+            .best_time()
+            .unwrap_or_else(|| panic!("{} found nothing in 100 runs", session.tuner));
+        assert!(best < 480.0);
+        // And search cost is bounded by budget × cap.
+        assert!(session.search_cost() <= 100.0 * 480.0 + 1e-6);
+    }
+}
+
+#[test]
+fn static_threshold_caps_every_baseline_run() {
+    let space = spark_space();
+    for (i, mut tuner) in all_baselines().into_iter().enumerate() {
+        let mut job = SparkJob::new(space.clone(), Workload::PageRank, Dataset::D3, 9 + i as u64);
+        let mut rng = rng_from_seed(300 + i as u64);
+        let session = tuner.tune(&space, &mut job, 40, &mut rng);
+        for r in &session.records {
+            assert!(r.eval.time_s <= 480.0 + 1e-9, "{}: {}", session.tuner, r.eval.time_s);
+        }
+    }
+}
+
+#[test]
+fn custom_static_threshold_is_honoured() {
+    let space = spark_space();
+    let mut tuner = RandomSearch::new(ThresholdPolicy::Static(60.0));
+    let mut job = SparkJob::new(space.clone(), Workload::ConnectedComponents, Dataset::D2, 4);
+    let mut rng = rng_from_seed(400);
+    let session = tuner.tune(&space, &mut job, 30, &mut rng);
+    assert!(session.records.iter().all(|r| r.eval.time_s <= 60.0 + 1e-9));
+}
+
+#[test]
+fn gunther_initialises_with_two_individuals_per_dimension() {
+    // On the 44-parameter space, Gunther's documented rule means an
+    // 88-run random initialisation — most of a 100-run budget (§5.2).
+    let space = spark_space();
+    let mut gunther = Gunther::default();
+    let mut job = SparkJob::new(space.clone(), Workload::KMeans, Dataset::D2, 5);
+    let mut rng = rng_from_seed(500);
+    let session = gunther.tune(&space, &mut job, 100, &mut rng);
+    assert_eq!(session.len(), 100);
+    // Uniform-random init has no adaptive pattern; verify by checking the
+    // first 88 points span the cube (every coordinate visits both halves).
+    for d in 0..space.dim() {
+        let lo = session.records[..88].iter().filter(|r| r.point[d] < 0.5).count();
+        assert!(lo > 10 && lo < 78, "dimension {d} looks non-random: {lo}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration: configuration files round-trip through the encoder and
+//! parser, and a parsed configuration can seed the memoization buffer so
+//! a brand-new framework instance warm-starts from deployed knowledge.
+
+use robotune::{encode_to_conf, parse_conf, ConfigMemoBuffer, MemoizedSampler, RoboTune, RoboTuneOptions};
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_space::SearchSpace as _;
+use robotune_stats::rng_from_seed;
+use robotune_tuners::Objective;
+use std::sync::Arc;
+
+#[test]
+fn encoder_output_parses_for_every_workload_best() {
+    // Tune briefly, export the best config, re-import it, and check the
+    // re-imported config simulates to the same time.
+    let space = Arc::new(spark_space());
+    let mut tuner = RoboTune::new(RoboTuneOptions::fast());
+    let mut rng = rng_from_seed(1);
+    let mut job = SparkJob::new((*space).clone(), Workload::TeraSort, Dataset::D1, 2).with_noise(0.0);
+    let out = tuner.tune_workload(&space, "ts", &mut job, 30, &mut rng);
+    let best = out.session.best().expect("ts completes");
+
+    let text = encode_to_conf(&space, &best.config);
+    let parsed = parse_conf(&space, &text).expect("round trip");
+
+    let t_orig = job.dry_run(&best.config).elapsed_s();
+    let t_parsed = job.dry_run(&parsed).elapsed_s();
+    // Floats render at 4 decimals; the simulator outcome barely moves.
+    assert!(
+        (t_orig - t_parsed).abs() / t_orig < 1e-3,
+        "{t_orig} vs {t_parsed}"
+    );
+}
+
+#[test]
+fn deployed_conf_seeds_a_warm_start() {
+    let space = Arc::new(spark_space());
+    // An ops team's known-good config, arriving as a conf file.
+    let deployed = "\
+spark.executor.cores=8
+spark.executor.memory=24576m
+spark.executor.instances=20
+spark.default.parallelism=400
+spark.serializer=kryo
+";
+    let config = parse_conf(&space, deployed).expect("valid");
+    let mut job = SparkJob::new((*space).clone(), Workload::KMeans, Dataset::D1, 3);
+    let measured = job.evaluate(&config, 480.0);
+    assert!(measured.completed, "the deployed config must run");
+
+    // Seed the buffer and build an initial design from it.
+    let mut memo = ConfigMemoBuffer::new();
+    memo.record("km", config.clone(), measured.time_s);
+    let sub = space.subspace(&[0, 1, 2], space.default_configuration());
+    let mut rng = rng_from_seed(4);
+    let design = MemoizedSampler::default().initial_design(&sub, "km", &memo, &mut rng);
+    assert_eq!(design.memoized, 1);
+    // The first design point decodes back to the deployed executor shape.
+    let first = sub.decode(&design.points[0]);
+    assert_eq!(
+        first.get_by_name(&space, "spark.executor.cores").unwrap().as_int(),
+        8
+    );
+    assert_eq!(
+        first.get_by_name(&space, "spark.executor.memory").unwrap().as_int(),
+        24576
+    );
+}
+
+#[test]
+fn parse_errors_surface_cleanly_from_user_files() {
+    let space = spark_space();
+    for (text, needle) in [
+        ("spark.executor.cores=abc\n", "bad value"),
+        ("spark.unknown.option=1\n", "unknown parameter"),
+        ("garbage\n", "missing '='"),
+    ] {
+        let err = parse_conf(&space, text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Reproducibility: every tuner, given the same seed, replays the exact
+//! same session — the property that makes the experiment harness's
+//! deterministic seeding meaningful.
+
+use robotune::{RoboTune, RoboTuneOptions};
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{BestConfig, Gunther, RandomSearch, Tuner, TuningSession};
+use std::sync::Arc;
+
+fn times(s: &TuningSession) -> Vec<f64> {
+    s.times()
+}
+
+fn run_baseline(make: impl Fn() -> Box<dyn Tuner>, seed: u64) -> Vec<f64> {
+    let space = spark_space();
+    let mut job = SparkJob::new(space.clone(), Workload::PageRank, Dataset::D1, seed);
+    let mut rng = rng_from_seed(seed);
+    times(&make().tune(&space, &mut job, 15, &mut rng))
+}
+
+#[test]
+fn random_search_replays() {
+    let a = run_baseline(|| Box::new(RandomSearch::default()), 3);
+    let b = run_baseline(|| Box::new(RandomSearch::default()), 3);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bestconfig_replays() {
+    let a = run_baseline(|| Box::new(BestConfig::default()), 4);
+    let b = run_baseline(|| Box::new(BestConfig::default()), 4);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn gunther_replays() {
+    let a = run_baseline(|| Box::new(Gunther::default()), 5);
+    let b = run_baseline(|| Box::new(Gunther::default()), 5);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn robotune_replays_the_entire_pipeline() {
+    let run = || {
+        let space = Arc::new(spark_space());
+        let mut tuner = RoboTune::new(RoboTuneOptions::fast());
+        let mut job = SparkJob::new((*space).clone(), Workload::TeraSort, Dataset::D1, 6);
+        let mut rng = rng_from_seed(6);
+        let out = tuner.tune_workload(&space, "ts", &mut job, 25, &mut rng);
+        (times(&out.session), out.selected.clone())
+    };
+    let (ta, sa) = run();
+    let (tb, sb) = run();
+    assert_eq!(sa, sb, "parameter selection must replay");
+    assert_eq!(ta, tb, "evaluation stream must replay");
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let a = run_baseline(|| Box::new(RandomSearch::default()), 7);
+    let b = run_baseline(|| Box::new(RandomSearch::default()), 8);
+    assert_ne!(a, b);
+}

@@ -1,0 +1,137 @@
+//! End-to-end pipeline tests across all crates: the full ROBOTune stack
+//! driving the Spark simulator.
+
+use robotune::{RoboTune, RoboTuneOptions};
+use robotune_space::spark::{names, spark_space};
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use std::sync::Arc;
+
+fn fast_tuner() -> RoboTune {
+    RoboTune::new(RoboTuneOptions::fast())
+}
+
+#[test]
+fn cold_warm_sequence_over_the_simulator() {
+    let space = Arc::new(spark_space());
+    let mut tuner = fast_tuner();
+    let mut rng = rng_from_seed(1);
+
+    let mut job1 = SparkJob::new((*space).clone(), Workload::KMeans, Dataset::D1, 10);
+    let cold = tuner.tune_workload(&space, "km", &mut job1, 35, &mut rng);
+    assert!(cold.selection.is_some());
+    assert!(!cold.warm_start);
+    assert_eq!(cold.session.len(), 35);
+    let cold_best = cold.session.best_time().expect("kmeans completes");
+    assert!(cold_best < 480.0);
+
+    let mut job2 = SparkJob::new((*space).clone(), Workload::KMeans, Dataset::D2, 11);
+    let warm = tuner.tune_workload(&space, "km", &mut job2, 35, &mut rng);
+    assert!(warm.selection.is_none(), "selection cache must hit");
+    assert!(warm.warm_start, "memo buffer must seed the design");
+    // A memoized start finds a completing configuration immediately.
+    assert!(
+        warm.session.records[..4].iter().any(|r| r.eval.completed),
+        "warm start should complete within the memoized prefix"
+    );
+}
+
+#[test]
+fn selected_parameters_always_include_executor_sizing() {
+    // §5.6: executor cores/memory are in the selected set of every
+    // workload.
+    let space = Arc::new(spark_space());
+    for (w, seed) in [(Workload::PageRank, 2u64), (Workload::TeraSort, 3u64)] {
+        let mut tuner = fast_tuner();
+        let mut rng = rng_from_seed(seed);
+        let mut job = SparkJob::new((*space).clone(), w, Dataset::D1, seed);
+        let out = tuner.tune_workload(&space, w.short_name(), &mut job, 25, &mut rng);
+        let names_sel: Vec<String> = out
+            .selected
+            .iter()
+            .map(|&i| space.params()[i].name.clone())
+            .collect();
+        assert!(
+            names_sel.iter().any(|n| n == names::EXECUTOR_CORES),
+            "{w:?}: {names_sel:?}"
+        );
+        assert!(
+            names_sel.iter().any(|n| n == names::EXECUTOR_MEMORY),
+            "{w:?}: {names_sel:?}"
+        );
+    }
+}
+
+#[test]
+fn tuned_configuration_beats_the_subspace_base() {
+    let space = Arc::new(spark_space());
+    let mut tuner = fast_tuner();
+    let mut rng = rng_from_seed(4);
+    let mut job = SparkJob::new((*space).clone(), Workload::LogisticRegression, Dataset::D1, 5);
+    let out = tuner.tune_workload(&space, "lr", &mut job, 40, &mut rng);
+    let best = out.session.best_time().expect("lr completes");
+
+    // The base (space default, 8 GiB × 2 executors) is a poor but valid
+    // configuration; tuning must improve on it substantially.
+    let base_time = job.dry_run(&space.default_configuration()).elapsed_s();
+    assert!(
+        best < base_time * 0.8,
+        "tuned {best:.0}s should beat the base {base_time:.0}s"
+    );
+}
+
+#[test]
+fn session_records_are_fully_consistent() {
+    let space = Arc::new(spark_space());
+    let mut tuner = fast_tuner();
+    let mut rng = rng_from_seed(6);
+    let mut job = SparkJob::new((*space).clone(), Workload::TeraSort, Dataset::D1, 7);
+    let out = tuner.tune_workload(&space, "ts", &mut job, 30, &mut rng);
+
+    for (i, r) in out.session.records.iter().enumerate() {
+        assert_eq!(r.index, i);
+        assert_eq!(r.point.len(), out.selected.len());
+        assert_eq!(r.config.len(), space.len());
+        assert!(space.validate(&r.config).is_ok());
+        assert!(r.eval.time_s > 0.0 && r.eval.time_s <= r.cap_s + 1e-9);
+        // Unselected parameters stay pinned at the base.
+        for (j, def) in space.params().iter().enumerate() {
+            if !out.selected.contains(&j) {
+                assert_eq!(
+                    r.config.get(j),
+                    &def.default,
+                    "unselected {} drifted at record {i}",
+                    def.name
+                );
+            }
+        }
+    }
+    // Search cost equals the sum of evaluation times.
+    let sum: f64 = out.session.records.iter().map(|r| r.eval.time_s).sum();
+    assert!((out.session.search_cost() - sum).abs() < 1e-9);
+}
+
+#[test]
+fn framework_handles_workloads_that_mostly_fail() {
+    // An objective where most configurations fail: the engine must still
+    // finish its budget and report whatever completed.
+    use robotune_space::Configuration;
+    use robotune_tuners::FnObjective;
+    let space = Arc::new(spark_space());
+    let cores_idx = space.index_of(names::EXECUTOR_CORES).unwrap();
+    let mut obj = FnObjective::new(move |c: &Configuration| {
+        if c.get(cores_idx).as_int() < 16 {
+            1e9 // effectively a failure: always capped
+        } else {
+            100.0 + c.get(cores_idx).as_int() as f64
+        }
+    });
+    let mut tuner = fast_tuner();
+    let mut rng = rng_from_seed(8);
+    let out = tuner.tune_workload(&space, "cursed", &mut obj, 30, &mut rng);
+    assert_eq!(out.session.len(), 30);
+    if let Some(best) = out.session.best() {
+        assert!(best.eval.completed);
+        assert!(best.config.get(cores_idx).as_int() >= 16);
+    }
+}

@@ -1,0 +1,59 @@
+//! Cross-validation of the two simulation engines at the *tuning* level:
+//! a tuner optimising against the discrete-event scheduler should reach
+//! the same quality of configuration as one optimising against the
+//! analytic wave model — evidence that the experiment results are not an
+//! artefact of the analytic approximation.
+
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, SimEngine, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{RandomSearch, Tuner};
+
+#[test]
+fn random_search_reaches_similar_quality_on_both_engines() {
+    let space = spark_space();
+    let best_with = |engine: SimEngine, seed: u64| -> f64 {
+        let mut job = SparkJob::new(space.clone(), Workload::KMeans, Dataset::D1, seed)
+            .with_engine(engine)
+            .with_noise(0.0);
+        let mut rng = rng_from_seed(seed);
+        RandomSearch::default()
+            .tune(&space, &mut job, 60, &mut rng)
+            .best_time()
+            .expect("kmeans completes")
+    };
+    let analytic = best_with(SimEngine::Analytic, 5);
+    let event = best_with(SimEngine::Event { task_sigma: 0.18 }, 5);
+    let ratio = event / analytic;
+    assert!(
+        (0.6..=1.6).contains(&ratio),
+        "engines disagree on achievable quality: analytic {analytic:.1}s, event {event:.1}s"
+    );
+}
+
+#[test]
+fn event_engine_preserves_the_good_vs_bad_config_ordering() {
+    // The orderings that drive tuning must survive the engine swap.
+    use robotune_space::ParamValue;
+    let space = spark_space();
+    let good = {
+        let mut c = space.default_configuration();
+        c.set(space.index_of("spark.executor.cores").unwrap(), ParamValue::Int(8));
+        c.set(space.index_of("spark.executor.memory").unwrap(), ParamValue::Int(24 * 1024));
+        c.set(space.index_of("spark.executor.instances").unwrap(), ParamValue::Int(20));
+        c
+    };
+    let bad = space.default_configuration(); // 2 × (1-core, 8 GiB)
+
+    for engine in [SimEngine::Analytic, SimEngine::Event { task_sigma: 0.18 }] {
+        let mut job = SparkJob::new(space.clone(), Workload::TeraSort, Dataset::D1, 3)
+            .with_engine(engine)
+            .with_noise(0.0);
+        let (t_good, _) = job.run_uncapped(&good);
+        let (t_bad, _) = job.run_uncapped(&bad);
+        assert!(
+            t_good < t_bad,
+            "{engine:?}: good config ({t_good:.0}s) must beat the default ({t_bad:.0}s)"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests over the cross-crate invariants: any point in the
+//! unit cube must decode to a valid configuration, simulate without
+//! panicking, and round-trip the encoders; session metrics must obey
+//! their definitions for arbitrary evaluation streams.
+
+use proptest::prelude::*;
+use robotune_space::spark::spark_space;
+use robotune_space::{Configuration, ParamValue, SearchSpace};
+use robotune_sparksim::{simulate, Cluster, Dataset, Outcome, SparkParams, Workload};
+use robotune_tuners::{Evaluation, TuningSession};
+
+fn unit_point() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 44)
+}
+
+fn any_workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(Workload::PageRank),
+        Just(Workload::KMeans),
+        Just(Workload::ConnectedComponents),
+        Just(Workload::LogisticRegression),
+        Just(Workload::TeraSort),
+    ]
+}
+
+fn any_dataset() -> impl Strategy<Value = Dataset> {
+    prop_oneof![Just(Dataset::D1), Just(Dataset::D2), Just(Dataset::D3)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_unit_point_decodes_to_a_valid_configuration(p in unit_point()) {
+        let space = spark_space();
+        let config = space.decode(&p);
+        prop_assert!(space.validate(&config).is_ok());
+        // Decode is idempotent through encode.
+        let again = space.decode(&space.encode(&config));
+        prop_assert_eq!(config, again);
+    }
+
+    #[test]
+    fn simulation_never_panics_and_reports_finite_time(
+        p in unit_point(),
+        w in any_workload(),
+        d in any_dataset(),
+    ) {
+        let space = spark_space();
+        let cluster = Cluster::noleland();
+        let config = space.decode(&p);
+        let params = SparkParams::extract(&space, &config);
+        let report = simulate(&cluster, &params, w, d);
+        prop_assert!(report.elapsed_s().is_finite());
+        prop_assert!(report.elapsed_s() > 0.0);
+        prop_assert!((0.0..=1.0).contains(&report.cache_fit));
+        if let Outcome::Completed(t) = report.outcome {
+            prop_assert!(t < 1e7, "absurd simulated time {}", t);
+        }
+    }
+
+    #[test]
+    fn scaling_the_dataset_never_speeds_a_config_up(p in unit_point(), w in any_workload()) {
+        let space = spark_space();
+        let cluster = Cluster::noleland();
+        let params = SparkParams::extract(&space, &space.decode(&p));
+        let t1 = simulate(&cluster, &params, w, Dataset::D1);
+        let t3 = simulate(&cluster, &params, w, Dataset::D3);
+        if let (Outcome::Completed(a), Outcome::Completed(b)) = (t1.outcome, t3.outcome) {
+            prop_assert!(b >= a * 0.99, "D3 ({b:.1}s) faster than D1 ({a:.1}s)");
+        }
+    }
+
+    #[test]
+    fn rendered_configs_have_one_line_per_parameter(p in unit_point()) {
+        let space = spark_space();
+        let config = space.decode(&p);
+        let text = config.render(&space);
+        prop_assert_eq!(text.lines().count(), 44);
+        for line in text.lines() {
+            prop_assert!(line.contains('='), "malformed line {line}");
+            prop_assert!(line.starts_with("spark."));
+        }
+    }
+
+    #[test]
+    fn session_metrics_obey_their_definitions(
+        evals in proptest::collection::vec((1.0f64..500.0, any::<bool>()), 1..60)
+    ) {
+        let mut session = TuningSession::new("prop");
+        let config = Configuration::new(vec![ParamValue::Int(1)]);
+        for &(t, ok) in &evals {
+            let e = if ok { Evaluation::completed(t) } else { Evaluation::capped(t) };
+            session.push(vec![0.5], config.clone(), e, 480.0);
+        }
+        // Cost is the exact sum.
+        let total: f64 = evals.iter().map(|(t, _)| *t).sum();
+        prop_assert!((session.search_cost() - total).abs() < 1e-9);
+        // best() is the min over completed evals.
+        let min_completed = evals.iter().filter(|(_, ok)| *ok).map(|(t, _)| *t)
+            .fold(f64::INFINITY, f64::min);
+        match session.best_time() {
+            Some(b) => prop_assert!((b - min_completed).abs() < 1e-12),
+            None => prop_assert!(min_completed.is_infinite()),
+        }
+        // best_so_far is monotone non-increasing and ends at the best.
+        let curve = session.best_so_far();
+        for w in curve.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        if let Some(b) = session.best_time() {
+            prop_assert_eq!(*curve.last().unwrap(), b);
+            // iterations_to_within(0) finds the first iteration achieving it.
+            let it = session.iterations_to_within(0.0).unwrap();
+            prop_assert!(curve[it - 1] <= b);
+            prop_assert!(it == 1 || curve[it - 2] > b);
+        }
+    }
+
+    #[test]
+    fn lhs_remains_latin_for_arbitrary_sizes(n in 1usize..80, dim in 1usize..12, seed in 0u64..1000) {
+        let mut rng = robotune_stats::rng_from_seed(seed);
+        let pts = robotune_sampling::lhs(n, dim, &mut rng);
+        prop_assert!(robotune_sampling::lhs::is_latin(&pts));
+    }
+
+    #[test]
+    fn gp_posterior_is_sane_on_random_data(
+        ys in proptest::collection::vec(-100.0f64..100.0, 3..20),
+        q in 0.0f64..1.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len())
+            .map(|i| vec![i as f64 / ys.len() as f64])
+            .collect();
+        let model = robotune_gp::GpModel::fit(
+            xs,
+            &ys,
+            robotune_gp::Matern52::new(0.3, 1.0),
+            1e-4,
+        ).expect("jitter path handles conditioning");
+        let (mu, var) = model.predict(&[q]);
+        prop_assert!(mu.is_finite());
+        prop_assert!(var >= 0.0);
+        // Posterior mean stays within a generous envelope of the data.
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1.0);
+        prop_assert!(mu >= lo - span && mu <= hi + span, "mu {} outside [{}, {}]", mu, lo, hi);
+    }
+}
