@@ -1,7 +1,7 @@
 //! Experiment driver: one subcommand per paper table/figure.
 //!
 //! ```text
-//! experiments <cmd> [--reps N] [--budget N] [--out DIR]
+//! experiments <cmd> [--reps N] [--budget N] [--out DIR] [--trace FILE]
 //!
 //!   fig2       model-comparison CV R² (Fig. 2)
 //!   fig3       best-config execution time vs baselines (Fig. 3)
@@ -28,6 +28,7 @@ struct Args {
     reps: usize,
     budget: usize,
     out: PathBuf,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args(rest: &[String]) -> Args {
@@ -35,6 +36,7 @@ fn parse_args(rest: &[String]) -> Args {
         reps: 5,
         budget: 100,
         out: PathBuf::from("results"),
+        trace: None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -42,6 +44,7 @@ fn parse_args(rest: &[String]) -> Args {
             "--reps" => args.reps = it.next().expect("--reps N").parse().expect("reps"),
             "--budget" => args.budget = it.next().expect("--budget N").parse().expect("budget"),
             "--out" => args.out = PathBuf::from(it.next().expect("--out DIR")),
+            "--trace" => args.trace = Some(PathBuf::from(it.next().expect("--trace FILE"))),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -56,13 +59,28 @@ fn main() {
     let cmd = argv.first().map(String::as_str).unwrap_or("help");
     let args = parse_args(argv.get(1..).unwrap_or(&[]));
 
+    if let Some(path) = &args.trace {
+        robotune_obs::enable_jsonl(path).expect("--trace file");
+        eprintln!("tracing to {}", path.display());
+    }
+
+    dispatch(cmd, &args);
+
+    if args.trace.is_some() {
+        robotune_obs::flush();
+        eprint!("{}", robotune_obs::Report::from_global().render());
+        robotune_obs::disable();
+    }
+}
+
+fn dispatch(cmd: &str, args: &Args) {
     match cmd {
-        "fig2" => emit(&args, "fig2", fig2::run()),
+        "fig2" => emit(args, "fig2", fig2::run()),
         "fig3" | "fig4" | "fig5" | "fig6" | "tab2" | "fig8" => {
-            let grid = run_grid(&args);
-            grid_outputs(cmd, &args, &grid);
+            let grid = run_grid(args);
+            grid_outputs(cmd, args, &grid);
         }
-        "fig7" => emit(&args, "fig7", fig7::run(5)),
+        "fig7" => emit(args, "fig7", fig7::run(5)),
         "fig9" => {
             let (md, csvs) = fig9::run();
             print!("{md}");
@@ -72,25 +90,25 @@ fn main() {
                 std::fs::write(args.out.join(format!("{name}.csv")), csv).expect("csv");
             }
         }
-        "default" => emit(&args, "default", defaults::run(args.budget)),
+        "default" => emit(args, "default", defaults::run(args.budget)),
         "extras" => {
-            let md = run_extras(&args);
+            let md = run_extras(args);
             print!("{md}");
             write_results(&args.out, "extras", &md, None);
         }
         "ablation" => {
-            let md = run_ablations(&args);
+            let md = run_ablations(args);
             print!("{md}");
             write_results(&args.out, "ablation", &md, None);
         }
-        "all" => run_all(&args),
+        "all" => run_all(args),
         "calibrate" => calibrate(),
         "debug-select" => debug_select(),
         "debug-dist" => debug_dist(),
         _ => {
             eprintln!(
                 "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|all> \
-                 [--reps N] [--budget N] [--out DIR]"
+                 [--reps N] [--budget N] [--out DIR] [--trace FILE]"
             );
             std::process::exit(2);
         }

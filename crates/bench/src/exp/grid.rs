@@ -152,7 +152,7 @@ impl GridResults {
             .iter()
             .map(|r| {
                 serde_json::json!({
-                    "tuner": r.tuner,
+                    "tuner": &r.tuner,
                     "workload": r.workload.short_name(),
                     "dataset": r.dataset.index() + 1,
                     "rep": r.rep,

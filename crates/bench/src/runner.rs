@@ -187,20 +187,19 @@ where
     }
     let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(work);
-    let results = parking_lot::Mutex::new(&mut slots);
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(&mut slots);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
-                let item = queue.lock().pop();
+            scope.spawn(|| loop {
+                let item = queue.lock().unwrap().pop();
                 let Some((i, t)) = item else { break };
                 let u = f(t);
-                results.lock()[i] = Some(u);
+                results.lock().unwrap()[i] = Some(u);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots.into_iter().map(|s| s.expect("all slots filled")).collect()
 }

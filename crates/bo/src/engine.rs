@@ -174,7 +174,9 @@ impl BoEngine {
     /// (there is nothing to model yet). Otherwise: GP fit → pending-gain
     /// update → per-acquisition nomination → Hedge selection.
     pub fn suggest<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<f64> {
+        let _span = robotune_obs::span("bo.suggest");
         if self.ys.len() < 2 {
+            robotune_obs::incr("bo.random_suggest", 1);
             return (0..self.dim).map(|_| rng.gen::<f64>()).collect();
         }
         self.ensure_model(rng);
@@ -203,6 +205,7 @@ impl BoEngine {
         let (xi, kappa) = (self.opts.xi, self.opts.kappa);
         let mut nominees: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for (slot, kind) in nominees.iter_mut().zip(ALL_ACQUISITIONS) {
+            let _acq_span = robotune_obs::span("bo.acq_opt");
             *slot = maximize_acquisition(
                 |p| {
                     let (mu, var) = model.predict(p);
@@ -218,6 +221,16 @@ impl BoEngine {
             Some(kind) => kind,
             None => self.hedge.choose(rng),
         };
+        robotune_obs::mark("bo.hedge", || {
+            let p = self.hedge.probabilities();
+            serde_json::json!({
+                "chosen": chosen_kind.name(),
+                "p_pi": p[0],
+                "p_ei": p[1],
+                "p_lcb": p[2],
+                "round": self.ys.len(),
+            })
+        });
         let idx = ALL_ACQUISITIONS
             .iter()
             .position(|&k| k == chosen_kind)
@@ -234,6 +247,7 @@ impl BoEngine {
             })
         };
         while too_close(&chosen, &self.xs, self.opts.dedup_tol) {
+            robotune_obs::incr("bo.dedup_nudge", 1);
             for v in &mut chosen {
                 *v = (*v + rng.gen::<f64>() * 0.05 - 0.025).clamp(0.0, 1.0);
             }

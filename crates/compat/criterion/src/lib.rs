@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `bench_function`/`sample_size`/`finish`,
+//! [`Bencher::iter`] and [`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Measurement is simple wall-clock sampling (median of N
+//! samples after a short warm-up) rather than criterion's full
+//! statistical pipeline, but the report prints per-iteration times so
+//! relative comparisons (e.g. no-op-sink overhead vs baseline) are
+//! still meaningful.
+//!
+//! Mirroring upstream behaviour under `cargo test`: when the harness is
+//! invoked without `--bench` in its argument list, every benchmark runs
+//! exactly once as a smoke test instead of being measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stand-in runs every
+/// batch at size one, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    /// Number of timed samples (one routine call each).
+    samples: usize,
+    /// When true, run the routine once and skip measurement.
+    smoke: bool,
+    /// Median per-call duration, filled in by `iter`/`iter_batched`.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, called once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: a few unmeasured calls to fault in caches/allocs.
+        for _ in 0..3.min(self.samples) {
+            black_box(routine());
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.result = Some(times[times.len() / 2]);
+    }
+
+    /// Measures `routine` with a fresh `setup()` input per sample;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..3.min(self.samples) {
+            black_box(routine(setup()));
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.result = Some(times[times.len() / 2]);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark if its full id matches the harness filter.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke: self.criterion.smoke,
+            result: None,
+        };
+        f(&mut b);
+        if self.criterion.smoke {
+            println!("{full}: smoke ok");
+        } else if let Some(median) = b.result {
+            println!(
+                "{full}: median {} over {} samples",
+                format_duration(median),
+                self.sample_size
+            );
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        // Real criterion receives `--bench` from cargo when run as a
+        // benchmark; under `cargo test` it is absent and benches run in
+        // one-shot smoke mode.
+        let smoke = !args.iter().any(|a| a == "--bench");
+        // First non-flag positional argument is a substring filter.
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-') && *a != "--bench")
+            .cloned();
+        Criterion {
+            filter,
+            smoke,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: id.clone(),
+            sample_size: 0, // replaced below; need criterion borrow first
+        };
+        g.sample_size = g.criterion.default_sample_size;
+        // Reuse the group path but without the "group/" prefix doubling:
+        // upstream ungrouped ids have no slash, so emulate that.
+        let full = id;
+        if !g.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: g.sample_size,
+            smoke: g.criterion.smoke,
+            result: None,
+        };
+        let mut f = f;
+        f(&mut b);
+        if g.criterion.smoke {
+            println!("{full}: smoke ok");
+        } else if let Some(median) = b.result {
+            println!(
+                "{full}: median {} over {} samples",
+                format_duration(median),
+                g.sample_size
+            );
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function list, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the harness `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_smoke_runs_once() {
+        let mut calls = 0usize;
+        let mut b = Bencher {
+            samples: 10,
+            smoke: true,
+            result: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.result.is_none());
+    }
+
+    #[test]
+    fn bencher_measures_median() {
+        let mut b = Bencher {
+            samples: 5,
+            smoke: false,
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut made = 0usize;
+        let mut b = Bencher {
+            samples: 4,
+            smoke: false,
+            result: None,
+        };
+        b.iter_batched(
+            || {
+                made += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        // 3 warm-up + 4 measured setups.
+        assert_eq!(made, 7);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(5)), "5.000 ms");
+    }
+}

@@ -1,0 +1,432 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! range/tuple/`Just`/`any` strategies, [`collection::vec`], and the
+//! `prop_assert*` macros — as plain randomised testing. Failing cases are
+//! reported with their case number and the generated inputs are
+//! reproducible (the RNG seed is derived from the test name), but there is
+//! **no shrinking**: a failure reports the raw case that triggered it.
+//!
+//! Case count defaults to 256, matching upstream; override per block with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` or globally with
+//! the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred`, retrying up to 1000
+        /// times.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, pred }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+        }
+    }
+
+    /// Constant strategy: always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, usize, u64, u32, i64, i32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut StdRng) -> u64 {
+            rng.gen::<u64>()
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut StdRng) -> usize {
+            rng.gen::<usize>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Finite values spanning several orders of magnitude, including
+        /// negatives and exact zero.
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            match rng.gen_range(0usize..8) {
+                0 => 0.0,
+                1 => rng.gen::<f64>(),
+                2 => -rng.gen::<f64>(),
+                _ => {
+                    let mag = rng.gen_range(-30.0f64..30.0);
+                    let v = rng.gen::<f64>() * mag.exp2();
+                    if rng.gen::<bool>() {
+                        v
+                    } else {
+                        -v
+                    }
+                }
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// An arbitrary value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact `usize` or a `Range`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.0.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many cases each property runs (no other knobs are supported).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// One-stop imports, mirroring upstream's prelude.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub fn seed_for_test(name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Declares property tests. Each function body runs for the configured
+/// number of cases with fresh inputs drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut prop_rng = <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for_test(concat!(module_path!(), "::", stringify!($name)), case),
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);
+                )*
+                let _ = case;
+                $body
+            }
+        }
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr) $($rest:tt)*) => {
+        compile_error!("proptest! stand-in could not parse a test item; expected `fn name(pat in strategy, ...) { .. }`");
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, reporting the stringified
+/// condition (and an optional formatted message) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(::std::boxed::Box::new($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1.5f64..2.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(v in (1usize..5, 0.0f64..1.0).prop_map(|(n, f)| n as f64 + f)) {
+            prop_assert!((1.0..6.0).contains(&v));
+        }
+
+        #[test]
+        fn vec_respects_size(xs in crate::collection::vec(0.0f64..1.0, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(x in prop_oneof![Just(1usize), Just(2usize)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for_test("a::b", 3), crate::seed_for_test("a::b", 3));
+        assert_ne!(crate::seed_for_test("a::b", 3), crate::seed_for_test("a::b", 4));
+    }
+}

@@ -1,0 +1,785 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides the [`Value`] tree, an insertion-ordered [`Map`], the
+//! [`json!`] macro (object literals with expression values, plus plain
+//! expressions), compact and pretty writers, and a strict recursive-descent
+//! [`from_str`] parser. There is no `serde` underneath — conversions go
+//! through [`From`] impls — but the wire format is standard JSON, so
+//! traces written here parse anywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON number: integer or floating point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    I(i64),
+    /// An unsigned integer above `i64::MAX`.
+    U(u64),
+    /// A finite float.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::I(v) => v as f64,
+            Number::U(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I(v) => Some(v),
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (duplicate inserts replace).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` under `key`, replacing and returning any previous
+    /// value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl std::ops::Index<&str> for Map {
+    type Output = Value;
+
+    /// Panics when `key` is missing, matching upstream `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("no entry for key {key:?}"))
+    }
+}
+
+/// Shared `null` for the non-panicking `Value` indexers.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// `Null` for missing keys or non-objects, matching upstream.
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// `Null` out of bounds or on non-arrays, matching upstream.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::I(v)) => u64::try_from(*v).ok(),
+            Value::Number(Number::U(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `Null` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::F(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::F(f64::from(v)))
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::I(v as i64))
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => Value::Number(Number::I(i)),
+            Err(_) => Value::Number(Number::U(v)),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::from(v as u64)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&Vec<T>> for Value {
+    fn from(v: &Vec<T>) -> Self {
+        Value::from(v.as_slice())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Self {
+        v.clone()
+    }
+}
+
+/// Serialisation/parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err(msg: impl Into<String>) -> Error {
+    Error { msg: msg.into() }
+}
+
+// --- Writing ---------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::I(v) => out.push_str(&v.to_string()),
+        Number::U(v) => out.push_str(&v.to_string()),
+        Number::F(v) => {
+            if v.is_finite() {
+                // Integral floats keep a ".0" so they parse back as floats.
+                if v == v.trunc() && v.abs() < 1e15 {
+                    out.push_str(&format!("{v:.1}"));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            } else {
+                // JSON has no Inf/NaN; serde_json writes null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, level: usize) {
+    let pretty = indent > 0;
+    let pad = |out: &mut String, l: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..l * indent {
+                out.push(' ');
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            pad(out, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, level + 1);
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            pad(out, level);
+            out.push('}');
+        }
+    }
+}
+
+/// Compact one-line serialisation.
+pub fn to_string<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+    let v: Value = value.clone().into();
+    let mut out = String::new();
+    write_value(&mut out, &v, 0, 0);
+    Ok(out)
+}
+
+/// Two-space-indented serialisation.
+pub fn to_string_pretty<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+    let v: Value = value.clone().into();
+    let mut out = String::new();
+    write_value(&mut out, &v, 2, 0);
+    Ok(out)
+}
+
+// --- Parsing ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(err(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(err("invalid literal"))
+                }
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(err(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| err("invalid utf8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| err("eof in escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| err("eof in \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| err("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| err("bad \\u"))?;
+                            // Surrogate pairs are not needed for our traces;
+                            // map unpaired surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(err(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                _ => return Err(err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| err("invalid utf8 in number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F(f)))
+            .map_err(|_| err(format!("bad number {text:?}")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a [`Value`] from JSON text (strict: trailing garbage is an
+/// error).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(err(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+/// Builds a [`Value`]: `json!({"key": expr, ...})`, `json!([e1, e2])`,
+/// `json!(null)`, or `json!(expr)` for anything `Into<Value>`.
+///
+/// Unlike upstream, nested object literals must be wrapped in their own
+/// `json!({...})` call (a `json!` invocation is an expression, so this
+/// composes).
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($elem:expr),* $(,)? ]) => {{
+        let items: ::std::vec::Vec<$crate::Value> = vec![$($crate::Value::from($elem)),*];
+        $crate::Value::Array(items)
+    }};
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        let mut map = $crate::Map::new();
+        $(map.insert(::std::string::String::from($key), $crate::Value::from($val));)*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects_in_order() {
+        let v = json!({"b": 1, "a": 2.5, "s": "x", "n": json!(null)});
+        let m = v.as_object().unwrap();
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["b", "a", "s", "n"]);
+        assert_eq!(m.get("b").unwrap().as_i64(), Some(1));
+        assert_eq!(m.get("a").unwrap().as_f64(), Some(2.5));
+        assert_eq!(m.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(m.get("n"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn options_and_vecs_convert() {
+        assert_eq!(json!(Option::<f64>::None), Value::Null);
+        assert_eq!(json!(Some(3.0)), Value::Number(Number::F(3.0)));
+        let v = json!(vec![1.0, 2.0]);
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        let arr = json!([200usize, 150]);
+        assert_eq!(arr.as_array().unwrap()[0].as_i64(), Some(200));
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let v = json!({
+            "name": "gp_fit",
+            "dur_us": 1234i64,
+            "ratio": 0.5,
+            "ok": true,
+            "tags": json!(["a", "b\"c", "d\\e"]),
+            "none": json!(null),
+        });
+        let text = to_string(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_keep_float_identity() {
+        let v = json!(2.0);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "2.0");
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = json!("line\nbreak\tand \"quote\"");
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+}

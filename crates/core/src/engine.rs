@@ -105,6 +105,7 @@ impl RoboTuneEngine {
     /// Evaluates one subspace point under the current threshold and feeds
     /// the result to the GP.
     pub fn evaluate_point(&mut self, point: Vec<f64>, objective: &mut dyn Objective) -> Evaluation {
+        let _span = robotune_obs::span("tune.evaluate");
         let cap = self.opts.threshold.cap(&self.completed_times);
         let config = self.sub.decode(&point);
         let eval = objective.evaluate(&config, cap);
@@ -149,6 +150,7 @@ impl RoboTuneEngine {
                 } else {
                     stale += 1;
                     if stale >= stop.patience {
+                        robotune_obs::incr("tune.early_stop", 1);
                         break;
                     }
                 }

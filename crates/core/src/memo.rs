@@ -29,12 +29,23 @@ impl ParameterSelectionCache {
     /// Looks up the selected parameter indices for `workload` within
     /// `space`. A hit requires every cached name to still resolve.
     pub fn get(&self, workload: &str, space: &ConfigSpace) -> Option<Vec<usize>> {
-        let names = self.entries.get(workload)?;
-        let mut out = Vec::with_capacity(names.len());
-        for n in names {
-            out.push(space.index_of(n)?);
+        let resolved = self.entries.get(workload).and_then(|names| {
+            let mut out = Vec::with_capacity(names.len());
+            for n in names {
+                out.push(space.index_of(n)?);
+            }
+            Some(out)
+        });
+        match resolved {
+            Some(out) => {
+                robotune_obs::incr("memo.hit", 1);
+                Some(out)
+            }
+            None => {
+                robotune_obs::incr("memo.miss", 1);
+                None
+            }
         }
-        Some(out)
     }
 
     /// Stores a selection.

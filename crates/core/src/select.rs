@@ -127,6 +127,7 @@ impl ParameterSelector {
         objective: &mut dyn Objective,
         rng: &mut StdRng,
     ) -> SelectionResult {
+        let _span = robotune_obs::span("select.run");
         let (x, y, cost) = self.collect_samples(space, objective, rng);
         let mut result = self.select_from_data(space, &x, &y, rng);
         result.sampling_cost_s = cost;
@@ -194,6 +195,25 @@ impl ParameterSelector {
             .collect();
         selected.sort_unstable();
         selected.dedup();
+
+        robotune_obs::mark("select.importances", || {
+            let groups: Vec<serde_json::Value> = importances
+                .iter()
+                .map(|g| {
+                    serde_json::json!({
+                        "group": &g.name,
+                        "importance": g.importance,
+                        "kept": g.importance >= self.opts.threshold,
+                    })
+                })
+                .collect();
+            serde_json::json!({
+                "oob_r2": oob_r2,
+                "selected": selected.len(),
+                "groups": groups,
+            })
+        });
+        robotune_obs::incr("select.forest_refit", refits as u64);
 
         SelectionResult {
             selected,

@@ -107,6 +107,7 @@ impl RoboTune {
         budget: usize,
         rng: &mut StdRng,
     ) -> RoboTuneOutcome {
+        let _span = robotune_obs::span("tune.workload");
         // --- Parameter selection (cached) -----------------------------------
         let (selected, selection, selection_cost_s) = match self.cache.get(workload, space) {
             Some(sel) => (sel, None, 0.0),
@@ -135,11 +136,20 @@ impl RoboTune {
 
         // --- Memoized sampling ------------------------------------------------
         let sub = space.subspace(&selected, space.default_configuration());
+        robotune_obs::record("select.subspace_size", selected.len() as f64);
         let design = self
             .opts
             .sampler
             .initial_design(&sub, workload, &self.memo, rng);
         let warm_start = design.memoized > 0;
+        robotune_obs::mark("tune.initial_design", || {
+            serde_json::json!({
+                "workload": workload,
+                "points": design.points.len(),
+                "memoized": design.memoized,
+                "subspace_dim": robotune_space::SearchSpace::dim(&sub),
+            })
+        });
 
         // --- BO engine -----------------------------------------------------------
         let engine = RoboTuneEngine::new(sub, self.opts.engine.clone());

@@ -64,6 +64,7 @@ pub fn fit_gp<R: Rng + ?Sized>(
     opts: &HyperFitOptions,
     rng: &mut R,
 ) -> GpModel<Matern52> {
+    let _span = robotune_obs::span("gp.hyperfit");
     let neg_lml = |theta: &[f64]| -> f64 {
         let (ll, lv, ln) = clamp3(theta, opts);
         match GpModel::fit(x.to_vec(), y, Matern52::new(ll.exp(), lv.exp()), ln.exp()) {
@@ -85,6 +86,8 @@ pub fn fit_gp<R: Rng + ?Sized>(
     let mut best: Option<(f64, Vec<f64>)> = None;
     for s in &starts {
         let r = nelder_mead(neg_lml, s, 0.7, opts.evals_per_restart, 1e-8);
+        robotune_obs::incr("gp.hyperfit_restart", 1);
+        robotune_obs::record("gp.hyperfit_evals", r.evals as f64);
         if r.fx.is_finite() && best.as_ref().is_none_or(|(b, _)| r.fx < *b) {
             best = Some((r.fx, r.x));
         }
@@ -110,6 +113,7 @@ pub fn fit_gp_ard<R: Rng + ?Sized>(
     opts: &HyperFitOptions,
     rng: &mut R,
 ) -> GpModel<Matern52Ard> {
+    let _span = robotune_obs::span("gp.hyperfit_ard");
     assert!(!x.is_empty(), "cannot fit a GP on zero observations");
     let d = x[0].len();
     let clamp = |theta: &[f64]| -> (Vec<f64>, f64, f64) {
@@ -151,6 +155,8 @@ pub fn fit_gp_ard<R: Rng + ?Sized>(
     let evals = opts.evals_per_restart * (1 + d / 2);
     for s in &starts {
         let r = nelder_mead(neg_lml, s, 0.7, evals, 1e-8);
+        robotune_obs::incr("gp.hyperfit_restart", 1);
+        robotune_obs::record("gp.hyperfit_evals", r.evals as f64);
         if r.fx.is_finite() && best.as_ref().is_none_or(|(b, _)| r.fx < *b) {
             best = Some((r.fx, r.x));
         }

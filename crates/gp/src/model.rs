@@ -37,6 +37,7 @@ impl<K: Kernel> GpModel<K> {
     ///
     /// Panics on empty or mismatched inputs, or non-finite targets.
     pub fn fit(x: Vec<Vec<f64>>, y: &[f64], kernel: K, noise: f64) -> Result<Self, LinalgError> {
+        let _span = robotune_obs::span("gp.fit");
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert!(!x.is_empty(), "cannot fit a GP on zero observations");
         assert!(y.iter().all(|v| v.is_finite()), "non-finite target");
@@ -61,6 +62,7 @@ impl<K: Kernel> GpModel<K> {
             match Cholesky::factor(&k) {
                 Ok(c) => break c,
                 Err(e) => {
+                    robotune_obs::incr("gp.chol_retry", 1);
                     if jitter > 1e-2 {
                         return Err(e);
                     }

@@ -1,0 +1,122 @@
+//! Trace events: the wire-level unit every sink receives.
+
+use serde_json::{Map, Value};
+
+/// One trace event, stamped with a global sequence number, microseconds
+/// since registry start, and a small per-process thread index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global monotonically increasing sequence number.
+    pub seq: u64,
+    /// Microseconds since the registry was created.
+    pub t_us: u64,
+    /// Dense per-process thread index (0 = first thread to emit).
+    pub thread: u64,
+    /// The payload.
+    pub data: EventData,
+}
+
+/// Event payload variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventData {
+    /// A span opened.
+    SpanStart {
+        /// Span name.
+        name: &'static str,
+        /// Unique span id.
+        id: u64,
+        /// Id of the enclosing span on the same thread, if any.
+        parent: Option<u64>,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span name.
+        name: &'static str,
+        /// Id matching the corresponding [`EventData::SpanStart`].
+        id: u64,
+        /// Wall-clock duration in microseconds.
+        dur_us: u64,
+    },
+    /// A counter was incremented.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Amount added.
+        delta: u64,
+        /// Running total after the increment.
+        total: u64,
+    },
+    /// A value was recorded into a histogram.
+    Hist {
+        /// Histogram name.
+        name: &'static str,
+        /// The observed value.
+        value: f64,
+    },
+    /// A point-in-time annotation with structured data.
+    Mark {
+        /// Mark name.
+        name: &'static str,
+        /// Arbitrary structured payload.
+        data: Value,
+    },
+}
+
+impl Event {
+    /// The JSONL `kind` discriminator for this event.
+    pub fn kind(&self) -> &'static str {
+        match self.data {
+            EventData::SpanStart { .. } => "span_start",
+            EventData::SpanEnd { .. } => "span_end",
+            EventData::Counter { .. } => "counter",
+            EventData::Hist { .. } => "hist",
+            EventData::Mark { .. } => "mark",
+        }
+    }
+
+    /// The event's name (span/counter/histogram/mark name).
+    pub fn name(&self) -> &'static str {
+        match self.data {
+            EventData::SpanStart { name, .. }
+            | EventData::SpanEnd { name, .. }
+            | EventData::Counter { name, .. }
+            | EventData::Hist { name, .. }
+            | EventData::Mark { name, .. } => name,
+        }
+    }
+
+    /// Renders the event as one JSON object (the JSONL schema).
+    ///
+    /// Common fields: `seq`, `t_us`, `thread`, `kind`, `name`; variant
+    /// fields: `id`/`parent` (span_start), `id`/`dur_us` (span_end),
+    /// `delta`/`total` (counter), `value` (hist), `data` (mark).
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("seq".into(), Value::from(self.seq));
+        m.insert("t_us".into(), Value::from(self.t_us));
+        m.insert("thread".into(), Value::from(self.thread));
+        m.insert("kind".into(), Value::from(self.kind()));
+        m.insert("name".into(), Value::from(self.name()));
+        match &self.data {
+            EventData::SpanStart { id, parent, .. } => {
+                m.insert("id".into(), Value::from(*id));
+                m.insert("parent".into(), Value::from(*parent));
+            }
+            EventData::SpanEnd { id, dur_us, .. } => {
+                m.insert("id".into(), Value::from(*id));
+                m.insert("dur_us".into(), Value::from(*dur_us));
+            }
+            EventData::Counter { delta, total, .. } => {
+                m.insert("delta".into(), Value::from(*delta));
+                m.insert("total".into(), Value::from(*total));
+            }
+            EventData::Hist { value, .. } => {
+                m.insert("value".into(), Value::from(*value));
+            }
+            EventData::Mark { data, .. } => {
+                m.insert("data".into(), data.clone());
+            }
+        }
+        Value::Object(m)
+    }
+}

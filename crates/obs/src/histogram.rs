@@ -1,0 +1,349 @@
+//! Histograms: fixed log2-spaced buckets for distribution shape plus
+//! P² streaming estimators for p50/p90/p99 — constant memory, no
+//! stored samples.
+
+/// Smallest bucketed exponent: values below `2^MIN_EXP` (and all
+/// non-positive values) land in the underflow bucket 0.
+const MIN_EXP: i32 = -20;
+/// Largest bucketed exponent: values at or above `2^MAX_EXP` land in the
+/// final overflow bucket.
+const MAX_EXP: i32 = 43;
+/// Bucket count: underflow + one per exponent in `[MIN_EXP, MAX_EXP)` +
+/// overflow.
+pub const NUM_BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize + 2;
+
+/// Maps a value to its bucket index.
+///
+/// Bucket 0 catches everything below `2^MIN_EXP`; bucket `i` (for
+/// `1 <= i <= NUM_BUCKETS-2`) catches `[2^(MIN_EXP+i-1), 2^(MIN_EXP+i))`;
+/// the last bucket catches `>= 2^MAX_EXP`, infinities, and NaN maps to 0.
+pub fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 || value.is_nan() {
+        return 0;
+    }
+    let exp = value.log2().floor() as i32;
+    if exp < MIN_EXP {
+        0
+    } else if exp >= MAX_EXP {
+        NUM_BUCKETS - 1
+    } else {
+        (exp - MIN_EXP) as usize + 1
+    }
+}
+
+/// The `[low, high)` value range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    assert!(i < NUM_BUCKETS);
+    if i == 0 {
+        (0.0, (MIN_EXP as f64).exp2())
+    } else if i == NUM_BUCKETS - 1 {
+        ((MAX_EXP as f64).exp2(), f64::INFINITY)
+    } else {
+        let lo = MIN_EXP + (i as i32 - 1);
+        ((lo as f64).exp2(), ((lo + 1) as f64).exp2())
+    }
+}
+
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm):
+/// tracks one quantile with five markers, O(1) memory and update.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    q: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments per observation.
+    dn: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p` in `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if self.count < 5 {
+            self.q[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.q.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x and update extreme heights.
+        let k: usize = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+
+        for n in self.n.iter_mut().skip(k + 1) {
+            *n += 1.0;
+        }
+        for (np, dn) in self.np.iter_mut().zip(self.dn.iter()) {
+            *np += dn;
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate of the tracked quantile (exact while fewer than
+    /// five observations have been seen; NaN with none).
+    pub fn quantile(&self) -> f64 {
+        match self.count {
+            0 => f64::NAN,
+            c if c < 5 => {
+                let mut head: Vec<f64> = self.q[..c as usize].to_vec();
+                head.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                let rank = (self.p * (c as f64 - 1.0)).round() as usize;
+                head[rank.min(c as usize - 1)]
+            }
+            _ => self.q[2],
+        }
+    }
+}
+
+/// Summary statistics extracted from a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Mean of recorded values (NaN when empty).
+    pub mean: f64,
+    /// Minimum recorded value.
+    pub min: f64,
+    /// Maximum recorded value.
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// Fixed-bucket log2 histogram with exact count/sum/min/max and
+/// streaming p50/p90/p99.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; NUM_BUCKETS],
+    p50: P2Quantile,
+    p90: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; NUM_BUCKETS],
+            p50: P2Quantile::new(0.5),
+            p90: P2Quantile::new(0.9),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Records one value (NaN is ignored).
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+        self.p50.record(value);
+        self.p90.record(value);
+        self.p99.record(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Count in bucket `i` (see [`bucket_bounds`]).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Snapshot of the summary statistics.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: if self.count == 0 {
+                f64::NAN
+            } else {
+                self.sum / self.count as f64
+            },
+            min: self.min,
+            max: self.max,
+            p50: self.p50.quantile(),
+            p90: self.p90.quantile(),
+            p99: self.p99.quantile(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_half_open_powers_of_two() {
+        // Exactly 2^k belongs to the bucket whose low bound is 2^k.
+        for exp in [-3i32, 0, 1, 10] {
+            let v = (exp as f64).exp2();
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, v, "2^{exp} must open its own bucket");
+            assert!(v < hi);
+            // Just below the boundary falls one bucket lower.
+            let below = v * (1.0 - 1e-12);
+            assert_eq!(bucket_index(below), i - 1);
+        }
+        // Underflow and overflow.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(1e-30), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e30), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_positive_axis() {
+        for i in 1..NUM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            let (next_lo, _) = bucket_bounds(i + 1);
+            assert_eq!(hi, next_lo, "buckets must tile without gaps");
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_land_in_the_right_buckets() {
+        let mut h = Histogram::new();
+        for v in [0.5, 0.5, 1.0, 1.5, 3.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bucket_count(bucket_index(0.5)), 2);
+        assert_eq!(h.bucket_count(bucket_index(1.0)), 2); // 1.0 and 1.5
+        assert_eq!(h.bucket_count(bucket_index(3.0)), 1);
+        assert_eq!(h.bucket_count(bucket_index(1000.0)), 1);
+        let s = h.summary();
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 1000.0);
+    }
+
+    #[test]
+    fn p2_matches_exact_quantiles_on_uniform_stream() {
+        // Deterministic low-discrepancy stream in (0, 1).
+        let mut h = Histogram::new();
+        let mut x = 0.5f64;
+        for _ in 0..10_000 {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            h.record(x);
+        }
+        let s = h.summary();
+        assert!((s.p50 - 0.5).abs() < 0.05, "p50 = {}", s.p50);
+        assert!((s.p90 - 0.9).abs() < 0.05, "p90 = {}", s.p90);
+        assert!((s.p99 - 0.99).abs() < 0.03, "p99 = {}", s.p99);
+        assert!((s.mean - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn small_sample_quantiles_are_exact() {
+        let mut q = P2Quantile::new(0.5);
+        q.record(3.0);
+        q.record(1.0);
+        q.record(2.0);
+        assert_eq!(q.quantile(), 2.0);
+        let mut e = P2Quantile::new(0.9);
+        assert!(e.quantile().is_nan());
+        e.record(7.0);
+        assert_eq!(e.quantile(), 7.0);
+    }
+}

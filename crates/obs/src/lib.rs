@@ -1,0 +1,62 @@
+//! `robotune-obs`: zero-dependency tracing and metrics for the ROBOTune
+//! workspace.
+//!
+//! Four pieces:
+//!
+//! - **Spans** — hierarchical RAII wall-clock timers
+//!   ([`span`] → [`SpanGuard`]); nesting is tracked per thread so every
+//!   `span_start` event carries its parent span id.
+//! - **Counters and histograms** — [`incr`] and [`record`] aggregate
+//!   into a thread-safe [`Registry`] (fixed log2 buckets plus P²
+//!   streaming p50/p90/p99; see [`histogram`]).
+//! - **Sinks** — every event also flows to the installed [`EventSink`]:
+//!   [`NullSink`] (discard), [`RingBufferSink`] (in-memory, drainable),
+//!   or [`JsonlSink`] (one JSON object per line, the `--trace` format).
+//! - **Report** — [`Report`] renders a per-run summary table from a
+//!   [`Snapshot`].
+//!
+//! Tracing is **off by default**: every instrumentation call first
+//! checks one relaxed atomic and returns immediately when disabled, so
+//! instrumented hot paths pay a branch, nothing more. Turn it on with
+//! [`enable_null`], [`enable_ring`], or [`enable`] with a custom sink.
+//!
+//! ```
+//! let ring = robotune_obs::enable_ring(64);
+//! {
+//!     let _span = robotune_obs::span("demo.outer");
+//!     robotune_obs::incr("demo.count", 2);
+//!     robotune_obs::record("demo.value", 0.5);
+//! }
+//! let snap = robotune_obs::snapshot();
+//! assert_eq!(snap.counter("demo.count"), 2);
+//! assert!(ring.drain().len() >= 3);
+//! robotune_obs::disable();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod histogram;
+pub mod registry;
+pub mod report;
+pub mod sink;
+
+pub use event::{Event, EventData};
+pub use histogram::{HistSummary, Histogram, P2Quantile};
+pub use registry::{
+    disable, enable, enable_null, enable_ring, flush, global, incr, is_enabled, mark, record,
+    reset, snapshot, span, Registry, Snapshot, SpanGuard,
+};
+pub use report::Report;
+pub use sink::{EventSink, JsonlSink, NullSink, RingBufferSink};
+
+use std::path::Path;
+use std::sync::Arc;
+
+/// Turns tracing on with a [`JsonlSink`] writing to `path`.
+pub fn enable_jsonl<P: AsRef<Path>>(path: P) -> std::io::Result<()> {
+    let sink = JsonlSink::create(path)?;
+    enable(Arc::new(sink));
+    Ok(())
+}

@@ -1,0 +1,342 @@
+//! The metrics registry: aggregates counters, histograms, and span
+//! timings, and forwards every event to the installed sink.
+//!
+//! A process-wide global registry sits behind an `AtomicBool` master
+//! switch. When tracing is disabled (the default) every instrumentation
+//! call is one relaxed atomic load and a branch; no locks, no
+//! allocation, no time-stamping.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use serde_json::Value;
+
+use crate::event::{Event, EventData};
+use crate::histogram::{HistSummary, Histogram};
+use crate::sink::{EventSink, NullSink, RingBufferSink};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Point-in-time copy of all aggregated metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Value histograms, sorted by name.
+    pub hists: Vec<(String, HistSummary)>,
+    /// Span duration statistics in microseconds, sorted by name.
+    pub spans: Vec<(String, HistSummary)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter total (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSummary> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Looks up a span duration summary by name.
+    pub fn span(&self, name: &str) -> Option<&HistSummary> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+#[derive(Default)]
+struct Aggregates {
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<&'static str, Histogram>,
+}
+
+/// Thread-safe metrics registry. Most code uses the process-global one
+/// through the crate-level free functions; a local `Registry` is useful
+/// in tests.
+pub struct Registry {
+    start: Instant,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    agg: Mutex<Aggregates>,
+    sink: Mutex<Arc<dyn EventSink>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates a registry with a [`NullSink`] installed.
+    pub fn new() -> Self {
+        Registry {
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+            next_span: AtomicU64::new(0),
+            agg: Mutex::new(Aggregates::default()),
+            sink: Mutex::new(Arc::new(NullSink)),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Replaces the installed sink.
+    pub fn set_sink(&self, sink: Arc<dyn EventSink>) {
+        *self.sink.lock().unwrap() = sink;
+    }
+
+    /// Flushes the installed sink.
+    pub fn flush(&self) {
+        self.sink.lock().unwrap().flush();
+    }
+
+    /// Clears all aggregated metrics (the sink is left installed).
+    pub fn reset(&self) {
+        *self.agg.lock().unwrap() = Aggregates::default();
+    }
+
+    fn emit(&self, data: EventData) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            t_us: self.now_us(),
+            thread: THREAD_ID.with(|id| *id),
+            data,
+        };
+        // Clone the Arc so the sink call runs outside the lock.
+        let sink = self.sink.lock().unwrap().clone();
+        sink.emit(&event);
+    }
+
+    /// Adds `delta` to the named counter and returns the new total.
+    pub fn incr(&self, name: &'static str, delta: u64) -> u64 {
+        let total = {
+            let mut agg = self.agg.lock().unwrap();
+            let c = agg.counters.entry(name).or_insert(0);
+            *c += delta;
+            *c
+        };
+        self.emit(EventData::Counter { name, delta, total });
+        total
+    }
+
+    /// Records `value` into the named histogram.
+    pub fn record(&self, name: &'static str, value: f64) {
+        self.agg
+            .lock()
+            .unwrap()
+            .hists
+            .entry(name)
+            .or_default()
+            .record(value);
+        self.emit(EventData::Hist { name, value });
+    }
+
+    /// Emits a point-in-time mark with structured data.
+    pub fn mark(&self, name: &'static str, data: Value) {
+        self.emit(EventData::Mark { name, data });
+    }
+
+    fn span_start(&self, name: &'static str) -> u64 {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        self.emit(EventData::SpanStart { name, id, parent });
+        id
+    }
+
+    fn span_end(&self, name: &'static str, id: u64, start: Instant) {
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards drop in LIFO order on each thread, so the top of
+            // the stack is this span; be defensive anyway.
+            if s.last() == Some(&id) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|&x| x == id) {
+                s.remove(pos);
+            }
+        });
+        let dur_us = start.elapsed().as_micros() as u64;
+        self.agg
+            .lock()
+            .unwrap()
+            .spans
+            .entry(name)
+            .or_default()
+            .record(dur_us as f64);
+        self.emit(EventData::SpanEnd { name, id, dur_us });
+    }
+
+    /// Copies out all aggregated metrics.
+    pub fn snapshot(&self) -> Snapshot {
+        let agg = self.agg.lock().unwrap();
+        Snapshot {
+            counters: agg
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            hists: agg
+                .hists
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.summary()))
+                .collect(),
+            spans: agg
+                .spans
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// RAII handle for an open span; closing (dropping) it records the
+/// duration and emits the `span_end` event.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records ~0 duration"]
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.inner.take() {
+            if let Some(reg) = GLOBAL.get() {
+                reg.span_end(active.name, active.id, active.start);
+            }
+        }
+    }
+}
+
+/// The process-global registry (created on first use).
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Whether tracing is enabled. Inlined to a relaxed load so disabled
+/// instrumentation costs one branch.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` on the global registry and turns tracing on.
+pub fn enable(sink: Arc<dyn EventSink>) {
+    global().set_sink(sink);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns tracing on with a [`NullSink`]: metrics aggregate, events are
+/// discarded.
+pub fn enable_null() {
+    enable(Arc::new(NullSink));
+}
+
+/// Turns tracing on with an in-memory ring buffer; the returned handle
+/// drains captured events.
+pub fn enable_ring(capacity: usize) -> Arc<RingBufferSink> {
+    let ring = Arc::new(RingBufferSink::new(capacity));
+    enable(ring.clone());
+    ring
+}
+
+/// Turns tracing off and flushes the sink. Spans opened before the
+/// disable still finalize normally when their guards drop; new
+/// instrumentation calls become no-ops.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+    if let Some(reg) = GLOBAL.get() {
+        reg.flush();
+    }
+}
+
+/// Clears the global registry's aggregates (test isolation helper).
+pub fn reset() {
+    if let Some(reg) = GLOBAL.get() {
+        reg.reset();
+    }
+}
+
+/// Opens a span; bind the guard (`let _span = obs::span("gp.fit");`) so
+/// it closes at end of scope. Free when tracing is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { inner: None };
+    }
+    let reg = global();
+    let start = Instant::now();
+    let id = reg.span_start(name);
+    SpanGuard {
+        inner: Some(ActiveSpan { name, id, start }),
+    }
+}
+
+/// Adds `delta` to a named counter. Free when tracing is disabled.
+#[inline]
+pub fn incr(name: &'static str, delta: u64) {
+    if is_enabled() {
+        global().incr(name, delta);
+    }
+}
+
+/// Records a value into a named histogram. Free when tracing is
+/// disabled.
+#[inline]
+pub fn record(name: &'static str, value: f64) {
+    if is_enabled() {
+        global().record(name, value);
+    }
+}
+
+/// Emits a point-in-time mark with structured data. The closure runs
+/// only when tracing is enabled, so payload construction is free when
+/// disabled.
+#[inline]
+pub fn mark<F: FnOnce() -> Value>(name: &'static str, data: F) {
+    if is_enabled() {
+        global().mark(name, data());
+    }
+}
+
+/// Snapshot of the global registry's aggregates.
+pub fn snapshot() -> Snapshot {
+    match GLOBAL.get() {
+        Some(reg) => reg.snapshot(),
+        None => Snapshot::default(),
+    }
+}
+
+/// Flushes the global registry's sink.
+pub fn flush() {
+    if let Some(reg) = GLOBAL.get() {
+        reg.flush();
+    }
+}

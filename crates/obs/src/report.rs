@@ -1,0 +1,203 @@
+//! Per-run summary report rendered from a metrics [`Snapshot`].
+
+use crate::histogram::HistSummary;
+use crate::registry::Snapshot;
+
+/// Aggregated per-run summary; `render` produces an aligned text table
+/// with one section each for spans, counters, and histograms.
+#[derive(Debug, Clone)]
+pub struct Report {
+    snapshot: Snapshot,
+}
+
+fn fmt_us(us: f64) -> String {
+    if !us.is_finite() {
+        "-".to_string()
+    } else if us < 1_000.0 {
+        format!("{us:.0}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{:.2}s", us / 1e6)
+    }
+}
+
+fn fmt_val(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.2e}")
+    } else if v == v.trunc() {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn render_table(title: &str, header: &[&str], rows: &[Vec<String>], out: &mut String) {
+    if rows.is_empty() {
+        return;
+    }
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    out.push_str(title);
+    out.push('\n');
+    let mut line = String::new();
+    for (i, h) in header.iter().enumerate() {
+        if i == 0 {
+            line.push_str(&format!("  {h:<w$}", w = widths[i]));
+        } else {
+            line.push_str(&format!("  {h:>w$}", w = widths[i]));
+        }
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            if i == 0 {
+                line.push_str(&format!("  {cell:<w$}", w = widths[i]));
+            } else {
+                line.push_str(&format!("  {cell:>w$}", w = widths[i]));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push('\n');
+}
+
+fn span_row(name: &str, s: &HistSummary) -> Vec<String> {
+    vec![
+        name.to_string(),
+        s.count.to_string(),
+        fmt_us(s.sum),
+        fmt_us(s.mean),
+        fmt_us(s.p50),
+        fmt_us(s.p90),
+        fmt_us(s.p99),
+        fmt_us(s.max),
+    ]
+}
+
+fn hist_row(name: &str, s: &HistSummary) -> Vec<String> {
+    vec![
+        name.to_string(),
+        s.count.to_string(),
+        fmt_val(s.mean),
+        fmt_val(s.min),
+        fmt_val(s.p50),
+        fmt_val(s.p90),
+        fmt_val(s.p99),
+        fmt_val(s.max),
+    ]
+}
+
+impl Report {
+    /// Builds a report from a snapshot.
+    pub fn from_snapshot(snapshot: Snapshot) -> Self {
+        Report { snapshot }
+    }
+
+    /// Builds a report from the global registry's current state.
+    pub fn from_global() -> Self {
+        Report::from_snapshot(crate::registry::snapshot())
+    }
+
+    /// Whether the underlying snapshot has no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.counters.is_empty()
+            && self.snapshot.hists.is_empty()
+            && self.snapshot.spans.is_empty()
+    }
+
+    /// The underlying snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Renders the summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== observability report ==\n\n");
+        if self.is_empty() {
+            out.push_str("(no metrics recorded; was tracing enabled?)\n");
+            return out;
+        }
+        let span_rows: Vec<Vec<String>> = self
+            .snapshot
+            .spans
+            .iter()
+            .map(|(n, s)| span_row(n, s))
+            .collect();
+        render_table(
+            "spans (wall clock)",
+            &["name", "count", "total", "mean", "p50", "p90", "p99", "max"],
+            &span_rows,
+            &mut out,
+        );
+        let counter_rows: Vec<Vec<String>> = self
+            .snapshot
+            .counters
+            .iter()
+            .map(|(n, v)| vec![n.clone(), v.to_string()])
+            .collect();
+        render_table("counters", &["name", "total"], &counter_rows, &mut out);
+        let hist_rows: Vec<Vec<String>> = self
+            .snapshot
+            .hists
+            .iter()
+            .map(|(n, s)| hist_row(n, s))
+            .collect();
+        render_table(
+            "histograms",
+            &["name", "count", "mean", "min", "p50", "p90", "p99", "max"],
+            &hist_rows,
+            &mut out,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn renders_all_sections() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        let snap = Snapshot {
+            counters: vec![("memo.hit".into(), 4), ("threshold.kill".into(), 2)],
+            hists: vec![("sim.stage_s".into(), h.summary())],
+            spans: vec![("gp.fit".into(), {
+                let mut s = Histogram::new();
+                s.record(1500.0);
+                s.record(2500.0);
+                s.summary()
+            })],
+        };
+        let text = Report::from_snapshot(snap).render();
+        assert!(text.contains("spans (wall clock)"));
+        assert!(text.contains("gp.fit"));
+        assert!(text.contains("counters"));
+        assert!(text.contains("memo.hit"));
+        assert!(text.contains("histograms"));
+        assert!(text.contains("sim.stage_s"));
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        let text = Report::from_snapshot(Snapshot::default()).render();
+        assert!(text.contains("no metrics recorded"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Event sinks: where trace events go once emitted.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Receives every emitted [`Event`]. Implementations must be cheap and
+/// never panic: sinks run inside instrumented hot paths.
+pub trait EventSink: Send + Sync {
+    /// Handles one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Discards everything. With this sink installed the only per-event
+/// costs are the registry's aggregation (a map update under a mutex).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Keeps the most recent `capacity` events in memory; older events are
+/// dropped (and counted) once the buffer is full.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding up to `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBufferSink {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn emit(&self, event: &Event) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Writes one compact JSON object per line to a file (the `--trace`
+/// output format).
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = serde_json::to_string(&event.to_json()).unwrap_or_default();
+        let mut w = self.writer.lock().unwrap();
+        // Trace output is best-effort: a full disk must not kill the run.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}

@@ -1,0 +1,179 @@
+//! Integration tests against the process-global registry.
+//!
+//! Every test here toggles the same global switch and sink, so they all
+//! serialize on one lock and restore the disabled state before
+//! releasing it.
+
+use std::sync::{Mutex, MutexGuard};
+
+use robotune_obs::EventData;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    // A panicking test poisons the lock; the shared state it guards is
+    // re-initialized by each test, so poison is safe to ignore.
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn span_nesting_parents_and_monotone_time() {
+    let _guard = exclusive();
+    let ring = robotune_obs::enable_ring(1024);
+    robotune_obs::reset();
+
+    {
+        let _outer = robotune_obs::span("test.outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _inner = robotune_obs::span("test.inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    robotune_obs::disable();
+
+    let events = ring.drain();
+    let mut outer_id = None;
+    let mut inner_parent = None;
+    let mut outer_dur = None;
+    let mut inner_dur = None;
+    for e in &events {
+        match e.data {
+            EventData::SpanStart { name: "test.outer", id, parent } => {
+                outer_id = Some(id);
+                assert_eq!(parent, None, "outer span must be a root");
+            }
+            EventData::SpanStart { name: "test.inner", parent, .. } => {
+                inner_parent = Some(parent);
+            }
+            EventData::SpanEnd { name: "test.outer", dur_us, .. } => outer_dur = Some(dur_us),
+            EventData::SpanEnd { name: "test.inner", dur_us, .. } => inner_dur = Some(dur_us),
+            _ => {}
+        }
+    }
+    assert_eq!(
+        inner_parent.expect("inner span_start seen"),
+        outer_id,
+        "inner span must record the outer as parent"
+    );
+
+    // Timing is monotone: wall-clock durations nest, and timestamps
+    // never decrease in sequence order.
+    let (outer_dur, inner_dur) = (outer_dur.unwrap(), inner_dur.unwrap());
+    assert!(
+        outer_dur >= inner_dur,
+        "outer ({outer_dur} us) must contain inner ({inner_dur} us)"
+    );
+    assert!(inner_dur >= 1_000, "inner slept 2 ms, got {inner_dur} us");
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "seq must strictly increase");
+        assert!(pair[0].t_us <= pair[1].t_us, "t_us must not decrease");
+    }
+
+    // The aggregated span histograms saw exactly one closure each.
+    let snap = robotune_obs::snapshot();
+    assert_eq!(snap.span("test.outer").unwrap().count, 1);
+    assert_eq!(snap.span("test.inner").unwrap().count, 1);
+}
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let _guard = exclusive();
+    robotune_obs::enable_null();
+    robotune_obs::reset();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 1_000;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    robotune_obs::incr("test.concurrent", 1);
+                }
+            });
+        }
+    });
+    robotune_obs::disable();
+
+    let snap = robotune_obs::snapshot();
+    assert_eq!(
+        snap.counter("test.concurrent"),
+        (THREADS * PER_THREAD) as u64
+    );
+}
+
+#[test]
+fn jsonl_sink_round_trips_through_the_parser() {
+    let _guard = exclusive();
+    let path =
+        std::env::temp_dir().join(format!("robotune-obs-roundtrip-{}.jsonl", std::process::id()));
+    robotune_obs::enable_jsonl(&path).expect("create trace file");
+    robotune_obs::reset();
+
+    {
+        let _span = robotune_obs::span("test.work");
+        robotune_obs::incr("test.count", 3);
+        robotune_obs::record("test.value", 0.125);
+        robotune_obs::mark("test.note", || {
+            serde_json::json!({"answer": 42, "label": "hi"})
+        });
+    }
+    robotune_obs::disable(); // flushes
+
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "span_start + counter + hist + mark + span_end");
+
+    let mut kinds = Vec::new();
+    let mut last_seq = None;
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("every line parses");
+        let obj = v.as_object().expect("every line is an object");
+        let seq = obj.get("seq").and_then(|s| s.as_u64()).expect("seq");
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "seq must strictly increase across lines");
+        }
+        last_seq = Some(seq);
+        assert!(obj.get("t_us").and_then(|t| t.as_u64()).is_some());
+        assert!(obj.get("thread").and_then(|t| t.as_u64()).is_some());
+        assert!(obj.get("name").and_then(|n| n.as_str()).is_some());
+        kinds.push(obj.get("kind").and_then(|k| k.as_str()).unwrap().to_string());
+        match obj["kind"].as_str().unwrap() {
+            "span_start" => assert!(obj.contains_key("id") && obj.contains_key("parent")),
+            "span_end" => {
+                assert!(obj.get("dur_us").and_then(|d| d.as_u64()).is_some());
+            }
+            "counter" => {
+                assert_eq!(obj["delta"].as_u64(), Some(3));
+                assert_eq!(obj["total"].as_u64(), Some(3));
+            }
+            "hist" => assert_eq!(obj["value"].as_f64(), Some(0.125)),
+            "mark" => {
+                assert_eq!(obj["data"]["answer"].as_i64(), Some(42));
+                assert_eq!(obj["data"]["label"].as_str(), Some("hi"));
+            }
+            other => panic!("unexpected kind {other}"),
+        }
+    }
+    assert_eq!(
+        kinds,
+        ["span_start", "counter", "hist", "mark", "span_end"]
+    );
+}
+
+#[test]
+fn disabled_instrumentation_records_nothing() {
+    let _guard = exclusive();
+    robotune_obs::disable();
+    robotune_obs::reset();
+
+    let _span = robotune_obs::span("test.ghost");
+    robotune_obs::incr("test.ghost_count", 7);
+    robotune_obs::record("test.ghost_value", 1.0);
+    robotune_obs::mark("test.ghost_mark", || unreachable!("must not run"));
+
+    let snap = robotune_obs::snapshot();
+    assert_eq!(snap.counter("test.ghost_count"), 0);
+    assert!(snap.hist("test.ghost_value").is_none());
+}

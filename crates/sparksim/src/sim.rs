@@ -171,7 +171,9 @@ pub(crate) fn simulate_with(
     mut assemble: impl FnMut(&StageProfile, &ExecutorLayout) -> StageCost,
 ) -> RunReport {
     let plan = plan.clone();
+    let _span = robotune_obs::span("sim.run");
     let Some(layout) = ExecutorLayout::solve(cluster, p) else {
+        robotune_obs::incr("sim.launch_failure", 1);
         return RunReport {
             outcome: Outcome::LaunchFailure,
             stages: Vec::new(),
@@ -220,6 +222,10 @@ pub(crate) fn simulate_with(
      -> Result<(), f64> {
         match stage_profile(&ctx, stage).map(|pr| assemble(&pr, ctx.layout)) {
             Ok(cost) => {
+                robotune_obs::record("sim.stage_s", cost.seconds);
+                if cost.spilled {
+                    robotune_obs::incr("sim.spill", 1);
+                }
                 *elapsed += cost.seconds;
                 stages.push(cost);
                 Ok(())
@@ -227,6 +233,7 @@ pub(crate) fn simulate_with(
             Err(partial) => {
                 // Tasks OOM, get retried `task.maxFailures` times, then
                 // the application aborts.
+                robotune_obs::incr("sim.oom", 1);
                 let retries = ctx.p.task_max_failures.clamp(1, 8) as f64;
                 Err(*elapsed + partial + retries * consts::OOM_RETRY_S)
             }
@@ -333,6 +340,9 @@ fn stage_profile(ctx: &StageContext<'_>, stage: &Stage) -> Result<StageProfile, 
     let gc_factor = (1.0
         + consts::GC_STRENGTH * (pressure - consts::GC_KNEE).max(0.0).powi(2))
     .min(consts::GC_CAP);
+    if gc_factor > 1.05 {
+        robotune_obs::incr("sim.gc_pressure", 1);
+    }
 
     // --- Balance penalty (the narrow-optimum shaper) --------------------------
     let mem_per_slot = layout.heap_mb / layout.slots_per_executor as f64;

@@ -40,6 +40,18 @@ impl TuningSession {
 
     /// Appends an evaluation.
     pub fn push(&mut self, point: Vec<f64>, config: Configuration, eval: Evaluation, cap_s: f64) {
+        if eval.failed {
+            robotune_obs::incr("eval.failed", 1);
+        } else if !eval.completed {
+            // Capped = killed by the threshold policy before completing.
+            robotune_obs::incr("threshold.kill", 1);
+        } else {
+            let prior_best = self.best_time();
+            if prior_best.is_none_or(|b| eval.time_s < b) {
+                robotune_obs::incr("session.improvement", 1);
+            }
+        }
+        robotune_obs::record("eval.time_s", eval.time_s);
         self.records.push(EvalRecord {
             index: self.records.len(),
             point,

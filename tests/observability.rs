@@ -1,0 +1,126 @@
+//! Instrumentation-faithfulness tests: the counters the observability
+//! layer reports must match ground truth recoverable from the tuning
+//! session itself.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use robotune::{RoboTune, RoboTuneOptions};
+use robotune_space::spark::spark_space;
+use robotune_space::{Configuration, SearchSpace};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::FnObjective;
+
+/// The obs registry is process-global; tests in this binary serialize.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A wide-spread surface: runtimes span 40–640 s, so once a few
+/// completions accumulate, the 3×median threshold (capped at 480 s)
+/// kills the slow tail and the session records capped evaluations.
+fn spread() -> impl FnMut(&Configuration) -> f64 {
+    let space = spark_space();
+    move |c: &Configuration| {
+        let p = space.encode(c);
+        40.0 + 600.0 * p[0]
+    }
+}
+
+#[test]
+fn counters_match_the_session_ground_truth() {
+    let _guard = exclusive();
+    robotune_obs::enable_null();
+    robotune_obs::reset();
+
+    let space = Arc::new(spark_space());
+    let mut tuner = RoboTune::new(RoboTuneOptions::fast());
+    let mut rng = rng_from_seed(11);
+
+    // Cold run: the parameter-selection cache must miss exactly once.
+    let mut obj = FnObjective::new(spread());
+    let cold = tuner.tune_workload(&space, "obs-faith", &mut obj, 40, &mut rng);
+    let after_cold = robotune_obs::snapshot();
+    assert_eq!(after_cold.counter("memo.miss"), 1, "one cold lookup");
+    assert_eq!(after_cold.counter("memo.hit"), 0);
+
+    // Warm run: same workload key must hit the cache exactly once.
+    let mut obj2 = FnObjective::new(spread());
+    let warm = tuner.tune_workload(&space, "obs-faith", &mut obj2, 40, &mut rng);
+    robotune_obs::disable();
+    let snap = robotune_obs::snapshot();
+    assert_eq!(snap.counter("memo.hit"), 1, "one warm lookup");
+    assert_eq!(snap.counter("memo.miss"), 1, "still the single cold miss");
+
+    // Threshold kills: the counter must equal the number of session
+    // records stopped by the cap (not completed, not failed).
+    let records = cold.session.records.iter().chain(&warm.session.records);
+    let mut killed = 0u64;
+    let mut failed = 0u64;
+    for r in records.clone() {
+        if r.eval.failed {
+            failed += 1;
+        } else if !r.eval.completed {
+            killed += 1;
+        }
+    }
+    assert!(killed > 0, "the spread surface must trigger threshold kills");
+    assert_eq!(snap.counter("threshold.kill"), killed);
+    assert_eq!(snap.counter("eval.failed"), failed);
+
+    // Every pushed evaluation records its time.
+    let total = (cold.session.len() + warm.session.len()) as u64;
+    assert_eq!(snap.hist("eval.time_s").unwrap().count, total);
+
+    // Pipeline spans: two tune_workload calls, one selection (cold only).
+    assert_eq!(snap.span("tune.workload").unwrap().count, 2);
+    assert_eq!(snap.span("select.run").unwrap().count, 1);
+    assert_eq!(snap.hist("select.subspace_size").unwrap().count, 2);
+    assert!(snap.counter("session.improvement") >= 1);
+}
+
+#[test]
+fn tuner_trace_round_trips_as_jsonl() {
+    let _guard = exclusive();
+    let path =
+        std::env::temp_dir().join(format!("robotune-obs-tuner-{}.jsonl", std::process::id()));
+    robotune_obs::enable_jsonl(&path).expect("trace file");
+    robotune_obs::reset();
+
+    let space = Arc::new(spark_space());
+    let mut tuner = RoboTune::new(RoboTuneOptions::fast());
+    let mut rng = rng_from_seed(12);
+    let mut obj = FnObjective::new(spread());
+    tuner.tune_workload(&space, "obs-trace", &mut obj, 25, &mut rng);
+    robotune_obs::disable(); // flushes
+
+    let text = std::fs::read_to_string(&path).expect("read trace");
+    std::fs::remove_file(&path).ok();
+
+    let mut gp_fit_spans = 0;
+    let mut hedge_marks = 0;
+    let mut memo_events = 0;
+    let mut lines = 0;
+    for line in text.lines() {
+        lines += 1;
+        let v: serde_json::Value = serde_json::from_str(line).expect("line parses");
+        let kind = v["kind"].as_str().expect("kind");
+        let name = v["name"].as_str().expect("name");
+        match (kind, name) {
+            ("span_start", "gp.fit") => gp_fit_spans += 1,
+            ("mark", "bo.hedge") => {
+                hedge_marks += 1;
+                let p = v["data"]["p_ei"].as_f64().expect("hedge probability");
+                assert!((0.0..=1.0).contains(&p), "p_ei = {p}");
+                assert!(v["data"]["chosen"].as_str().is_some());
+            }
+            ("counter", "memo.hit") | ("counter", "memo.miss") => memo_events += 1,
+            _ => {}
+        }
+    }
+    assert!(lines > 100, "a 25-eval run emits plenty of events, got {lines}");
+    assert!(gp_fit_spans > 0, "GP fits must be traced");
+    assert!(hedge_marks > 0, "hedge decisions must be traced");
+    assert_eq!(memo_events, 1, "one cache lookup in a single cold run");
+}
