@@ -144,7 +144,7 @@ fn bench_bo_suggest(c: &mut Criterion) {
                     for _ in 0..n_obs {
                         let x: Vec<f64> = (0..5).map(|_| rng.gen::<f64>()).collect();
                         let y = x.iter().map(|v| (v - 0.4).powi(2)).sum::<f64>();
-                        engine.observe(x, y);
+                        engine.observe(x, y).expect("finite bench observation");
                     }
                     (engine, rng)
                 },

@@ -14,21 +14,27 @@
 //!   tab2       iterations-to-within-x% (Table 2)
 //!   default    tuned vs Spark factory default (§5.2)
 //!   ablation   all five design-choice ablations
+//!   chaos      resilience report under fault injection
 //!   all        everything above + regenerate EXPERIMENTS.md fodder
 //! ```
+//!
+//! Every grid-backed command accepts `--faults <none|transient|hostile>`
+//! to run the whole evaluation under deterministic cluster fault
+//! injection (same schedule for every tuner in a cell).
 
 use std::path::PathBuf;
 
 use robotune_bench::exp::{ablation, defaults, fig2, fig5, fig6, fig7, fig8, fig9, tab2, GridResults};
 use robotune_bench::report::write_results;
 use robotune_bench::{run_baseline, run_robotune_sequence, TunerKind};
-use robotune_sparksim::{Dataset, Workload};
+use robotune_sparksim::{Dataset, FaultProfile, Workload};
 
 struct Args {
     reps: usize,
     budget: usize,
     out: PathBuf,
     trace: Option<PathBuf>,
+    faults: FaultProfile,
 }
 
 fn parse_args(rest: &[String]) -> Args {
@@ -37,6 +43,7 @@ fn parse_args(rest: &[String]) -> Args {
         budget: 100,
         out: PathBuf::from("results"),
         trace: None,
+        faults: FaultProfile::None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -45,6 +52,13 @@ fn parse_args(rest: &[String]) -> Args {
             "--budget" => args.budget = it.next().expect("--budget N").parse().expect("budget"),
             "--out" => args.out = PathBuf::from(it.next().expect("--out DIR")),
             "--trace" => args.trace = Some(PathBuf::from(it.next().expect("--trace FILE"))),
+            "--faults" => {
+                let p = it.next().expect("--faults <none|transient|hostile>");
+                args.faults = p.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -101,14 +115,19 @@ fn dispatch(cmd: &str, args: &Args) {
             print!("{md}");
             write_results(&args.out, "ablation", &md, None);
         }
+        "chaos" => {
+            let md = run_chaos(args);
+            print!("{md}");
+            write_results(&args.out, "chaos", &md, None);
+        }
         "all" => run_all(args),
         "calibrate" => calibrate(),
         "debug-select" => debug_select(),
         "debug-dist" => debug_dist(),
         _ => {
             eprintln!(
-                "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|all> \
-                 [--reps N] [--budget N] [--out DIR] [--trace FILE]"
+                "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|chaos|all> \
+                 [--reps N] [--budget N] [--out DIR] [--trace FILE] [--faults none|transient|hostile]"
             );
             std::process::exit(2);
         }
@@ -122,10 +141,18 @@ fn emit(args: &Args, name: &str, (md, json): (String, serde_json::Value)) {
 
 fn run_grid(args: &Args) -> GridResults {
     eprintln!(
-        "running the evaluation grid: 4 tuners x 5 workloads x 3 datasets x {} reps, budget {}",
-        args.reps, args.budget
+        "running the evaluation grid: 4 tuners x 5 workloads x 3 datasets x {} reps, budget {}, faults: {}",
+        args.reps, args.budget, args.faults
     );
-    GridResults::run(args.reps, args.budget)
+    GridResults::run_with_faults(args.reps, args.budget, args.faults)
+}
+
+/// Resilience report: the full tuner grid under each fault profile, with
+/// the accounting a chaos drill needs — completion/kill/failure mix,
+/// retry-inflated search cost, and whether ROBOTune still beats RS.
+fn run_chaos(args: &Args) -> String {
+    use robotune_bench::exp::chaos;
+    chaos::run(args.reps, args.budget)
 }
 
 fn grid_outputs(cmd: &str, args: &Args, grid: &GridResults) {

@@ -4,10 +4,13 @@
 
 use robotune::RoboTuneOptions;
 use robotune_sparksim::workload::ALL_DATASETS;
-use robotune_sparksim::{Dataset, Workload, ALL_WORKLOADS};
+use robotune_sparksim::{Dataset, FaultProfile, Workload, ALL_WORKLOADS};
 
 use crate::report::{geo_mean, markdown_table};
-use crate::runner::{par_map, run_baseline, run_robotune_sequence, SessionResult, TunerKind};
+use crate::runner::{
+    par_map, run_baseline_with_faults, run_robotune_sequence_with_faults, SessionResult,
+    TunerKind,
+};
 
 /// All sessions of one full grid run.
 pub struct GridResults {
@@ -24,6 +27,12 @@ impl GridResults {
     /// selection on D1, cache hits + memoized warm starts after), exactly
     /// the repeated-workload scenario of §3.2.
     pub fn run(reps: usize, budget: usize) -> Self {
+        Self::run_with_faults(reps, budget, FaultProfile::None)
+    }
+
+    /// Runs the grid under a fault-injection profile. Every tuner in a
+    /// (workload, dataset, rep) cell faces the identical fault schedule.
+    pub fn run_with_faults(reps: usize, budget: usize, profile: FaultProfile) -> Self {
         // Work items: ROBOTune sequences per (workload, rep), plus each
         // baseline per (workload, dataset, rep).
         enum Item {
@@ -42,10 +51,17 @@ impl GridResults {
             }
         }
         let results: Vec<Vec<SessionResult>> = par_map(items, |item| match item {
-            Item::Robo(w, rep) => {
-                run_robotune_sequence(w, &ALL_DATASETS, budget, rep, RoboTuneOptions::default())
+            Item::Robo(w, rep) => run_robotune_sequence_with_faults(
+                w,
+                &ALL_DATASETS,
+                budget,
+                rep,
+                RoboTuneOptions::default(),
+                profile,
+            ),
+            Item::Base(kind, w, d, rep) => {
+                vec![run_baseline_with_faults(kind, w, d, budget, rep, profile)]
             }
-            Item::Base(kind, w, d, rep) => vec![run_baseline(kind, w, d, budget, rep)],
         });
         GridResults {
             results: results.into_iter().flatten().collect(),

@@ -2,6 +2,7 @@
 //! the ablation studies DESIGN.md calls out.
 
 pub mod ablation;
+pub mod chaos;
 pub mod defaults;
 pub mod extras;
 pub mod fig2;

@@ -14,5 +14,6 @@ pub mod runner;
 
 pub use report::{geo_mean, write_results};
 pub use runner::{
-    par_map, run_baseline, run_robotune_sequence, seed_for, SessionResult, TunerKind,
+    fault_seed_for, par_map, run_baseline, run_baseline_with_faults, run_robotune_sequence,
+    run_robotune_sequence_with_faults, seed_for, SessionResult, TunerKind,
 };

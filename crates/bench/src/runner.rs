@@ -3,7 +3,7 @@
 use robotune::{RoboTune, RoboTuneOptions};
 use robotune_space::spark::spark_space;
 use robotune_space::{ConfigSpace, Configuration};
-use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_sparksim::{Dataset, FaultPlan, FaultProfile, SparkJob, Workload};
 use robotune_stats::rng_from_seed;
 use robotune_tuners::{BestConfig, Gunther, RandomSearch, Tuner, TuningSession};
 use std::sync::Arc;
@@ -106,7 +106,24 @@ pub fn space() -> Arc<ConfigSpace> {
     Arc::new(spark_space())
 }
 
-/// Runs one baseline tuner session.
+/// Deterministic fault-plan seed for a (workload, dataset, rep) cell.
+///
+/// Deliberately independent of the tuner name: fairness under fault
+/// injection requires every tuner facing the *same* fault schedule at the
+/// same evaluation indices.
+pub fn fault_seed_for(workload: Workload, dataset: Dataset, rep: usize) -> u64 {
+    seed_for(workload, dataset, "faults", rep)
+}
+
+fn maybe_faulted(job: SparkJob, profile: FaultProfile, plan_seed: u64) -> SparkJob {
+    if profile == FaultProfile::None {
+        job
+    } else {
+        job.with_faults(FaultPlan::from_profile(profile, plan_seed))
+    }
+}
+
+/// Runs one baseline tuner session on a fault-free cluster.
 pub fn run_baseline(
     kind: TunerKind,
     workload: Workload,
@@ -114,10 +131,23 @@ pub fn run_baseline(
     budget: usize,
     rep: usize,
 ) -> SessionResult {
+    run_baseline_with_faults(kind, workload, dataset, budget, rep, FaultProfile::None)
+}
+
+/// Runs one baseline tuner session under a fault-injection profile.
+pub fn run_baseline_with_faults(
+    kind: TunerKind,
+    workload: Workload,
+    dataset: Dataset,
+    budget: usize,
+    rep: usize,
+    profile: FaultProfile,
+) -> SessionResult {
     assert_ne!(kind, TunerKind::RoboTune, "use run_robotune_sequence");
     let sp = space();
     let seed = seed_for(workload, dataset, kind.name(), rep);
-    let mut job = SparkJob::new((*sp).clone(), workload, dataset, seed ^ 0x5151);
+    let job = SparkJob::new((*sp).clone(), workload, dataset, seed ^ 0x5151);
+    let mut job = maybe_faulted(job, profile, fault_seed_for(workload, dataset, rep));
     let mut rng = rng_from_seed(seed);
     let session = match kind {
         TunerKind::BestConfig => {
@@ -143,18 +173,33 @@ pub fn run_robotune_sequence(
     rep: usize,
     opts: RoboTuneOptions,
 ) -> Vec<SessionResult> {
+    run_robotune_sequence_with_faults(workload, datasets, budget, rep, opts, FaultProfile::None)
+}
+
+/// [`run_robotune_sequence`] under a fault-injection profile: every
+/// dataset's job carries the same per-(workload, dataset, rep) fault plan
+/// that the baselines face.
+pub fn run_robotune_sequence_with_faults(
+    workload: Workload,
+    datasets: &[Dataset],
+    budget: usize,
+    rep: usize,
+    opts: RoboTuneOptions,
+    profile: FaultProfile,
+) -> Vec<SessionResult> {
     let sp = space();
     let mut tuner = RoboTune::new(opts);
     let seed = seed_for(workload, datasets[0], "ROBOTune", rep);
     let mut rng = rng_from_seed(seed);
     let mut out = Vec::with_capacity(datasets.len());
     for &dataset in datasets {
-        let mut job = SparkJob::new(
+        let job = SparkJob::new(
             (*sp).clone(),
             workload,
             dataset,
             seed ^ (dataset.index() as u64 + 0xABCD),
         );
+        let mut job = maybe_faulted(job, profile, fault_seed_for(workload, dataset, rep));
         let outcome =
             tuner.tune_workload(&sp, workload.short_name(), &mut job, budget, &mut rng);
         out.push(SessionResult::from_session(

@@ -12,6 +12,7 @@ use robotune_gp::kernel::Matern52;
 use robotune_gp::model::GpModel;
 
 use crate::acquisition::{AcquisitionKind, ALL_ACQUISITIONS};
+use crate::error::EngineError;
 use crate::hedge::Hedge;
 use crate::optimize::{maximize_acquisition, OptimizeOptions};
 
@@ -107,7 +108,7 @@ impl BoEngine {
         self.ys
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN observation"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &y)| (self.xs[i].as_slice(), y))
     }
 
@@ -118,17 +119,41 @@ impl BoEngine {
 
     /// Records an evaluated point.
     ///
-    /// # Panics
-    ///
-    /// Panics on dimension mismatch or a non-finite objective value —
-    /// failed runs must be mapped to a finite penalty by the caller (the
-    /// paper's threshold-stopping assigns them the timeout value).
-    pub fn observe(&mut self, x: Vec<f64>, y: f64) {
-        assert_eq!(x.len(), self.dim, "observation dimension mismatch");
-        assert!(y.is_finite(), "objective must be finite (penalise failures)");
+    /// Rejects dimension mismatches and non-finite objective values with a
+    /// typed [`EngineError`] — failed runs must be mapped to a finite
+    /// penalty by the caller (the paper's threshold-stopping assigns them
+    /// the timeout value; see [`BoEngine::observe_penalized`]).
+    pub fn observe(&mut self, x: Vec<f64>, y: f64) -> Result<(), EngineError> {
+        if x.len() != self.dim {
+            return Err(EngineError::DimensionMismatch {
+                expected: self.dim,
+                got: x.len(),
+            });
+        }
+        if !y.is_finite() {
+            return Err(EngineError::NonFiniteObservation(y));
+        }
         self.xs.push(x);
         self.ys.push(y);
         self.model = None; // stale
+        Ok(())
+    }
+
+    /// Records a *censored* observation for a failed or killed evaluation:
+    /// the point is observed at `penalty` (typically the kill threshold or
+    /// a multiple of the worst completed time) so the surrogate learns the
+    /// region is bad without the session crashing on a non-finite value.
+    ///
+    /// `penalty` itself must be finite; a non-finite penalty falls back to
+    /// twice the worst observation so far (or `1.0` with no history yet).
+    pub fn observe_penalized(&mut self, x: Vec<f64>, penalty: f64) -> Result<(), EngineError> {
+        let y = if penalty.is_finite() {
+            penalty
+        } else {
+            self.ys.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.5) * 2.0
+        };
+        robotune_obs::incr("bo.censored_observation", 1);
+        self.observe(x, y)
     }
 
     /// Posterior (mean, variance) at `q` under the most recently fitted
@@ -148,23 +173,35 @@ impl BoEngine {
         }
     }
 
-    /// Fits (or refits) the GP over the current data.
+    /// Fits (or refits) the GP over the current data. On failure the model
+    /// stays `None` and the caller degrades to a random suggestion — a
+    /// degenerate surrogate must never abort the session.
     fn ensure_model<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         if self.model.is_some() {
             return;
         }
         let need_hyperfit = self.kernel_cache.is_none()
             || self.ys.len() >= self.observations_at_last_hyperfit + self.opts.refit_every;
-        if need_hyperfit {
-            let m = fit_gp(&self.xs, &self.ys, &self.opts.hyper, rng);
-            self.kernel_cache = Some((*m.kernel(), m.noise()));
-            self.observations_at_last_hyperfit = self.ys.len();
-            self.model = Some(m);
+        let fitted = if need_hyperfit {
+            fit_gp(&self.xs, &self.ys, &self.opts.hyper, rng).inspect(|m| {
+                self.kernel_cache = Some((*m.kernel(), m.noise()));
+                self.observations_at_last_hyperfit = self.ys.len();
+            })
+        } else if let Some((kernel, noise)) = self.kernel_cache {
+            // Cheap Cholesky refit with cached hyperparameters; fall back
+            // to a full hyperparameter fit if the cache went stale enough
+            // to stop factoring.
+            GpModel::fit(self.xs.clone(), &self.ys, kernel, noise)
+                .or_else(|_| fit_gp(&self.xs, &self.ys, &self.opts.hyper, rng))
         } else {
-            let (kernel, noise) = self.kernel_cache.expect("cache checked above");
-            let m = GpModel::fit(self.xs.clone(), &self.ys, kernel, noise)
-                .unwrap_or_else(|_| fit_gp(&self.xs, &self.ys, &self.opts.hyper, rng));
-            self.model = Some(m);
+            fit_gp(&self.xs, &self.ys, &self.opts.hyper, rng)
+        };
+        match fitted {
+            Ok(m) => self.model = Some(m),
+            Err(_) => {
+                robotune_obs::incr("bo.surrogate_fit_failed", 1);
+                self.model = None;
+            }
         }
     }
 
@@ -180,7 +217,12 @@ impl BoEngine {
             return (0..self.dim).map(|_| rng.gen::<f64>()).collect();
         }
         self.ensure_model(rng);
-        let model = self.model.as_ref().expect("ensure_model just ran");
+        let Some(model) = self.model.as_ref() else {
+            // Surrogate could not be fitted (near-singular data): degrade
+            // to a uniform random proposal rather than aborting.
+            robotune_obs::incr("bo.surrogate_fallback", 1);
+            return (0..self.dim).map(|_| rng.gen::<f64>()).collect();
+        };
 
         // Reward last round's nominees under the refreshed posterior.
         // Gains use standardised units so η keeps a consistent meaning.
@@ -201,7 +243,9 @@ impl BoEngine {
             self.hedge.update(rewards);
         }
 
-        let best = self.best().expect(">=2 observations").1;
+        // All recorded observations are finite (observe() enforces it), so
+        // the plain fold is total here.
+        let best = self.ys.iter().copied().fold(f64::INFINITY, f64::min);
         let (xi, kappa) = (self.opts.xi, self.opts.kappa);
         let mut nominees: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for (slot, kind) in nominees.iter_mut().zip(ALL_ACQUISITIONS) {
@@ -234,7 +278,7 @@ impl BoEngine {
         let idx = ALL_ACQUISITIONS
             .iter()
             .position(|&k| k == chosen_kind)
-            .expect("kind comes from the list");
+            .unwrap_or(0);
         let mut chosen = nominees[idx].clone();
         self.pending_nominees = Some(nominees);
 
@@ -261,9 +305,9 @@ impl BoEngine {
         let i = p
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("three entries");
+            .unwrap_or(0);
         ALL_ACQUISITIONS[i]
     }
 }
@@ -290,23 +334,28 @@ where
     F: FnMut(&[f64]) -> f64,
     R: Rng + ?Sized,
 {
-    assert!(budget >= n_init.max(1), "budget too small");
     let mut engine = BoEngine::new(dim, opts);
     let mut history = Vec::with_capacity(budget);
-    for _ in 0..n_init {
-        let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+    for i in 0..budget.max(n_init) {
+        let x = if i < n_init {
+            (0..dim).map(|_| rng.gen::<f64>()).collect()
+        } else {
+            engine.suggest(rng)
+        };
         let y = f(&x);
         history.push((x.clone(), y));
-        engine.observe(x, y);
+        // Non-finite objective values (crashed evaluations the caller did
+        // not censor) are recorded at a penalty instead of panicking.
+        if engine.observe(x.clone(), y).is_err() && engine.observe_penalized(x, y).is_err() {
+            robotune_obs::incr("bo.observation_dropped", 1);
+        }
     }
-    for _ in n_init..budget {
-        let x = engine.suggest(rng);
-        let y = f(&x);
-        history.push((x.clone(), y));
-        engine.observe(x, y);
-    }
-    let (bx, by) = engine.best().expect("budget >= 1");
-    (bx.to_vec(), by, history)
+    history
+        .iter()
+        .filter(|(_, v)| v.is_finite())
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(x, y)| (x.clone(), *y, history.clone()))
+        .unwrap_or_else(|| (vec![0.5; dim], f64::INFINITY, history.clone()))
 }
 
 #[cfg(test)]
@@ -380,9 +429,9 @@ mod tests {
     #[test]
     fn best_tracks_the_minimum() {
         let mut engine = BoEngine::new(1, cheap_opts());
-        engine.observe(vec![0.1], 5.0);
-        engine.observe(vec![0.2], 2.0);
-        engine.observe(vec![0.3], 7.0);
+        engine.observe(vec![0.1], 5.0).unwrap();
+        engine.observe(vec![0.2], 2.0).unwrap();
+        engine.observe(vec![0.3], 7.0).unwrap();
         let (x, y) = engine.best().unwrap();
         assert_eq!(x, &[0.2]);
         assert_eq!(y, 2.0);
@@ -396,7 +445,7 @@ mod tests {
         // tends to re-nominate corners; the dedup must keep points distinct.
         for i in 0..6 {
             let x = engine.suggest(&mut rng);
-            engine.observe(x, 1.0 + i as f64 * 1e-9);
+            engine.observe(x, 1.0 + i as f64 * 1e-9).unwrap();
         }
         let (xs, _) = engine.observations();
         for i in 0..xs.len() {
@@ -407,10 +456,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "objective must be finite")]
-    fn non_finite_observations_rejected() {
+    fn non_finite_observations_rejected_with_typed_error() {
         let mut engine = BoEngine::new(1, cheap_opts());
-        engine.observe(vec![0.5], f64::INFINITY);
+        let r = engine.observe(vec![0.5], f64::INFINITY);
+        assert!(matches!(r, Err(crate::EngineError::NonFiniteObservation(_))), "{r:?}");
+        let r = engine.observe(vec![0.5, 0.5], 1.0);
+        assert!(
+            matches!(r, Err(crate::EngineError::DimensionMismatch { expected: 1, got: 2 })),
+            "{r:?}"
+        );
+        assert_eq!(engine.n_observations(), 0);
+    }
+
+    #[test]
+    fn penalized_observation_censors_failures_finitely() {
+        let mut engine = BoEngine::new(1, cheap_opts());
+        engine.observe(vec![0.1], 3.0).unwrap();
+        engine.observe_penalized(vec![0.2], 9.0).unwrap();
+        // A non-finite penalty degrades to 2x the worst finite observation.
+        engine.observe_penalized(vec![0.3], f64::INFINITY).unwrap();
+        let (_, ys) = engine.observations();
+        assert_eq!(ys, &[3.0, 9.0, 18.0]);
+        assert!(ys.iter().all(|y| y.is_finite()));
+    }
+
+    #[test]
+    fn degenerate_duplicate_data_degrades_to_random_not_panic() {
+        // Every observation at the same point with zero spread: the GP fit
+        // can struggle, but suggest() must still return an in-bounds point.
+        let mut engine = BoEngine::new(3, cheap_opts());
+        for _ in 0..6 {
+            engine.observe(vec![0.5, 0.5, 0.5], 2.0).unwrap();
+        }
+        let mut rng = rng_from_seed(9);
+        let p = engine.suggest(&mut rng);
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -420,7 +501,7 @@ mod tests {
         for i in 0..8 {
             let x = engine.suggest(&mut rng);
             let y = (x[0] - 0.5).powi(2) + i as f64 * 0.001;
-            engine.observe(x, y);
+            engine.observe(x, y).unwrap();
         }
         // After several rounds the gains are no longer all zero.
         let g = engine.hedge().gains();

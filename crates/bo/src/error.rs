@@ -1,0 +1,37 @@
+//! Typed errors for the ask/tell BO engine.
+//!
+//! The engine sits at the heart of the tuning loop, where a panic aborts a
+//! whole session. Anything a caller can plausibly get wrong — dimension
+//! mismatches, non-finite objective values from failed cluster runs — is
+//! reported as an [`EngineError`] so the session can censor or retry the
+//! observation instead of dying.
+
+/// Why an observation could not be recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The observed point's dimension does not match the engine's.
+    DimensionMismatch {
+        /// Dimension the engine was constructed with.
+        expected: usize,
+        /// Dimension of the offending point.
+        got: usize,
+    },
+    /// The objective value is NaN or infinite. Failed runs must be mapped
+    /// to a finite penalty first — see `BoEngine::observe_penalized`.
+    NonFiniteObservation(f64),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DimensionMismatch { expected, got } => {
+                write!(f, "observation dimension mismatch: expected {expected}, got {got}")
+            }
+            EngineError::NonFiniteObservation(y) => {
+                write!(f, "objective must be finite (got {y}); censor failures to a penalty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

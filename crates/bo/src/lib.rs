@@ -16,13 +16,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod acquisition;
 pub mod engine;
+pub mod error;
 pub mod hedge;
 pub mod optimize;
 
 pub use acquisition::{AcquisitionKind, ALL_ACQUISITIONS};
 pub use engine::{BoEngine, BoOptions};
+pub use error::EngineError;
 pub use hedge::Hedge;
 pub use optimize::maximize_acquisition;

@@ -57,7 +57,7 @@ where
             (score(&p), p)
         })
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     scored.truncate(opts.refine_top.max(1));
 
     // Local phase: coordinate pattern search from each survivor.

@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use robotune_bo::{BoEngine, BoOptions};
 use robotune_space::{SearchSpace, Subspace};
-use robotune_tuners::{Evaluation, Objective, ThresholdPolicy, TuningSession};
+use robotune_tuners::{
+    evaluate_with_retry, Evaluation, Objective, RetryPolicy, ThresholdPolicy, TuningSession,
+};
 
 /// Automated early stopping of the whole BO loop (paper §4 lists it among
 /// the implementation's customisations): end the session when the
@@ -39,6 +41,9 @@ pub struct RoboTuneEngineOptions {
     /// Optional loop-level early stopping. `None` (the default) always
     /// spends the full budget — the paper's evaluation protocol.
     pub early_stop: Option<EarlyStop>,
+    /// Retry policy for transiently failing evaluations (submit/launch
+    /// hiccups under fault injection). Retries are budget-charged.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RoboTuneEngineOptions {
@@ -50,6 +55,7 @@ impl Default for RoboTuneEngineOptions {
                 max: 480.0,
             },
             early_stop: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -108,19 +114,25 @@ impl RoboTuneEngine {
         let _span = robotune_obs::span("tune.evaluate");
         let cap = self.opts.threshold.cap(&self.completed_times);
         let config = self.sub.decode(&point);
-        let eval = objective.evaluate(&config, cap);
+        let eval = evaluate_with_retry(objective, &config, cap, &self.opts.retry);
         if eval.completed {
             self.completed_times.push(eval.time_s);
         }
         self.session.push(point.clone(), config, eval, cap);
-        // Surrogate sees the *policy maximum* for non-completions so
-        // failure regions stay unattractive even when stopped early.
-        let y = if eval.completed {
-            eval.time_s
+        // Completed runs feed the surrogate their measured time; killed and
+        // failed runs become *censored* observations at the policy maximum
+        // so failure regions stay unattractive without crashing the loop.
+        let recorded = if eval.completed {
+            self.bo.observe(point, eval.time_s)
         } else {
-            self.opts.threshold.max_cap()
+            self.bo.observe_penalized(point, self.opts.threshold.max_cap())
         };
-        self.bo.observe(point, y);
+        if recorded.is_err() {
+            // Dimension mismatches cannot happen here (the point came from
+            // this engine) and non-finite values were censored above, but a
+            // rejected observation must never abort a session.
+            robotune_obs::incr("tune.observation_dropped", 1);
+        }
         eval
     }
 

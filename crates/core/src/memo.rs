@@ -93,7 +93,7 @@ impl ConfigMemoBuffer {
     pub fn record(&mut self, workload: &str, config: Configuration, time_s: f64) {
         let list = self.entries.entry(workload.to_string()).or_default();
         list.push((config, time_s));
-        list.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        list.sort_by(|a, b| a.1.total_cmp(&b.1));
         list.truncate(Self::CAPACITY);
     }
 

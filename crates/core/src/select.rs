@@ -186,7 +186,7 @@ impl ParameterSelector {
             }
         }
         importances
-            .sort_by(|a, b| b.importance.partial_cmp(&a.importance).expect("finite"));
+            .sort_by(|a, b| b.importance.total_cmp(&a.importance));
 
         let mut selected: Vec<usize> = importances
             .iter()

@@ -161,7 +161,7 @@ impl RoboTune {
             .iter()
             .filter(|r| r.eval.completed)
             .collect();
-        completed.sort_by(|a, b| a.eval.time_s.partial_cmp(&b.eval.time_s).expect("finite"));
+        completed.sort_by(|a, b| a.eval.time_s.total_cmp(&b.eval.time_s));
         for r in completed.into_iter().take(self.opts.sampler.memo_configs) {
             self.memo.record(workload, r.config.clone(), r.eval.time_s);
         }

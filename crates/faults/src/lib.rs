@@ -1,0 +1,506 @@
+//! Deterministic cluster fault injection for the Spark simulator.
+//!
+//! Real Spark clusters fail in ways the paper's threshold-stopping (§5.3)
+//! exists to survive: executors are preempted mid-stage and their shuffle
+//! output recomputed, submissions bounce off a busy YARN RM, whole waves
+//! straggle behind a noisy neighbour, disk pressure amplifies spills, and
+//! sometimes the *measurement* times out even though the job finished.
+//! This crate models all of those as a [`FaultPlan`]: a seedable schedule
+//! that maps an evaluation index to the set of faults ([`EvalFaults`])
+//! injected into that run.
+//!
+//! Two properties make the plans useful for tuner evaluation:
+//!
+//! * **Determinism** — the faults of evaluation `i` are a pure function of
+//!   `(plan seed, i)`. Re-running a session with the same seed replays the
+//!   identical fault schedule, and two different tuners handed the same
+//!   plan face the same chaos at the same evaluation indices, regardless
+//!   of which configurations they propose.
+//! * **Independence** — draws are keyed per evaluation, not streamed from
+//!   a shared RNG, so injecting a fault never perturbs the simulator's own
+//!   noise stream.
+//!
+//! [`FaultProfile`] bundles the three calibrations the benchmark suite
+//! replays (`none` / `transient` / `hostile`); [`FaultConfig`] exposes the
+//! raw probabilities for custom chaos.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::Rng;
+use robotune_stats::rng_from_seed;
+
+/// Probabilities and magnitudes of every injectable fault class.
+///
+/// All probabilities are per *evaluation attempt*. Magnitudes are
+/// multiplicative factors on the simulated runtime, standing in for the
+/// work the cluster redoes (lost executors), waits out (stragglers) or
+/// grinds through (disk pressure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a submission bounces (YARN RM busy, AM container
+    /// denied). Transient: a retry usually lands.
+    pub submit_failure_p: f64,
+    /// Probability that at least one executor is lost mid-stage.
+    pub executor_loss_p: f64,
+    /// Upper bound on executors lost in one run (≥ 1 when losses occur).
+    pub max_executor_losses: u32,
+    /// Runtime fraction redone per lost executor (lineage recompute +
+    /// shuffle refetch).
+    pub recompute_frac: f64,
+    /// Probability of a straggler storm slowing the whole run.
+    pub straggler_p: f64,
+    /// Worst-case straggler slowdown factor (≥ 1); the injected factor is
+    /// drawn uniformly from `[1, straggler_factor]`.
+    pub straggler_factor: f64,
+    /// Probability of cluster-wide disk pressure during the run.
+    pub disk_pressure_p: f64,
+    /// Worst-case spill-amplification factor under disk pressure (≥ 1).
+    pub disk_amplification: f64,
+    /// Probability that the measurement itself is lost (monitoring agent
+    /// timeout) even though the run finished. Transient: the time was
+    /// burned but no usable observation came back.
+    pub measurement_timeout_p: f64,
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing.
+    pub const NONE: FaultConfig = FaultConfig {
+        submit_failure_p: 0.0,
+        executor_loss_p: 0.0,
+        max_executor_losses: 0,
+        recompute_frac: 0.0,
+        straggler_p: 0.0,
+        straggler_factor: 1.0,
+        disk_pressure_p: 0.0,
+        disk_amplification: 1.0,
+        measurement_timeout_p: 0.0,
+    };
+
+    /// Occasional transient flakiness: the weather on a healthy but shared
+    /// cluster.
+    pub const TRANSIENT: FaultConfig = FaultConfig {
+        submit_failure_p: 0.08,
+        executor_loss_p: 0.06,
+        max_executor_losses: 1,
+        recompute_frac: 0.15,
+        straggler_p: 0.10,
+        straggler_factor: 1.4,
+        disk_pressure_p: 0.05,
+        disk_amplification: 1.3,
+        measurement_timeout_p: 0.03,
+    };
+
+    /// A cluster having a very bad day: every fault class fires often and
+    /// hard. Tuners must survive this without panicking or corrupting
+    /// their accounting.
+    pub const HOSTILE: FaultConfig = FaultConfig {
+        submit_failure_p: 0.18,
+        executor_loss_p: 0.25,
+        max_executor_losses: 3,
+        recompute_frac: 0.25,
+        straggler_p: 0.30,
+        straggler_factor: 2.0,
+        disk_pressure_p: 0.20,
+        disk_amplification: 1.8,
+        measurement_timeout_p: 0.08,
+    };
+
+    /// Whether this configuration can ever inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.submit_failure_p <= 0.0
+            && self.executor_loss_p <= 0.0
+            && self.straggler_p <= 0.0
+            && self.disk_pressure_p <= 0.0
+            && self.measurement_timeout_p <= 0.0
+    }
+
+    /// Clamps every probability into `[0, 1]` and every factor to ≥ 1 (or
+    /// ≥ 0 for fractions), so arbitrary fuzzed configs are always usable.
+    pub fn sanitized(mut self) -> FaultConfig {
+        let p = |v: f64| if v.is_finite() { v.clamp(0.0, 1.0) } else { 0.0 };
+        let f = |v: f64| if v.is_finite() { v.max(1.0) } else { 1.0 };
+        self.submit_failure_p = p(self.submit_failure_p);
+        self.executor_loss_p = p(self.executor_loss_p);
+        self.straggler_p = p(self.straggler_p);
+        self.disk_pressure_p = p(self.disk_pressure_p);
+        self.measurement_timeout_p = p(self.measurement_timeout_p);
+        self.straggler_factor = f(self.straggler_factor);
+        self.disk_amplification = f(self.disk_amplification);
+        self.recompute_frac = if self.recompute_frac.is_finite() {
+            self.recompute_frac.clamp(0.0, 2.0)
+        } else {
+            0.0
+        };
+        self
+    }
+}
+
+/// The three named calibrations the benchmark suite replays
+/// (`experiments --faults <profile>` and the CI fault matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultProfile {
+    /// No injected faults (the paper's original evaluation conditions).
+    None,
+    /// Occasional transient flakiness ([`FaultConfig::TRANSIENT`]).
+    Transient,
+    /// Frequent, compounding failures ([`FaultConfig::HOSTILE`]).
+    Hostile,
+}
+
+impl FaultProfile {
+    /// All profiles, for matrix-style iteration.
+    pub const ALL: [FaultProfile; 3] =
+        [FaultProfile::None, FaultProfile::Transient, FaultProfile::Hostile];
+
+    /// The fault configuration this profile denotes.
+    pub fn config(self) -> FaultConfig {
+        match self {
+            FaultProfile::None => FaultConfig::NONE,
+            FaultProfile::Transient => FaultConfig::TRANSIENT,
+            FaultProfile::Hostile => FaultConfig::HOSTILE,
+        }
+    }
+
+    /// Lower-case profile name (`none`/`transient`/`hostile`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::None => "none",
+            FaultProfile::Transient => "transient",
+            FaultProfile::Hostile => "hostile",
+        }
+    }
+}
+
+impl fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`FaultProfile`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProfileError(String);
+
+impl fmt::Display for ParseProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown fault profile {:?} (expected none|transient|hostile)", self.0)
+    }
+}
+
+impl std::error::Error for ParseProfileError {}
+
+impl FromStr for FaultProfile {
+    type Err = ParseProfileError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" | "off" => Ok(FaultProfile::None),
+            "transient" => Ok(FaultProfile::Transient),
+            "hostile" => Ok(FaultProfile::Hostile),
+            other => Err(ParseProfileError(other.to_string())),
+        }
+    }
+}
+
+/// The faults injected into one evaluation attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalFaults {
+    /// The submission bounced before anything ran (transient).
+    pub submit_failure: bool,
+    /// Executors lost mid-run; each costs a recompute fraction.
+    pub executor_losses: u32,
+    /// Runtime fraction redone per lost executor.
+    pub recompute_frac: f64,
+    /// Straggler slowdown factor (1.0 = no storm).
+    pub straggler_factor: f64,
+    /// Spill amplification factor (1.0 = no disk pressure).
+    pub disk_amplification: f64,
+    /// The measurement was lost despite the run finishing (transient).
+    pub measurement_timeout: bool,
+}
+
+impl EvalFaults {
+    /// An attempt with nothing injected.
+    pub const CLEAN: EvalFaults = EvalFaults {
+        submit_failure: false,
+        executor_losses: 0,
+        recompute_frac: 0.0,
+        straggler_factor: 1.0,
+        disk_amplification: 1.0,
+        measurement_timeout: false,
+    };
+
+    /// Whether this attempt is entirely fault-free.
+    pub fn is_clean(&self) -> bool {
+        !self.submit_failure
+            && self.executor_losses == 0
+            && self.straggler_factor <= 1.0
+            && self.disk_amplification <= 1.0
+            && !self.measurement_timeout
+    }
+
+    /// The combined runtime multiplier of the non-terminal faults
+    /// (executor recompute × stragglers × disk pressure).
+    pub fn slowdown(&self) -> f64 {
+        (1.0 + self.executor_losses as f64 * self.recompute_frac)
+            * self.straggler_factor
+            * self.disk_amplification
+    }
+}
+
+/// A deterministic, seedable fault schedule.
+///
+/// `for_eval(i)` is a pure function of `(seed, i)`: the schedule is fixed
+/// up front, shared across tuners, and replayable. Construct one per
+/// session (or per `(workload, dataset, rep)` cell) and hand it to
+/// whatever executes evaluations — in this workspace,
+/// `SparkJob::with_faults`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    seed: u64,
+}
+
+/// SplitMix64 finaliser — decorrelates consecutive evaluation indices.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Creates a plan from a raw configuration (sanitised) and a seed.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultPlan { config: config.sanitized(), seed }
+    }
+
+    /// Creates a plan from a named profile and a seed.
+    pub fn from_profile(profile: FaultProfile, seed: u64) -> Self {
+        FaultPlan::new(profile.config(), seed)
+    }
+
+    /// The (sanitised) fault configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The faults injected into evaluation attempt `index`.
+    ///
+    /// Pure: same `(seed, index)` ⇒ same faults, independent of call
+    /// order and of any other RNG in the process.
+    pub fn for_eval(&self, index: u64) -> EvalFaults {
+        let c = &self.config;
+        if c.is_quiet() {
+            return EvalFaults::CLEAN;
+        }
+        // Key the per-evaluation stream on (seed, index) so schedules are
+        // random-access and never perturb (or get perturbed by) the
+        // simulator's own noise stream.
+        let key = splitmix64(self.seed ^ splitmix64(index.wrapping_mul(0xa076_1d64_78bd_642f)));
+        let mut rng = rng_from_seed(key);
+
+        // Fixed draw order keeps every fault class's marginal distribution
+        // independent of the others' probabilities.
+        let submit_failure = rng.gen::<f64>() < c.submit_failure_p;
+        let loss_roll = rng.gen::<f64>();
+        let loss_extra = rng.gen::<f64>();
+        let executor_losses = if loss_roll < c.executor_loss_p && c.max_executor_losses > 0 {
+            1 + (loss_extra * c.max_executor_losses.saturating_sub(1) as f64).floor() as u32
+        } else {
+            0
+        };
+        let straggler_roll = rng.gen::<f64>();
+        let straggler_mag = rng.gen::<f64>();
+        let straggler_factor = if straggler_roll < c.straggler_p {
+            1.0 + straggler_mag * (c.straggler_factor - 1.0)
+        } else {
+            1.0
+        };
+        let disk_roll = rng.gen::<f64>();
+        let disk_mag = rng.gen::<f64>();
+        let disk_amplification = if disk_roll < c.disk_pressure_p {
+            1.0 + disk_mag * (c.disk_amplification - 1.0)
+        } else {
+            1.0
+        };
+        let measurement_timeout = rng.gen::<f64>() < c.measurement_timeout_p;
+
+        EvalFaults {
+            submit_failure,
+            executor_losses,
+            recompute_frac: c.recompute_frac,
+            straggler_factor,
+            disk_amplification,
+            measurement_timeout,
+        }
+    }
+
+    /// Expected fault counts over the first `n` evaluations — a cheap
+    /// summary for reports and sanity tests.
+    pub fn census(&self, n: u64) -> FaultCensus {
+        let mut census = FaultCensus::default();
+        for i in 0..n {
+            let f = self.for_eval(i);
+            census.attempts += 1;
+            census.submit_failures += u64::from(f.submit_failure);
+            census.executor_losses += u64::from(f.executor_losses);
+            census.straggler_storms += u64::from(f.straggler_factor > 1.0);
+            census.disk_pressure += u64::from(f.disk_amplification > 1.0);
+            census.measurement_timeouts += u64::from(f.measurement_timeout);
+        }
+        census
+    }
+}
+
+/// Fault counts over a window of a plan (see [`FaultPlan::census`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCensus {
+    /// Evaluation attempts inspected.
+    pub attempts: u64,
+    /// Attempts whose submission bounced.
+    pub submit_failures: u64,
+    /// Total executors lost.
+    pub executor_losses: u64,
+    /// Attempts hit by a straggler storm.
+    pub straggler_storms: u64,
+    /// Attempts under disk pressure.
+    pub disk_pressure: u64,
+    /// Attempts whose measurement was lost.
+    pub measurement_timeouts: u64,
+}
+
+impl FaultCensus {
+    /// Total injected fault events.
+    pub fn total(&self) -> u64 {
+        self.submit_failures
+            + self.executor_losses
+            + self.straggler_storms
+            + self.disk_pressure
+            + self.measurement_timeouts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_profile_is_always_clean() {
+        let plan = FaultPlan::from_profile(FaultProfile::None, 7);
+        for i in 0..200 {
+            assert!(plan.for_eval(i).is_clean());
+        }
+        assert_eq!(plan.census(200).total(), 0);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_random_access() {
+        let plan = FaultPlan::from_profile(FaultProfile::Hostile, 42);
+        let forward: Vec<EvalFaults> = (0..50).map(|i| plan.for_eval(i)).collect();
+        let backward: Vec<EvalFaults> = (0..50).rev().map(|i| plan.for_eval(i)).collect();
+        for (i, f) in forward.iter().enumerate() {
+            assert_eq!(*f, backward[49 - i], "eval {i} differs by access order");
+            assert_eq!(*f, plan.for_eval(i as u64), "eval {i} not replayable");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::from_profile(FaultProfile::Hostile, 1);
+        let b = FaultPlan::from_profile(FaultProfile::Hostile, 2);
+        let same = (0..100).filter(|&i| a.for_eval(i) == b.for_eval(i)).count();
+        assert!(same < 100, "seeds 1 and 2 produce identical schedules");
+    }
+
+    #[test]
+    fn hostile_rates_land_near_their_probabilities() {
+        let plan = FaultPlan::from_profile(FaultProfile::Hostile, 3);
+        let n = 4000;
+        let census = plan.census(n);
+        let rate = |c: u64| c as f64 / n as f64;
+        assert!((rate(census.submit_failures) - 0.18).abs() < 0.03);
+        assert!((rate(census.straggler_storms) - 0.30).abs() < 0.03);
+        assert!((rate(census.disk_pressure) - 0.20).abs() < 0.03);
+        assert!((rate(census.measurement_timeouts) - 0.08).abs() < 0.02);
+        // Loss events fire on 25% of attempts with 1–3 executors each.
+        let loss_rate = rate(census.executor_losses);
+        assert!(loss_rate > 0.2 && loss_rate < 0.6, "loss rate {loss_rate}");
+    }
+
+    #[test]
+    fn slowdown_composes_multiplicatively() {
+        let f = EvalFaults {
+            submit_failure: false,
+            executor_losses: 2,
+            recompute_frac: 0.25,
+            straggler_factor: 1.5,
+            disk_amplification: 1.2,
+            measurement_timeout: false,
+        };
+        assert!((f.slowdown() - 1.5 * 1.5 * 1.2).abs() < 1e-12);
+        assert_eq!(EvalFaults::CLEAN.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn magnitudes_stay_in_their_declared_ranges() {
+        let plan = FaultPlan::from_profile(FaultProfile::Hostile, 9);
+        for i in 0..500 {
+            let f = plan.for_eval(i);
+            assert!(f.straggler_factor >= 1.0 && f.straggler_factor <= 2.0);
+            assert!(f.disk_amplification >= 1.0 && f.disk_amplification <= 1.8);
+            assert!(f.executor_losses <= 3);
+            assert!(f.slowdown().is_finite() && f.slowdown() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn sanitize_tames_pathological_configs() {
+        let wild = FaultConfig {
+            submit_failure_p: f64::NAN,
+            executor_loss_p: 7.0,
+            max_executor_losses: 2,
+            recompute_frac: -3.0,
+            straggler_p: -0.5,
+            straggler_factor: f64::INFINITY,
+            disk_pressure_p: 2.0,
+            disk_amplification: 0.1,
+            measurement_timeout_p: 1.5,
+        };
+        let plan = FaultPlan::new(wild, 5);
+        let c = plan.config();
+        assert_eq!(c.submit_failure_p, 0.0);
+        assert_eq!(c.executor_loss_p, 1.0);
+        assert_eq!(c.recompute_frac, 0.0);
+        assert_eq!(c.straggler_p, 0.0);
+        assert_eq!(c.straggler_factor, 1.0);
+        assert_eq!(c.disk_pressure_p, 1.0);
+        assert_eq!(c.disk_amplification, 1.0);
+        assert_eq!(c.measurement_timeout_p, 1.0);
+        for i in 0..100 {
+            let f = plan.for_eval(i);
+            assert!(f.slowdown().is_finite());
+        }
+    }
+
+    #[test]
+    fn profiles_parse_and_display_round_trip() {
+        for p in FaultProfile::ALL {
+            assert_eq!(p.name().parse::<FaultProfile>(), Ok(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!("HOSTILE".parse::<FaultProfile>(), Ok(FaultProfile::Hostile));
+        assert_eq!("off".parse::<FaultProfile>(), Ok(FaultProfile::None));
+        assert!("chaotic".parse::<FaultProfile>().is_err());
+    }
+}

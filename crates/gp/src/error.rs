@@ -1,0 +1,49 @@
+//! Typed errors for GP fitting.
+//!
+//! Everything that can go wrong while building a surrogate is expressed
+//! here instead of panicking: degenerate tuning sessions (duplicate
+//! points, NaN objective values, near-singular kernel matrices) must
+//! degrade the caller's behaviour, not abort the process.
+
+use robotune_linalg::LinalgError;
+
+/// Why a GP could not be fitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// The kernel matrix stayed non-positive-definite even after jitter
+    /// escalation — typically heavily duplicated inputs with zero noise.
+    Singular(LinalgError),
+    /// The training inputs themselves are unusable (empty set, x/y length
+    /// mismatch, non-finite target, negative noise variance).
+    InvalidInput(&'static str),
+    /// Every hyperparameter candidate, including the safe fallback,
+    /// failed to factor.
+    HyperFitFailed(LinalgError),
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::Singular(e) => write!(f, "kernel matrix not factorable: {e}"),
+            GpError::InvalidInput(msg) => write!(f, "invalid GP training input: {msg}"),
+            GpError::HyperFitFailed(e) => {
+                write!(f, "no hyperparameter candidate produced a factorable kernel: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpError::Singular(e) | GpError::HyperFitFailed(e) => Some(e),
+            GpError::InvalidInput(_) => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GpError {
+    fn from(e: LinalgError) -> Self {
+        GpError::Singular(e)
+    }
+}

@@ -7,6 +7,7 @@
 
 use rand::Rng;
 
+use crate::error::GpError;
 use crate::kernel::{Matern52, Matern52Ard};
 use crate::model::GpModel;
 use crate::opt::nelder_mead;
@@ -53,17 +54,15 @@ fn clamp3(theta: &[f64], opts: &HyperFitOptions) -> (f64, f64, f64) {
 ///
 /// Returns the fitted model with the best marginal likelihood found over
 /// all restarts. Falls back to sensible defaults (ℓ = 0.5, σ² = 1,
-/// σ_n² = 1e-4) if every optimised candidate fails to factor.
-///
-/// # Panics
-///
-/// Panics on empty or mismatched inputs (via [`GpModel::fit`]).
+/// σ_n² = 1e-4) if every optimised candidate fails to factor, and to a
+/// typed [`GpError`] — never a panic — when even the fallback cannot be
+/// factored or the inputs are unusable (empty set, NaN targets).
 pub fn fit_gp<R: Rng + ?Sized>(
     x: &[Vec<f64>],
     y: &[f64],
     opts: &HyperFitOptions,
     rng: &mut R,
-) -> GpModel<Matern52> {
+) -> Result<GpModel<Matern52>, GpError> {
     let _span = robotune_obs::span("gp.hyperfit");
     let neg_lml = |theta: &[f64]| -> f64 {
         let (ll, lv, ln) = clamp3(theta, opts);
@@ -95,27 +94,33 @@ pub fn fit_gp<R: Rng + ?Sized>(
 
     let theta = best.map(|(_, t)| t).unwrap_or_else(|| vec![(0.5f64).ln(), 0.0, (1e-4f64).ln()]);
     let (ll, lv, ln) = clamp3(&theta, opts);
-    GpModel::fit(x.to_vec(), y, Matern52::new(ll.exp(), lv.exp()), ln.exp())
-        .or_else(|_| GpModel::fit(x.to_vec(), y, Matern52::new(0.5, 1.0), 1e-4))
-        .expect("fallback GP hyperparameters must factor")
+    GpModel::fit(x.to_vec(), y, Matern52::new(ll.exp(), lv.exp()), ln.exp()).or_else(|_| {
+        // Optimised hyperparameters failed to factor: retry once with the
+        // safe defaults, then report the typed failure instead of
+        // panicking — the caller degrades to a non-surrogate proposal.
+        robotune_obs::incr("gp.hyperfit_fallback", 1);
+        GpModel::fit(x.to_vec(), y, Matern52::new(0.5, 1.0), 1e-4).map_err(|e| match e {
+            GpError::Singular(le) => GpError::HyperFitFailed(le),
+            other => other,
+        })
+    })
 }
 
 /// Fits an ARD Matérn 5/2 + white-noise GP with ML-II hyperparameters:
 /// `d` log length scales plus log variance and log noise, optimised by
-/// multi-start Nelder–Mead.
-///
-/// # Panics
-///
-/// Panics on empty or mismatched inputs.
+/// multi-start Nelder–Mead. Degenerate inputs yield a typed [`GpError`],
+/// never a panic.
 pub fn fit_gp_ard<R: Rng + ?Sized>(
     x: &[Vec<f64>],
     y: &[f64],
     opts: &HyperFitOptions,
     rng: &mut R,
-) -> GpModel<Matern52Ard> {
+) -> Result<GpModel<Matern52Ard>, GpError> {
     let _span = robotune_obs::span("gp.hyperfit_ard");
-    assert!(!x.is_empty(), "cannot fit a GP on zero observations");
-    let d = x[0].len();
+    let Some(first) = x.first() else {
+        return Err(GpError::InvalidInput("cannot fit a GP on zero observations"));
+    };
+    let d = first.len();
     let clamp = |theta: &[f64]| -> (Vec<f64>, f64, f64) {
         let scales: Vec<f64> = theta[..d]
             .iter()
@@ -169,11 +174,15 @@ pub fn fit_gp_ard<R: Rng + ?Sized>(
         t
     });
     let (scales, v, n) = clamp(&theta);
-    GpModel::fit(x.to_vec(), y, Matern52Ard::new(scales, v), n)
-        .or_else(|_| {
-            GpModel::fit(x.to_vec(), y, Matern52Ard::new(vec![0.5; d], 1.0), 1e-4)
-        })
-        .expect("fallback ARD hyperparameters must factor")
+    GpModel::fit(x.to_vec(), y, Matern52Ard::new(scales, v), n).or_else(|_| {
+        robotune_obs::incr("gp.hyperfit_fallback", 1);
+        GpModel::fit(x.to_vec(), y, Matern52Ard::new(vec![0.5; d], 1.0), 1e-4).map_err(
+            |e| match e {
+                GpError::Singular(le) => GpError::HyperFitFailed(le),
+                other => other,
+            },
+        )
+    })
 }
 
 #[cfg(test)]
@@ -186,7 +195,7 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
         let y: Vec<f64> = x.iter().map(|p| (p[0] * 9.0).sin() * 2.0).collect();
         let mut rng = rng_from_seed(1);
-        let fitted = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
+        let fitted = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng).expect("fit");
         let clumsy = GpModel::fit(x.clone(), &y, Matern52::new(5.0, 0.1), 0.5).unwrap();
         assert!(
             fitted.log_marginal_likelihood() > clumsy.log_marginal_likelihood(),
@@ -200,7 +209,7 @@ mod tests {
         let f = |t: f64| (t * 7.0).sin() + 0.3 * t;
         let y: Vec<f64> = x.iter().map(|p| f(p[0])).collect();
         let mut rng = rng_from_seed(2);
-        let m = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
+        let m = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng).expect("fit");
         for q in [0.13, 0.47, 0.81] {
             let (mu, _) = m.predict(&[q]);
             assert!((mu - f(q)).abs() < 0.1, "at {q}: {mu} vs {}", f(q));
@@ -215,7 +224,7 @@ mod tests {
             .iter()
             .map(|p| p[0] * 2.0 + 0.3 * robotune_stats::standard_normal(&mut rng))
             .collect();
-        let m = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
+        let m = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng).expect("fit");
         assert!(m.noise() > 1e-4, "noise estimate {} too small", m.noise());
     }
 
@@ -228,7 +237,7 @@ mod tests {
             .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
             .collect();
         let y: Vec<f64> = x.iter().map(|p| (p[0] * 7.0).sin()).collect();
-        let m = fit_gp_ard(&x, &y, &HyperFitOptions::default(), &mut rng);
+        let m = fit_gp_ard(&x, &y, &HyperFitOptions::default(), &mut rng).expect("fit");
         let scales = &m.kernel().length_scales;
         assert!(
             scales[1] > 2.0 * scales[0],
@@ -245,8 +254,8 @@ mod tests {
             .collect();
         // Fast variation along x0, slow along x1.
         let y: Vec<f64> = x.iter().map(|p| (p[0] * 12.0).sin() + 0.3 * p[1]).collect();
-        let iso = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
-        let ard = fit_gp_ard(&x, &y, &HyperFitOptions::default(), &mut rng);
+        let iso = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng).expect("fit");
+        let ard = fit_gp_ard(&x, &y, &HyperFitOptions::default(), &mut rng).expect("fit");
         assert!(
             ard.log_marginal_likelihood() >= iso.log_marginal_likelihood() - 1.0,
             "ARD ({}) should not lose badly to isotropic ({})",
@@ -263,9 +272,45 @@ mod tests {
             .map(|_| (0..5).map(|_| rng.gen::<f64>()).collect())
             .collect();
         let y: Vec<f64> = x.iter().map(|p| p[0] * 3.0 - p[1] + (p[2] * 4.0).cos()).collect();
-        let m = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng);
+        let m = fit_gp(&x, &y, &HyperFitOptions::default(), &mut rng).expect("fit");
         // Sanity: posterior at a training point tracks its target.
         let (mu, _) = m.predict(&x[0]);
         assert!((mu - y[0]).abs() < 0.5);
+    }
+
+    #[test]
+    fn near_singular_design_matrix_is_an_error_or_fallback_never_a_panic() {
+        // A memoized sampler that keeps replaying the incumbent produces a
+        // design matrix of identical rows. With the noise floor allowed to
+        // reach ~0 this is the classic path to a non-PD kernel. Whatever
+        // happens, it must be a typed result, not a process abort.
+        let mut rng = rng_from_seed(11);
+        let x: Vec<Vec<f64>> = vec![vec![0.25, 0.75]; 12];
+        let y: Vec<f64> = (0..12).map(|i| 3.0 + 1e-12 * i as f64).collect();
+        let opts = HyperFitOptions {
+            // Force the optimiser towards zero noise so jitter is the only
+            // line of defence.
+            log_noise_bounds: (-40.0, -39.0),
+            ..HyperFitOptions::default()
+        };
+        match fit_gp(&x, &y, &opts, &mut rng) {
+            Ok(m) => {
+                let (mu, var) = m.predict(&[0.25, 0.75]);
+                assert!(mu.is_finite() && var.is_finite());
+            }
+            Err(e) => assert!(
+                matches!(e, GpError::Singular(_) | GpError::HyperFitFailed(_)),
+                "unexpected error kind: {e:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_typed_error_from_both_fitters() {
+        let mut rng = rng_from_seed(1);
+        let r = fit_gp_ard(&[], &[], &HyperFitOptions::default(), &mut rng);
+        assert!(matches!(r, Err(GpError::InvalidInput(_))));
+        let r = fit_gp(&[], &[], &HyperFitOptions::default(), &mut rng);
+        assert!(matches!(r, Err(GpError::InvalidInput(_))));
     }
 }

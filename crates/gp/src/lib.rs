@@ -14,12 +14,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod error;
 pub mod hyper;
 pub mod kernel;
 pub mod model;
 pub mod opt;
 
+pub use error::GpError;
 pub use hyper::{fit_gp, fit_gp_ard, HyperFitOptions};
 pub use kernel::{Kernel, Matern52, Matern52Ard, SquaredExp};
 pub use model::GpModel;

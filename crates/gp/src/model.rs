@@ -1,7 +1,8 @@
 //! GP posterior inference.
 
-use robotune_linalg::{Cholesky, LinalgError, Matrix};
+use robotune_linalg::{Cholesky, Matrix};
 
+use crate::error::GpError;
 use crate::kernel::Kernel;
 
 /// A fitted Gaussian-process regression model.
@@ -33,15 +34,23 @@ impl<K: Kernel> GpModel<K> {
     /// the kernel matrix is numerically singular the jitter escalates from
     /// `1e-10` by ×10 up to `1e-2` before giving up.
     ///
-    /// # Panics
-    ///
-    /// Panics on empty or mismatched inputs, or non-finite targets.
-    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], kernel: K, noise: f64) -> Result<Self, LinalgError> {
+    /// Returns [`GpError::InvalidInput`] on empty or mismatched inputs,
+    /// non-finite targets, or negative noise — degenerate sessions must
+    /// never panic the tuning pipeline.
+    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], kernel: K, noise: f64) -> Result<Self, GpError> {
         let _span = robotune_obs::span("gp.fit");
-        assert_eq!(x.len(), y.len(), "x/y length mismatch");
-        assert!(!x.is_empty(), "cannot fit a GP on zero observations");
-        assert!(y.iter().all(|v| v.is_finite()), "non-finite target");
-        assert!(noise >= 0.0, "noise variance must be non-negative");
+        if x.len() != y.len() {
+            return Err(GpError::InvalidInput("x/y length mismatch"));
+        }
+        if x.is_empty() {
+            return Err(GpError::InvalidInput("cannot fit a GP on zero observations"));
+        }
+        if !y.iter().all(|v| v.is_finite()) {
+            return Err(GpError::InvalidInput("non-finite target"));
+        }
+        if !noise.is_finite() || noise < 0.0 {
+            return Err(GpError::InvalidInput("noise variance must be non-negative"));
+        }
 
         let n = y.len();
         let y_mean = y.iter().sum::<f64>() / n as f64;
@@ -64,7 +73,7 @@ impl<K: Kernel> GpModel<K> {
                 Err(e) => {
                     robotune_obs::incr("gp.chol_retry", 1);
                     if jitter > 1e-2 {
-                        return Err(e);
+                        return Err(GpError::Singular(e));
                     }
                     k.add_diagonal(jitter);
                     jitter *= 10.0;
@@ -227,8 +236,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero observations")]
-    fn empty_fit_rejected() {
-        let _ = GpModel::fit(Vec::new(), &[], Matern52::new(1.0, 1.0), 0.0);
+    fn empty_fit_rejected_with_typed_error() {
+        let r = GpModel::fit(Vec::new(), &[], Matern52::new(1.0, 1.0), 0.0);
+        assert!(matches!(r, Err(GpError::InvalidInput(_))), "{r:?}");
+    }
+
+    #[test]
+    fn nan_target_rejected_with_typed_error() {
+        let x = vec![vec![0.1], vec![0.9]];
+        let y = vec![1.0, f64::NAN];
+        let r = GpModel::fit(x, &y, Matern52::new(1.0, 1.0), 1e-4);
+        assert!(matches!(r, Err(GpError::InvalidInput(_))), "{r:?}");
     }
 }

@@ -54,7 +54,7 @@ where
     }
 
     while evals < max_evals {
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN mapped to inf"));
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let spread = simplex[dim].1 - simplex[0].1;
         // Terminate on *both* a flat objective and a collapsed simplex;
         // value ties alone (e.g. symmetric objectives) must keep moving.
@@ -128,7 +128,7 @@ where
         }
     }
 
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN mapped to inf"));
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
     NmResult {
         x: simplex[0].0.clone(),
         fx: simplex[0].1,

@@ -1,6 +1,7 @@
 //! [`SparkJob`]: the objective function tuners evaluate.
 
 use rand::rngs::StdRng;
+use robotune_faults::{EvalFaults, FaultPlan};
 use robotune_space::{ConfigSpace, Configuration};
 use robotune_stats::{lognormal, rng_from_seed};
 use robotune_tuners::{Evaluation, Objective};
@@ -42,6 +43,11 @@ pub struct SparkJob {
     noise_sigma: f64,
     rng: StdRng,
     evaluations: usize,
+    /// When set, each evaluation is perturbed by the plan's schedule for
+    /// its (global) evaluation index. Independent of the noise stream, so
+    /// every tuner sharing a plan seed sees the same fault at the same
+    /// evaluation index.
+    faults: Option<FaultPlan>,
 }
 
 impl SparkJob {
@@ -60,7 +66,27 @@ impl SparkJob {
             noise_sigma: Self::DEFAULT_NOISE_SIGMA,
             rng: rng_from_seed(seed),
             evaluations: 0,
+            faults: None,
         }
+    }
+
+    /// Seconds burned by a cluster-side submit rejection: the gateway
+    /// bounces the application before any executor starts.
+    pub const SUBMIT_FAILURE_S: f64 = 6.0;
+
+    /// Injects a deterministic fault schedule into every subsequent
+    /// [`Objective::evaluate`] call (see [`robotune_faults::FaultPlan`]).
+    /// The schedule is keyed by the job's running evaluation counter, so a
+    /// retried evaluation advances to the next scheduled fault rather than
+    /// replaying the same one forever.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Replaces the built-in workload plan with a user-defined one (the
@@ -151,10 +177,49 @@ impl SparkJob {
 
 impl Objective for SparkJob {
     fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation {
+        let fault = match &self.faults {
+            Some(plan) => plan.for_eval(self.evaluations as u64),
+            None => EvalFaults::CLEAN,
+        };
+
+        // A submit rejection bounces the application before any executor
+        // starts: the run never happens, only the gateway round trip is
+        // burned. The evaluation counter still advances so a retry draws
+        // the *next* scheduled fault, not the same rejection forever.
+        if fault.submit_failure {
+            self.evaluations += 1;
+            robotune_obs::incr("fault.submit_failure", 1);
+            return Evaluation::transient_failure(Self::SUBMIT_FAILURE_S.min(cap_s));
+        }
+
         let (t, outcome) = self.run_uncapped(config);
+        // Executor losses (recompute), straggler storms and disk-pressure
+        // spill amplification stretch the wall clock of runs that did
+        // execute; crashes (OOM, launch failure) already burned their time.
+        let slowdown = fault.slowdown();
+        let t = t * slowdown;
+        if slowdown > 1.0 {
+            robotune_obs::record("fault.slowdown", slowdown);
+            if fault.executor_losses > 0 {
+                robotune_obs::incr("fault.executor_loss", fault.executor_losses as u64);
+            }
+            if fault.straggler_factor > 1.0 {
+                robotune_obs::incr("fault.straggler", 1);
+            }
+            if fault.disk_amplification > 1.0 {
+                robotune_obs::incr("fault.disk_pressure", 1);
+            }
+        }
+
         match outcome {
             Outcome::Completed(_) => {
-                if t <= cap_s {
+                if fault.measurement_timeout {
+                    // The run finished but the harness lost the timing —
+                    // the burned wall clock is charged, the measurement is
+                    // not trusted, and a retry may succeed.
+                    robotune_obs::incr("fault.measurement_timeout", 1);
+                    Evaluation::transient_failure(t.min(cap_s))
+                } else if t <= cap_s {
                     Evaluation::completed(t)
                 } else {
                     Evaluation::capped(cap_s)
@@ -296,6 +361,82 @@ mod tests {
         assert!(t_custom < t_ts, "custom {t_custom:.1}s vs TS {t_ts:.1}s");
         assert_eq!(report.stages.len(), 1);
         assert_eq!(report.stages[0].name, "wordcount");
+    }
+
+    #[test]
+    fn fault_plan_replays_identically_for_the_same_seed() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        let run = |job_seed: u64, plan_seed: u64| -> Vec<(f64, bool, bool)> {
+            let plan = FaultPlan::from_profile(robotune_faults::FaultProfile::Hostile, plan_seed);
+            let mut job = SparkJob::new(space.clone(), Workload::KMeans, Dataset::D1, job_seed)
+                .with_faults(plan);
+            (0..30)
+                .map(|_| {
+                    let e = job.evaluate(&cfg, 480.0);
+                    (e.time_s, e.completed, e.failed)
+                })
+                .collect()
+        };
+        assert_eq!(run(9, 77), run(9, 77));
+        assert_ne!(run(9, 77), run(9, 78), "different plan seeds must differ");
+    }
+
+    #[test]
+    fn hostile_faults_perturb_but_never_panic() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        let plan = FaultPlan::from_profile(robotune_faults::FaultProfile::Hostile, 5);
+        let mut job =
+            SparkJob::new(space.clone(), Workload::PageRank, Dataset::D1, 5).with_faults(plan);
+        let mut transients = 0;
+        let mut slowed = 0;
+        let clean = SparkJob::new(space, Workload::PageRank, Dataset::D1, 5)
+            .dry_run(&cfg)
+            .elapsed_s();
+        for _ in 0..60 {
+            let e = job.evaluate(&cfg, 480.0);
+            assert!(e.time_s.is_finite() && e.time_s >= 0.0);
+            if e.failed && e.transient {
+                transients += 1;
+            }
+            if e.completed && e.time_s > clean * 1.3 {
+                slowed += 1;
+            }
+        }
+        assert_eq!(job.evaluations(), 60, "every evaluation must be counted");
+        assert!(transients > 0, "hostile profile should produce transient failures");
+        assert!(slowed > 0, "hostile profile should produce visible slowdowns");
+    }
+
+    #[test]
+    fn submit_failures_burn_only_the_gateway_round_trip() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        // A plan that always rejects the submit.
+        let cfgf = robotune_faults::FaultConfig {
+            submit_failure_p: 1.0,
+            ..robotune_faults::FaultConfig::NONE
+        };
+        let mut job = SparkJob::new(space, Workload::KMeans, Dataset::D1, 6)
+            .with_faults(FaultPlan::new(cfgf, 1));
+        let e = job.evaluate(&cfg, 480.0);
+        assert!(e.failed && e.transient && !e.completed);
+        assert_eq!(e.time_s, SparkJob::SUBMIT_FAILURE_S);
+        assert_eq!(job.evaluations(), 1);
+    }
+
+    #[test]
+    fn none_profile_matches_the_unfaulted_job_exactly() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        let plan = FaultPlan::from_profile(robotune_faults::FaultProfile::None, 3);
+        let mut faulted =
+            SparkJob::new(space.clone(), Workload::TeraSort, Dataset::D1, 12).with_faults(plan);
+        let mut clean = SparkJob::new(space, Workload::TeraSort, Dataset::D1, 12);
+        for _ in 0..10 {
+            assert_eq!(faulted.evaluate(&cfg, 480.0), clean.evaluate(&cfg, 480.0));
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod sim;
 pub mod workload;
 
 pub use cluster::Cluster;
+pub use robotune_faults::{EvalFaults, FaultConfig, FaultPlan, FaultProfile};
 pub use event::simulate_event;
 pub use job::{SimEngine, SparkJob};
 pub use layout::ExecutorLayout;

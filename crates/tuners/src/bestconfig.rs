@@ -22,6 +22,7 @@ use robotune_space::SearchSpace;
 
 use crate::objective::Objective;
 use crate::session::TuningSession;
+use crate::retry::RetryPolicy;
 use crate::tuner::{evaluate_point, Tuner};
 
 /// The BestConfig baseline.
@@ -34,6 +35,8 @@ pub struct BestConfig {
     /// Runtime threshold policy: later rounds cap runs at this multiple of
     /// the best completed time so far.
     pub adaptive_cap_multiple: f64,
+    /// Retry policy for transient evaluation failures.
+    pub retry: RetryPolicy,
 }
 
 impl BestConfig {
@@ -43,6 +46,7 @@ impl BestConfig {
             sample_set_size,
             max_cap_s,
             adaptive_cap_multiple: 4.0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -91,7 +95,7 @@ impl Tuner for BestConfig {
                     .zip(&bounds)
                     .map(|(&u, &(lo, hi))| lo + u * (hi - lo))
                     .collect();
-                let eval = evaluate_point(&mut session, space, objective, point.clone(), cap);
+                let eval = evaluate_point(&mut session, space, objective, point.clone(), cap, &self.retry);
                 if eval.completed
                     && round_best
                         .as_ref()

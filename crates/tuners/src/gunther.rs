@@ -17,6 +17,7 @@ use robotune_space::SearchSpace;
 use crate::objective::Objective;
 use crate::session::TuningSession;
 use crate::threshold::ThresholdPolicy;
+use crate::retry::RetryPolicy;
 use crate::tuner::{evaluate_point, Tuner};
 
 /// The Gunther baseline.
@@ -30,6 +31,8 @@ pub struct Gunther {
     pub mutation_rate: f64,
     /// Stop threshold (static, per §5.1).
     pub threshold: ThresholdPolicy,
+    /// Retry policy for transient evaluation failures.
+    pub retry: RetryPolicy,
 }
 
 impl Gunther {
@@ -40,6 +43,7 @@ impl Gunther {
             elite_fraction: 0.25,
             mutation_rate: 0.2,
             threshold,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -72,14 +76,14 @@ impl Tuner for Gunther {
 
         let init = self.population.unwrap_or(2 * dim).min(budget).max(1);
         for point in uniform(init, dim, rng) {
-            let eval = evaluate_point(&mut session, space, objective, point.clone(), cap);
+            let eval = evaluate_point(&mut session, space, objective, point.clone(), cap, &self.retry);
             population.push((eval.objective_value(cap), point));
         }
 
         let pop_cap = init;
         while session.len() < budget {
             population
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fitness"));
+                .sort_by(|a, b| a.0.total_cmp(&b.0));
             population.truncate(pop_cap);
             let elite = ((population.len() as f64 * self.elite_fraction).ceil() as usize)
                 .clamp(1, population.len());
@@ -98,7 +102,7 @@ impl Tuner for Gunther {
                 }
             }
 
-            let eval = evaluate_point(&mut session, space, objective, child.clone(), cap);
+            let eval = evaluate_point(&mut session, space, objective, child.clone(), cap, &self.retry);
             population.push((eval.objective_value(cap), child));
         }
         session

@@ -31,6 +31,7 @@ pub mod gunther;
 pub mod objective;
 pub mod pattern;
 pub mod random;
+pub mod retry;
 pub mod session;
 pub mod threshold;
 pub mod tuner;
@@ -40,6 +41,7 @@ pub use gunther::Gunther;
 pub use objective::{Evaluation, FnObjective, Objective};
 pub use pattern::PatternSearch;
 pub use random::RandomSearch;
+pub use retry::{evaluate_with_retry, RetryPolicy};
 pub use session::{EvalRecord, TuningSession};
 pub use threshold::ThresholdPolicy;
 pub use tuner::Tuner;

@@ -14,6 +14,13 @@ pub struct Evaluation {
     /// Whether the run died of its own accord (OOM, submit failure, …)
     /// rather than hitting the cap.
     pub failed: bool,
+    /// Whether the failure looks transient (submit/launch hiccup, flaky
+    /// measurement) and is worth retrying, as opposed to a deterministic
+    /// crash like an OOM from an oversized executor heap.
+    pub transient: bool,
+    /// How many attempts this evaluation consumed (≥ 1). Retried runs
+    /// charge every attempt's burned time to `time_s`.
+    pub attempts: u32,
 }
 
 impl Evaluation {
@@ -23,6 +30,8 @@ impl Evaluation {
             time_s,
             completed: true,
             failed: false,
+            transient: false,
+            attempts: 1,
         }
     }
 
@@ -32,15 +41,32 @@ impl Evaluation {
             time_s,
             completed: false,
             failed: false,
+            transient: false,
+            attempts: 1,
         }
     }
 
-    /// A run that crashed after `time_s`.
+    /// A run that crashed after `time_s` for a deterministic reason (OOM,
+    /// invalid configuration): retrying the same point will crash again.
     pub fn failed(time_s: f64) -> Self {
         Evaluation {
             time_s,
             completed: false,
             failed: true,
+            transient: false,
+            attempts: 1,
+        }
+    }
+
+    /// A run that failed after `time_s` for a *transient* reason (submit
+    /// rejection, launch hiccup, lost measurement): a retry may succeed.
+    pub fn transient_failure(time_s: f64) -> Self {
+        Evaluation {
+            time_s,
+            completed: false,
+            failed: true,
+            transient: true,
+            attempts: 1,
         }
     }
 

@@ -15,6 +15,7 @@ use robotune_space::SearchSpace;
 
 use crate::objective::Objective;
 use crate::session::TuningSession;
+use crate::retry::RetryPolicy;
 use crate::threshold::ThresholdPolicy;
 use crate::tuner::{evaluate_point, Tuner};
 
@@ -27,6 +28,8 @@ pub struct PatternSearch {
     pub min_step: f64,
     /// Stop threshold (static, like the other non-adaptive baselines).
     pub threshold: ThresholdPolicy,
+    /// Retry policy for transient evaluation failures.
+    pub retry: RetryPolicy,
 }
 
 impl PatternSearch {
@@ -36,6 +39,7 @@ impl PatternSearch {
             initial_step: 0.25,
             min_step: 0.01,
             threshold,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -65,7 +69,7 @@ impl Tuner for PatternSearch {
         'restarts: while session.len() < budget {
             // Fresh incumbent.
             let mut x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
-            let eval = evaluate_point(&mut session, space, objective, x.clone(), cap);
+            let eval = evaluate_point(&mut session, space, objective, x.clone(), cap, &self.retry);
             let mut fx = eval.objective_value(cap);
             let mut step = self.initial_step;
 
@@ -91,7 +95,7 @@ impl Tuner for PatternSearch {
                         }
                         let mut cand = x.clone();
                         cand[d] = cand_coord;
-                        let e = evaluate_point(&mut session, space, objective, cand.clone(), cap);
+                        let e = evaluate_point(&mut session, space, objective, cand.clone(), cap, &self.retry);
                         let f = e.objective_value(cap);
                         if f < fx {
                             x = cand;

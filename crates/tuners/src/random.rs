@@ -10,6 +10,7 @@ use robotune_space::SearchSpace;
 
 use crate::objective::Objective;
 use crate::session::TuningSession;
+use crate::retry::RetryPolicy;
 use crate::threshold::ThresholdPolicy;
 use crate::tuner::{evaluate_point, Tuner};
 
@@ -17,13 +18,18 @@ use crate::tuner::{evaluate_point, Tuner};
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     threshold: ThresholdPolicy,
+    /// Retry policy for transient evaluation failures.
+    pub retry: RetryPolicy,
 }
 
 impl RandomSearch {
     /// Creates the tuner with the given stop threshold (the paper's
     /// augmentation uses a static 480 s cap).
     pub fn new(threshold: ThresholdPolicy) -> Self {
-        RandomSearch { threshold }
+        RandomSearch {
+            threshold,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -48,7 +54,7 @@ impl Tuner for RandomSearch {
         let mut session = TuningSession::new(self.name());
         let cap = self.threshold.max_cap();
         for point in uniform(budget, space.dim(), rng) {
-            evaluate_point(&mut session, space, objective, point, cap);
+            evaluate_point(&mut session, space, objective, point, cap, &self.retry);
         }
         session
     }

@@ -72,11 +72,15 @@ impl TuningSession {
     }
 
     /// The best (fastest **completed**) evaluation, if any run completed.
+    ///
+    /// Only runs that completed with a finite measured time are eligible:
+    /// a run killed by the threshold policy or crashed by a fault can
+    /// never be reported as the incumbent, whatever its recorded time.
     pub fn best(&self) -> Option<&EvalRecord> {
         self.records
             .iter()
-            .filter(|r| r.eval.completed)
-            .min_by(|a, b| a.eval.time_s.partial_cmp(&b.eval.time_s).expect("finite times"))
+            .filter(|r| r.eval.completed && !r.eval.failed && r.eval.time_s.is_finite())
+            .min_by(|a, b| a.eval.time_s.total_cmp(&b.eval.time_s))
     }
 
     /// Execution time of the best completed configuration.

@@ -27,16 +27,18 @@ pub trait Tuner {
     ) -> TuningSession;
 }
 
-/// Shared helper: evaluate a unit-cube point and record it.
+/// Shared helper: evaluate a unit-cube point (retrying transient failures
+/// under `retry`) and record the budget-charged result.
 pub(crate) fn evaluate_point(
     session: &mut TuningSession,
     space: &dyn SearchSpace,
     objective: &mut dyn Objective,
     point: Vec<f64>,
     cap_s: f64,
+    retry: &crate::retry::RetryPolicy,
 ) -> crate::objective::Evaluation {
     let config = space.decode(&point);
-    let eval = objective.evaluate(&config, cap_s);
+    let eval = crate::retry::evaluate_with_retry(objective, &config, cap_s, retry);
     session.push(point, config, eval, cap_s);
     eval
 }

@@ -6,6 +6,7 @@
 
 pub use robotune as core;
 pub use robotune_bo as bo;
+pub use robotune_faults as faults;
 pub use robotune_gp as gp;
 pub use robotune_linalg as linalg;
 pub use robotune_ml as ml;

@@ -1,0 +1,153 @@
+//! Resilience acceptance tests: full tuning sessions on a hostile,
+//! fault-injected cluster.
+//!
+//! The contract under test: with the `hostile` fault profile active, every
+//! tuner finishes a 100-evaluation session without panicking, the session
+//! accounting stays coherent (every evaluation classified exactly once,
+//! retries budget-charged), and ROBOTune still beats Random Search on
+//! median best-found time across several seeded workloads.
+
+use robotune_repro::faults::{FaultPlan, FaultProfile};
+use robotune_repro::sparksim::{Dataset, SparkJob, Workload};
+use robotune_repro::stats::{median, rng_from_seed};
+use robotune_repro::tuners::{BestConfig, Gunther, RandomSearch, Tuner, TuningSession};
+use robotune_space::spark::spark_space;
+use std::sync::Arc;
+
+const WORKLOADS: [Workload; 3] = [Workload::PageRank, Workload::KMeans, Workload::TeraSort];
+
+fn hostile_job(w: Workload, seed: u64) -> SparkJob {
+    SparkJob::new(spark_space(), w, Dataset::D1, seed)
+        .with_faults(FaultPlan::from_profile(FaultProfile::Hostile, seed ^ 0xFA17))
+}
+
+/// Every evaluation must be exactly one of completed / killed / failed,
+/// burn non-negative finite time, and respect its cap unless retries or
+/// fault slowdowns legitimately stretched the charged time.
+fn assert_coherent_accounting(s: &TuningSession, budget: usize) {
+    assert_eq!(s.len(), budget, "{}: session must spend the whole budget", s.tuner);
+    let (mut completed, mut killed, mut failed) = (0usize, 0usize, 0usize);
+    for r in &s.records {
+        assert!(
+            r.eval.time_s.is_finite() && r.eval.time_s >= 0.0,
+            "{}: non-finite burned time {:?}",
+            s.tuner,
+            r.eval
+        );
+        assert!(r.eval.attempts >= 1, "{}: zero attempts recorded", s.tuner);
+        match (r.eval.completed, r.eval.failed) {
+            (true, false) => completed += 1,
+            (false, true) => failed += 1,
+            (false, false) => killed += 1,
+            (true, true) => panic!("{}: completed AND failed: {:?}", s.tuner, r.eval),
+        }
+    }
+    assert_eq!(completed + killed + failed, budget, "{}: unclassified evaluations", s.tuner);
+    // A hostile cluster must actually have hurt something across 100 evals.
+    assert!(failed + killed > 0, "{}: hostile profile produced no casualties", s.tuner);
+    // The incumbent, when present, is a genuinely completed run.
+    if let Some(best) = s.best() {
+        assert!(best.eval.completed && !best.eval.failed);
+        assert!(best.eval.time_s.is_finite());
+    }
+    // Search cost covers at least every burned second (retries included).
+    assert!(s.search_cost() >= s.records.iter().map(|r| r.eval.time_s).sum::<f64>() - 1e-9);
+}
+
+#[test]
+fn all_four_tuners_survive_hostile_100_eval_sessions() {
+    let budget = 100;
+    let space = spark_space();
+    for (wi, &w) in WORKLOADS.iter().enumerate() {
+        let seed = 1000 + wi as u64;
+
+        let mut rng = rng_from_seed(seed);
+        let mut job = hostile_job(w, seed);
+        let s = RandomSearch::default().tune(&space, &mut job, budget, &mut rng);
+        assert_coherent_accounting(&s, budget);
+
+        let mut rng = rng_from_seed(seed);
+        let mut job = hostile_job(w, seed);
+        let s = Gunther::default().tune(&space, &mut job, budget, &mut rng);
+        assert_coherent_accounting(&s, budget);
+
+        let mut rng = rng_from_seed(seed);
+        let mut job = hostile_job(w, seed);
+        let s = BestConfig::default().tune(&space, &mut job, budget, &mut rng);
+        assert_coherent_accounting(&s, budget);
+
+        let mut rng = rng_from_seed(seed);
+        let mut job = hostile_job(w, seed);
+        let mut tuner = robotune_repro::core::RoboTune::new(
+            robotune_repro::core::RoboTuneOptions::fast(),
+        );
+        let out = tuner.tune_workload(
+            &Arc::new(space.clone()),
+            w.short_name(),
+            &mut job,
+            budget,
+            &mut rng,
+        );
+        assert_coherent_accounting(&out.session, budget);
+    }
+}
+
+#[test]
+fn robotune_beats_random_search_under_hostile_faults() {
+    let budget = 60;
+    let space = spark_space();
+    let mut robo_best = Vec::new();
+    let mut rs_best = Vec::new();
+    for (wi, &w) in WORKLOADS.iter().enumerate() {
+        for rep in 0..2u64 {
+            let seed = 500 + 31 * wi as u64 + rep;
+
+            let mut rng = rng_from_seed(seed);
+            let mut job = hostile_job(w, seed);
+            let mut tuner = robotune_repro::core::RoboTune::new(
+                robotune_repro::core::RoboTuneOptions::fast(),
+            );
+            let out = tuner.tune_workload(
+                &Arc::new(space.clone()),
+                w.short_name(),
+                &mut job,
+                budget,
+                &mut rng,
+            );
+            let mut rng = rng_from_seed(seed);
+            let mut job = hostile_job(w, seed);
+            let rs = RandomSearch::default().tune(&space, &mut job, budget, &mut rng);
+
+            // Normalise per workload so slow workloads don't dominate the
+            // pooled medians.
+            if let (Some(a), Some(b)) = (out.session.best_time(), rs.best_time()) {
+                let scale = b;
+                robo_best.push(a / scale);
+                rs_best.push(b / scale);
+            }
+        }
+    }
+    assert!(
+        robo_best.len() >= 4,
+        "most sessions should find a completed configuration, got {}",
+        robo_best.len()
+    );
+    let (mr, ms) = (median(&robo_best), median(&rs_best));
+    assert!(
+        mr <= ms,
+        "ROBOTune median best ({mr:.3}×RS) must not lose to RS ({ms:.3}) under faults"
+    );
+}
+
+#[test]
+fn fault_schedules_are_identical_across_tuners() {
+    // The fairness invariant behind every faulted comparison: the fault
+    // drawn for evaluation index i depends only on (plan seed, i).
+    let plan = FaultPlan::from_profile(FaultProfile::Hostile, 42);
+    let a: Vec<_> = (0..200).map(|i| plan.for_eval(i)).collect();
+    let plan_again = FaultPlan::from_profile(FaultProfile::Hostile, 42);
+    let b: Vec<_> = (0..200).map(|i| plan_again.for_eval(i)).collect();
+    assert_eq!(a, b);
+    // And random access equals sequential access.
+    assert_eq!(plan.for_eval(137), a[137]);
+}

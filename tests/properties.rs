@@ -3,11 +3,15 @@
 //! panicking, and round-trip the encoders; session metrics must obey
 //! their definitions for arbitrary evaluation streams.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
+use robotune_faults::{FaultConfig, FaultPlan};
 use robotune_space::spark::spark_space;
 use robotune_space::{Configuration, ParamValue, SearchSpace};
-use robotune_sparksim::{simulate, Cluster, Dataset, Outcome, SparkParams, Workload};
-use robotune_tuners::{Evaluation, TuningSession};
+use robotune_sparksim::{simulate, Cluster, Dataset, Outcome, SparkJob, SparkParams, Workload};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{BestConfig, Evaluation, Gunther, RandomSearch, Tuner, TuningSession};
 
 fn unit_point() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(0.0f64..1.0, 44)
@@ -125,6 +129,21 @@ proptest! {
     }
 
     #[test]
+    fn fuzzed_fault_plans_are_deterministic_and_finite(
+        config in raw_fault_config(),
+        seed in 0u64..(1 << 48),
+    ) {
+        let plan = FaultPlan::new(config, seed);
+        let replay = FaultPlan::new(config, seed);
+        for i in 0..64u64 {
+            let f = plan.for_eval(i);
+            prop_assert_eq!(f, replay.for_eval(i), "eval {} not replayable", i);
+            prop_assert!(f.slowdown().is_finite() && f.slowdown() >= 1.0);
+            prop_assert!(f.straggler_factor >= 1.0 && f.disk_amplification >= 1.0);
+        }
+    }
+
+    #[test]
     fn gp_posterior_is_sane_on_random_data(
         ys in proptest::collection::vec(-100.0f64..100.0, 3..20),
         q in 0.0f64..1.0,
@@ -146,5 +165,130 @@ proptest! {
         let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let span = (hi - lo).max(1.0);
         prop_assert!(mu >= lo - span && mu <= hi + span, "mu {} outside [{}, {}]", mu, lo, hi);
+    }
+}
+
+/// A fault configuration with every probability and factor fuzzed past its
+/// legal range, so the plans exercise `FaultConfig::sanitized` as well as
+/// the fault classes themselves.
+fn raw_fault_config() -> impl Strategy<Value = FaultConfig> {
+    (
+        (-0.2f64..1.0, -0.2f64..1.0, 0u32..4, -1.0f64..2.5),
+        (-0.2f64..0.9, 0.5f64..4.0, -0.2f64..0.9, 0.5f64..4.0, -0.2f64..0.4),
+    )
+        .prop_map(
+            |((submit, loss, max_losses, recompute), (strag_p, strag_f, disk_p, disk_f, meas))| {
+                FaultConfig {
+                    submit_failure_p: submit,
+                    executor_loss_p: loss,
+                    max_executor_losses: max_losses,
+                    recompute_frac: recompute,
+                    straggler_p: strag_p,
+                    straggler_factor: strag_f,
+                    disk_pressure_p: disk_p,
+                    disk_amplification: disk_f,
+                    measurement_timeout_p: meas,
+                }
+            },
+        )
+}
+
+/// The accounting every faulted session must keep, whatever the plan threw
+/// at it: full budget spent, every evaluation classified exactly once with
+/// finite non-negative burned time, the incumbent genuinely completed, and
+/// the search cost covering every burned second.
+fn assert_session_coherent(s: &TuningSession, budget: usize) {
+    assert_eq!(s.len(), budget, "{}: must spend the whole budget", s.tuner);
+    for r in &s.records {
+        assert!(
+            r.eval.time_s.is_finite() && r.eval.time_s >= 0.0,
+            "{}: bad burned time {:?}",
+            s.tuner,
+            r.eval
+        );
+        assert!(r.eval.attempts >= 1, "{}: zero attempts", s.tuner);
+        assert!(
+            !(r.eval.completed && r.eval.failed),
+            "{}: completed AND failed: {:?}",
+            s.tuner,
+            r.eval
+        );
+    }
+    if let Some(best) = s.best() {
+        assert!(best.eval.completed && !best.eval.failed && best.eval.time_s.is_finite());
+    }
+    assert!(s.search_cost() >= s.records.iter().map(|r| r.eval.time_s).sum::<f64>() - 1e-9);
+}
+
+/// The session shape that matters for replay equality: what ran, what it
+/// cost, and how each run was classified, bit-for-bit.
+fn session_trace(s: &TuningSession) -> Vec<(u64, bool, bool, u32)> {
+    s.records
+        .iter()
+        .map(|r| (r.eval.time_s.to_bits(), r.eval.completed, r.eval.failed, r.eval.attempts))
+        .collect()
+}
+
+fn faulted_job(w: Workload, config: FaultConfig, seed: u64) -> SparkJob {
+    SparkJob::new(spark_space(), w, Dataset::D1, seed).with_faults(FaultPlan::new(config, seed))
+}
+
+// Full tuning sessions per case, so far fewer cases than the block above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_tuner_survives_an_arbitrary_fault_plan(
+        config in raw_fault_config(),
+        w in any_workload(),
+        seed in 0u64..(1 << 32),
+    ) {
+        let budget = 8;
+        let space = spark_space();
+
+        let mut rng = rng_from_seed(seed);
+        let mut job = faulted_job(w, config, seed);
+        assert_session_coherent(&RandomSearch::default().tune(&space, &mut job, budget, &mut rng), budget);
+
+        let mut rng = rng_from_seed(seed);
+        let mut job = faulted_job(w, config, seed);
+        assert_session_coherent(&Gunther::default().tune(&space, &mut job, budget, &mut rng), budget);
+
+        let mut rng = rng_from_seed(seed);
+        let mut job = faulted_job(w, config, seed);
+        assert_session_coherent(&BestConfig::default().tune(&space, &mut job, budget, &mut rng), budget);
+
+        let mut rng = rng_from_seed(seed);
+        let mut job = faulted_job(w, config, seed);
+        let mut tuner = robotune::RoboTune::new(robotune::RoboTuneOptions::fast());
+        let out = tuner.tune_workload(&Arc::new(space.clone()), w.short_name(), &mut job, budget, &mut rng);
+        assert_session_coherent(&out.session, budget);
+    }
+
+    #[test]
+    fn faulted_sessions_replay_identically_from_the_same_seed(
+        config in raw_fault_config(),
+        w in any_workload(),
+        seed in 0u64..(1 << 32),
+    ) {
+        let budget = 8;
+        let space = spark_space();
+
+        let run_rs = || {
+            let mut rng = rng_from_seed(seed);
+            let mut job = faulted_job(w, config, seed);
+            RandomSearch::default().tune(&space, &mut job, budget, &mut rng)
+        };
+        prop_assert_eq!(session_trace(&run_rs()), session_trace(&run_rs()));
+
+        let run_robo = || {
+            let mut rng = rng_from_seed(seed);
+            let mut job = faulted_job(w, config, seed);
+            let mut tuner = robotune::RoboTune::new(robotune::RoboTuneOptions::fast());
+            tuner
+                .tune_workload(&Arc::new(space.clone()), w.short_name(), &mut job, budget, &mut rng)
+                .session
+        };
+        prop_assert_eq!(session_trace(&run_robo()), session_trace(&run_robo()));
     }
 }
