@@ -1,0 +1,108 @@
+//! GP hot-path micro-benchmark (issue target: ≥4× faster `suggest` at
+//! n=100 on an 8-core host).
+//!
+//! Compares the optimized GP pipeline — shared distance cache across
+//! hyperparameter candidates, parallel multi-start restarts, batched
+//! posterior prediction — against the pre-change reference path, which
+//! re-clones the training set and refits a throwaway `GpModel` for every
+//! log-marginal evaluation and scores acquisition candidates one by one.
+//!
+//! Both paths produce bit-identical suggestions at a fixed seed (see
+//! `tests/gp_hotpath.rs`), so the comparison is purely about time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use robotune_bo::{BoEngine, BoOptions};
+use robotune_gp::{fit_gp, FitStrategy, GpModel, HyperFitOptions, Matern52};
+use robotune_stats::rng_from_seed;
+
+const DIM: usize = 5;
+const N_OBS: usize = 100;
+
+/// Engine pre-loaded with `N_OBS` observations of a smooth 5-d objective,
+/// primed so the next `suggest` performs the full hyperfit + nomination.
+fn seeded_engine(opts: BoOptions) -> (BoEngine, rand::rngs::StdRng) {
+    let mut engine = BoEngine::new(DIM, opts);
+    let mut rng = rng_from_seed(42);
+    use rand::Rng;
+    for _ in 0..N_OBS {
+        let x: Vec<f64> = (0..DIM).map(|_| rng.gen::<f64>()).collect();
+        let y = x.iter().map(|v| (v - 0.4).powi(2)).sum::<f64>();
+        engine.observe(x, y).expect("finite bench observation");
+    }
+    (engine, rng)
+}
+
+fn reference_opts() -> BoOptions {
+    BoOptions {
+        hyper: HyperFitOptions {
+            strategy: FitStrategy::Reference,
+            ..HyperFitOptions::default()
+        },
+        batched_scoring: false,
+        ..BoOptions::default()
+    }
+}
+
+fn bench_suggest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp_hotpath");
+    g.sample_size(10);
+    for (name, opts) in [
+        ("suggest_n100_optimized", BoOptions::default()),
+        ("suggest_n100_reference", reference_opts()),
+    ] {
+        let opts = opts.clone();
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || seeded_engine(opts.clone()),
+                |(mut engine, mut rng)| engine.suggest(&mut rng),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_hyperfit(c: &mut Criterion) {
+    let (engine, _) = seeded_engine(BoOptions::default());
+    let (xs, ys) = engine.observations();
+    let xs: Vec<Vec<f64>> = xs.to_vec();
+    let ys: Vec<f64> = ys.to_vec();
+    let mut g = c.benchmark_group("gp_hotpath");
+    g.sample_size(10);
+    for (name, strategy) in [
+        ("fit_gp_n100_cached_parallel", FitStrategy::Parallel),
+        ("fit_gp_n100_cached_serial", FitStrategy::Serial),
+        ("fit_gp_n100_reference", FitStrategy::Reference),
+    ] {
+        let opts = HyperFitOptions { strategy, ..HyperFitOptions::default() };
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || rng_from_seed(7),
+                |mut rng| fit_gp(&xs, &ys, &opts, &mut rng).expect("bench fit"),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict_batch(c: &mut Criterion) {
+    let (engine, mut rng) = seeded_engine(BoOptions::default());
+    let (xs, ys) = engine.observations();
+    let model = GpModel::fit(xs.to_vec(), ys, Matern52::new(0.5, 1.0), 1e-4).expect("bench fit");
+    use rand::Rng;
+    let queries: Vec<Vec<f64>> = (0..256)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let mut g = c.benchmark_group("gp_hotpath");
+    g.bench_function("predict_256_batched", |b| {
+        b.iter(|| model.predict_batch(&queries));
+    });
+    g.bench_function("predict_256_pointwise", |b| {
+        b.iter(|| queries.iter().map(|q| model.predict(q)).collect::<Vec<_>>());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_suggest, bench_hyperfit, bench_predict_batch);
+criterion_main!(benches);

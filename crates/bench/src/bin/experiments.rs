@@ -22,10 +22,12 @@
 //! to run the whole evaluation under deterministic cluster fault
 //! injection (same schedule for every tuner in a cell).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::path::PathBuf;
 
 use robotune_bench::exp::{ablation, defaults, fig2, fig5, fig6, fig7, fig8, fig9, tab2, GridResults};
-use robotune_bench::report::write_results;
+use robotune_bench::report::{fatal, write_results};
 use robotune_bench::{run_baseline, run_robotune_sequence, TunerKind};
 use robotune_sparksim::{Dataset, FaultProfile, Workload};
 
@@ -46,18 +48,26 @@ fn parse_args(rest: &[String]) -> Args {
         faults: FaultProfile::None,
     };
     let mut it = rest.iter();
+    let value = |flag: &str, v: Option<&String>| -> String {
+        v.cloned().unwrap_or_else(|| fatal(format!("{flag} requires a value")))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--reps" => args.reps = it.next().expect("--reps N").parse().expect("reps"),
-            "--budget" => args.budget = it.next().expect("--budget N").parse().expect("budget"),
-            "--out" => args.out = PathBuf::from(it.next().expect("--out DIR")),
-            "--trace" => args.trace = Some(PathBuf::from(it.next().expect("--trace FILE"))),
+            "--reps" => {
+                args.reps = value("--reps N", it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(format!("--reps: {e}")));
+            }
+            "--budget" => {
+                args.budget = value("--budget N", it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(format!("--budget: {e}")));
+            }
+            "--out" => args.out = PathBuf::from(value("--out DIR", it.next())),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace FILE", it.next()))),
             "--faults" => {
-                let p = it.next().expect("--faults <none|transient|hostile>");
-                args.faults = p.parse().unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                });
+                let p = value("--faults <none|transient|hostile>", it.next());
+                args.faults = p.parse().unwrap_or_else(|e| fatal(e));
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -74,7 +84,9 @@ fn main() {
     let args = parse_args(argv.get(1..).unwrap_or(&[]));
 
     if let Some(path) = &args.trace {
-        robotune_obs::enable_jsonl(path).expect("--trace file");
+        if let Err(e) = robotune_obs::enable_jsonl(path) {
+            fatal(format!("--trace {}: {e}", path.display()));
+        }
         eprintln!("tracing to {}", path.display());
     }
 
@@ -100,8 +112,7 @@ fn dispatch(cmd: &str, args: &Args) {
             print!("{md}");
             write_results(&args.out, "fig9", &md, None);
             for (name, csv) in csvs {
-                std::fs::create_dir_all(&args.out).expect("results dir");
-                std::fs::write(args.out.join(format!("{name}.csv")), csv).expect("csv");
+                write_csv(&args.out, &name, &csv);
             }
         }
         "default" => emit(args, "default", defaults::run(args.budget)),
@@ -137,6 +148,18 @@ fn dispatch(cmd: &str, args: &Args) {
 fn emit(args: &Args, name: &str, (md, json): (String, serde_json::Value)) {
     print!("{md}");
     write_results(&args.out, name, &md, Some(&json));
+}
+
+/// Writes one CSV export next to the markdown results, aborting with a
+/// diagnostic on I/O failure (the harness cannot continue without it).
+fn write_csv(out: &std::path::Path, name: &str, csv: &str) {
+    if let Err(e) = std::fs::create_dir_all(out) {
+        fatal(format!("create {}: {e}", out.display()));
+    }
+    let path = out.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, csv) {
+        fatal(format!("write {}: {e}", path.display()));
+    }
 }
 
 fn run_grid(args: &Args) -> GridResults {
@@ -187,7 +210,7 @@ fn grid_outputs(cmd: &str, args: &Args, grid: &GridResults) {
             print!("{md}");
             write_results(&args.out, "fig8", &md, None);
             for (name, csv) in csvs {
-                std::fs::write(args.out.join(format!("{name}.csv")), csv).expect("csv");
+                write_csv(&args.out, &name, &csv);
             }
         }
         _ => unreachable!(),
@@ -230,7 +253,7 @@ fn run_all(args: &Args) {
     print!("{md9}");
     write_results(&args.out, "fig9", &md9, None);
     for (name, csv) in csvs9 {
-        std::fs::write(args.out.join(format!("{name}.csv")), csv).expect("csv");
+        write_csv(&args.out, &name, &csv);
     }
     emit(args, "default", defaults::run(args.budget));
     let abl = run_ablations(args);
@@ -312,7 +335,7 @@ fn debug_dist() {
                 Outcome::LaunchFailure => launch += 1,
             }
         }
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.sort_by(f64::total_cmp);
         let pct = |q: f64| times[((times.len() - 1) as f64 * q) as usize];
         println!(
             "{:>4}: oom={:3} launch={:2} capped={:3} ok={:3}  p10={:6.0} p50={:6.0} p90={:6.0} min={:5.0}",

@@ -67,8 +67,8 @@ pub fn acquisitions(reps: usize, budget: usize) -> String {
     for (a, (name, _)) in arms.iter().enumerate() {
         let bests: Vec<f64> = results
             .iter()
-            .filter(|(ai, b, _)| *ai == a && b.is_some())
-            .map(|(_, b, _)| b.unwrap())
+            .filter(|(ai, _, _)| *ai == a)
+            .filter_map(|(_, b, _)| *b)
             .collect();
         let costs: Vec<f64> = results
             .iter()
@@ -157,8 +157,8 @@ pub fn init_design(reps: usize, budget: usize) -> String {
         mean(
             &results
                 .iter()
-                .filter(|(l, b)| *l == lhs && b.is_some())
-                .map(|(_, b)| b.unwrap())
+                .filter(|(l, _)| *l == lhs)
+                .filter_map(|(_, b)| *b)
                 .collect::<Vec<_>>(),
         )
     };
@@ -258,8 +258,8 @@ pub fn full_dim(reps: usize, budget: usize) -> String {
     for (a, (name, _)) in arms.iter().enumerate() {
         let bests: Vec<f64> = results
             .iter()
-            .filter(|(ai, b)| *ai == a && b.is_some())
-            .map(|(_, b)| b.unwrap())
+            .filter(|(ai, _)| *ai == a)
+            .filter_map(|(_, b)| *b)
             .collect();
         rows.push(vec![name.to_string(), format!("{:.0}", mean(&bests))]);
     }

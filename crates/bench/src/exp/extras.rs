@@ -150,10 +150,14 @@ pub fn ard_kernel(reps: usize) -> String {
         };
         let (xtr, ytr) = make(50, &mut rng, &mut job);
         let (xte, yte) = make(40, &mut rng, &mut job);
-        let iso = fit_gp(&xtr, &ytr, &HyperFitOptions::default(), &mut rng)
-            .expect("50-point LHS training set must be fittable");
-        let ard = fit_gp_ard(&xtr, &ytr, &HyperFitOptions::default(), &mut rng)
-            .expect("50-point LHS training set must be fittable");
+        // A 50-point LHS training set fits in practice; degrade to NaN
+        // scores (which propagate into the table) rather than panic.
+        let (Ok(iso), Ok(ard)) = (
+            fit_gp(&xtr, &ytr, &HyperFitOptions::default(), &mut rng),
+            fit_gp_ard(&xtr, &ytr, &HyperFitOptions::default(), &mut rng),
+        ) else {
+            return (f64::NAN, f64::NAN);
+        };
         let pred_iso: Vec<f64> = xte.iter().map(|p| iso.predict(p).0).collect();
         let pred_ard: Vec<f64> = xte.iter().map(|p| ard.predict(p).0).collect();
         (r2_score(&yte, &pred_iso), r2_score(&yte, &pred_ard))

@@ -45,7 +45,7 @@ pub fn run(subsample_reps: usize) -> (String, serde_json::Value) {
     let avg_at_100 = mean(
         &per_workload
             .iter()
-            .map(|c| c[SWEEP.iter().position(|&n| n == 100).unwrap()])
+            .filter_map(|c| SWEEP.iter().position(|&n| n == 100).map(|i| c[i]))
             .collect::<Vec<_>>(),
     );
     let avg_at_50 = mean(&per_workload.iter().map(|c| c[5]).collect::<Vec<_>>());

@@ -10,13 +10,17 @@ use robotune_space::spark::spark_space;
 use robotune_sparksim::{Dataset, Workload};
 
 use crate::exp::grid::GridResults;
-use crate::report::markdown_table;
+use crate::report::{fatal, markdown_table};
 
 /// Scatter rows: `(cores, memory_gb, time_s, completed)` per evaluation.
 pub fn scatter(grid: &GridResults, tuner: &str) -> Vec<(i64, f64, f64, bool)> {
     let space = spark_space();
-    let cores_idx = space.index_of(names::EXECUTOR_CORES).expect("cores");
-    let mem_idx = space.index_of(names::EXECUTOR_MEMORY).expect("memory");
+    let cores_idx = space
+        .index_of(names::EXECUTOR_CORES)
+        .unwrap_or_else(|| fatal("spark space is missing executor.cores"));
+    let mem_idx = space
+        .index_of(names::EXECUTOR_MEMORY)
+        .unwrap_or_else(|| fatal("spark space is missing executor.memory"));
     grid.cell(tuner, Workload::PageRank, Dataset::D3)
         .first()
         .map(|r| {
@@ -50,7 +54,7 @@ pub fn render(grid: &GridResults) -> (String, Vec<(String, String)>) {
         let best = pts
             .iter()
             .filter(|p| p.3)
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+            .min_by(|a, b| a.2.total_cmp(&b.2))
             .copied();
         let (concentration, median_dist) = best
             .map(|(bc, bm, _, _)| {

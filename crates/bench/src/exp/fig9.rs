@@ -16,6 +16,8 @@ use robotune_space::{SearchSpace, Subspace};
 use robotune_sparksim::{Dataset, SparkJob, Workload};
 use robotune_stats::rng_from_seed;
 
+use crate::report::fatal;
+
 /// Grid resolution per axis.
 pub const RES: usize = 24;
 
@@ -49,7 +51,9 @@ pub fn run() -> (String, Vec<(String, String)>) {
     let selection = selector.select(&space, &mut job, &mut rng);
     let mut selected = selection.selected.clone();
     for name in [names::EXECUTOR_CORES, names::EXECUTOR_MEMORY] {
-        let idx = space.index_of(name).expect("spark space");
+        let idx = space
+            .index_of(name)
+            .unwrap_or_else(|| fatal(format!("spark space is missing {name}")));
         if !selected.contains(&idx) {
             selected.push(idx);
         }
@@ -128,10 +132,23 @@ fn snapshot(
     engine.refit(rng);
     // Axis positions of cores/memory inside the subspace vector.
     let space = sub.full_space();
-    let cores_full = space.index_of(names::EXECUTOR_CORES).expect("cores");
-    let mem_full = space.index_of(names::EXECUTOR_MEMORY).expect("memory");
-    let ax = sub.selected().iter().position(|&i| i == cores_full).expect("in subspace");
-    let ay = sub.selected().iter().position(|&i| i == mem_full).expect("in subspace");
+    let cores_full = space
+        .index_of(names::EXECUTOR_CORES)
+        .unwrap_or_else(|| fatal("spark space is missing executor.cores"));
+    let mem_full = space
+        .index_of(names::EXECUTOR_MEMORY)
+        .unwrap_or_else(|| fatal("spark space is missing executor.memory"));
+    // run() forced both axes into the subspace before building `sub`.
+    let ax = sub
+        .selected()
+        .iter()
+        .position(|&i| i == cores_full)
+        .unwrap_or_else(|| fatal("executor.cores missing from the fig9 subspace"));
+    let ay = sub
+        .selected()
+        .iter()
+        .position(|&i| i == mem_full)
+        .unwrap_or_else(|| fatal("executor.memory missing from the fig9 subspace"));
 
     // Hold the other coordinates at the incumbent.
     let incumbent: Vec<f64> = engine
@@ -150,7 +167,7 @@ fn snapshot(
             let (mu, _) = engine
                 .bo()
                 .posterior(&p)
-                .expect("model refitted before snapshot");
+                .unwrap_or_else(|| fatal("fig9 snapshot taken before the model was refitted"));
             posterior.push(mu);
             // Truth uses the same penalty mapping the GP was trained on:
             // non-completions count as the 480 s cap, not their (short)
@@ -192,7 +209,7 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite"));
+    idx.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
     let mut out = vec![0.0; xs.len()];
     for (rank, &i) in idx.iter().enumerate() {
         out[i] = rank as f64 + 1.0;

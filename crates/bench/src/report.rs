@@ -12,16 +12,32 @@ pub fn geo_mean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
+/// Aborts the process with an error message on stderr and exit code 2.
+///
+/// The experiment harness has no meaningful way to continue after an I/O
+/// failure or a broken invariant in its own fixtures, and a clean
+/// diagnostic beats a panic backtrace for a command-line tool.
+pub fn fatal(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 /// Writes `markdown` to `results/<name>.md` and, when provided, `json`
 /// to `results/<name>.json`. Returns the markdown path.
 pub fn write_results(dir: &Path, name: &str, markdown: &str, json: Option<&serde_json::Value>) -> PathBuf {
-    fs::create_dir_all(dir).expect("create results directory");
+    if let Err(e) = fs::create_dir_all(dir) {
+        fatal(format!("create {}: {e}", dir.display()));
+    }
     let md_path = dir.join(format!("{name}.md"));
-    fs::write(&md_path, markdown).expect("write markdown result");
+    if let Err(e) = fs::write(&md_path, markdown) {
+        fatal(format!("write {}: {e}", md_path.display()));
+    }
     if let Some(v) = json {
         let json_path = dir.join(format!("{name}.json"));
-        fs::write(json_path, serde_json::to_string_pretty(v).expect("serialise"))
-            .expect("write json result");
+        let text = serde_json::to_string_pretty(v).unwrap_or_else(|e| fatal(format!("serialise {name}: {e}")));
+        if let Err(e) = fs::write(&json_path, text) {
+            fatal(format!("write {}: {e}", json_path.display()));
+        }
     }
     md_path
 }

@@ -238,15 +238,22 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| loop {
-                let item = queue.lock().unwrap().pop();
+                let item = queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop();
                 let Some((i, t)) = item else { break };
                 let u = f(t);
-                results.lock().unwrap()[i] = Some(u);
+                results.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(u);
             });
         }
     });
 
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    // Worker panics propagate out of the scope above, so by here every
+    // queue item has been drained into its slot.
+    let out: Vec<U> = slots.into_iter().flatten().collect();
+    assert_eq!(out.len(), n, "par_map: a worker left a slot unfilled");
+    out
 }
 
 #[cfg(test)]

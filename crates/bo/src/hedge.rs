@@ -47,17 +47,9 @@ impl Hedge {
 
     /// Samples one acquisition according to the current probabilities.
     pub fn choose<R: Rng + ?Sized>(&mut self, rng: &mut R) -> AcquisitionKind {
-        let probs = self.probabilities();
-        let mut u = rng.gen::<f64>();
-        for (i, p) in probs.iter().enumerate() {
-            if u < *p {
-                self.picks[i] += 1;
-                return ALL_ACQUISITIONS[i];
-            }
-            u -= p;
-        }
-        self.picks[2] += 1;
-        ALL_ACQUISITIONS[2]
+        let i = pick_index(&self.probabilities(), rng.gen::<f64>());
+        self.picks[i] += 1;
+        ALL_ACQUISITIONS[i]
     }
 
     /// Adds this round's rewards (one per expert, PI/EI/LCB order).
@@ -86,6 +78,28 @@ impl Default for Hedge {
     fn default() -> Self {
         Hedge::new(1.0)
     }
+}
+
+/// Maps a uniform draw `u` to an expert index by inverse CDF over `probs`.
+///
+/// Floating-point rounding can leave `Σ probs` a few ULPs below 1 (or the
+/// residual of `u` a few ULPs above the remaining mass), letting the scan
+/// fall through every bucket. The fallthrough must credit the last expert
+/// with *positive* probability — an expert whose weight underflowed to
+/// exactly zero (adversarially large negative gains) may never be picked,
+/// which the old always-LCB fallback violated.
+fn pick_index(probs: &[f64; 3], mut u: f64) -> usize {
+    let mut last_positive = 0;
+    for (i, p) in probs.iter().enumerate() {
+        if *p > 0.0 {
+            last_positive = i;
+        }
+        if u < *p {
+            return i;
+        }
+        u -= p;
+    }
+    last_positive
 }
 
 #[cfg(test)]
@@ -155,5 +169,25 @@ mod tests {
     #[should_panic(expected = "eta must be positive")]
     fn rejects_bad_eta() {
         Hedge::new(0.0);
+    }
+
+    #[test]
+    fn fallthrough_never_credits_a_zero_probability_expert() {
+        // Adversarial gains drive LCB's softmax weight to exactly zero:
+        // exp(η·(−10⁴)) underflows. A draw that falls through every bucket
+        // (u = 1.0 simulates the worst rounding case; rng draws are < 1
+        // but the residual can exceed the remaining mass by a few ULPs)
+        // must land on EI — the last expert with positive mass — not LCB.
+        let mut h = Hedge::default();
+        h.update([0.0, 0.0, -1e4]);
+        let p = h.probabilities();
+        assert_eq!(p[2], 0.0, "test premise: LCB mass underflows, got {p:?}");
+        assert_eq!(pick_index(&p, 1.0), 1, "fallthrough must pick EI");
+        // And with all mass on the first expert, fallthrough picks it.
+        assert_eq!(pick_index(&[1.0, 0.0, 0.0], 1.0), 0);
+        // Ordinary draws still follow the inverse CDF.
+        assert_eq!(pick_index(&[0.2, 0.3, 0.5], 0.1), 0);
+        assert_eq!(pick_index(&[0.2, 0.3, 0.5], 0.4), 1);
+        assert_eq!(pick_index(&[0.2, 0.3, 0.5], 0.9), 2);
     }
 }

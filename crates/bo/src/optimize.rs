@@ -32,13 +32,51 @@ impl Default for OptimizeOptions {
     }
 }
 
+/// A scorer the maximiser can query one point at a time (local
+/// refinement) or a whole candidate batch at once (global phase).
+trait AcqScorer {
+    fn score_batch(&mut self, batch: &[Vec<f64>]) -> Vec<f64>;
+    fn score_one(&mut self, p: &[f64]) -> f64;
+}
+
+struct Pointwise<F>(F);
+
+impl<F: FnMut(&[f64]) -> f64> AcqScorer for Pointwise<F> {
+    fn score_batch(&mut self, batch: &[Vec<f64>]) -> Vec<f64> {
+        batch.iter().map(|p| (self.0)(p)).collect()
+    }
+
+    fn score_one(&mut self, p: &[f64]) -> f64 {
+        (self.0)(p)
+    }
+}
+
+struct Batched<B, F> {
+    batch: B,
+    one: F,
+}
+
+impl<B, F> AcqScorer for Batched<B, F>
+where
+    B: FnMut(&[Vec<f64>]) -> Vec<f64>,
+    F: FnMut(&[f64]) -> f64,
+{
+    fn score_batch(&mut self, batch: &[Vec<f64>]) -> Vec<f64> {
+        (self.batch)(batch)
+    }
+
+    fn score_one(&mut self, p: &[f64]) -> f64 {
+        (self.one)(p)
+    }
+}
+
 /// Maximises `score` over `[0, 1]^dim`; returns the best point found.
 ///
 /// # Panics
 ///
 /// Panics if `dim == 0` or the candidate budget is zero.
 pub fn maximize_acquisition<F, R>(
-    mut score: F,
+    score: F,
     dim: usize,
     opts: &OptimizeOptions,
     rng: &mut R,
@@ -47,16 +85,63 @@ where
     F: FnMut(&[f64]) -> f64,
     R: Rng + ?Sized,
 {
+    maximize_with(&mut Pointwise(score), dim, opts, rng)
+}
+
+/// Like [`maximize_acquisition`], but the global phase's candidate batch
+/// is scored through `batch_score` in one call — the hook for GP
+/// [`predict_batch`](robotune_gp::GpModel::predict_batch)-backed scoring.
+/// `score` remains the pointwise scorer the local pattern search uses.
+///
+/// When `batch_score` returns, element-for-element, exactly what `score`
+/// would return on each candidate, the result is bit-identical to
+/// [`maximize_acquisition`] with the same RNG: candidates are drawn in the
+/// same order and scoring consumes no randomness.
+///
+/// # Panics
+///
+/// Panics if `dim == 0`, the candidate budget is zero, or `batch_score`
+/// returns a vector of the wrong length.
+pub fn maximize_acquisition_batch<B, F, R>(
+    batch_score: B,
+    score: F,
+    dim: usize,
+    opts: &OptimizeOptions,
+    rng: &mut R,
+) -> Vec<f64>
+where
+    B: FnMut(&[Vec<f64>]) -> Vec<f64>,
+    F: FnMut(&[f64]) -> f64,
+    R: Rng + ?Sized,
+{
+    maximize_with(
+        &mut Batched {
+            batch: batch_score,
+            one: score,
+        },
+        dim,
+        opts,
+        rng,
+    )
+}
+
+fn maximize_with<S, R>(scorer: &mut S, dim: usize, opts: &OptimizeOptions, rng: &mut R) -> Vec<f64>
+where
+    S: AcqScorer + ?Sized,
+    R: Rng + ?Sized,
+{
     assert!(dim > 0, "dimension must be positive");
     assert!(opts.candidates > 0, "need at least one candidate");
 
-    // Global phase: random scatter.
-    let mut scored: Vec<(f64, Vec<f64>)> = (0..opts.candidates)
-        .map(|_| {
-            let p: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
-            (score(&p), p)
-        })
+    // Global phase: random scatter. All candidates are drawn before any
+    // scoring — the same RNG stream as the historical draw-score-draw
+    // loop, since scoring never consumed randomness.
+    let cands: Vec<Vec<f64>> = (0..opts.candidates)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
         .collect();
+    let scores = scorer.score_batch(&cands);
+    assert_eq!(scores.len(), cands.len(), "batch scorer returned wrong length");
+    let mut scored: Vec<(f64, Vec<f64>)> = scores.into_iter().zip(cands).collect();
     scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     scored.truncate(opts.refine_top.max(1));
 
@@ -76,7 +161,7 @@ where
                             continue;
                         }
                         x[d] = cand;
-                        let f = score(&x);
+                        let f = scorer.score_one(&x);
                         if f > fx {
                             fx = f;
                             improved = true;
@@ -139,6 +224,24 @@ mod tests {
         };
         let x = maximize_acquisition(f, 1, &OptimizeOptions::default(), &mut rng);
         assert!((x[0] - 0.8).abs() < 0.02, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn batch_scoring_is_bit_identical_to_pointwise() {
+        let f = |p: &[f64]| {
+            -(p[0] - 0.37).powi(2) - (p[1] - 0.61).powi(2) + (p[0] * 9.0).sin() * 0.01
+        };
+        let mut rng_a = rng_from_seed(7);
+        let pointwise = maximize_acquisition(f, 2, &OptimizeOptions::default(), &mut rng_a);
+        let mut rng_b = rng_from_seed(7);
+        let batched = maximize_acquisition_batch(
+            |batch| batch.iter().map(|p| f(p)).collect(),
+            f,
+            2,
+            &OptimizeOptions::default(),
+            &mut rng_b,
+        );
+        assert_eq!(pointwise, batched);
     }
 
     #[test]

@@ -177,11 +177,11 @@ impl ParameterSelector {
                     .collect();
             } else {
                 for g in imp {
-                    let slot = importances
-                        .iter_mut()
-                        .find(|h| h.name == g.name)
-                        .expect("same groups every fit");
-                    slot.importance += g.importance / refits as f64;
+                    // Every fit scores the same group list, so the lookup
+                    // always succeeds; a missing name just drops that term.
+                    if let Some(slot) = importances.iter_mut().find(|h| h.name == g.name) {
+                        slot.importance += g.importance / refits as f64;
+                    }
                 }
             }
         }

@@ -4,13 +4,56 @@
 //! by multi-start Nelder–Mead on the log marginal likelihood. Targets are
 //! standardised inside [`crate::model::GpModel`], so the same search box
 //! works across workloads.
+//!
+//! The hot path is engineered around two observations:
+//!
+//! * every likelihood evaluation shares the same training set, so the
+//!   pairwise distances and standardised targets are computed **once**
+//!   ([`PreparedData`]) instead of being cloned and rebuilt per candidate;
+//! * the restarts are independent, so they run on scoped threads
+//!   ([`FitStrategy::Parallel`]) with a deterministic best-of selection
+//!   (lowest negative log-marginal-likelihood, lowest restart index on
+//!   ties) — the chosen hyperparameters are byte-identical to the serial
+//!   path, and the start points are drawn from the caller's RNG *before*
+//!   any thread spawns, so the RNG stream (and with it the whole tuning
+//!   trajectory) matches the historical serial implementation bit for bit.
 
 use rand::Rng;
 
 use crate::error::GpError;
 use crate::kernel::{Matern52, Matern52Ard};
 use crate::model::GpModel;
-use crate::opt::nelder_mead;
+use crate::opt::{nelder_mead, NmResult};
+use crate::prepared::PreparedData;
+
+/// Documented safe-fallback length scale used when optimisation produces
+/// no usable candidate.
+pub const FALLBACK_LENGTH_SCALE: f64 = 0.5;
+/// Documented safe-fallback signal variance (standardised-target units).
+pub const FALLBACK_VARIANCE: f64 = 1.0;
+/// Documented safe-fallback white-noise variance. Deliberately smaller
+/// than the `1e-3` default *start* point: a fallback should trust the data
+/// it has rather than inflate the noise floor.
+pub const FALLBACK_NOISE: f64 = 1e-4;
+
+/// How [`fit_gp`] / [`fit_gp_ard`] execute their multi-start restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitStrategy {
+    /// Distance-cached likelihood evaluations with restarts spread over
+    /// `std::thread::scope` threads (one per start, bounded by the host's
+    /// parallelism). The default.
+    #[default]
+    Parallel,
+    /// Distance-cached likelihood evaluations with restarts run serially
+    /// on the calling thread. Same arithmetic as [`FitStrategy::Parallel`];
+    /// results are byte-identical.
+    Serial,
+    /// The historical implementation: a full [`GpModel::fit`] — coordinate
+    /// clone, distance recomputation, kernel rebuild — per likelihood
+    /// evaluation, restarts serial. Kept as the micro-benchmark baseline
+    /// and the oracle for equivalence tests.
+    Reference,
+}
 
 /// Options for [`fit_gp`].
 #[derive(Debug, Clone)]
@@ -25,6 +68,8 @@ pub struct HyperFitOptions {
     pub log_variance_bounds: (f64, f64),
     /// Bounds on `log σ_n²`.
     pub log_noise_bounds: (f64, f64),
+    /// Execution strategy for the restarts.
+    pub strategy: FitStrategy,
 }
 
 impl Default for HyperFitOptions {
@@ -38,6 +83,7 @@ impl Default for HyperFitOptions {
             log_variance_bounds: (-3.0, 3.0),
             // σ_n² from ~5e-5 to ~1: measured runtimes are noisy, never exact.
             log_noise_bounds: (-10.0, 0.0),
+            strategy: FitStrategy::default(),
         }
     }
 }
@@ -50,13 +96,71 @@ fn clamp3(theta: &[f64], opts: &HyperFitOptions) -> (f64, f64, f64) {
     )
 }
 
+/// Runs one Nelder–Mead restart per start point, serially or on scoped
+/// threads. The result vector is indexed by start, independent of thread
+/// scheduling, so downstream selection is deterministic either way.
+fn run_restarts<F>(starts: &[Vec<f64>], parallel: bool, evals: usize, neg_lml: &F) -> Vec<NmResult>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    let workers = if parallel {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        1
+    };
+    let results: Vec<NmResult> = if workers > 1 && starts.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = starts
+                .iter()
+                .map(|st| s.spawn(move || nelder_mead(neg_lml, st, 0.7, evals, 1e-8)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    } else {
+        starts
+            .iter()
+            .map(|st| nelder_mead(neg_lml, st, 0.7, evals, 1e-8))
+            .collect()
+    };
+    for r in &results {
+        robotune_obs::incr("gp.hyperfit_restart", 1);
+        robotune_obs::record("gp.hyperfit_evals", r.evals as f64);
+    }
+    results
+}
+
+/// Picks the restart with the best (lowest) finite negative LML. Ties
+/// break on the lowest restart index — the same winner the historical
+/// serial first-strict-minimum loop produced.
+fn select_best(results: Vec<NmResult>) -> Option<Vec<f64>> {
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for r in results {
+        if r.fx.is_finite()
+            && best
+                .as_ref()
+                .is_none_or(|(b, _)| r.fx.total_cmp(b) == std::cmp::Ordering::Less)
+        {
+            best = Some((r.fx, r.x));
+        }
+    }
+    best.map(|(_, t)| t)
+}
+
 /// Fits a Matérn 5/2 + white-noise GP with ML-II hyperparameters.
 ///
 /// Returns the fitted model with the best marginal likelihood found over
-/// all restarts. Falls back to sensible defaults (ℓ = 0.5, σ² = 1,
-/// σ_n² = 1e-4) if every optimised candidate fails to factor, and to a
-/// typed [`GpError`] — never a panic — when even the fallback cannot be
-/// factored or the inputs are unusable (empty set, NaN targets).
+/// all restarts. Falls back to the documented defaults
+/// ([`FALLBACK_LENGTH_SCALE`] = 0.5, [`FALLBACK_VARIANCE`] = 1,
+/// [`FALLBACK_NOISE`] = 1e-4) — counted under `gp.hyperfit_fallback` — if
+/// every optimised candidate fails to factor, and to a typed [`GpError`],
+/// never a panic, when even the fallback cannot be factored or the inputs
+/// are unusable (empty set, NaN targets).
 pub fn fit_gp<R: Rng + ?Sized>(
     x: &[Vec<f64>],
     y: &[f64],
@@ -64,15 +168,8 @@ pub fn fit_gp<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<GpModel<Matern52>, GpError> {
     let _span = robotune_obs::span("gp.hyperfit");
-    let neg_lml = |theta: &[f64]| -> f64 {
-        let (ll, lv, ln) = clamp3(theta, opts);
-        match GpModel::fit(x.to_vec(), y, Matern52::new(ll.exp(), lv.exp()), ln.exp()) {
-            Ok(m) => -m.log_marginal_likelihood(),
-            Err(_) => f64::INFINITY,
-        }
-    };
-
-    // Default start: mid-range length scale, unit variance, small noise.
+    // Start points are drawn from the caller's RNG here, before any
+    // strategy-specific work: every strategy consumes the same stream.
     let mut starts = vec![vec![(0.5f64).ln(), 0.0, (1e-3f64).ln()]];
     for _ in 0..opts.restarts {
         starts.push(vec![
@@ -82,24 +179,76 @@ pub fn fit_gp<R: Rng + ?Sized>(
         ]);
     }
 
-    let mut best: Option<(f64, Vec<f64>)> = None;
-    for s in &starts {
-        let r = nelder_mead(neg_lml, s, 0.7, opts.evals_per_restart, 1e-8);
-        robotune_obs::incr("gp.hyperfit_restart", 1);
-        robotune_obs::record("gp.hyperfit_evals", r.evals as f64);
-        if r.fx.is_finite() && best.as_ref().is_none_or(|(b, _)| r.fx < *b) {
-            best = Some((r.fx, r.x));
-        }
+    if opts.strategy == FitStrategy::Reference {
+        return fit_gp_reference(x, y, opts, &starts);
     }
 
-    let theta = best.map(|(_, t)| t).unwrap_or_else(|| vec![(0.5f64).ln(), 0.0, (1e-4f64).ln()]);
+    let data = PreparedData::prepare(x.to_vec(), y)?;
+    let neg_lml = |theta: &[f64]| -> f64 {
+        let (ll, lv, ln) = clamp3(theta, opts);
+        match data.log_marginal(&Matern52::new(ll.exp(), lv.exp()), ln.exp()) {
+            Ok(l) => -l,
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    let parallel = opts.strategy == FitStrategy::Parallel;
+    let results = run_restarts(&starts, parallel, opts.evals_per_restart, &neg_lml);
+    let theta = select_best(results).unwrap_or_else(|| {
+        // No restart produced a finite likelihood: every degraded fit is
+        // accounted for, including this one.
+        robotune_obs::incr("gp.hyperfit_fallback", 1);
+        vec![FALLBACK_LENGTH_SCALE.ln(), FALLBACK_VARIANCE.ln(), FALLBACK_NOISE.ln()]
+    });
     let (ll, lv, ln) = clamp3(&theta, opts);
-    GpModel::fit(x.to_vec(), y, Matern52::new(ll.exp(), lv.exp()), ln.exp()).or_else(|_| {
+    GpModel::fit_prepared(&data, Matern52::new(ll.exp(), lv.exp()), ln.exp()).or_else(|_| {
         // Optimised hyperparameters failed to factor: retry once with the
         // safe defaults, then report the typed failure instead of
         // panicking — the caller degrades to a non-surrogate proposal.
         robotune_obs::incr("gp.hyperfit_fallback", 1);
-        GpModel::fit(x.to_vec(), y, Matern52::new(0.5, 1.0), 1e-4).map_err(|e| match e {
+        GpModel::fit_prepared(
+            &data,
+            Matern52::new(FALLBACK_LENGTH_SCALE, FALLBACK_VARIANCE),
+            FALLBACK_NOISE,
+        )
+        .map_err(|e| match e {
+            GpError::Singular(le) => GpError::HyperFitFailed(le),
+            other => other,
+        })
+    })
+}
+
+/// The historical `fit_gp` body: one full `GpModel::fit` per likelihood
+/// evaluation, serial restarts. Benchmark baseline and equivalence oracle.
+fn fit_gp_reference(
+    x: &[Vec<f64>],
+    y: &[f64],
+    opts: &HyperFitOptions,
+    starts: &[Vec<f64>],
+) -> Result<GpModel<Matern52>, GpError> {
+    let neg_lml = |theta: &[f64]| -> f64 {
+        let (ll, lv, ln) = clamp3(theta, opts);
+        match GpModel::fit(x.to_vec(), y, Matern52::new(ll.exp(), lv.exp()), ln.exp()) {
+            Ok(m) => -m.log_marginal_likelihood(),
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    let results = run_restarts(starts, false, opts.evals_per_restart, &neg_lml);
+    let theta = select_best(results).unwrap_or_else(|| {
+        robotune_obs::incr("gp.hyperfit_fallback", 1);
+        vec![FALLBACK_LENGTH_SCALE.ln(), FALLBACK_VARIANCE.ln(), FALLBACK_NOISE.ln()]
+    });
+    let (ll, lv, ln) = clamp3(&theta, opts);
+    GpModel::fit(x.to_vec(), y, Matern52::new(ll.exp(), lv.exp()), ln.exp()).or_else(|_| {
+        robotune_obs::incr("gp.hyperfit_fallback", 1);
+        GpModel::fit(
+            x.to_vec(),
+            y,
+            Matern52::new(FALLBACK_LENGTH_SCALE, FALLBACK_VARIANCE),
+            FALLBACK_NOISE,
+        )
+        .map_err(|e| match e {
             GpError::Singular(le) => GpError::HyperFitFailed(le),
             other => other,
         })
@@ -108,7 +257,9 @@ pub fn fit_gp<R: Rng + ?Sized>(
 
 /// Fits an ARD Matérn 5/2 + white-noise GP with ML-II hyperparameters:
 /// `d` log length scales plus log variance and log noise, optimised by
-/// multi-start Nelder–Mead. Degenerate inputs yield a typed [`GpError`],
+/// multi-start Nelder–Mead. Uses the same distance cache, parallel
+/// restarts, documented fallback values and `gp.hyperfit_fallback`
+/// accounting as [`fit_gp`]. Degenerate inputs yield a typed [`GpError`],
 /// never a panic.
 pub fn fit_gp_ard<R: Rng + ?Sized>(
     x: &[Vec<f64>],
@@ -134,13 +285,6 @@ pub fn fit_gp_ard<R: Rng + ?Sized>(
             .exp();
         (scales, v, n)
     };
-    let neg_lml = |theta: &[f64]| -> f64 {
-        let (scales, v, n) = clamp(theta);
-        match GpModel::fit(x.to_vec(), y, Matern52Ard::new(scales, v), n) {
-            Ok(m) => -m.log_marginal_likelihood(),
-            Err(_) => f64::INFINITY,
-        }
-    };
 
     let mut start = vec![(0.5f64).ln(); d];
     start.push(0.0);
@@ -155,33 +299,66 @@ pub fn fit_gp_ard<R: Rng + ?Sized>(
         starts.push(s);
     }
 
-    let mut best: Option<(f64, Vec<f64>)> = None;
     // ARD has d+2 parameters; scale the evaluation budget with dimension.
     let evals = opts.evals_per_restart * (1 + d / 2);
-    for s in &starts {
-        let r = nelder_mead(neg_lml, s, 0.7, evals, 1e-8);
-        robotune_obs::incr("gp.hyperfit_restart", 1);
-        robotune_obs::record("gp.hyperfit_evals", r.evals as f64);
-        if r.fx.is_finite() && best.as_ref().is_none_or(|(b, _)| r.fx < *b) {
-            best = Some((r.fx, r.x));
-        }
-    }
 
-    let theta = best.map(|(_, t)| t).unwrap_or_else(|| {
-        let mut t = vec![(0.5f64).ln(); d];
-        t.push(0.0);
-        t.push((1e-4f64).ln());
-        t
-    });
-    let (scales, v, n) = clamp(&theta);
-    GpModel::fit(x.to_vec(), y, Matern52Ard::new(scales, v), n).or_else(|_| {
+    let fallback_theta = || {
         robotune_obs::incr("gp.hyperfit_fallback", 1);
-        GpModel::fit(x.to_vec(), y, Matern52Ard::new(vec![0.5; d], 1.0), 1e-4).map_err(
-            |e| match e {
+        let mut t = vec![FALLBACK_LENGTH_SCALE.ln(); d];
+        t.push(FALLBACK_VARIANCE.ln());
+        t.push(FALLBACK_NOISE.ln());
+        t
+    };
+
+    if opts.strategy == FitStrategy::Reference {
+        let neg_lml = |theta: &[f64]| -> f64 {
+            let (scales, v, n) = clamp(theta);
+            match GpModel::fit(x.to_vec(), y, Matern52Ard::new(scales, v), n) {
+                Ok(m) => -m.log_marginal_likelihood(),
+                Err(_) => f64::INFINITY,
+            }
+        };
+        let results = run_restarts(&starts, false, evals, &neg_lml);
+        let theta = select_best(results).unwrap_or_else(fallback_theta);
+        let (scales, v, n) = clamp(&theta);
+        return GpModel::fit(x.to_vec(), y, Matern52Ard::new(scales, v), n).or_else(|_| {
+            robotune_obs::incr("gp.hyperfit_fallback", 1);
+            GpModel::fit(
+                x.to_vec(),
+                y,
+                Matern52Ard::new(vec![FALLBACK_LENGTH_SCALE; d], FALLBACK_VARIANCE),
+                FALLBACK_NOISE,
+            )
+            .map_err(|e| match e {
                 GpError::Singular(le) => GpError::HyperFitFailed(le),
                 other => other,
-            },
+            })
+        });
+    }
+
+    let data = PreparedData::prepare_ard(x.to_vec(), y)?;
+    let neg_lml = |theta: &[f64]| -> f64 {
+        let (scales, v, n) = clamp(theta);
+        match data.log_marginal(&Matern52Ard::new(scales, v), n) {
+            Ok(l) => -l,
+            Err(_) => f64::INFINITY,
+        }
+    };
+    let parallel = opts.strategy == FitStrategy::Parallel;
+    let results = run_restarts(&starts, parallel, evals, &neg_lml);
+    let theta = select_best(results).unwrap_or_else(fallback_theta);
+    let (scales, v, n) = clamp(&theta);
+    GpModel::fit_prepared(&data, Matern52Ard::new(scales, v), n).or_else(|_| {
+        robotune_obs::incr("gp.hyperfit_fallback", 1);
+        GpModel::fit_prepared(
+            &data,
+            Matern52Ard::new(vec![FALLBACK_LENGTH_SCALE; d], FALLBACK_VARIANCE),
+            FALLBACK_NOISE,
         )
+        .map_err(|e| match e {
+            GpError::Singular(le) => GpError::HyperFitFailed(le),
+            other => other,
+        })
     })
 }
 
@@ -312,5 +489,70 @@ mod tests {
         assert!(matches!(r, Err(GpError::InvalidInput(_))));
         let r = fit_gp(&[], &[], &HyperFitOptions::default(), &mut rng);
         assert!(matches!(r, Err(GpError::InvalidInput(_))));
+    }
+
+    fn equivalence_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        use rand::Rng as _;
+        let mut rng = rng_from_seed(42);
+        let x: Vec<Vec<f64>> = (0..22)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 6.0).sin() + p[1] * p[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn all_strategies_yield_byte_identical_models() {
+        let (x, y) = equivalence_data();
+        let fit_with = |strategy: FitStrategy| {
+            let mut rng = rng_from_seed(9);
+            let opts = HyperFitOptions {
+                strategy,
+                ..HyperFitOptions::default()
+            };
+            fit_gp(&x, &y, &opts, &mut rng).expect("fit")
+        };
+        let reference = fit_with(FitStrategy::Reference);
+        for strategy in [FitStrategy::Serial, FitStrategy::Parallel] {
+            let m = fit_with(strategy);
+            assert_eq!(
+                m.kernel().length_scale,
+                reference.kernel().length_scale,
+                "{strategy:?} length scale"
+            );
+            assert_eq!(m.kernel().variance, reference.kernel().variance, "{strategy:?}");
+            assert_eq!(m.noise(), reference.noise(), "{strategy:?}");
+            assert_eq!(
+                m.log_marginal_likelihood(),
+                reference.log_marginal_likelihood(),
+                "{strategy:?}"
+            );
+            for q in [[0.2, 0.4], [0.7, 0.1], [0.55, 0.95]] {
+                assert_eq!(m.predict(&q), reference.predict(&q), "{strategy:?} at {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ard_strategies_yield_byte_identical_models() {
+        let (x, y) = equivalence_data();
+        let fit_with = |strategy: FitStrategy| {
+            let mut rng = rng_from_seed(13);
+            let opts = HyperFitOptions {
+                strategy,
+                restarts: 2,
+                evals_per_restart: 60,
+                ..HyperFitOptions::default()
+            };
+            fit_gp_ard(&x, &y, &opts, &mut rng).expect("fit")
+        };
+        let reference = fit_with(FitStrategy::Reference);
+        for strategy in [FitStrategy::Serial, FitStrategy::Parallel] {
+            let m = fit_with(strategy);
+            assert_eq!(m.kernel().length_scales, reference.kernel().length_scales);
+            assert_eq!(m.kernel().variance, reference.kernel().variance);
+            assert_eq!(m.noise(), reference.noise());
+            assert_eq!(m.log_marginal_likelihood(), reference.log_marginal_likelihood());
+        }
     }
 }

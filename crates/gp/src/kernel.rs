@@ -47,11 +47,23 @@ impl Matern52 {
     }
 }
 
-impl Kernel for Matern52 {
-    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r = sq_dist(a, b).sqrt();
+impl Matern52 {
+    /// Covariance as a function of the *squared* Euclidean distance.
+    ///
+    /// This is the distance-cache entry point: [`Kernel::eval`] delegates
+    /// here, so evaluating from a precomputed `‖a − b‖²` is bit-identical
+    /// to evaluating from the coordinates.
+    #[inline]
+    pub fn eval_sq_dist(&self, d2: f64) -> f64 {
+        let r = d2.sqrt();
         let s = 5.0_f64.sqrt() * r / self.length_scale;
         self.variance * (1.0 + s + s * s / 3.0) * (-s).exp()
+    }
+}
+
+impl Kernel for Matern52 {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval_sq_dist(sq_dist(a, b))
     }
 
     fn diag(&self, _a: &[f64]) -> f64 {
@@ -104,6 +116,18 @@ impl Matern52Ard {
     }
 }
 
+impl Matern52Ard {
+    /// Covariance as a function of the *scaled* squared distance
+    /// `Σ_k ((a_k − b_k)/ℓ_k)²`. [`Kernel::eval`] delegates here, so
+    /// evaluating from cached per-dimension differences is bit-identical
+    /// to evaluating from the coordinates.
+    #[inline]
+    pub fn eval_scaled_sq_dist(&self, r2: f64) -> f64 {
+        let s = 5.0_f64.sqrt() * r2.sqrt();
+        self.variance * (1.0 + s + s * s / 3.0) * (-s).exp()
+    }
+}
+
 impl Kernel for Matern52Ard {
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), self.length_scales.len(), "dimension mismatch");
@@ -116,8 +140,7 @@ impl Kernel for Matern52Ard {
                 d * d
             })
             .sum();
-        let s = 5.0_f64.sqrt() * r2.sqrt();
-        self.variance * (1.0 + s + s * s / 3.0) * (-s).exp()
+        self.eval_scaled_sq_dist(r2)
     }
 
     fn diag(&self, _a: &[f64]) -> f64 {
@@ -154,10 +177,18 @@ impl SquaredExp {
     }
 }
 
+impl SquaredExp {
+    /// Covariance as a function of the squared Euclidean distance (the
+    /// distance-cache entry point; [`Kernel::eval`] delegates here).
+    #[inline]
+    pub fn eval_sq_dist(&self, d2: f64) -> f64 {
+        self.variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+}
+
 impl Kernel for SquaredExp {
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let d2 = sq_dist(a, b);
-        self.variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+        self.eval_sq_dist(sq_dist(a, b))
     }
 
     fn diag(&self, _a: &[f64]) -> f64 {

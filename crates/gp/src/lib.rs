@@ -9,7 +9,9 @@
 //!   and the log marginal likelihood, with automatic jitter escalation;
 //! * [`hyper`] — maximum-likelihood hyperparameter fitting via multi-start
 //!   Nelder–Mead on log-parameters (our stand-in for scikit-optimize's
-//!   L-BFGS-B restarts);
+//!   L-BFGS-B restarts), with restarts run on scoped threads;
+//! * [`prepared`] — the training-set distance cache shared across all
+//!   hyperparameter candidates of one fit;
 //! * [`opt`] — the Nelder–Mead simplex optimiser itself.
 
 #![forbid(unsafe_code)]
@@ -21,8 +23,10 @@ pub mod hyper;
 pub mod kernel;
 pub mod model;
 pub mod opt;
+pub mod prepared;
 
 pub use error::GpError;
-pub use hyper::{fit_gp, fit_gp_ard, HyperFitOptions};
+pub use hyper::{fit_gp, fit_gp_ard, FitStrategy, HyperFitOptions};
 pub use kernel::{Kernel, Matern52, Matern52Ard, SquaredExp};
 pub use model::GpModel;
+pub use prepared::{CachedKernel, PreparedData};

@@ -1,9 +1,16 @@
 //! GP posterior inference.
 
+use std::time::Instant;
+
 use robotune_linalg::{Cholesky, Matrix};
 
 use crate::error::GpError;
 use crate::kernel::Kernel;
+use crate::prepared::{factor_with_jitter, CachedKernel, PreparedData};
+
+/// Smallest batch worth spreading over scoped threads in
+/// [`GpModel::predict_batch`]; below this the spawn overhead dominates.
+const BATCH_PAR_MIN: usize = 64;
 
 /// A fitted Gaussian-process regression model.
 ///
@@ -39,6 +46,7 @@ impl<K: Kernel> GpModel<K> {
     /// never panic the tuning pipeline.
     pub fn fit(x: Vec<Vec<f64>>, y: &[f64], kernel: K, noise: f64) -> Result<Self, GpError> {
         let _span = robotune_obs::span("gp.fit");
+        let t0 = robotune_obs::is_enabled().then(Instant::now);
         if x.len() != y.len() {
             return Err(GpError::InvalidInput("x/y length mismatch"));
         }
@@ -58,29 +66,22 @@ impl<K: Kernel> GpModel<K> {
         let y_std = if var > 0.0 { var.sqrt() } else { 1.0 };
         let y_norm: Vec<f64> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
 
-        let mut k = Matrix::from_fn(n, n, |i, j| {
-            if i == j {
-                kernel.diag(&x[i]) + noise
-            } else {
-                kernel.eval(&x[i], &x[j])
+        // The Cholesky only reads the lower triangle, so only that half is
+        // built — half the kernel evaluations of the old full build, same
+        // factor bit for bit.
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..i {
+                k[(i, j)] = kernel.eval(&x[i], &x[j]);
             }
-        });
+            k[(i, i)] = kernel.diag(&x[i]) + noise;
+        }
 
-        let mut jitter = 1e-10;
-        let chol = loop {
-            match Cholesky::factor(&k) {
-                Ok(c) => break c,
-                Err(e) => {
-                    robotune_obs::incr("gp.chol_retry", 1);
-                    if jitter > 1e-2 {
-                        return Err(GpError::Singular(e));
-                    }
-                    k.add_diagonal(jitter);
-                    jitter *= 10.0;
-                }
-            }
-        };
+        let chol = factor_with_jitter(&mut k)?;
         let alpha = chol.solve(&y_norm);
+        if let Some(t) = t0 {
+            robotune_obs::record("gp.fit_ns", t.elapsed().as_nanos() as f64);
+        }
 
         Ok(GpModel {
             x,
@@ -132,12 +133,115 @@ impl<K: Kernel> GpModel<K> {
         self.predict(q).1.sqrt()
     }
 
+    /// Posterior mean and variance at every query point at once.
+    ///
+    /// Builds the `n × m` cross-covariance matrix and runs **one** blocked
+    /// triangular solve ([`Cholesky::solve_lower_multi`]) instead of `m`
+    /// separate forward substitutions, then accumulates all means and
+    /// variances in a single row-major sweep. Results are bit-identical to
+    /// calling [`GpModel::predict`] per point: each column's arithmetic
+    /// happens in the same order as the pointwise path.
+    ///
+    /// Batches of [`BATCH_PAR_MIN`] or more queries are split into
+    /// contiguous chunks scored on `std::thread::scope` threads when the
+    /// host has more than one core; columns are independent, so the output
+    /// (concatenated in input order) does not depend on scheduling.
+    pub fn predict_batch(&self, qs: &[Vec<f64>]) -> Vec<(f64, f64)>
+    where
+        K: Sync,
+    {
+        if qs.is_empty() {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        if workers > 1 && qs.len() >= BATCH_PAR_MIN {
+            let chunk = qs.len().div_ceil(workers);
+            let mut out = Vec::with_capacity(qs.len());
+            std::thread::scope(|s| {
+                let handles: Vec<_> = qs
+                    .chunks(chunk)
+                    .map(|c| s.spawn(move || self.predict_batch_chunk(c)))
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(part) => out.extend(part),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+            out
+        } else {
+            self.predict_batch_chunk(qs)
+        }
+    }
+
+    fn predict_batch_chunk(&self, qs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let n = self.x.len();
+        let m = qs.len();
+        let kstar = Matrix::from_fn(n, m, |i, j| self.kernel.eval(&qs[j], &self.x[i]));
+        let v = self.chol.solve_lower_multi(&kstar);
+        // Accumulate μ and ‖L⁻¹k*‖² for all columns in one pass over the
+        // rows; per column the additions run in training-index order,
+        // matching the pointwise `predict` sums exactly.
+        let mut mu = vec![0.0; m];
+        let mut vsq = vec![0.0; m];
+        for i in 0..n {
+            let krow = kstar.row(i);
+            let vrow = v.row(i);
+            let ai = self.alpha[i];
+            for j in 0..m {
+                mu[j] += krow[j] * ai;
+                vsq[j] += vrow[j] * vrow[j];
+            }
+        }
+        qs.iter()
+            .enumerate()
+            .map(|(j, q)| {
+                let var_norm = (self.kernel.diag(q) - vsq[j]).max(0.0);
+                (
+                    mu[j] * self.y_std + self.y_mean,
+                    var_norm * self.y_std * self.y_std,
+                )
+            })
+            .collect()
+    }
+
     /// Log marginal likelihood of the standardised data under the model:
     /// `−½ ỹᵀα − ½ log|K| − n/2 · log 2π`.
     pub fn log_marginal_likelihood(&self) -> f64 {
         let n = self.y_norm.len() as f64;
         let fit: f64 = self.y_norm.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
         -0.5 * fit - 0.5 * self.chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+}
+
+impl<K: CachedKernel> GpModel<K> {
+    /// Fits the GP from a [`PreparedData`] cache, skipping re-validation,
+    /// re-standardisation and distance recomputation. Bit-identical to
+    /// [`GpModel::fit`] on the same `(x, y, kernel, noise)`.
+    pub fn fit_prepared(data: &PreparedData, kernel: K, noise: f64) -> Result<Self, GpError> {
+        let _span = robotune_obs::span("gp.fit");
+        let t0 = robotune_obs::is_enabled().then(Instant::now);
+        if !noise.is_finite() || noise < 0.0 {
+            return Err(GpError::InvalidInput("noise variance must be non-negative"));
+        }
+        robotune_obs::incr("gp.distcache_hit", 1);
+        let mut k = data.kernel_matrix(&kernel, noise);
+        let chol = factor_with_jitter(&mut k)?;
+        let alpha = chol.solve(&data.y_norm);
+        if let Some(t) = t0 {
+            robotune_obs::record("gp.fit_ns", t.elapsed().as_nanos() as f64);
+        }
+        Ok(GpModel {
+            x: data.x.clone(),
+            kernel,
+            noise,
+            chol,
+            alpha,
+            y_mean: data.y_mean,
+            y_std: data.y_std,
+            y_norm: data.y_norm.clone(),
+        })
     }
 }
 
@@ -247,5 +351,39 @@ mod tests {
         let y = vec![1.0, f64::NAN];
         let r = GpModel::fit(x, &y, Matern52::new(1.0, 1.0), 1e-4);
         assert!(matches!(r, Err(GpError::InvalidInput(_))), "{r:?}");
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_pointwise_predict() {
+        let m = toy_model(1e-4);
+        // Cover both the serial path and (on multi-core hosts) the
+        // chunk-parallel path by exceeding BATCH_PAR_MIN.
+        let qs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 * 0.017 - 0.5]).collect();
+        let batch = m.predict_batch(&qs);
+        assert_eq!(batch.len(), qs.len());
+        for (q, &(bmu, bvar)) in qs.iter().zip(&batch) {
+            let (mu, var) = m.predict(q);
+            assert_eq!(bmu, mu, "mean at {q:?}");
+            assert_eq!(bvar, var, "variance at {q:?}");
+        }
+        assert!(m.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn fit_prepared_is_bit_identical_to_fit() {
+        use crate::prepared::PreparedData;
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0, (i * i) as f64 / 81.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| p[0] * 2.0 - (p[1] * 4.0).cos()).collect();
+        let data = PreparedData::prepare(x.clone(), &y).unwrap();
+        let kernel = Matern52::new(0.4, 1.1);
+        let fast = GpModel::fit_prepared(&data, kernel, 1e-3).unwrap();
+        let slow = GpModel::fit(x, &y, kernel, 1e-3).unwrap();
+        assert_eq!(
+            fast.log_marginal_likelihood(),
+            slow.log_marginal_likelihood()
+        );
+        for q in [[0.2, 0.3], [0.9, 0.1], [1.5, -0.4]] {
+            assert_eq!(fast.predict(&q), slow.predict(&q));
+        }
     }
 }

@@ -89,7 +89,7 @@ pub fn grouped_permutation_importance<R: Rng + ?Sized>(
             importance: total_drop / repeats as f64,
         });
     }
-    out.sort_by(|a, b| b.importance.partial_cmp(&a.importance).expect("NaN importance"));
+    out.sort_by(|a, b| b.importance.total_cmp(&a.importance));
     out
 }
 

@@ -278,7 +278,7 @@ fn best_exact_split(
     for &f in candidates {
         pairs.clear();
         pairs.extend(idx.iter().map(|&i| (x[i][f], y[i])));
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature value"));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // Prefix sums over the sorted order.
         let mut sum_left = 0.0;

@@ -89,7 +89,9 @@ impl P2Quantile {
             self.q[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
-                self.q.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                // NaN is filtered on entry, but total_cmp keeps the sort
+                // a total order no matter what reaches it.
+                self.q.sort_unstable_by(f64::total_cmp);
             }
             return;
         }
@@ -157,7 +159,7 @@ impl P2Quantile {
             0 => f64::NAN,
             c if c < 5 => {
                 let mut head: Vec<f64> = self.q[..c as usize].to_vec();
-                head.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                head.sort_unstable_by(f64::total_cmp);
                 let rank = (self.p * (c as f64 - 1.0)).round() as usize;
                 head[rank.min(c as usize - 1)]
             }

@@ -101,17 +101,17 @@ impl Registry {
 
     /// Replaces the installed sink.
     pub fn set_sink(&self, sink: Arc<dyn EventSink>) {
-        *self.sink.lock().unwrap() = sink;
+        *self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = sink;
     }
 
     /// Flushes the installed sink.
     pub fn flush(&self) {
-        self.sink.lock().unwrap().flush();
+        self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).flush();
     }
 
     /// Clears all aggregated metrics (the sink is left installed).
     pub fn reset(&self) {
-        *self.agg.lock().unwrap() = Aggregates::default();
+        *self.agg.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Aggregates::default();
     }
 
     fn emit(&self, data: EventData) {
@@ -122,14 +122,14 @@ impl Registry {
             data,
         };
         // Clone the Arc so the sink call runs outside the lock.
-        let sink = self.sink.lock().unwrap().clone();
+        let sink = self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
         sink.emit(&event);
     }
 
     /// Adds `delta` to the named counter and returns the new total.
     pub fn incr(&self, name: &'static str, delta: u64) -> u64 {
         let total = {
-            let mut agg = self.agg.lock().unwrap();
+            let mut agg = self.agg.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let c = agg.counters.entry(name).or_insert(0);
             *c += delta;
             *c
@@ -142,7 +142,7 @@ impl Registry {
     pub fn record(&self, name: &'static str, value: f64) {
         self.agg
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .hists
             .entry(name)
             .or_default()
@@ -181,7 +181,7 @@ impl Registry {
         let dur_us = start.elapsed().as_micros() as u64;
         self.agg
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .spans
             .entry(name)
             .or_default()
@@ -191,7 +191,7 @@ impl Registry {
 
     /// Copies out all aggregated metrics.
     pub fn snapshot(&self) -> Snapshot {
-        let agg = self.agg.lock().unwrap();
+        let agg = self.agg.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Snapshot {
             counters: agg
                 .counters

@@ -50,12 +50,12 @@ impl RingBufferSink {
 
     /// Removes and returns all buffered events, oldest first.
     pub fn drain(&self) -> Vec<Event> {
-        self.buf.lock().unwrap().drain(..).collect()
+        self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner).drain(..).collect()
     }
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.buf.lock().unwrap().len()
+        self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// Whether the buffer is empty.
@@ -71,7 +71,7 @@ impl RingBufferSink {
 
 impl EventSink for RingBufferSink {
     fn emit(&self, event: &Event) {
-        let mut buf = self.buf.lock().unwrap();
+        let mut buf = self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if buf.len() == self.capacity {
             buf.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -99,13 +99,13 @@ impl JsonlSink {
 impl EventSink for JsonlSink {
     fn emit(&self, event: &Event) {
         let line = serde_json::to_string(&event.to_json()).unwrap_or_default();
-        let mut w = self.writer.lock().unwrap();
+        let mut w = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // Trace output is best-effort: a full disk must not kill the run.
         let _ = writeln!(w, "{line}");
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().unwrap().flush();
+        let _ = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner).flush();
     }
 }
 

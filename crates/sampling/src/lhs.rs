@@ -58,15 +58,18 @@ pub fn lhs_maximin<R: Rng + ?Sized>(
     candidates: usize,
 ) -> Vec<Vec<f64>> {
     assert!(candidates > 0, "need at least one candidate design");
-    let mut best: Option<(f64, Vec<Vec<f64>>)> = None;
-    for _ in 0..candidates {
+    let mut best: (f64, Vec<Vec<f64>>) = {
+        let design = lhs(n, dim, rng);
+        (min_pairwise_sq_dist(&design), design)
+    };
+    for _ in 1..candidates {
         let design = lhs(n, dim, rng);
         let score = min_pairwise_sq_dist(&design);
-        if best.as_ref().is_none_or(|(s, _)| score > *s) {
-            best = Some((score, design));
+        if score > best.0 {
+            best = (score, design);
         }
     }
-    best.expect("candidates > 0").1
+    best.1
 }
 
 /// Minimum squared Euclidean distance over all point pairs (`+∞` for fewer

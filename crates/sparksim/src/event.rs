@@ -81,11 +81,13 @@ fn event_stage(
     let mut starts = vec![0.0f64; n];
     let mut ends = vec![0.0f64; n];
     for (i, &d) in durations.iter().enumerate() {
-        let (slot, &t) = free_at
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-            .expect("at least one slot");
+        // total_cmp keeps straggler-injected NaN durations from panicking
+        // the scheduler; NaN sorts above every finite free time.
+        let (slot, &t) = match free_at.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)) {
+            Some(s) => s,
+            // Zero slots cannot schedule anything; tasks never start.
+            None => break,
+        };
         starts[i] = t;
         ends[i] = t + d;
         free_at[slot] = ends[i];
@@ -97,11 +99,11 @@ fn event_stage(
     // of the two attempts.
     if p.speculation && n >= 4 {
         let mut sorted_ends = ends.clone();
-        sorted_ends.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted_ends.sort_by(f64::total_cmp);
         let q_idx = ((n as f64 * p.speculation_quantile).floor() as usize).min(n - 1);
         let watch_from = sorted_ends[q_idx];
         let mut sorted_durs = durations.clone();
-        sorted_durs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted_durs.sort_by(f64::total_cmp);
         let median_d = sorted_durs[n / 2];
         let threshold = median_d * p.speculation_multiplier.max(1.0);
         for i in 0..n {

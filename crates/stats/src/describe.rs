@@ -31,19 +31,21 @@ pub fn median(xs: &[f64]) -> f64 {
 }
 
 /// The `q`-th percentile (`0 ≤ q ≤ 100`) using linear interpolation between
-/// closest ranks, matching NumPy's default behaviour. Returns `NaN` on an
-/// empty slice.
+/// closest ranks, matching NumPy's default behaviour. `NaN` values are
+/// ignored; returns `NaN` when no finite-orderable values remain (empty
+/// slice or all-NaN input). Hostile fault profiles can inject NaN
+/// durations, so this path must degrade, never panic.
 ///
 /// # Panics
 ///
 /// Panics if `q` is outside `[0, 100]`.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!((0.0..=100.0).contains(&q), "percentile q out of range: {q}");
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return f64::NAN;
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

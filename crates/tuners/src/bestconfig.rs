@@ -120,9 +120,8 @@ impl Tuner for BestConfig {
                 break;
             }
 
-            if improved {
+            if let (true, Some((_, best_point))) = (improved, round_best) {
                 // Bound: shrink to ± one stratum around the round's best.
-                let (_, best_point) = round_best.expect("improved implies a best");
                 let new_bounds: Vec<(f64, f64)> = best_point
                     .iter()
                     .zip(&bounds)

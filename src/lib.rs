@@ -4,12 +4,15 @@
 //! integration tests can `use robotune_repro::...` without naming each
 //! crate individually.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub use robotune as core;
 pub use robotune_bo as bo;
 pub use robotune_faults as faults;
 pub use robotune_gp as gp;
 pub use robotune_linalg as linalg;
 pub use robotune_ml as ml;
+pub use robotune_obs as obs;
 pub use robotune_sampling as sampling;
 pub use robotune_space as space;
 pub use robotune_sparksim as sparksim;

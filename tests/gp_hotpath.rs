@@ -1,0 +1,140 @@
+//! GP hot-path equivalence and NaN-robustness tests.
+//!
+//! The optimized GP pipeline (shared distance cache, parallel multi-start
+//! hyperfit, batched posterior scoring) must replay the *pre-change*
+//! serial path bit for bit at a fixed seed: same RNG stream, same
+//! arithmetic, same suggestions. The `Reference` fit strategy plus
+//! unbatched scoring preserves the historical code path exactly, so the
+//! trajectories below compare with `assert_eq!` on raw `f64`s, not
+//! tolerances.
+
+use proptest::prelude::*;
+use robotune_repro::bo::{BoEngine, BoOptions};
+use robotune_repro::gp::{FitStrategy, HyperFitOptions};
+use robotune_repro::stats::rng_from_seed;
+
+/// Runs a 30-round suggest/observe loop on a smooth synthetic objective
+/// seeded with 20 LHS-ish random observations; returns the full
+/// evaluation trajectory (suggested point + observed value per round).
+fn trajectory(opts: BoOptions, seed: u64) -> Vec<(Vec<f64>, f64)> {
+    const DIM: usize = 4;
+    let objective = |x: &[f64]| -> f64 {
+        x.iter()
+            .enumerate()
+            .map(|(i, v)| (v - 0.3 - 0.1 * i as f64).powi(2))
+            .sum::<f64>()
+            + (7.0 * x[0]).sin() * 0.05
+    };
+    let mut engine = BoEngine::new(DIM, opts);
+    let mut rng = rng_from_seed(seed);
+    use rand::Rng;
+    for _ in 0..20 {
+        let x: Vec<f64> = (0..DIM).map(|_| rng.gen::<f64>()).collect();
+        let y = objective(&x);
+        engine.observe(x, y).expect("finite observation");
+    }
+    let mut out = Vec::new();
+    for _ in 0..30 {
+        let x = engine.suggest(&mut rng);
+        let y = objective(&x);
+        engine.observe(x.clone(), y).expect("finite observation");
+        out.push((x, y));
+    }
+    out
+}
+
+fn reference_opts() -> BoOptions {
+    BoOptions {
+        hyper: HyperFitOptions {
+            strategy: FitStrategy::Reference,
+            ..HyperFitOptions::default()
+        },
+        batched_scoring: false,
+        ..BoOptions::default()
+    }
+}
+
+#[test]
+fn optimized_pipeline_replays_the_reference_trajectory_bit_for_bit() {
+    for seed in [11u64, 12, 13] {
+        let optimized = trajectory(BoOptions::default(), seed);
+        let reference = trajectory(reference_opts(), seed);
+        assert_eq!(
+            optimized, reference,
+            "seed {seed}: distance cache + parallel hyperfit + batched scoring \
+             must not change a single bit of the tuning trajectory"
+        );
+    }
+}
+
+#[test]
+fn serial_strategy_also_replays_the_reference_trajectory() {
+    let serial = trajectory(
+        BoOptions {
+            hyper: HyperFitOptions {
+                strategy: FitStrategy::Serial,
+                ..HyperFitOptions::default()
+            },
+            ..BoOptions::default()
+        },
+        21,
+    );
+    let reference = trajectory(reference_opts(), 21);
+    assert_eq!(serial, reference);
+}
+
+proptest! {
+    /// `percentile` must degrade (ignore NaN / return NaN), never panic,
+    /// no matter where NaNs land in the input.
+    #[test]
+    fn stats_percentile_tolerates_nan(
+        xs in proptest::collection::vec(
+            prop_oneof![-1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6, Just(f64::NAN)],
+            1..120,
+        ),
+        q in 0.0f64..=100.0,
+    ) {
+        let p = robotune_repro::stats::percentile(&xs, q);
+        let finite: Vec<f64> = xs.iter().copied().filter(|v| !v.is_nan()).collect();
+        if finite.is_empty() {
+            prop_assert!(p.is_nan());
+        } else {
+            let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    /// The P² streaming quantile and the exact small-sample path it uses
+    /// below 5 observations must both survive NaN records.
+    #[test]
+    fn obs_p2_quantile_tolerates_nan(
+        xs in proptest::collection::vec(
+            prop_oneof![-1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3, Just(f64::NAN)],
+            1..60,
+        ),
+        p in 0.01f64..0.99,
+    ) {
+        let mut q = robotune_obs::P2Quantile::new(p);
+        for &x in &xs {
+            q.record(x);
+        }
+        let _ = q.quantile(); // must not panic
+    }
+
+    /// Histogram summaries (which sort recorded values internally) must
+    /// survive NaN records too.
+    #[test]
+    fn obs_histogram_tolerates_nan(
+        xs in proptest::collection::vec(
+            prop_oneof![0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6, Just(f64::NAN)],
+            1..60,
+        ),
+    ) {
+        let mut h = robotune_obs::Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let _ = h.summary(); // must not panic
+    }
+}
