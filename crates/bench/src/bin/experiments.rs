@@ -16,6 +16,10 @@
 //!   ablation   all five design-choice ablations
 //!   chaos      resilience report under fault injection
 //!   all        everything above + regenerate EXPERIMENTS.md fodder
+//!
+//! experiments serve   [--port N] [--store DIR] [--workers N] [--queue N]
+//! experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N]
+//!                     [--seed N] [--shutdown] [--expect-warm]
 //! ```
 //!
 //! Every grid-backed command accepts `--faults <none|transient|hostile>`
@@ -81,7 +85,17 @@ fn parse_args(rest: &[String]) -> Args {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cmd = argv.first().map(String::as_str).unwrap_or("help");
-    let args = parse_args(argv.get(1..).unwrap_or(&[]));
+
+    // The service subcommands take their own flags; hand them off
+    // before the experiment-grid parser sees (and rejects) them.
+    let rest = argv.get(1..).unwrap_or(&[]);
+    match cmd {
+        "serve" => std::process::exit(robotune_bench::loadgen::serve_main(rest)),
+        "loadgen" => std::process::exit(robotune_bench::loadgen::loadgen_main(rest)),
+        _ => {}
+    }
+
+    let args = parse_args(rest);
 
     if let Some(path) = &args.trace {
         if let Err(e) = robotune_obs::enable_jsonl(path) {
@@ -138,7 +152,9 @@ fn dispatch(cmd: &str, args: &Args) {
         _ => {
             eprintln!(
                 "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|chaos|all> \
-                 [--reps N] [--budget N] [--out DIR] [--trace FILE] [--faults none|transient|hostile]"
+                 [--reps N] [--budget N] [--out DIR] [--trace FILE] [--faults none|transient|hostile]\n\
+                 \x20      experiments serve [--port N] [--store DIR] [--workers N] [--queue N]\n\
+                 \x20      experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N] [--seed N] [--shutdown] [--expect-warm]"
             );
             std::process::exit(2);
         }

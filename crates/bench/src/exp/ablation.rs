@@ -5,7 +5,7 @@ use std::sync::Arc;
 use rand::Rng;
 use robotune::engine::{RoboTuneEngine, RoboTuneEngineOptions};
 use robotune::select::{ParameterSelector, SelectorOptions};
-use robotune::{ConfigMemoBuffer, MemoizedSampler, RoboTune, RoboTuneOptions};
+use robotune::{MemoizedSampler, RoboTune, RoboTuneOptions};
 use robotune_bo::AcquisitionKind;
 use robotune_space::{ConfigSpace, SearchSpace};
 use robotune_sparksim::{Dataset, SparkJob, Workload};
@@ -53,12 +53,7 @@ pub fn acquisitions(reps: usize, budget: usize) -> String {
         let mut j = job(&space, Workload::PageRank, Dataset::D1, 0xAB2 + rep as u64);
         let mut rng = rng_from_seed(0xAB3 + a as u64 * 97 + rep as u64);
         let mut design_rng = rng_from_seed(0xAB4 + rep as u64); // shared design per rep
-        let design = MemoizedSampler::default().initial_design(
-            sub_ref,
-            "abl",
-            &ConfigMemoBuffer::new(),
-            &mut design_rng,
-        );
+        let design = MemoizedSampler::default().initial_design(sub_ref, &[], &mut design_rng);
         let session = RoboTuneEngine::new(sub_ref.clone(), opts)
             .run(&mut j, design.points, budget, &mut rng);
         (a, session.best_time(), session.search_cost())

@@ -4,7 +4,7 @@
 
 use robotune::engine::{EarlyStop, RoboTuneEngine, RoboTuneEngineOptions};
 use robotune::select::ParameterSelector;
-use robotune::{ConfigMemoBuffer, MemoizedSampler};
+use robotune::MemoizedSampler;
 use robotune_gp::{fit_gp, fit_gp_ard, HyperFitOptions};
 use robotune_ml::r2_score;
 use robotune_sparksim::{Dataset, SparkJob, Workload};
@@ -86,12 +86,7 @@ pub fn early_stopping(reps: usize, budget: usize) -> String {
                 0xE6 + rep as u64,
             );
             let mut rng = rng_from_seed(0xE7 + rep as u64);
-            let design = MemoizedSampler::default().initial_design(
-                sub_ref,
-                "es",
-                &ConfigMemoBuffer::new(),
-                &mut rng,
-            );
+            let design = MemoizedSampler::default().initial_design(sub_ref, &[], &mut rng);
             let session =
                 RoboTuneEngine::new(sub_ref.clone(), opts).run(&mut job, design.points, budget, &mut rng);
             (stop, session.len(), session.best_time(), session.search_cost())

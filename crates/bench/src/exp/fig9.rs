@@ -61,12 +61,7 @@ pub fn run() -> (String, Vec<(String, String)>) {
     selected.sort_unstable();
     let sub = space.subspace(&selected, space.default_configuration());
 
-    let design = MemoizedSampler::default().initial_design(
-        &sub,
-        "fig9",
-        &robotune::ConfigMemoBuffer::new(),
-        &mut rng,
-    );
+    let design = MemoizedSampler::default().initial_design(&sub, &[], &mut rng);
 
     let mut engine = RoboTuneEngine::new(sub.clone(), RoboTuneEngineOptions::default());
     for p in design.points {

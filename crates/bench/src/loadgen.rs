@@ -1,0 +1,318 @@
+//! Service benchmarking: the `experiments serve` daemon runner and the
+//! `experiments loadgen` multi-tenant load generator.
+//!
+//! `serve` boots a `robotune-service` daemon on loopback (optionally
+//! with a persistent store directory) and blocks until a client sends
+//! the `shutdown` verb. `loadgen` connects N concurrent simulated
+//! tenants — each drives a full ask/tell session against its own
+//! simulated Spark job — and reports throughput, request-latency
+//! percentiles, and per-session accounting (warm-start and
+//! selection-cache hits, which is how the CI smoke job proves the store
+//! survived a restart).
+
+use robotune::InMemoryMemoStore;
+use robotune_service::client::drive_session;
+use robotune_service::{
+    serve, DriveReport, PersistentMemoStore, Profile, ServiceOptions, SessionManager, TuningClient,
+};
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, SparkJob, ALL_WORKLOADS};
+use robotune_stats::percentile;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::report::fatal;
+
+/// Flags for `experiments serve`.
+pub struct ServeArgs {
+    /// Loopback port (0 = OS-assigned).
+    pub port: u16,
+    /// Persistent store directory; in-memory when absent.
+    pub store: Option<PathBuf>,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue: usize,
+}
+
+/// Flags for `experiments loadgen`.
+pub struct LoadgenArgs {
+    /// Daemon address.
+    pub addr: String,
+    /// Concurrent tenants.
+    pub tenants: usize,
+    /// Per-session BO budget.
+    pub budget: usize,
+    /// Base RNG seed (tenant i uses `seed + i`).
+    pub seed: u64,
+    /// Send `shutdown` once every tenant finishes.
+    pub shutdown: bool,
+    /// Exit non-zero unless at least one session hit the selection
+    /// cache (the post-restart warm-start assertion).
+    pub expect_warm: bool,
+}
+
+fn take_value(flag: &str, v: Option<&String>) -> String {
+    v.cloned().unwrap_or_else(|| fatal(format!("{flag} requires a value")))
+}
+
+/// Parses `experiments serve` flags.
+pub fn parse_serve_args(rest: &[String]) -> ServeArgs {
+    let mut args = ServeArgs { port: 7651, store: None, workers: 4, queue: 64 };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => {
+                args.port = take_value("--port N", it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(format!("--port: {e}")));
+            }
+            "--store" => args.store = Some(PathBuf::from(take_value("--store DIR", it.next()))),
+            "--workers" => {
+                args.workers = take_value("--workers N", it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(format!("--workers: {e}")));
+            }
+            "--queue" => {
+                args.queue = take_value("--queue N", it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(format!("--queue: {e}")));
+            }
+            other => fatal(format!("serve: unknown flag {other}")),
+        }
+    }
+    args
+}
+
+/// Parses `experiments loadgen` flags.
+pub fn parse_loadgen_args(rest: &[String]) -> LoadgenArgs {
+    let mut args = LoadgenArgs {
+        addr: "127.0.0.1:7651".to_string(),
+        tenants: 8,
+        budget: 6,
+        seed: 9000,
+        shutdown: false,
+        expect_warm: false,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.addr = take_value("--addr HOST:PORT", it.next()),
+            "--tenants" => {
+                args.tenants = take_value("--tenants N", it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(format!("--tenants: {e}")));
+            }
+            "--budget" => {
+                args.budget = take_value("--budget N", it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(format!("--budget: {e}")));
+            }
+            "--seed" => {
+                args.seed = take_value("--seed N", it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(format!("--seed: {e}")));
+            }
+            "--shutdown" => args.shutdown = true,
+            "--expect-warm" => args.expect_warm = true,
+            other => fatal(format!("loadgen: unknown flag {other}")),
+        }
+    }
+    args
+}
+
+/// Boots the daemon and serves until a `shutdown` verb drains it.
+/// Returns the process exit code.
+pub fn serve_main(rest: &[String]) -> i32 {
+    let args = parse_serve_args(rest);
+    let store = match &args.store {
+        Some(dir) => match PersistentMemoStore::open(dir) {
+            Ok(s) => {
+                eprintln!("store: {} (persistent)", dir.display());
+                s.into_shared()
+            }
+            Err(e) => fatal(format!("--store {}: {e}", dir.display())),
+        },
+        None => InMemoryMemoStore::new().into_shared(),
+    };
+    let manager = SessionManager::new(
+        ServiceOptions {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            ..ServiceOptions::default()
+        },
+        store,
+    );
+    let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
+        Ok(l) => l,
+        Err(e) => fatal(format!("bind 127.0.0.1:{}: {e}", args.port)),
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("robotune-service listening on {addr}"),
+        Err(e) => fatal(format!("local_addr: {e}")),
+    }
+    match serve(listener, &manager) {
+        Ok(()) => {
+            println!("drained and checkpointed; bye");
+            0
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+/// Aggregates one load-generation run.
+pub struct LoadgenReport {
+    /// Per-tenant drive reports.
+    pub reports: Vec<DriveReport>,
+    /// Wall-clock duration of the whole run, seconds.
+    pub wall_s: f64,
+}
+
+impl LoadgenReport {
+    /// Sessions whose parameter selection came from the shared cache.
+    pub fn warm_hits(&self) -> usize {
+        self.reports.iter().filter(|r| r.cache_hit).count()
+    }
+
+    /// Renders the markdown summary table.
+    pub fn render(&self) -> String {
+        let mut suggests: Vec<f64> = Vec::new();
+        let mut observes: Vec<f64> = Vec::new();
+        let mut requests = 0usize;
+        for r in &self.reports {
+            suggests.extend(r.suggest_latencies_s.iter().map(|s| s * 1e3));
+            observes.extend(r.observe_latencies_s.iter().map(|s| s * 1e3));
+            // +2: create_session and the final finished-suggest.
+            requests += r.suggest_latencies_s.len() + r.observe_latencies_s.len() + 2;
+        }
+        let throughput = requests as f64 / self.wall_s.max(1e-9);
+        let pct = |xs: &[f64], q: f64| -> f64 {
+            if xs.is_empty() {
+                f64::NAN
+            } else {
+                percentile(xs, q)
+            }
+        };
+        let mut md = String::from("## Service load generation\n\n");
+        md.push_str(&format!(
+            "{} tenants, {} requests in {:.2}s — {:.0} req/s\n\n",
+            self.reports.len(),
+            requests,
+            self.wall_s,
+            throughput
+        ));
+        md.push_str("| metric | p50 | p90 | p99 |\n|---|---|---|---|\n");
+        md.push_str(&format!(
+            "| suggest latency (ms) | {:.2} | {:.2} | {:.2} |\n",
+            pct(&suggests, 50.0),
+            pct(&suggests, 90.0),
+            pct(&suggests, 99.0)
+        ));
+        md.push_str(&format!(
+            "| observe latency (ms) | {:.2} | {:.2} | {:.2} |\n\n",
+            pct(&observes, 50.0),
+            pct(&observes, 90.0),
+            pct(&observes, 99.0)
+        ));
+        md.push_str(
+            "| session | workload | evals | best (s) | selection | initial design |\n|---|---|---|---|---|---|\n",
+        );
+        for (tenant, r) in self.reports.iter().enumerate() {
+            md.push_str(&format!(
+                "| {} | wl-{} | {} | {} | {} | {} |\n",
+                r.session,
+                tenant % ALL_WORKLOADS.len(),
+                r.evals_recorded,
+                r.best_time_s.map_or("—".to_string(), |b| format!("{b:.1}")),
+                if r.cache_hit { "cache hit" } else { "cold" },
+                if r.warm_start { "memoized" } else { "LHS" },
+            ));
+        }
+        md.push_str(&format!(
+            "\nwarm sessions: {} of {}\n",
+            self.warm_hits(),
+            self.reports.len()
+        ));
+        md
+    }
+}
+
+/// Runs `tenants` concurrent simulated tenants against a live daemon.
+///
+/// Tenant `i` tunes workload `ALL_WORKLOADS[i % 5]` under the memo key
+/// `wl-<i%5>`, so repeated runs against a persistent store exercise the
+/// selection cache and memoized warm starts.
+pub fn run_loadgen(args: &LoadgenArgs) -> Result<LoadgenReport, String> {
+    let space = Arc::new(spark_space());
+    let started = Instant::now();
+    let mut slots: Vec<Option<Result<DriveReport, String>>> = Vec::new();
+    slots.resize_with(args.tenants, || None);
+    std::thread::scope(|scope| {
+        for (tenant, slot) in slots.iter_mut().enumerate() {
+            let space = space.clone();
+            let addr = args.addr.clone();
+            let budget = args.budget;
+            let seed = args.seed + tenant as u64;
+            scope.spawn(move || {
+                let workload = ALL_WORKLOADS[tenant % ALL_WORKLOADS.len()];
+                let key = format!("wl-{}", tenant % ALL_WORKLOADS.len());
+                let mut job =
+                    SparkJob::new((*space).clone(), workload, Dataset::D1, seed ^ 0x5eed);
+                *slot = Some(
+                    TuningClient::connect(addr.as_str())
+                        .map_err(|e| format!("tenant {tenant}: connect: {e}"))
+                        .and_then(|mut client| {
+                            drive_session(
+                                &mut client,
+                                &space,
+                                &mut job,
+                                &key,
+                                seed,
+                                budget,
+                                Profile::Fast,
+                            )
+                            .map_err(|e| format!("tenant {tenant}: {e}"))
+                        }),
+                );
+            });
+        }
+    });
+    let mut reports = Vec::with_capacity(args.tenants);
+    for slot in slots {
+        reports.push(slot.ok_or("tenant thread vanished")??);
+    }
+    Ok(LoadgenReport { reports, wall_s: started.elapsed().as_secs_f64() })
+}
+
+/// Entry point for `experiments loadgen`. Returns the exit code.
+pub fn loadgen_main(rest: &[String]) -> i32 {
+    let args = parse_loadgen_args(rest);
+    let report = match run_loadgen(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return 1;
+        }
+    };
+    print!("{}", report.render());
+    let mut code = 0;
+    if args.expect_warm && report.warm_hits() == 0 {
+        eprintln!("loadgen: --expect-warm set but no session hit the selection cache");
+        code = 1;
+    }
+    if args.shutdown {
+        match TuningClient::connect(args.addr.as_str()).and_then(|mut c| c.shutdown()) {
+            Ok(()) => println!("sent shutdown; daemon is draining"),
+            Err(e) => {
+                eprintln!("loadgen: shutdown: {e}");
+                code = 1;
+            }
+        }
+    }
+    code
+}

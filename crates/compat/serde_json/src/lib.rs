@@ -330,10 +330,35 @@ impl From<&Value> for Value {
     }
 }
 
+/// What went wrong while parsing or serialising.
+///
+/// The parser is exposed to untrusted bytes (the tuning service reads
+/// frames off a socket), so resource-limit violations are distinguished
+/// from plain syntax errors: a server can answer the former with a typed
+/// protocol error instead of treating every failure alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON text.
+    Syntax,
+    /// Nesting deeper than [`ParseLimits::max_depth`] — refused up front
+    /// so a hostile `[[[[…` can never overflow the parser's stack.
+    DepthLimit,
+    /// Input longer than [`ParseLimits::max_bytes`].
+    SizeLimit,
+}
+
 /// Serialisation/parsing error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     msg: String,
+    kind: ErrorKind,
+}
+
+impl Error {
+    /// The error's category.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
 }
 
 impl fmt::Display for Error {
@@ -345,7 +370,44 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {}
 
 fn err(msg: impl Into<String>) -> Error {
-    Error { msg: msg.into() }
+    Error { msg: msg.into(), kind: ErrorKind::Syntax }
+}
+
+fn err_kind(kind: ErrorKind, msg: impl Into<String>) -> Error {
+    Error { msg: msg.into(), kind }
+}
+
+/// Resource bounds enforced while parsing untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum container nesting depth (arrays + objects). The parser is
+    /// recursive-descent, so this bounds its stack usage.
+    pub max_depth: usize,
+    /// Maximum input length in bytes, checked before parsing starts.
+    pub max_bytes: usize,
+}
+
+impl ParseLimits {
+    /// The default depth cap: deep enough for any trace or protocol
+    /// frame this workspace writes, shallow enough that recursion can
+    /// never exhaust a thread stack.
+    pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+    /// Limits suited to untrusted wire input: `max_depth` plus an
+    /// explicit frame-size bound.
+    pub fn wire(max_bytes: usize) -> Self {
+        ParseLimits { max_depth: Self::DEFAULT_MAX_DEPTH, max_bytes }
+    }
+}
+
+impl Default for ParseLimits {
+    /// Depth-capped, size-unbounded: what [`from_str`] applies.
+    fn default() -> Self {
+        ParseLimits {
+            max_depth: Self::DEFAULT_MAX_DEPTH,
+            max_bytes: usize::MAX,
+        }
+    }
 }
 
 // --- Writing ---------------------------------------------------------------
@@ -465,11 +527,25 @@ pub fn to_string_pretty<V: Into<Value> + Clone>(value: &V) -> Result<String, Err
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser { bytes: s.as_bytes(), pos: 0 }
+    fn new(s: &'a str, max_depth: usize) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0, depth: 0, max_depth }
+    }
+
+    /// Enters one container level, refusing past the depth limit.
+    fn descend(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(err_kind(
+                ErrorKind::DepthLimit,
+                format!("nesting deeper than {} levels", self.max_depth),
+            ));
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -628,10 +704,12 @@ impl<'a> Parser<'a> {
 
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -643,6 +721,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(err("expected ',' or ']'")),
@@ -652,10 +731,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut map = Map::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(map));
         }
         loop {
@@ -672,6 +753,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(map));
                 }
                 _ => return Err(err("expected ',' or '}'")),
@@ -681,9 +763,24 @@ impl<'a> Parser<'a> {
 }
 
 /// Parses a [`Value`] from JSON text (strict: trailing garbage is an
-/// error).
+/// error). Applies [`ParseLimits::default`] — nesting is always
+/// depth-capped so no input can overflow the parser's stack.
 pub fn from_str(s: &str) -> Result<Value, Error> {
-    let mut p = Parser::new(s);
+    from_str_bounded(s, &ParseLimits::default())
+}
+
+/// Like [`from_str`] but with explicit [`ParseLimits`] — the entry point
+/// for untrusted input such as socket frames. Limit violations return a
+/// typed error ([`Error::kind`]) rather than risking stack overflow or
+/// unbounded allocation.
+pub fn from_str_bounded(s: &str, limits: &ParseLimits) -> Result<Value, Error> {
+    if s.len() > limits.max_bytes {
+        return Err(err_kind(
+            ErrorKind::SizeLimit,
+            format!("input of {} bytes exceeds limit {}", s.len(), limits.max_bytes),
+        ));
+    }
+    let mut p = Parser::new(s, limits.max_depth.max(1));
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -781,5 +878,52 @@ mod tests {
         let v = json!("line\nbreak\tand \"quote\"");
         let text = to_string(&v).unwrap();
         assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn deep_nesting_is_refused_not_overflowed() {
+        // 100k unclosed brackets: without the depth cap this would blow
+        // the recursive-descent parser's stack.
+        let deep: String = "[".repeat(100_000);
+        let e = from_str(&deep).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::DepthLimit);
+        let mixed: String = "{\"k\":[".repeat(50_000);
+        assert_eq!(from_str(&mixed).unwrap_err().kind(), ErrorKind::DepthLimit);
+    }
+
+    #[test]
+    fn nesting_within_the_cap_still_parses() {
+        let depth = ParseLimits::DEFAULT_MAX_DEPTH;
+        let ok = format!("{}{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(from_str(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert_eq!(from_str(&too_deep).unwrap_err().kind(), ErrorKind::DepthLimit);
+    }
+
+    #[test]
+    fn size_limit_is_enforced_before_parsing() {
+        let limits = ParseLimits::wire(16);
+        let big = format!("\"{}\"", "x".repeat(64));
+        let e = from_str_bounded(&big, &limits).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::SizeLimit);
+        assert!(from_str_bounded("\"short\"", &limits).is_ok());
+    }
+
+    #[test]
+    fn custom_depth_limits_apply() {
+        let limits = ParseLimits { max_depth: 2, max_bytes: usize::MAX };
+        assert!(from_str_bounded("[[1]]", &limits).is_ok());
+        assert_eq!(
+            from_str_bounded("[[[1]]]", &limits).unwrap_err().kind(),
+            ErrorKind::DepthLimit
+        );
+        // Sibling containers at the same level don't accumulate depth.
+        assert!(from_str_bounded("[[1],[2],[3]]", &limits).is_ok());
+    }
+
+    #[test]
+    fn syntax_errors_keep_the_syntax_kind() {
+        assert_eq!(from_str("{").unwrap_err().kind(), ErrorKind::Syntax);
+        assert_eq!(from_str("tru").unwrap_err().kind(), ErrorKind::Syntax);
     }
 }

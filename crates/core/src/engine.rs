@@ -1,6 +1,9 @@
 //! The ROBOTune BO engine: Bayesian optimisation over a selected subspace
 //! with median-multiple early stopping (paper §3.4 + §4).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use robotune_bo::{BoEngine, BoOptions};
 use robotune_space::{SearchSpace, Subspace};
@@ -44,6 +47,12 @@ pub struct RoboTuneEngineOptions {
     /// Retry policy for transiently failing evaluations (submit/launch
     /// hiccups under fault injection). Retries are budget-charged.
     pub retry: RetryPolicy,
+    /// Cooperative cancellation: when the flag flips to `true` the loop
+    /// stops before its next evaluation and returns the partial session.
+    /// `None` (the default) never cancels, so trajectories are untouched.
+    /// The tuning service sets one flag per hosted session so
+    /// `close_session`/shutdown can stop a pipeline without poisoning it.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for RoboTuneEngineOptions {
@@ -56,6 +65,7 @@ impl Default for RoboTuneEngineOptions {
             },
             early_stop: None,
             retry: RetryPolicy::default(),
+            cancel: None,
         }
     }
 }
@@ -108,6 +118,20 @@ impl RoboTuneEngine {
         self.bo.refit(rng);
     }
 
+    /// Whether the cooperative cancel flag has flipped (see
+    /// [`RoboTuneEngineOptions::cancel`]).
+    fn cancelled(&self) -> bool {
+        let hit = self
+            .opts
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed));
+        if hit {
+            robotune_obs::incr("tune.cancelled", 1);
+        }
+        hit
+    }
+
     /// Evaluates one subspace point under the current threshold and feeds
     /// the result to the GP.
     pub fn evaluate_point(&mut self, point: Vec<f64>, objective: &mut dyn Objective) -> Evaluation {
@@ -147,11 +171,17 @@ impl RoboTuneEngine {
         rng: &mut StdRng,
     ) -> TuningSession {
         for point in initial_design.into_iter().take(budget) {
+            if self.cancelled() {
+                return self.session;
+            }
             self.evaluate_point(point, objective);
         }
         let mut incumbent = self.session.best_time().unwrap_or(f64::INFINITY);
         let mut stale = 0usize;
         while self.session.len() < budget {
+            if self.cancelled() {
+                return self.session;
+            }
             let point = self.bo.suggest(rng);
             self.evaluate_point(point, objective);
             if let Some(stop) = self.opts.early_stop {
@@ -309,6 +339,38 @@ mod tests {
         opts.early_stop = Some(EarlyStop { patience: 3, min_delta_frac: 0.01 });
         let session = RoboTuneEngine::new(sub3(), opts).run(&mut obj, init, 25, &mut rng);
         assert_eq!(session.len(), 25, "monotone improvement must not stop early");
+    }
+
+    #[test]
+    fn cancel_flag_stops_the_loop_with_a_partial_session() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let seen = std::cell::Cell::new(0usize);
+        let flag2 = Arc::clone(&flag);
+        let mut obj = FnObjective::new(move |_: &Configuration| {
+            seen.set(seen.get() + 1);
+            if seen.get() == 6 {
+                flag2.store(true, Ordering::Relaxed);
+            }
+            50.0
+        });
+        let mut rng = rng_from_seed(31);
+        let init = robotune_sampling::lhs(4, 3, &mut rng);
+        let mut opts = fast_opts();
+        opts.cancel = Some(flag);
+        let session = RoboTuneEngine::new(sub3(), opts).run(&mut obj, init, 40, &mut rng);
+        // Flag flips during evaluation 6; the loop stops before the 7th.
+        assert_eq!(session.len(), 6, "cancelled run must stop at the next check");
+    }
+
+    #[test]
+    fn unset_cancel_flag_changes_nothing() {
+        let mut obj = FnObjective::new(bowl());
+        let mut rng = rng_from_seed(1);
+        let init = robotune_sampling::lhs(8, 3, &mut rng);
+        let mut opts = fast_opts();
+        opts.cancel = Some(Arc::new(AtomicBool::new(false)));
+        let session = RoboTuneEngine::new(sub3(), opts).run(&mut obj, init, 20, &mut rng);
+        assert_eq!(session.len(), 20);
     }
 
     #[test]

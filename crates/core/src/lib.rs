@@ -49,6 +49,9 @@ pub mod tuner;
 pub use encoder::encode_to_conf;
 pub use parser::{parse_conf, ParseError};
 pub use engine::{RoboTuneEngine, RoboTuneEngineOptions};
-pub use memo::{ConfigMemoBuffer, MemoizedSampler, ParameterSelectionCache};
+pub use memo::{
+    resolve_selection, ConfigMemoBuffer, InMemoryMemoStore, MemoStore, MemoizedSampler,
+    ParameterSelectionCache, SharedMemoStore,
+};
 pub use select::{ParameterSelector, SelectionResult};
 pub use tuner::{RoboTune, RoboTuneOptions, RoboTuneOutcome};

@@ -9,9 +9,21 @@
 //! and seeds the BO training set with its best recent configurations.
 
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 use rand::Rng;
 use robotune_space::{ConfigSpace, Configuration, SearchSpace, Subspace};
+
+/// Resolves cached parameter *names* to indices within `space`. A hit
+/// requires every name to still resolve, so a stale selection against a
+/// revised space degrades to a miss instead of tuning the wrong knobs.
+pub fn resolve_selection(names: &[String], space: &ConfigSpace) -> Option<Vec<usize>> {
+    let mut out = Vec::with_capacity(names.len());
+    for n in names {
+        out.push(space.index_of(n)?);
+    }
+    Some(out)
+}
 
 /// Workload → selected parameter *names* (names, not indices, so the cache
 /// survives space revisions).
@@ -29,13 +41,10 @@ impl ParameterSelectionCache {
     /// Looks up the selected parameter indices for `workload` within
     /// `space`. A hit requires every cached name to still resolve.
     pub fn get(&self, workload: &str, space: &ConfigSpace) -> Option<Vec<usize>> {
-        let resolved = self.entries.get(workload).and_then(|names| {
-            let mut out = Vec::with_capacity(names.len());
-            for n in names {
-                out.push(space.index_of(n)?);
-            }
-            Some(out)
-        });
+        let resolved = self
+            .entries
+            .get(workload)
+            .and_then(|names| resolve_selection(names, space));
         match resolved {
             Some(out) => {
                 robotune_obs::incr("memo.hit", 1);
@@ -48,18 +57,36 @@ impl ParameterSelectionCache {
         }
     }
 
+    /// The raw cached names for `workload`, unresolved.
+    pub fn names(&self, workload: &str) -> Option<&[String]> {
+        self.entries.get(workload).map(Vec::as_slice)
+    }
+
     /// Stores a selection.
     pub fn put(&mut self, workload: &str, space: &ConfigSpace, selected: &[usize]) {
         let names = selected
             .iter()
             .map(|&i| space.params()[i].name.clone())
             .collect();
+        self.put_names(workload, names);
+    }
+
+    /// Stores an already-resolved name list (the persistence replay path).
+    pub fn put_names(&mut self, workload: &str, names: Vec<String>) {
         self.entries.insert(workload.to_string(), names);
     }
 
     /// Whether the cache holds an entry for `workload`.
     pub fn contains(&self, workload: &str) -> bool {
         self.entries.contains_key(workload)
+    }
+
+    /// The cached workload keys, sorted (persistence snapshots need a
+    /// stable order).
+    pub fn workloads(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.entries.keys().cloned().collect();
+        out.sort_unstable();
+        out
     }
 
     /// Number of cached workloads.
@@ -97,17 +124,125 @@ impl ConfigMemoBuffer {
         list.truncate(Self::CAPACITY);
     }
 
-    /// The `n` best recent configurations for `workload` (may be fewer).
-    pub fn best_recent(&self, workload: &str, n: usize) -> Vec<&(Configuration, f64)> {
+    /// The `n` best recent configurations for `workload` (may be fewer),
+    /// best first.
+    pub fn best_recent(&self, workload: &str, n: usize) -> Vec<(Configuration, f64)> {
         self.entries
             .get(workload)
-            .map(|l| l.iter().take(n).collect())
+            .map(|l| l.iter().take(n).cloned().collect())
             .unwrap_or_default()
     }
 
     /// Whether anything is memoized for `workload`.
     pub fn contains(&self, workload: &str) -> bool {
         self.entries.get(workload).is_some_and(|l| !l.is_empty())
+    }
+
+    /// The memoized workload keys, sorted.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.entries.keys().cloned().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// The paper's two memoization structures (§3.2) behind one storage
+/// interface, so a tuning session does not care whether its warm-start
+/// state lives in a private in-memory struct, a process-wide store shared
+/// by every served session, or a file-backed store that survives restarts.
+///
+/// Implementations must be cheap under read-heavy access: every session
+/// consults the store once per run, not per evaluation.
+pub trait MemoStore: Send + Sync {
+    /// The cached selected-parameter *names* for `workload`, if any.
+    fn selection(&self, workload: &str) -> Option<Vec<String>>;
+
+    /// Stores the selected-parameter names for `workload`.
+    fn put_selection(&mut self, workload: &str, names: Vec<String>);
+
+    /// Records a completed configuration and its runtime for `workload`.
+    fn record_config(&mut self, workload: &str, config: Configuration, time_s: f64);
+
+    /// The `n` best recent configurations for `workload`, best first.
+    fn best_recent(&self, workload: &str, n: usize) -> Vec<(Configuration, f64)>;
+
+    /// Whether a selection is cached for `workload`.
+    fn has_selection(&self, workload: &str) -> bool {
+        self.selection(workload).is_some()
+    }
+
+    /// Whether any configuration is memoized for `workload`.
+    fn has_configs(&self, workload: &str) -> bool {
+        !self.best_recent(workload, 1).is_empty()
+    }
+
+    /// Every workload key present in either structure, sorted.
+    fn workloads(&self) -> Vec<String>;
+
+    /// Flushes durable state (snapshot + WAL truncation for file-backed
+    /// stores). The in-memory store has nothing to do.
+    fn checkpoint(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A [`MemoStore`] shared across sessions (and, in the tuning service,
+/// across tenants): the paper's caches lifted behind `Arc<RwLock<…>>`.
+pub type SharedMemoStore = Arc<RwLock<dyn MemoStore>>;
+
+/// The default process-local store: a [`ParameterSelectionCache`] plus a
+/// [`ConfigMemoBuffer`], no persistence.
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryMemoStore {
+    /// The parameter-selection cache.
+    pub cache: ParameterSelectionCache,
+    /// The configuration-memoization buffer.
+    pub memo: ConfigMemoBuffer,
+}
+
+impl InMemoryMemoStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps the store for sharing across sessions.
+    pub fn into_shared(self) -> SharedMemoStore {
+        Arc::new(RwLock::new(self))
+    }
+}
+
+impl MemoStore for InMemoryMemoStore {
+    fn selection(&self, workload: &str) -> Option<Vec<String>> {
+        self.cache.names(workload).map(<[String]>::to_vec)
+    }
+
+    fn put_selection(&mut self, workload: &str, names: Vec<String>) {
+        self.cache.put_names(workload, names);
+    }
+
+    fn record_config(&mut self, workload: &str, config: Configuration, time_s: f64) {
+        self.memo.record(workload, config, time_s);
+    }
+
+    fn best_recent(&self, workload: &str, n: usize) -> Vec<(Configuration, f64)> {
+        self.memo.best_recent(workload, n)
+    }
+
+    fn has_selection(&self, workload: &str) -> bool {
+        self.cache.contains(workload)
+    }
+
+    fn has_configs(&self, workload: &str) -> bool {
+        self.memo.contains(workload)
+    }
+
+    fn workloads(&self) -> Vec<String> {
+        let mut out = self.cache.workloads();
+        out.extend(self.memo.workloads());
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -140,15 +275,17 @@ impl Default for MemoizedSampler {
 }
 
 impl MemoizedSampler {
-    /// Builds the initial design for `workload` over `sub`.
+    /// Builds the initial design over `sub`, blending in `recent` — the
+    /// workload's best memoized configurations (best first, at most
+    /// [`MemoizedSampler::memo_configs`]; ask a [`MemoStore`] via
+    /// [`MemoStore::best_recent`]).
     pub fn initial_design<R: Rng + ?Sized>(
         &self,
         sub: &Subspace,
-        workload: &str,
-        buffer: &ConfigMemoBuffer,
+        recent: &[(Configuration, f64)],
         rng: &mut R,
     ) -> InitialDesign {
-        let recent = buffer.best_recent(workload, self.memo_configs);
+        let recent = &recent[..recent.len().min(self.memo_configs)];
         let n_lhs = self.tuning_samples.saturating_sub(recent.len());
         // Memoized configurations go first: they are the likely
         // near-optimum, so even a tight budget benefits immediately and
@@ -225,9 +362,8 @@ mod tests {
     fn cold_design_is_pure_lhs_of_20() {
         let s = space();
         let sub = s.subspace(&[0, 1, 7], s.default_configuration());
-        let buf = ConfigMemoBuffer::new();
         let mut rng = rng_from_seed(1);
-        let d = MemoizedSampler::default().initial_design(&sub, "pr", &buf, &mut rng);
+        let d = MemoizedSampler::default().initial_design(&sub, &[], &mut rng);
         assert_eq!(d.points.len(), 20);
         assert_eq!(d.memoized, 0);
         assert!(d.points.iter().all(|p| p.len() == 3));
@@ -244,8 +380,10 @@ mod tests {
             c.set(cores, robotune_space::ParamValue::Int(8 + i));
             buf.record("pr", c, 50.0 + i as f64);
         }
+        let sampler = MemoizedSampler::default();
+        let recent = buf.best_recent("pr", sampler.memo_configs);
         let mut rng = rng_from_seed(2);
-        let d = MemoizedSampler::default().initial_design(&sub, "pr", &buf, &mut rng);
+        let d = sampler.initial_design(&sub, &recent, &mut rng);
         assert_eq!(d.points.len(), 20);
         assert_eq!(d.memoized, 4);
         // Memoized points lead the design and decode back to the recorded
@@ -261,9 +399,52 @@ mod tests {
         let mut buf = ConfigMemoBuffer::new();
         buf.record("cc", s.default_configuration(), 70.0);
         let mut rng = rng_from_seed(3);
-        let d = MemoizedSampler::default().initial_design(&sub, "cc", &buf, &mut rng);
+        let recent = buf.best_recent("cc", 4);
+        let d = MemoizedSampler::default().initial_design(&sub, &recent, &mut rng);
         assert_eq!(d.points.len(), 20);
         assert_eq!(d.memoized, 1);
+    }
+
+    #[test]
+    fn oversized_recent_list_is_truncated_to_memo_configs() {
+        let s = space();
+        let sub = s.subspace(&[0], s.default_configuration());
+        let recent: Vec<(Configuration, f64)> = (0..8)
+            .map(|i| (s.default_configuration(), 40.0 + i as f64))
+            .collect();
+        let mut rng = rng_from_seed(4);
+        let d = MemoizedSampler::default().initial_design(&sub, &recent, &mut rng);
+        assert_eq!(d.points.len(), 20);
+        assert_eq!(d.memoized, 4, "sampler must clamp to memo_configs");
+    }
+
+    #[test]
+    fn in_memory_store_round_trips_both_structures() {
+        let s = space();
+        let mut store = InMemoryMemoStore::new();
+        assert!(store.selection("pr").is_none());
+        assert!(!store.has_selection("pr"));
+        store.put_selection("pr", vec!["spark.executor.cores".into()]);
+        assert!(store.has_selection("pr"));
+        assert_eq!(
+            store.selection("pr").as_deref(),
+            Some(&["spark.executor.cores".to_string()][..])
+        );
+        store.record_config("pr", s.default_configuration(), 33.0);
+        store.record_config("km", s.default_configuration(), 50.0);
+        assert!(store.has_configs("pr"));
+        assert_eq!(store.best_recent("pr", 4).len(), 1);
+        assert_eq!(store.workloads(), vec!["km".to_string(), "pr".to_string()]);
+        assert!(store.checkpoint().is_ok(), "in-memory checkpoint is a no-op");
+    }
+
+    #[test]
+    fn resolve_selection_fails_closed_on_unknown_names() {
+        let s = space();
+        let good = vec![names::EXECUTOR_CORES.to_string()];
+        assert!(resolve_selection(&good, &s).is_some());
+        let stale = vec![names::EXECUTOR_CORES.to_string(), "gone.param".to_string()];
+        assert!(resolve_selection(&stale, &s).is_none());
     }
 
     #[test]

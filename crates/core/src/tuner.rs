@@ -7,8 +7,26 @@ use robotune_space::ConfigSpace;
 use robotune_tuners::{Objective, Tuner, TuningSession};
 
 use crate::engine::{RoboTuneEngine, RoboTuneEngineOptions};
-use crate::memo::{ConfigMemoBuffer, MemoizedSampler, ParameterSelectionCache};
+use crate::memo::{
+    resolve_selection, InMemoryMemoStore, MemoStore, MemoizedSampler, SharedMemoStore,
+};
 use crate::select::{ParameterSelector, SelectionResult, SelectorOptions};
+
+/// Poison-tolerant read lock: a panicked writer can only have left the
+/// caches partially warmed, never structurally broken, and a tuning
+/// session must not die because an unrelated session crashed.
+fn read_store(store: &SharedMemoStore) -> std::sync::RwLockReadGuard<'_, dyn MemoStore + 'static> {
+    store
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Poison-tolerant write lock (see [`read_store`]).
+fn write_store(store: &SharedMemoStore) -> std::sync::RwLockWriteGuard<'_, dyn MemoStore + 'static> {
+    store
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Framework-level options.
 #[derive(Debug, Clone, Default)]
@@ -56,36 +74,53 @@ pub struct RoboTuneOutcome {
 
 /// The ROBOTune framework: parameter selection + memoized sampling + BO.
 ///
-/// The struct is stateful across calls: tuning the same `workload` key
+/// The framework is stateful across calls: tuning the same `workload` key
 /// again hits the parameter-selection cache and warm-starts from the
-/// configuration-memoization buffer — the §5.4 speedup.
+/// configuration-memoization buffer — the §5.4 speedup. Both structures
+/// live in a [`SharedMemoStore`]: a fresh private in-memory store by
+/// default ([`RoboTune::new`]), or one shared with other framework
+/// instances — possibly file-backed — via [`RoboTune::with_store`], which
+/// is how the tuning service lets one tenant's tuned workload warm
+/// another's.
 pub struct RoboTune {
     opts: RoboTuneOptions,
-    cache: ParameterSelectionCache,
-    memo: ConfigMemoBuffer,
+    store: SharedMemoStore,
     /// Workload key used when invoked through the generic [`Tuner`] trait.
     trait_key: String,
 }
 
 impl RoboTune {
-    /// Creates a fresh framework instance (cold caches).
+    /// Creates a fresh framework instance with a private in-memory store
+    /// (cold caches).
     pub fn new(opts: RoboTuneOptions) -> Self {
+        Self::with_store(opts, InMemoryMemoStore::new().into_shared())
+    }
+
+    /// Creates a framework instance over an existing (possibly shared,
+    /// possibly persistent) memo store.
+    pub fn with_store(opts: RoboTuneOptions, store: SharedMemoStore) -> Self {
         RoboTune {
             opts,
-            cache: ParameterSelectionCache::new(),
-            memo: ConfigMemoBuffer::new(),
+            store,
             trait_key: "default-workload".to_string(),
         }
     }
 
-    /// The parameter-selection cache (inspection/testing).
-    pub fn cache(&self) -> &ParameterSelectionCache {
-        &self.cache
+    /// The memo store backing this instance.
+    pub fn store(&self) -> SharedMemoStore {
+        Arc::clone(&self.store)
     }
 
-    /// The configuration memoization buffer (inspection/testing).
-    pub fn memo(&self) -> &ConfigMemoBuffer {
-        &self.memo
+    /// Whether the parameter-selection cache holds `workload`
+    /// (inspection/testing).
+    pub fn knows_selection(&self, workload: &str) -> bool {
+        read_store(&self.store).has_selection(workload)
+    }
+
+    /// Whether any configuration is memoized for `workload`
+    /// (inspection/testing).
+    pub fn knows_configs(&self, workload: &str) -> bool {
+        read_store(&self.store).has_configs(workload)
     }
 
     /// Sets the workload key used by [`Tuner::tune`].
@@ -108,8 +143,21 @@ impl RoboTune {
         rng: &mut StdRng,
     ) -> RoboTuneOutcome {
         let _span = robotune_obs::span("tune.workload");
+        // A cooperatively-cancelled run (service shutdown / session close)
+        // must not write its aborted, partially-evaluated results into the
+        // shared store: other tenants would inherit a garbage selection.
+        let cancel = self.opts.engine.cancel.clone();
+        let cancelled =
+            || cancel.as_ref().is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed));
         // --- Parameter selection (cached) -----------------------------------
-        let (selected, selection, selection_cost_s) = match self.cache.get(workload, space) {
+        let cached = read_store(&self.store)
+            .selection(workload)
+            .and_then(|names| resolve_selection(&names, space));
+        match cached {
+            Some(_) => robotune_obs::incr("memo.hit", 1),
+            None => robotune_obs::incr("memo.miss", 1),
+        }
+        let (selected, selection, selection_cost_s) = match cached {
             Some(sel) => (sel, None, 0.0),
             None => {
                 let selector = ParameterSelector::new(self.opts.selector.clone());
@@ -128,7 +176,13 @@ impl RoboTune {
                     sel.sort_unstable();
                     sel.dedup();
                 }
-                self.cache.put(workload, space, &sel);
+                let names = sel
+                    .iter()
+                    .map(|&i| space.params()[i].name.clone())
+                    .collect();
+                if !cancelled() {
+                    write_store(&self.store).put_selection(workload, names);
+                }
                 let cost = result.sampling_cost_s;
                 (sel, Some(result), cost)
             }
@@ -137,10 +191,13 @@ impl RoboTune {
         // --- Memoized sampling ------------------------------------------------
         let sub = space.subspace(&selected, space.default_configuration());
         robotune_obs::record("select.subspace_size", selected.len() as f64);
-        let design = self
-            .opts
-            .sampler
-            .initial_design(&sub, workload, &self.memo, rng);
+        let mut recent =
+            read_store(&self.store).best_recent(workload, self.opts.sampler.memo_configs);
+        // A persistent store reloaded against a revised space could hold
+        // configurations of the wrong width; drop them instead of letting
+        // `Subspace::encode` assert deep inside the sampler.
+        recent.retain(|(c, _)| c.len() == space.len());
+        let design = self.opts.sampler.initial_design(&sub, &recent, rng);
         let warm_start = design.memoized > 0;
         robotune_obs::mark("tune.initial_design", || {
             serde_json::json!({
@@ -162,8 +219,11 @@ impl RoboTune {
             .filter(|r| r.eval.completed)
             .collect();
         completed.sort_by(|a, b| a.eval.time_s.total_cmp(&b.eval.time_s));
-        for r in completed.into_iter().take(self.opts.sampler.memo_configs) {
-            self.memo.record(workload, r.config.clone(), r.eval.time_s);
+        if !cancelled() {
+            let mut store = write_store(&self.store);
+            for r in completed.into_iter().take(self.opts.sampler.memo_configs) {
+                store.record_config(workload, r.config.clone(), r.eval.time_s);
+            }
         }
 
         RoboTuneOutcome {
@@ -231,8 +291,8 @@ mod tests {
         assert!(!cold.warm_start);
         assert!(cold.selection_cost_s > 0.0);
         assert_eq!(cold.session.len(), 40);
-        assert!(tuner.cache().contains("syn"));
-        assert!(tuner.memo().contains("syn"));
+        assert!(tuner.knows_selection("syn"));
+        assert!(tuner.knows_configs("syn"));
 
         let mut obj2 = FnObjective::new(synthetic());
         let warm = tuner.tune_workload(&space, "syn", &mut obj2, 40, &mut rng);
@@ -273,7 +333,26 @@ mod tests {
             Tuner::tune(&mut tuner, &space, &mut obj, 25, &mut rng);
         assert_eq!(session.len(), 25);
         assert_eq!(session.tuner, "ROBOTune");
-        assert!(tuner.cache().contains("trait-run"));
+        assert!(tuner.knows_selection("trait-run"));
+    }
+
+    #[test]
+    fn shared_store_warms_a_second_framework_instance() {
+        let space = Arc::new(spark_space());
+        let store = crate::memo::InMemoryMemoStore::new().into_shared();
+        let mut first = RoboTune::with_store(RoboTuneOptions::fast(), Arc::clone(&store));
+        let mut rng = rng_from_seed(9);
+        let mut obj = FnObjective::new(synthetic());
+        let cold = first.tune_workload(&space, "shared", &mut obj, 30, &mut rng);
+        assert!(cold.selection.is_some());
+
+        // A *different* RoboTune over the same store: selection cache hit
+        // and memoized warm start, exactly as if it were the same instance.
+        let mut second = RoboTune::with_store(RoboTuneOptions::fast(), store);
+        let mut obj2 = FnObjective::new(synthetic());
+        let warm = second.tune_workload(&space, "shared", &mut obj2, 30, &mut rng);
+        assert!(warm.selection.is_none(), "selection must come from the shared store");
+        assert!(warm.warm_start, "memoized configs must come from the shared store");
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! `robotune-service`: a long-running, multi-tenant ask/tell tuning
+//! daemon over the ROBOTune pipeline.
+//!
+//! The library crates drive an [`Objective`](robotune_tuners::Objective)
+//! *push*-style: the tuner calls `evaluate` and blocks until a
+//! measurement comes back. A service has the opposite shape — clients
+//! *pull* a suggestion, run it on their cluster, and report the result
+//! whenever it lands. This crate inverts control without forking the
+//! pipeline: each session runs the unmodified
+//! [`RoboTune`](robotune::RoboTune) stack on a worker thread against a
+//! channel-backed objective ([`session`]), so a served trajectory is
+//! **bit-identical** to an in-process run at the same seed.
+//!
+//! Pieces:
+//!
+//! - [`protocol`] — the newline-delimited JSON request/response frames
+//!   and the typed error codes, plus the configuration wire codec;
+//! - [`store`] — [`PersistentMemoStore`]: the process-wide shared memo
+//!   store with snapshot + append-only JSONL WAL persistence;
+//! - [`session`] — one served tuning session (ask/tell channel bridge,
+//!   lifecycle, per-session accounting);
+//! - [`manager`] — [`SessionManager`]: the bounded worker pool, the
+//!   admission queue with backpressure, and request dispatch;
+//! - [`server`] — the TCP accept/connection loop ([`serve`]);
+//! - [`client`] — [`TuningClient`], a small blocking client library used
+//!   by the bench load generator and the integration tests.
+//!
+//! Everything is `std`-only: the TCP layer is `std::net`, JSON is the
+//! workspace's `serde_json` stand-in, threads are `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod manager;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod store;
+
+pub use client::{ClientError, DriveReport, Suggestion, TuningClient};
+pub use manager::{ServiceOptions, SessionManager};
+pub use protocol::{ErrorCode, ObservedStatus, Profile, ProtoError, Request, MAX_FRAME_BYTES};
+pub use server::serve;
+pub use session::{SessionOutcome, SessionState};
+pub use store::PersistentMemoStore;

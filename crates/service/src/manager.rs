@@ -1,0 +1,540 @@
+//! The session manager: admission, the bounded worker pool, request
+//! dispatch, and graceful shutdown.
+//!
+//! Concurrency model: `create_session` admits a session into a bounded
+//! FIFO queue (backpressure — a full queue answers a typed
+//! `overloaded` error). A fixed pool of worker threads (spawned by
+//! [`serve`](crate::server::serve)) pops sessions and runs each
+//! pipeline to completion; the number of concurrently *running*
+//! sessions is therefore exactly the worker count. Request dispatch
+//! itself never blocks on the pipeline except `suggest`, which waits up
+//! to [`ServiceOptions::suggest_timeout`] for the next ask.
+//!
+//! Shutdown: the flag flips, every session is cancelled cooperatively
+//! (running pipelines unblock and wind down, queued sessions are
+//! skipped), workers drain, and the server checkpoints the shared
+//! store. In-flight requests get responses; new sessions are refused.
+
+use crate::protocol::{
+    self, config_to_wire, error_frame, ok_frame, ErrorCode, ProtoError, Request,
+};
+use crate::session::{ServedSession, SessionOutcome, SessionSpec, SessionState, SuggestReply};
+use robotune::SharedMemoStore;
+use robotune_space::spark::spark_space;
+use robotune_space::ConfigSpace;
+use serde_json::{Map, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+fn lock<'a, T: ?Sized>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Tunables for the service.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Worker threads — the max number of concurrently running
+    /// sessions.
+    pub workers: usize,
+    /// Queued-session cap; admissions beyond it get `overloaded`.
+    pub queue_capacity: usize,
+    /// How long one `suggest` waits for the pipeline's next ask before
+    /// answering a retryable `timeout` error.
+    pub suggest_timeout: Duration,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            workers: 4,
+            queue_capacity: 64,
+            suggest_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Hosts every session and dispatches protocol requests.
+pub struct SessionManager {
+    opts: ServiceOptions,
+    store: SharedMemoStore,
+    spaces: Vec<(String, Arc<ConfigSpace>)>,
+    sessions: Mutex<HashMap<String, Arc<ServedSession>>>,
+    queue: Mutex<VecDeque<Arc<ServedSession>>>,
+    queue_cv: Condvar,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    active: AtomicU64,
+}
+
+impl SessionManager {
+    /// Builds a manager over a shared memo store. The Spark space is
+    /// pre-registered as `"spark"`.
+    pub fn new(opts: ServiceOptions, store: SharedMemoStore) -> Self {
+        SessionManager {
+            opts,
+            store,
+            spaces: vec![("spark".to_string(), Arc::new(spark_space()))],
+            sessions: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.opts
+    }
+
+    /// The shared memo store.
+    pub fn store(&self) -> SharedMemoStore {
+        self.store.clone()
+    }
+
+    /// Registers an additional named configuration space.
+    pub fn register_space(&mut self, name: impl Into<String>, space: Arc<ConfigSpace>) {
+        self.spaces.push((name.into(), space));
+    }
+
+    fn space(&self, name: &str) -> Option<Arc<ConfigSpace>> {
+        self.spaces.iter().find(|(n, _)| n == name).map(|(_, s)| s.clone())
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Requests shutdown: refuse new sessions, cancel live ones, wake
+    /// idle workers. The store checkpoint happens in
+    /// [`serve`](crate::server::serve) once the workers have drained.
+    pub fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        robotune_obs::incr("service.shutdowns", 1);
+        for session in lock(&self.sessions).values() {
+            session.close();
+        }
+        self.queue_cv.notify_all();
+    }
+
+    /// One worker: pop queued sessions and run each pipeline to
+    /// completion until shutdown drains the queue.
+    pub fn worker_loop(&self) {
+        loop {
+            let session = {
+                let mut q = lock(&self.queue);
+                loop {
+                    if let Some(s) = q.pop_front() {
+                        break Some(s);
+                    }
+                    if self.is_shutting_down() {
+                        break None;
+                    }
+                    q = self
+                        .queue_cv
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let Some(session) = session else {
+                return;
+            };
+            if self.is_shutting_down() {
+                session.close();
+                continue;
+            }
+            let active = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+            robotune_obs::record("service.sessions_active", active as f64);
+            robotune_obs::incr("service.sessions_started", 1);
+            session.run(self.store.clone());
+            let active = self.active.fetch_sub(1, Ordering::Relaxed) - 1;
+            robotune_obs::record("service.sessions_active", active as f64);
+            match session.state() {
+                SessionState::Finished => robotune_obs::incr("service.sessions_finished", 1),
+                _ => robotune_obs::incr("service.sessions_cancelled", 1),
+            }
+        }
+    }
+
+    /// Number of sessions admitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Handles one raw request line, returning the rendered response
+    /// frame (without trailing newline).
+    pub fn handle_line(&self, line: &str) -> String {
+        let started = Instant::now();
+        let frame = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                let code = match e.kind() {
+                    serde_json::ErrorKind::SizeLimit => ErrorCode::FrameTooLarge,
+                    _ => ErrorCode::MalformedFrame,
+                };
+                robotune_obs::incr("service.req_errors", 1);
+                return render(error_frame(
+                    &Value::Null,
+                    &ProtoError::new(code, format!("bad frame: {e}")),
+                ));
+            }
+        };
+        let (id, parsed) = Request::parse(&frame);
+        let response = match parsed {
+            Ok(req) => {
+                let verb = verb_metric(&req);
+                let result = self.dispatch(&id, req);
+                robotune_obs::record(verb, started.elapsed().as_nanos() as f64);
+                robotune_obs::incr("service.requests", 1);
+                result
+            }
+            Err(err) => {
+                robotune_obs::incr("service.req_errors", 1);
+                error_frame(&id, &err)
+            }
+        };
+        render(response)
+    }
+
+    fn dispatch(&self, id: &Value, req: Request) -> Value {
+        match req {
+            Request::CreateSession { workload, space, seed, budget, profile } => {
+                self.create_session(id, workload, &space, seed, budget, profile)
+            }
+            Request::Suggest { session } => match self.session(&session) {
+                Err(e) => error_frame(id, &e),
+                Ok(s) => match s.suggest(self.opts.suggest_timeout) {
+                    Err(e) => error_frame(id, &e),
+                    Ok(reply) => self.render_suggest(id, &s, reply),
+                },
+            },
+            Request::Observe { session, index, time_s, status } => {
+                match self.session(&session).and_then(|s| s.observe(index, time_s, status)) {
+                    Err(e) => error_frame(id, &e),
+                    Ok(observed) => {
+                        let mut m = ok_frame(id);
+                        m.insert("observed".into(), Value::from(observed));
+                        Value::Object(m)
+                    }
+                }
+            }
+            Request::Best { session } => match self.session(&session) {
+                Err(e) => error_frame(id, &e),
+                Ok(s) => {
+                    let (best_time_s, best_config) = s.best();
+                    let mut m = ok_frame(id);
+                    m.insert("state".into(), Value::from(s.state().as_str()));
+                    m.insert(
+                        "best_time_s".into(),
+                        best_time_s.map_or(Value::Null, Value::from),
+                    );
+                    m.insert(
+                        "best_config".into(),
+                        best_config
+                            .map_or(Value::Null, |c| config_to_wire(s.space(), &c)),
+                    );
+                    Value::Object(m)
+                }
+            },
+            Request::Status { session: Some(session) } => match self.session(&session) {
+                Err(e) => error_frame(id, &e),
+                Ok(s) => {
+                    let mut m = ok_frame(id);
+                    extend_session_status(&mut m, &s);
+                    Value::Object(m)
+                }
+            },
+            Request::Status { session: None } => self.server_status(id),
+            Request::CloseSession { session } => match self.session(&session) {
+                Err(e) => error_frame(id, &e),
+                Ok(s) => {
+                    s.close();
+                    let mut m = ok_frame(id);
+                    m.insert("session".into(), Value::from(s.id.as_str()));
+                    m.insert("state".into(), Value::from(s.state().as_str()));
+                    Value::Object(m)
+                }
+            },
+            Request::Shutdown => {
+                self.begin_shutdown();
+                let mut m = ok_frame(id);
+                m.insert("draining".into(), Value::Bool(true));
+                Value::Object(m)
+            }
+        }
+    }
+
+    fn create_session(
+        &self,
+        id: &Value,
+        workload: String,
+        space_name: &str,
+        seed: u64,
+        budget: usize,
+        profile: protocol::Profile,
+    ) -> Value {
+        if self.is_shutting_down() {
+            return error_frame(
+                id,
+                &ProtoError::new(ErrorCode::ShuttingDown, "server is draining"),
+            );
+        }
+        let Some(space) = self.space(space_name) else {
+            return error_frame(
+                id,
+                &ProtoError::new(
+                    ErrorCode::UnknownSpace,
+                    format!("no space named {space_name:?}"),
+                ),
+            );
+        };
+        let session_id = format!("s-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let session = ServedSession::new(
+            session_id.clone(),
+            SessionSpec { workload, budget, seed, profile },
+            space,
+        );
+        {
+            let mut q = lock(&self.queue);
+            if q.len() >= self.opts.queue_capacity {
+                robotune_obs::incr("service.overloaded", 1);
+                return error_frame(
+                    id,
+                    &ProtoError::new(
+                        ErrorCode::Overloaded,
+                        format!("admission queue is full ({} sessions)", q.len()),
+                    ),
+                );
+            }
+            lock(&self.sessions).insert(session_id.clone(), session.clone());
+            q.push_back(session);
+        }
+        self.queue_cv.notify_one();
+        robotune_obs::incr("service.sessions_created", 1);
+        let mut m = ok_frame(id);
+        m.insert("session".into(), Value::from(session_id));
+        m.insert("state".into(), Value::from(SessionState::Queued.as_str()));
+        Value::Object(m)
+    }
+
+    fn session(&self, id: &str) -> Result<Arc<ServedSession>, ProtoError> {
+        lock(&self.sessions).get(id).cloned().ok_or_else(|| {
+            ProtoError::new(ErrorCode::UnknownSession, format!("no session {id:?}"))
+        })
+    }
+
+    fn render_suggest(&self, id: &Value, s: &ServedSession, reply: SuggestReply) -> Value {
+        let mut m = ok_frame(id);
+        match reply {
+            SuggestReply::Queued => {
+                m.insert("type".into(), Value::from("queued"));
+            }
+            SuggestReply::Ask(ask) => {
+                m.insert("type".into(), Value::from("config"));
+                m.insert("index".into(), Value::from(ask.index));
+                m.insert("cap_s".into(), Value::from(ask.cap_s));
+                m.insert("config".into(), config_to_wire(s.space(), &ask.config));
+            }
+            SuggestReply::Finished(out) => {
+                m.insert("type".into(), Value::from("finished"));
+                extend_outcome(&mut m, s, &out);
+            }
+        }
+        Value::Object(m)
+    }
+
+    fn server_status(&self, id: &Value) -> Value {
+        let sessions = lock(&self.sessions);
+        let mut rows: Vec<(String, Value)> = sessions
+            .values()
+            .map(|s| {
+                let mut row = Map::new();
+                extend_session_status(&mut row, s);
+                (s.id.clone(), Value::Object(row))
+            })
+            .collect();
+        drop(sessions);
+        // HashMap iteration order is arbitrary; sort for stable output.
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let store_workloads = {
+            let store = self
+                .store
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            store.workloads()
+        };
+        let mut m = ok_frame(id);
+        m.insert("shutting_down".into(), Value::Bool(self.is_shutting_down()));
+        m.insert("workers".into(), Value::from(self.opts.workers as u64));
+        m.insert("queue_depth".into(), Value::from(self.queue_depth() as u64));
+        m.insert(
+            "sessions_active".into(),
+            Value::from(self.active.load(Ordering::Relaxed)),
+        );
+        m.insert(
+            "sessions".into(),
+            Value::Array(rows.into_iter().map(|(_, v)| v).collect()),
+        );
+        m.insert(
+            "store_workloads".into(),
+            Value::Array(store_workloads.into_iter().map(Value::from).collect()),
+        );
+        Value::Object(m)
+    }
+}
+
+fn extend_session_status(m: &mut Map, s: &ServedSession) {
+    let stats = s.stats();
+    m.insert("session".into(), Value::from(s.id.as_str()));
+    m.insert("state".into(), Value::from(s.state().as_str()));
+    m.insert("workload".into(), Value::from(s.spec.workload.as_str()));
+    m.insert("seed".into(), Value::from(s.spec.seed));
+    m.insert("budget".into(), Value::from(s.spec.budget as u64));
+    m.insert("profile".into(), Value::from(s.spec.profile.as_str()));
+    m.insert("asked".into(), Value::from(stats.asked));
+    m.insert("observed".into(), Value::from(stats.observed));
+    m.insert("completed".into(), Value::from(stats.completed));
+    m.insert("failed".into(), Value::from(stats.failed));
+    m.insert("capped".into(), Value::from(stats.capped));
+    m.insert(
+        "best_time_s".into(),
+        stats.best_time_s.map_or(Value::Null, Value::from),
+    );
+    if let Some(out) = s.outcome() {
+        let mut o = Map::new();
+        extend_outcome(&mut o, s, &out);
+        m.insert("outcome".into(), Value::Object(o));
+    } else {
+        m.insert("outcome".into(), Value::Null);
+    }
+}
+
+fn extend_outcome(m: &mut Map, s: &ServedSession, out: &SessionOutcome) {
+    m.insert("evals".into(), Value::from(out.evals as u64));
+    m.insert(
+        "best_time_s".into(),
+        out.best_time_s.map_or(Value::Null, Value::from),
+    );
+    m.insert(
+        "best_config".into(),
+        out.best_config
+            .as_ref()
+            .map_or(Value::Null, |c| config_to_wire(s.space(), c)),
+    );
+    m.insert("warm_start".into(), Value::Bool(out.warm_start));
+    m.insert("cache_hit".into(), Value::Bool(out.cache_hit));
+    m.insert("selection_cost_s".into(), Value::from(out.selection_cost_s));
+    m.insert("search_cost_s".into(), Value::from(out.search_cost_s));
+}
+
+fn verb_metric(req: &Request) -> &'static str {
+    match req {
+        Request::CreateSession { .. } => "service.req_ns.create_session",
+        Request::Suggest { .. } => "service.req_ns.suggest",
+        Request::Observe { .. } => "service.req_ns.observe",
+        Request::Best { .. } => "service.req_ns.best",
+        Request::Status { .. } => "service.req_ns.status",
+        Request::CloseSession { .. } => "service.req_ns.close_session",
+        Request::Shutdown => "service.req_ns.shutdown",
+    }
+}
+
+fn render(v: Value) -> String {
+    serde_json::to_string(&v).unwrap_or_else(|_| {
+        // The value was built by us from valid pieces; this cannot
+        // fail, but degrade to a protocol-shaped literal regardless.
+        r#"{"id":null,"ok":false,"error":{"code":"internal","message":"render failure"}}"#
+            .to_string()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune::InMemoryMemoStore;
+
+    fn manager() -> SessionManager {
+        SessionManager::new(
+            ServiceOptions { workers: 2, queue_capacity: 2, ..ServiceOptions::default() },
+            InMemoryMemoStore::new().into_shared(),
+        )
+    }
+
+    fn parse(s: &str) -> Value {
+        serde_json::from_str(s).unwrap()
+    }
+
+    #[test]
+    fn create_reports_queued_and_backpressure_is_typed() {
+        let m = manager();
+        let r1 = parse(&m.handle_line(
+            r#"{"id":1,"verb":"create_session","workload":"km","space":"spark","seed":1,"budget":5}"#,
+        ));
+        assert_eq!(r1["ok"], Value::Bool(true));
+        assert_eq!(r1["state"].as_str(), Some("queued"));
+        let _ = m.handle_line(
+            r#"{"verb":"create_session","workload":"pr","space":"spark","seed":2,"budget":5}"#,
+        );
+        // Capacity 2: the third admission bounces.
+        let r3 = parse(&m.handle_line(
+            r#"{"verb":"create_session","workload":"cc","space":"spark","seed":3,"budget":5}"#,
+        ));
+        assert_eq!(r3["ok"], Value::Bool(false));
+        assert_eq!(r3["error"]["code"].as_str(), Some("overloaded"));
+    }
+
+    #[test]
+    fn typed_errors_for_bad_frames_and_unknown_things() {
+        let m = manager();
+        for (line, code) in [
+            ("{nope", "malformed_frame"),
+            ("[]", "malformed_frame"),
+            (r#"{"verb":"zap"}"#, "unknown_verb"),
+            (r#"{"verb":"suggest","session":"s-99"}"#, "unknown_session"),
+            (
+                r#"{"verb":"create_session","workload":"x","space":"flink","seed":1,"budget":5}"#,
+                "unknown_space",
+            ),
+        ] {
+            let r = parse(&m.handle_line(line));
+            assert_eq!(r["ok"], Value::Bool(false), "{line}");
+            assert_eq!(r["error"]["code"].as_str(), Some(code), "{line}");
+        }
+    }
+
+    #[test]
+    fn shutdown_refuses_new_sessions_and_echoes_ids() {
+        let m = manager();
+        let r = parse(&m.handle_line(r#"{"id":"x-1","verb":"shutdown"}"#));
+        assert_eq!(r["id"].as_str(), Some("x-1"));
+        assert_eq!(r["draining"], Value::Bool(true));
+        assert!(m.is_shutting_down());
+        let r = parse(&m.handle_line(
+            r#"{"verb":"create_session","workload":"km","space":"spark","seed":1,"budget":5}"#,
+        ));
+        assert_eq!(r["error"]["code"].as_str(), Some("shutting_down"));
+    }
+
+    #[test]
+    fn status_covers_the_server_and_single_sessions() {
+        let m = manager();
+        let r = parse(&m.handle_line(
+            r#"{"verb":"create_session","workload":"km","space":"spark","seed":1,"budget":5}"#,
+        ));
+        let sid = r["session"].as_str().unwrap().to_string();
+        let server = parse(&m.handle_line(r#"{"verb":"status"}"#));
+        assert_eq!(server["queue_depth"].as_u64(), Some(1));
+        assert_eq!(server["sessions"][0]["session"].as_str(), Some(sid.as_str()));
+        let one =
+            parse(&m.handle_line(&format!(r#"{{"verb":"status","session":"{sid}"}}"#)));
+        assert_eq!(one["state"].as_str(), Some("queued"));
+        assert_eq!(one["workload"].as_str(), Some("km"));
+        assert_eq!(one["outcome"], Value::Null);
+    }
+}

@@ -1,0 +1,525 @@
+//! The NDJSON wire protocol: request parsing, typed errors, response
+//! framing, and the configuration codec.
+//!
+//! Every frame is one JSON object on one line. Requests carry a `verb`
+//! and an optional `id`, which the server echoes verbatim in the
+//! response so clients can pipeline. Responses are `{"ok":true,...}` or
+//! `{"ok":false,"error":{"code":...,"message":...}}`; the error `code`
+//! is one of the closed [`ErrorCode`] set, so clients can dispatch on it
+//! without string-matching messages.
+
+use robotune::RoboTuneOptions;
+use robotune_space::{ConfigSpace, Configuration, ParamKind, ParamValue};
+use robotune_tuners::Evaluation;
+use serde_json::{Map, ParseLimits, Value};
+
+/// Hard cap on one inbound request frame, applied *before* parsing.
+///
+/// A request is a verb plus at most one configuration object (~2 KiB on
+/// the 44-parameter Spark space), so 64 KiB leaves an order of magnitude
+/// of slack while bounding what an untrusted peer can make the parser
+/// chew on.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Parse limits for inbound frames: wire-hardened depth + size bounds.
+pub fn wire_limits() -> ParseLimits {
+    ParseLimits::wire(MAX_FRAME_BYTES)
+}
+
+/// The closed set of protocol error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame is not valid JSON (or not an object).
+    MalformedFrame,
+    /// The frame exceeded [`MAX_FRAME_BYTES`].
+    FrameTooLarge,
+    /// The `verb` field is missing or names no known verb.
+    UnknownVerb,
+    /// A required field is absent.
+    MissingField,
+    /// A field is present but has the wrong type or an invalid value.
+    InvalidField,
+    /// `create_session` named a configuration space this server lacks.
+    UnknownSpace,
+    /// The `session` id names no live session.
+    UnknownSession,
+    /// The session was closed (explicitly or by shutdown).
+    SessionClosed,
+    /// `suggest` while an earlier suggestion is still unobserved.
+    SuggestionPending,
+    /// `observe` with no outstanding suggestion.
+    NoPendingSuggestion,
+    /// The admission queue is full; retry later.
+    Overloaded,
+    /// The server is draining and accepts no new sessions.
+    ShuttingDown,
+    /// The pipeline produced no suggestion within the server's window;
+    /// the session is still live — retry.
+    Timeout,
+    /// An internal invariant failed; the request may be retried.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedFrame => "malformed_frame",
+            ErrorCode::FrameTooLarge => "frame_too_large",
+            ErrorCode::UnknownVerb => "unknown_verb",
+            ErrorCode::MissingField => "missing_field",
+            ErrorCode::InvalidField => "invalid_field",
+            ErrorCode::UnknownSpace => "unknown_space",
+            ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::SessionClosed => "session_closed",
+            ErrorCode::SuggestionPending => "suggestion_pending",
+            ErrorCode::NoPendingSuggestion => "no_pending_suggestion",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A typed protocol error: code plus a human-oriented message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Which of the closed error codes this is.
+    pub code: ErrorCode,
+    /// Detail for humans; clients must dispatch on `code`.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Builds an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ProtoError { code, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+/// The tuning-options profile a session runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// The paper-faithful defaults.
+    #[default]
+    Default,
+    /// [`RoboTuneOptions::fast`]: same algorithmic structure, smaller
+    /// forests and lighter acquisition optimisation. Used by tests and
+    /// the load generator.
+    Fast,
+}
+
+impl Profile {
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "default" => Some(Profile::Default),
+            "fast" => Some(Profile::Fast),
+            _ => None,
+        }
+    }
+
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Profile::Default => "default",
+            Profile::Fast => "fast",
+        }
+    }
+
+    /// The pipeline options this profile denotes.
+    pub fn options(self) -> RoboTuneOptions {
+        match self {
+            Profile::Default => RoboTuneOptions::default(),
+            Profile::Fast => RoboTuneOptions::fast(),
+        }
+    }
+}
+
+/// How a client-run evaluation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedStatus {
+    /// The run finished within the cap.
+    Completed,
+    /// The run was stopped by the cap.
+    Capped,
+    /// The run crashed deterministically (OOM, invalid config).
+    Failed,
+    /// The run failed transiently (submit rejection, lost measurement).
+    Transient,
+}
+
+impl ObservedStatus {
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "completed" => Some(ObservedStatus::Completed),
+            "capped" => Some(ObservedStatus::Capped),
+            "failed" => Some(ObservedStatus::Failed),
+            "transient" => Some(ObservedStatus::Transient),
+            _ => None,
+        }
+    }
+
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObservedStatus::Completed => "completed",
+            ObservedStatus::Capped => "capped",
+            ObservedStatus::Failed => "failed",
+            ObservedStatus::Transient => "transient",
+        }
+    }
+
+    /// Classifies an [`Evaluation`] for the wire.
+    pub fn of(eval: &Evaluation) -> Self {
+        if eval.completed {
+            ObservedStatus::Completed
+        } else if !eval.failed {
+            ObservedStatus::Capped
+        } else if eval.transient {
+            ObservedStatus::Transient
+        } else {
+            ObservedStatus::Failed
+        }
+    }
+
+    /// Rebuilds the [`Evaluation`] this status + time denote. Exact
+    /// inverse of [`ObservedStatus::of`] for single-attempt evaluations,
+    /// which is what an objective returns per call — retries are
+    /// aggregated by the pipeline's own retry layer on the server side.
+    pub fn to_evaluation(self, time_s: f64) -> Evaluation {
+        match self {
+            ObservedStatus::Completed => Evaluation::completed(time_s),
+            ObservedStatus::Capped => Evaluation::capped(time_s),
+            ObservedStatus::Failed => Evaluation::failed(time_s),
+            ObservedStatus::Transient => Evaluation::transient_failure(time_s),
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a tuning session.
+    CreateSession {
+        /// The memo-store workload key (selection cache + config buffer).
+        workload: String,
+        /// Name of a server-registered configuration space.
+        space: String,
+        /// Seed for the session's deterministic RNG.
+        seed: u64,
+        /// BO evaluation budget.
+        budget: usize,
+        /// Options profile.
+        profile: Profile,
+    },
+    /// Pull the next configuration to run.
+    Suggest {
+        /// Session id.
+        session: String,
+    },
+    /// Report the outcome of the pending suggestion.
+    Observe {
+        /// Session id.
+        session: String,
+        /// Echo of the suggestion index, if the client tracks it.
+        index: Option<u64>,
+        /// Wall-clock seconds the run consumed.
+        time_s: f64,
+        /// How the run ended.
+        status: ObservedStatus,
+    },
+    /// Best configuration seen so far.
+    Best {
+        /// Session id.
+        session: String,
+    },
+    /// Server or per-session status.
+    Status {
+        /// Session id; `None` asks for the server-wide view.
+        session: Option<String>,
+    },
+    /// Cancel a session and release its worker.
+    CloseSession {
+        /// Session id.
+        session: String,
+    },
+    /// Drain, checkpoint the store, and exit.
+    Shutdown,
+}
+
+fn need<'v>(obj: &'v Map, key: &str) -> Result<&'v Value, ProtoError> {
+    obj.get(key)
+        .ok_or_else(|| ProtoError::new(ErrorCode::MissingField, format!("missing field {key:?}")))
+}
+
+fn need_str(obj: &Map, key: &str) -> Result<String, ProtoError> {
+    need(obj, key)?.as_str().map(str::to_owned).ok_or_else(|| {
+        ProtoError::new(ErrorCode::InvalidField, format!("field {key:?} must be a string"))
+    })
+}
+
+fn need_u64(obj: &Map, key: &str) -> Result<u64, ProtoError> {
+    need(obj, key)?.as_u64().ok_or_else(|| {
+        ProtoError::new(
+            ErrorCode::InvalidField,
+            format!("field {key:?} must be a non-negative integer"),
+        )
+    })
+}
+
+impl Request {
+    /// Parses a decoded frame into a request. The returned `Value` is
+    /// the request `id` (or `Null`), echoed in the response either way.
+    pub fn parse(frame: &Value) -> (Value, Result<Request, ProtoError>) {
+        let id = frame.get("id").cloned().unwrap_or(Value::Null);
+        (id, Self::parse_inner(frame))
+    }
+
+    fn parse_inner(frame: &Value) -> Result<Request, ProtoError> {
+        let obj = frame.as_object().ok_or_else(|| {
+            ProtoError::new(ErrorCode::MalformedFrame, "frame must be a JSON object")
+        })?;
+        let verb = need_str(obj, "verb")
+            .map_err(|e| ProtoError::new(ErrorCode::UnknownVerb, e.message))?;
+        match verb.as_str() {
+            "create_session" => {
+                let budget = need_u64(obj, "budget")?;
+                if budget == 0 {
+                    return Err(ProtoError::new(
+                        ErrorCode::InvalidField,
+                        "budget must be at least 1",
+                    ));
+                }
+                let profile = match obj.get("profile") {
+                    None | Some(Value::Null) => Profile::Default,
+                    Some(v) => v.as_str().and_then(Profile::parse).ok_or_else(|| {
+                        ProtoError::new(
+                            ErrorCode::InvalidField,
+                            "profile must be \"default\" or \"fast\"",
+                        )
+                    })?,
+                };
+                Ok(Request::CreateSession {
+                    workload: need_str(obj, "workload")?,
+                    space: need_str(obj, "space")?,
+                    seed: need_u64(obj, "seed")?,
+                    budget: usize::try_from(budget).map_err(|_| {
+                        ProtoError::new(ErrorCode::InvalidField, "budget out of range")
+                    })?,
+                    profile,
+                })
+            }
+            "suggest" => Ok(Request::Suggest { session: need_str(obj, "session")? }),
+            "observe" => {
+                let time_s = need(obj, "time_s")?.as_f64().ok_or_else(|| {
+                    ProtoError::new(ErrorCode::InvalidField, "field \"time_s\" must be a number")
+                })?;
+                let status = need_str(obj, "status")?;
+                let status = ObservedStatus::parse(&status).ok_or_else(|| {
+                    ProtoError::new(
+                        ErrorCode::InvalidField,
+                        "status must be completed|capped|failed|transient",
+                    )
+                })?;
+                let index = match obj.get("index") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        ProtoError::new(
+                            ErrorCode::InvalidField,
+                            "field \"index\" must be a non-negative integer",
+                        )
+                    })?),
+                };
+                Ok(Request::Observe {
+                    session: need_str(obj, "session")?,
+                    index,
+                    time_s,
+                    status,
+                })
+            }
+            "best" => Ok(Request::Best { session: need_str(obj, "session")? }),
+            "status" => {
+                let session = match obj.get("session") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(v.as_str().map(str::to_owned).ok_or_else(|| {
+                        ProtoError::new(
+                            ErrorCode::InvalidField,
+                            "field \"session\" must be a string",
+                        )
+                    })?),
+                };
+                Ok(Request::Status { session })
+            }
+            "close_session" => Ok(Request::CloseSession { session: need_str(obj, "session")? }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => {
+                Err(ProtoError::new(ErrorCode::UnknownVerb, format!("unknown verb {other:?}")))
+            }
+        }
+    }
+}
+
+/// Starts an `{"id":…,"ok":true}` response frame to extend with fields.
+pub fn ok_frame(id: &Value) -> Map {
+    let mut m = Map::new();
+    m.insert("id".into(), id.clone());
+    m.insert("ok".into(), Value::Bool(true));
+    m
+}
+
+/// Renders a typed error as a complete response frame.
+pub fn error_frame(id: &Value, err: &ProtoError) -> Value {
+    let mut e = Map::new();
+    e.insert("code".into(), Value::from(err.code.as_str()));
+    e.insert("message".into(), Value::from(err.message.clone()));
+    let mut m = Map::new();
+    m.insert("id".into(), id.clone());
+    m.insert("ok".into(), Value::Bool(false));
+    m.insert("error".into(), Value::Object(e));
+    Value::Object(m)
+}
+
+/// Renders a configuration as a wire object: parameter name → typed
+/// value (ints as JSON integers, floats as JSON numbers, booleans as
+/// booleans, categoricals as the choice *name*). Floats print in
+/// shortest-round-trip form, so [`config_from_wire`] recovers the exact
+/// bits — the determinism guarantee leans on this.
+pub fn config_to_wire(space: &ConfigSpace, config: &Configuration) -> Value {
+    let mut m = Map::new();
+    for (def, v) in space.params().iter().zip(config.values()) {
+        let jv = match v {
+            ParamValue::Int(i) => Value::from(*i),
+            ParamValue::Float(f) => Value::from(*f),
+            ParamValue::Bool(b) => Value::Bool(*b),
+            ParamValue::Cat(i) => match &def.kind {
+                ParamKind::Categorical { choices } => match choices.get(*i) {
+                    Some(name) => Value::from(name.as_str()),
+                    None => Value::from(*i as i64),
+                },
+                _ => Value::from(*i as i64),
+            },
+        };
+        m.insert(def.name.clone(), jv);
+    }
+    Value::Object(m)
+}
+
+/// Parses a wire configuration object back into a [`Configuration`]
+/// over `space`. Every parameter must be present with the right type;
+/// categoricals are given by choice name.
+pub fn config_from_wire(space: &ConfigSpace, v: &Value) -> Result<Configuration, ProtoError> {
+    let obj = v.as_object().ok_or_else(|| {
+        ProtoError::new(ErrorCode::InvalidField, "config must be a JSON object")
+    })?;
+    let mut values = Vec::with_capacity(space.len());
+    for def in space.params() {
+        let item = obj.get(&def.name).ok_or_else(|| {
+            ProtoError::new(ErrorCode::MissingField, format!("config missing {:?}", def.name))
+        })?;
+        let bad = |want: &str| {
+            ProtoError::new(
+                ErrorCode::InvalidField,
+                format!("config field {:?} must be {want}", def.name),
+            )
+        };
+        let pv = match &def.kind {
+            ParamKind::Int { .. } => {
+                ParamValue::Int(item.as_i64().ok_or_else(|| bad("an integer"))?)
+            }
+            ParamKind::Float { .. } => {
+                ParamValue::Float(item.as_f64().ok_or_else(|| bad("a number"))?)
+            }
+            ParamKind::Bool => ParamValue::Bool(item.as_bool().ok_or_else(|| bad("a boolean"))?),
+            ParamKind::Categorical { choices } => {
+                let name = item.as_str().ok_or_else(|| bad("a choice name string"))?;
+                let idx = choices.iter().position(|c| c == name).ok_or_else(|| {
+                    ProtoError::new(
+                        ErrorCode::InvalidField,
+                        format!("config field {:?}: unknown choice {name:?}", def.name),
+                    )
+                })?;
+                ParamValue::Cat(idx)
+            }
+        };
+        values.push(pv);
+    }
+    Ok(Configuration::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_space::spark::spark_space;
+    use robotune_space::SearchSpace;
+    use robotune_stats::rng_from_seed;
+
+    #[test]
+    fn configs_round_trip_the_wire_bit_exactly() {
+        let space = spark_space();
+        let mut rng = rng_from_seed(11);
+        for _ in 0..50 {
+            let point: Vec<f64> =
+                (0..space.dim()).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect();
+            let config = space.decode(&point);
+            let wire = config_to_wire(&space, &config);
+            let text = serde_json::to_string(&wire).unwrap();
+            let back = config_from_wire(&space, &serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(config, back, "wire round trip must be exact");
+        }
+    }
+
+    #[test]
+    fn requests_parse_and_reject_with_typed_errors() {
+        let (id, req) = Request::parse(
+            &serde_json::from_str(
+                r#"{"id":7,"verb":"create_session","workload":"km","space":"spark","seed":3,"budget":20,"profile":"fast"}"#,
+            )
+            .unwrap(),
+        );
+        assert_eq!(id.as_i64(), Some(7));
+        assert_eq!(
+            req.unwrap(),
+            Request::CreateSession {
+                workload: "km".into(),
+                space: "spark".into(),
+                seed: 3,
+                budget: 20,
+                profile: Profile::Fast,
+            }
+        );
+
+        for (frame, code) in [
+            (r#"{"verb":"warp"}"#, ErrorCode::UnknownVerb),
+            (r#"{"verb":"suggest"}"#, ErrorCode::MissingField),
+            (r#"{"verb":"observe","session":"s-1","time_s":"x","status":"completed"}"#, ErrorCode::InvalidField),
+            (r#"{"verb":"observe","session":"s-1","time_s":1.0,"status":"exploded"}"#, ErrorCode::InvalidField),
+            (r#"{"verb":"create_session","workload":"km","space":"spark","seed":1,"budget":0}"#, ErrorCode::InvalidField),
+            (r#"[1,2]"#, ErrorCode::MalformedFrame),
+        ] {
+            let (_, req) = Request::parse(&serde_json::from_str(frame).unwrap());
+            assert_eq!(req.unwrap_err().code, code, "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn observed_status_inverts_evaluation_classification() {
+        for eval in [
+            Evaluation::completed(12.5),
+            Evaluation::capped(480.0),
+            Evaluation::failed(3.25),
+            Evaluation::transient_failure(1.0),
+        ] {
+            let status = ObservedStatus::of(&eval);
+            assert_eq!(status.to_evaluation(eval.time_s), eval);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The TCP layer: accept loop, per-connection NDJSON framing, and the
+//! scoped thread structure that ties workers, connections, and
+//! shutdown together.
+//!
+//! Everything runs inside one `std::thread::scope`: the worker pool,
+//! the (non-blocking) accept loop, and one handler thread per
+//! connection. The scope guarantees that `serve` returns only after
+//! every worker has drained and every connection has closed — at which
+//! point the shared store is checkpointed exactly once. Handler reads
+//! carry a short timeout so they notice the shutdown flag promptly.
+
+use crate::manager::SessionManager;
+use crate::protocol::{error_frame, ErrorCode, ProtoError, MAX_FRAME_BYTES};
+use serde_json::Value;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// How often blocked I/O re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// What one framed read produced.
+enum Frame {
+    /// A complete line (newline stripped).
+    Line(Vec<u8>),
+    /// The line exceeded the frame cap; the overflow was drained up to
+    /// the next newline so the connection stays in sync.
+    TooLong,
+    /// The peer closed the connection.
+    Eof,
+    /// Shutdown was requested while waiting for bytes.
+    Shutdown,
+}
+
+/// Reads one newline-terminated frame, enforcing the byte cap *before*
+/// any parsing and polling `shutting_down` while idle.
+fn read_frame(
+    reader: &mut BufReader<TcpStream>,
+    shutting_down: &dyn Fn() -> bool,
+) -> io::Result<Frame> {
+    let mut line = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return Ok(if line.is_empty() && !overflowed {
+                    Frame::Eof
+                } else if overflowed {
+                    Frame::TooLong
+                } else {
+                    // A final unterminated line still gets an answer.
+                    Frame::Line(line)
+                });
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return Ok(if overflowed { Frame::TooLong } else { Frame::Line(line) });
+                }
+                if overflowed {
+                    continue; // draining to the next newline
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_FRAME_BYTES {
+                    line.clear();
+                    overflowed = true;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutting_down() {
+                    return Ok(Frame::Shutdown);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, manager: &SessionManager) {
+    robotune_obs::incr("service.connections", 1);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while let Ok(frame) = read_frame(&mut reader, &|| manager.is_shutting_down()) {
+        let response = match frame {
+            Frame::Eof | Frame::Shutdown => break,
+            Frame::TooLong => render_error(
+                ErrorCode::FrameTooLarge,
+                format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+            ),
+            Frame::Line(bytes) => match String::from_utf8(bytes) {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => manager.handle_line(&line),
+                Err(_) => {
+                    render_error(ErrorCode::MalformedFrame, "frame is not valid UTF-8".into())
+                }
+            },
+        };
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+fn render_error(code: ErrorCode, message: String) -> String {
+    serde_json::to_string(&error_frame(&Value::Null, &ProtoError::new(code, message)))
+        .unwrap_or_else(|_| {
+            r#"{"id":null,"ok":false,"error":{"code":"internal","message":"render failure"}}"#
+                .to_string()
+        })
+}
+
+/// Runs the daemon on `listener` until a `shutdown` request drains it.
+///
+/// Spawns the manager's worker pool plus one handler thread per
+/// accepted connection, all inside a scope; once every thread has
+/// exited, checkpoints the shared store (snapshot + WAL truncate) and
+/// returns.
+pub fn serve(listener: TcpListener, manager: &SessionManager) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| -> io::Result<()> {
+        for _ in 0..manager.options().workers.max(1) {
+            scope.spawn(|| manager.worker_loop());
+        }
+        loop {
+            if manager.is_shutting_down() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    scope.spawn(move || handle_connection(stream, manager));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    manager.begin_shutdown();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    })?;
+    // Every worker and connection has exited: quiesce, then persist.
+    let checkpoint = {
+        let store = manager.store();
+        let mut store = store.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        store.checkpoint()
+    };
+    if let Err(e) = checkpoint {
+        robotune_obs::incr("service.store.checkpoint_error", 1);
+        robotune_obs::mark("service.store.checkpoint_error", || {
+            serde_json::json!({ "error": e.clone() })
+        });
+    }
+    Ok(())
+}

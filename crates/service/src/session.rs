@@ -1,0 +1,528 @@
+//! One served tuning session: the ask/tell bridge over the unmodified
+//! ROBOTune pipeline.
+//!
+//! The pipeline is a *push* loop — it calls
+//! [`Objective::evaluate`] and blocks until a measurement returns. A
+//! [`ServedSession`] runs that loop on a worker thread against a
+//! [`ChannelObjective`] whose `evaluate` publishes the configuration as
+//! an **ask** on a rendezvous channel and parks until the client's
+//! `observe` sends the matching **tell** back. Nothing in the selection,
+//! sampling, or BO layers changes, so the served trajectory at seed `S`
+//! is bit-identical to an in-process `tune_workload` run at seed `S` —
+//! the integration tests assert exactly that.
+//!
+//! Lifecycle: `Queued` (admitted, waiting for a worker) → `Running`
+//! (pipeline live) → `Finished` (budget exhausted, outcome recorded) or
+//! `Closed` (client close / server shutdown; the pipeline is cancelled
+//! cooperatively via the engine's cancel flag and unblocked by dropping
+//! the tell sender).
+
+use crate::protocol::{ErrorCode, ObservedStatus, Profile, ProtoError};
+use robotune::{RoboTune, SharedMemoStore};
+use robotune_space::{ConfigSpace, Configuration};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{Evaluation, Objective};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+fn lock<'a, T: ?Sized>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Admitted; waiting for a worker slot.
+    Queued,
+    /// The pipeline is live on a worker.
+    Running,
+    /// The pipeline completed its budget.
+    Finished,
+    /// Cancelled by `close_session` or shutdown.
+    Closed,
+}
+
+impl SessionState {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SessionState::Queued => "queued",
+            SessionState::Running => "running",
+            SessionState::Finished => "finished",
+            SessionState::Closed => "closed",
+        }
+    }
+}
+
+/// What a session asked the client to run.
+#[derive(Debug, Clone)]
+pub struct Ask {
+    /// Monotonic per-session evaluation index (selection samples and
+    /// retry attempts included — every objective call is one ask).
+    pub index: u64,
+    /// The configuration to run.
+    pub config: Configuration,
+    /// The evaluation cap the pipeline wants enforced, in seconds.
+    pub cap_s: f64,
+}
+
+/// Immutable description of a session, fixed at creation.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Memo-store workload key.
+    pub workload: String,
+    /// BO evaluation budget.
+    pub budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Options profile.
+    pub profile: Profile,
+}
+
+/// Counters a session maintains as the client drives it.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Asks handed out.
+    pub asked: u64,
+    /// Tells accepted.
+    pub observed: u64,
+    /// Tells with status `completed`.
+    pub completed: u64,
+    /// Tells with a failure status.
+    pub failed: u64,
+    /// Tells with status `capped`.
+    pub capped: u64,
+    /// Best completed time seen via tells.
+    pub best_time_s: Option<f64>,
+}
+
+/// The pipeline's summary once a session finishes.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Evaluations recorded in the BO session (selection excluded).
+    pub evals: usize,
+    /// Best completed time.
+    pub best_time_s: Option<f64>,
+    /// Best configuration.
+    pub best_config: Option<Configuration>,
+    /// Whether the initial design reused memoized configurations.
+    pub warm_start: bool,
+    /// Whether the parameter selection came from the shared cache.
+    pub cache_hit: bool,
+    /// Time charged to parameter selection (0 on a cache hit).
+    pub selection_cost_s: f64,
+    /// Total simulated seconds the search consumed.
+    pub search_cost_s: f64,
+}
+
+/// What `suggest` can answer.
+#[derive(Debug, Clone)]
+pub enum SuggestReply {
+    /// Still waiting for a worker; retry shortly.
+    Queued,
+    /// Run this configuration and `observe` the result.
+    Ask(Ask),
+    /// The session completed; here is the summary.
+    Finished(SessionOutcome),
+}
+
+/// The channel-backed [`Objective`] the pipeline runs against.
+struct ChannelObjective {
+    ask_tx: SyncSender<Ask>,
+    tell_rx: Receiver<Evaluation>,
+    /// Shared with the session's cancel flag: once set, evaluations
+    /// short-circuit to deterministic failures so the selector or
+    /// engine can wind down without further client input.
+    aborted: Arc<AtomicBool>,
+    next_index: u64,
+}
+
+impl Objective for ChannelObjective {
+    fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation {
+        if self.aborted.load(Ordering::Relaxed) {
+            return Evaluation::failed(0.0);
+        }
+        let ask = Ask { index: self.next_index, config: config.clone(), cap_s };
+        self.next_index += 1;
+        if self.ask_tx.send(ask).is_err() {
+            self.aborted.store(true, Ordering::Relaxed);
+            return Evaluation::failed(0.0);
+        }
+        match self.tell_rx.recv() {
+            Ok(eval) => eval,
+            Err(_) => {
+                // The server dropped the tell sender: session closed.
+                self.aborted.store(true, Ordering::Relaxed);
+                Evaluation::failed(0.0)
+            }
+        }
+    }
+}
+
+/// One multi-tenant session hosted by the service.
+pub struct ServedSession {
+    /// Session id (`s-<n>`).
+    pub id: String,
+    /// Creation-time parameters.
+    pub spec: SessionSpec,
+    space: Arc<ConfigSpace>,
+    state: Mutex<SessionState>,
+    state_cv: Condvar,
+    cancel: Arc<AtomicBool>,
+    ask_rx: Mutex<Option<Receiver<Ask>>>,
+    tell_tx: Mutex<Option<SyncSender<Evaluation>>>,
+    pending: Mutex<Option<Ask>>,
+    stats: Mutex<SessionStats>,
+    outcome: Mutex<Option<SessionOutcome>>,
+}
+
+impl ServedSession {
+    /// Creates a session in the `Queued` state.
+    pub fn new(id: String, spec: SessionSpec, space: Arc<ConfigSpace>) -> Arc<Self> {
+        Arc::new(ServedSession {
+            id,
+            spec,
+            space,
+            state: Mutex::new(SessionState::Queued),
+            state_cv: Condvar::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            ask_rx: Mutex::new(None),
+            tell_tx: Mutex::new(None),
+            pending: Mutex::new(None),
+            stats: Mutex::new(SessionStats::default()),
+            outcome: Mutex::new(None),
+        })
+    }
+
+    /// The space this session tunes over.
+    pub fn space(&self) -> &Arc<ConfigSpace> {
+        &self.space
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        *lock(&self.state)
+    }
+
+    /// A copy of the client-side counters.
+    pub fn stats(&self) -> SessionStats {
+        lock(&self.stats).clone()
+    }
+
+    /// The finished summary, if the pipeline has completed.
+    pub fn outcome(&self) -> Option<SessionOutcome> {
+        lock(&self.outcome).clone()
+    }
+
+    /// Runs the pipeline to completion on the calling (worker) thread.
+    ///
+    /// Returns immediately if the session was closed while queued.
+    pub fn run(&self, store: SharedMemoStore) {
+        let (ask_tx, ask_rx) = mpsc::sync_channel::<Ask>(1);
+        let (tell_tx, tell_rx) = mpsc::sync_channel::<Evaluation>(1);
+        {
+            // Install the channel ends *before* announcing `Running`,
+            // so a racing `suggest` never observes a running session
+            // with no receiver.
+            let mut st = lock(&self.state);
+            if *st != SessionState::Queued {
+                return;
+            }
+            *lock(&self.ask_rx) = Some(ask_rx);
+            *lock(&self.tell_tx) = Some(tell_tx);
+            *st = SessionState::Running;
+            self.state_cv.notify_all();
+        }
+
+        let mut objective = ChannelObjective {
+            ask_tx,
+            tell_rx,
+            aborted: self.cancel.clone(),
+            next_index: 0,
+        };
+        let mut opts = self.spec.profile.options();
+        opts.engine.cancel = Some(self.cancel.clone());
+        let mut tuner = RoboTune::with_store(opts, store);
+        let mut rng = rng_from_seed(self.spec.seed);
+        let out = tuner.tune_workload(
+            &self.space,
+            &self.spec.workload,
+            &mut objective,
+            self.spec.budget,
+            &mut rng,
+        );
+
+        *lock(&self.outcome) = Some(SessionOutcome {
+            evals: out.session.len(),
+            best_time_s: out.session.best_time(),
+            best_config: out.session.best().map(|r| r.config.clone()),
+            warm_start: out.warm_start,
+            cache_hit: out.selection.is_none(),
+            selection_cost_s: out.selection_cost_s,
+            search_cost_s: out.session.search_cost() + out.selection_cost_s,
+        });
+        // Drop our tell sender so late `observe`s get a typed
+        // session_closed/finished answer instead of feeding a dead loop.
+        lock(&self.tell_tx).take();
+        let mut st = lock(&self.state);
+        if *st == SessionState::Running {
+            *st = SessionState::Finished;
+        }
+        self.state_cv.notify_all();
+    }
+
+    /// Pulls the next ask, waiting up to `timeout` for the pipeline.
+    pub fn suggest(&self, timeout: Duration) -> Result<SuggestReply, ProtoError> {
+        match self.state() {
+            SessionState::Queued => return Ok(SuggestReply::Queued),
+            SessionState::Closed => {
+                return Err(ProtoError::new(ErrorCode::SessionClosed, "session is closed"))
+            }
+            SessionState::Finished => return Ok(self.finished_reply()),
+            SessionState::Running => {}
+        }
+        let rx_guard = lock(&self.ask_rx);
+        // Serialise concurrent suggests on one session: whoever holds
+        // the receiver checks again that no ask is outstanding.
+        if lock(&self.pending).is_some() {
+            return Err(ProtoError::new(
+                ErrorCode::SuggestionPending,
+                "previous suggestion not yet observed",
+            ));
+        }
+        let Some(rx) = rx_guard.as_ref() else {
+            return match self.state() {
+                SessionState::Finished => Ok(self.finished_reply()),
+                _ => Err(ProtoError::new(ErrorCode::SessionClosed, "session is closed")),
+            };
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(ask) => {
+                *lock(&self.pending) = Some(ask.clone());
+                lock(&self.stats).asked += 1;
+                Ok(SuggestReply::Ask(ask))
+            }
+            Err(RecvTimeoutError::Timeout) => Err(ProtoError::new(
+                ErrorCode::Timeout,
+                "pipeline produced no suggestion in time; retry",
+            )),
+            Err(RecvTimeoutError::Disconnected) => {
+                drop(rx_guard);
+                // The pipeline wound down; wait briefly for the worker
+                // to record the outcome and settle the state.
+                let st = self.wait_settled(Duration::from_secs(5));
+                match st {
+                    SessionState::Finished => Ok(self.finished_reply()),
+                    _ => Err(ProtoError::new(ErrorCode::SessionClosed, "session is closed")),
+                }
+            }
+        }
+    }
+
+    fn wait_settled(&self, timeout: Duration) -> SessionState {
+        let (st, _) = self
+            .state_cv
+            .wait_timeout_while(lock(&self.state), timeout, |st| *st == SessionState::Running)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *st
+    }
+
+    fn finished_reply(&self) -> SuggestReply {
+        match self.outcome() {
+            Some(out) => SuggestReply::Finished(out),
+            // Settled state without an outcome cannot happen; degrade
+            // to an empty summary rather than panic.
+            None => SuggestReply::Finished(SessionOutcome {
+                evals: 0,
+                best_time_s: None,
+                best_config: None,
+                warm_start: false,
+                cache_hit: false,
+                selection_cost_s: 0.0,
+                search_cost_s: 0.0,
+            }),
+        }
+    }
+
+    /// Feeds the client's measurement back to the pipeline. Returns the
+    /// total number of observations accepted so far.
+    pub fn observe(
+        &self,
+        index: Option<u64>,
+        time_s: f64,
+        status: ObservedStatus,
+    ) -> Result<u64, ProtoError> {
+        if !time_s.is_finite() || time_s < 0.0 {
+            return Err(ProtoError::new(
+                ErrorCode::InvalidField,
+                "time_s must be a finite non-negative number",
+            ));
+        }
+        let mut pending = lock(&self.pending);
+        let Some(ask) = pending.as_ref() else {
+            return Err(ProtoError::new(
+                ErrorCode::NoPendingSuggestion,
+                "no suggestion outstanding",
+            ));
+        };
+        if let Some(i) = index {
+            if i != ask.index {
+                return Err(ProtoError::new(
+                    ErrorCode::InvalidField,
+                    format!("index {i} does not match pending suggestion {}", ask.index),
+                ));
+            }
+        }
+        let tx_guard = lock(&self.tell_tx);
+        let Some(tx) = tx_guard.as_ref() else {
+            pending.take();
+            return Err(ProtoError::new(ErrorCode::SessionClosed, "session is closed"));
+        };
+        if tx.send(status.to_evaluation(time_s)).is_err() {
+            pending.take();
+            return Err(ProtoError::new(ErrorCode::SessionClosed, "session is closed"));
+        }
+        pending.take();
+        drop(tx_guard);
+        let mut stats = lock(&self.stats);
+        stats.observed += 1;
+        match status {
+            ObservedStatus::Completed => {
+                stats.completed += 1;
+                stats.best_time_s = Some(match stats.best_time_s {
+                    Some(b) if b <= time_s => b,
+                    _ => time_s,
+                });
+            }
+            ObservedStatus::Capped => stats.capped += 1,
+            ObservedStatus::Failed | ObservedStatus::Transient => stats.failed += 1,
+        }
+        Ok(stats.observed)
+    }
+
+    /// The best completed configuration reported so far (from the
+    /// finished outcome when available, else the live tell counters).
+    pub fn best(&self) -> (Option<f64>, Option<Configuration>) {
+        if let Some(out) = self.outcome() {
+            return (out.best_time_s, out.best_config);
+        }
+        (lock(&self.stats).best_time_s, None)
+    }
+
+    /// Cancels the session: flags the pipeline, unblocks it, and drops
+    /// any outstanding ask. Finished sessions stay `Finished`.
+    pub fn close(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        {
+            let mut st = lock(&self.state);
+            match *st {
+                SessionState::Finished | SessionState::Closed => return,
+                _ => *st = SessionState::Closed,
+            }
+            self.state_cv.notify_all();
+        }
+        lock(&self.tell_tx).take();
+        lock(&self.pending).take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune::InMemoryMemoStore;
+    use robotune_space::spark::spark_space;
+
+    fn spec() -> SessionSpec {
+        SessionSpec {
+            workload: "km".into(),
+            budget: 4,
+            seed: 9,
+            profile: Profile::Fast,
+        }
+    }
+
+    #[test]
+    fn closed_while_queued_never_runs() {
+        let s = ServedSession::new("s-1".into(), spec(), Arc::new(spark_space()));
+        s.close();
+        s.run(InMemoryMemoStore::new().into_shared());
+        assert_eq!(s.state(), SessionState::Closed);
+        assert!(s.outcome().is_none());
+    }
+
+    #[test]
+    fn suggest_before_running_reports_queued_and_observe_is_typed() {
+        let s = ServedSession::new("s-2".into(), spec(), Arc::new(spark_space()));
+        assert!(matches!(s.suggest(Duration::from_millis(1)), Ok(SuggestReply::Queued)));
+        let err = s.observe(None, 1.0, ObservedStatus::Completed).unwrap_err();
+        assert_eq!(err.code, ErrorCode::NoPendingSuggestion);
+        let err = s.observe(None, f64::NAN, ObservedStatus::Completed).unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidField);
+    }
+
+    #[test]
+    fn ask_tell_drives_a_session_to_finished() {
+        let s = ServedSession::new("s-3".into(), spec(), Arc::new(spark_space()));
+        let store = InMemoryMemoStore::new().into_shared();
+        std::thread::scope(|scope| {
+            let session = &s;
+            scope.spawn(move || session.run(store));
+            let mut last_index = None;
+            loop {
+                match s.suggest(Duration::from_secs(30)).unwrap() {
+                    SuggestReply::Queued => std::thread::sleep(Duration::from_millis(2)),
+                    SuggestReply::Ask(ask) => {
+                        // Indexes are monotonic and double-suggest is typed.
+                        if let Some(prev) = last_index {
+                            assert_eq!(ask.index, prev + 1);
+                        }
+                        last_index = Some(ask.index);
+                        let err = s.suggest(Duration::from_millis(1)).unwrap_err();
+                        assert_eq!(err.code, ErrorCode::SuggestionPending);
+                        // A mismatched echo index is rejected, the right one lands.
+                        let err =
+                            s.observe(Some(ask.index + 7), 10.0, ObservedStatus::Completed);
+                        assert_eq!(err.unwrap_err().code, ErrorCode::InvalidField);
+                        s.observe(Some(ask.index), 10.0, ObservedStatus::Completed).unwrap();
+                    }
+                    SuggestReply::Finished(out) => {
+                        assert_eq!(out.evals, spec().budget);
+                        assert!(!out.cache_hit, "cold store cannot hit the selection cache");
+                        break;
+                    }
+                }
+            }
+        });
+        assert_eq!(s.state(), SessionState::Finished);
+        let stats = s.stats();
+        assert_eq!(stats.asked, stats.observed);
+        assert!(stats.observed > 0);
+    }
+
+    #[test]
+    fn close_mid_session_releases_the_worker() {
+        let s = ServedSession::new("s-4".into(), spec(), Arc::new(spark_space()));
+        let store = InMemoryMemoStore::new().into_shared();
+        std::thread::scope(|scope| {
+            let session = &s;
+            let worker = scope.spawn(move || session.run(store));
+            // Take one ask, then abandon the session.
+            loop {
+                match s.suggest(Duration::from_secs(30)).unwrap() {
+                    SuggestReply::Queued => std::thread::sleep(Duration::from_millis(2)),
+                    SuggestReply::Ask(_) => break,
+                    SuggestReply::Finished(_) => panic!("cannot finish after one ask"),
+                }
+            }
+            s.close();
+            worker.join().unwrap();
+        });
+        assert_eq!(s.state(), SessionState::Closed);
+        let err = s.suggest(Duration::from_millis(1)).unwrap_err();
+        assert_eq!(err.code, ErrorCode::SessionClosed);
+        // The cancelled cold run must not have polluted the shared store.
+        assert!(s.outcome().is_none() || s.state() == SessionState::Closed);
+    }
+}

@@ -1,0 +1,455 @@
+//! File-backed persistence for the process-wide shared memo store.
+//!
+//! [`PersistentMemoStore`] wraps the in-memory
+//! [`InMemoryMemoStore`] and journals every mutation:
+//!
+//! - `memo.snapshot.json` — the full store, rewritten atomically
+//!   (tmp + rename) on [`MemoStore::checkpoint`];
+//! - `memo.wal.jsonl` — an append-only JSONL write-ahead log of the
+//!   mutations since the last snapshot, flushed per entry and truncated
+//!   by a successful checkpoint.
+//!
+//! Boot replays snapshot-then-WAL, so a daemon killed between
+//! checkpoints loses nothing that reached the WAL. WAL append failures
+//! degrade to in-memory operation (counted on
+//! `service.store.wal_error`) rather than failing the tuning request:
+//! the store is an accelerator, not ground truth.
+
+use robotune::{InMemoryMemoStore, MemoStore, SharedMemoStore};
+use robotune_space::{Configuration, ParamValue};
+use serde_json::{Map, Value};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
+
+/// Snapshot file name inside the store directory.
+pub const SNAPSHOT_FILE: &str = "memo.snapshot.json";
+/// Write-ahead-log file name inside the store directory.
+pub const WAL_FILE: &str = "memo.wal.jsonl";
+/// Version tag written into snapshots; replays reject other versions.
+pub const FORMAT_VERSION: i64 = 1;
+
+/// A [`MemoStore`] with snapshot + WAL persistence under one directory.
+pub struct PersistentMemoStore {
+    inner: InMemoryMemoStore,
+    dir: PathBuf,
+    wal: Option<File>,
+}
+
+fn value_to_json(v: &ParamValue) -> Value {
+    let (t, jv) = match v {
+        ParamValue::Int(i) => ("i", Value::from(*i)),
+        ParamValue::Float(f) => ("f", Value::from(*f)),
+        ParamValue::Bool(b) => ("b", Value::Bool(*b)),
+        ParamValue::Cat(c) => ("c", Value::from(*c as u64)),
+    };
+    let mut m = Map::new();
+    m.insert("t".into(), Value::from(t));
+    m.insert("v".into(), jv);
+    Value::Object(m)
+}
+
+fn value_from_json(v: &Value) -> Result<ParamValue, String> {
+    let t = v.get("t").and_then(Value::as_str).ok_or("value entry missing \"t\"")?;
+    let raw = v.get("v").ok_or("value entry missing \"v\"")?;
+    match t {
+        "i" => raw.as_i64().map(ParamValue::Int).ok_or_else(|| "int value not an i64".into()),
+        "f" => raw.as_f64().map(ParamValue::Float).ok_or_else(|| "float value not a number".into()),
+        "b" => raw.as_bool().map(ParamValue::Bool).ok_or_else(|| "bool value not a bool".into()),
+        "c" => raw
+            .as_u64()
+            .and_then(|i| usize::try_from(i).ok())
+            .map(ParamValue::Cat)
+            .ok_or_else(|| "cat value not an index".into()),
+        other => Err(format!("unknown value tag {other:?}")),
+    }
+}
+
+fn config_to_json(c: &Configuration) -> Value {
+    Value::Array(c.values().iter().map(value_to_json).collect())
+}
+
+fn config_from_json(v: &Value) -> Result<Configuration, String> {
+    let arr = v.as_array().ok_or("config must be an array")?;
+    let values = arr.iter().map(value_from_json).collect::<Result<Vec<_>, _>>()?;
+    Ok(Configuration::new(values))
+}
+
+impl PersistentMemoStore {
+    /// Opens (or creates) a store rooted at `dir`, replaying any
+    /// existing snapshot and WAL.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let mut inner = InMemoryMemoStore::new();
+
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if snap_path.exists() {
+            let text = fs::read_to_string(&snap_path)
+                .map_err(|e| format!("read {}: {e}", snap_path.display()))?;
+            let snap = serde_json::from_str(&text)
+                .map_err(|e| format!("parse {}: {e}", snap_path.display()))?;
+            Self::replay_snapshot(&mut inner, &snap)?;
+        }
+
+        let wal_path = dir.join(WAL_FILE);
+        if wal_path.exists() {
+            let text = fs::read_to_string(&wal_path)
+                .map_err(|e| format!("read {}: {e}", wal_path.display()))?;
+            let lines: Vec<&str> = text.lines().collect();
+            for (lineno, line) in lines.iter().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str(line) {
+                    Ok(op) => Self::replay_op(&mut inner, &op)
+                        .map_err(|e| format!("WAL line {}: {e}", lineno + 1))?,
+                    Err(e) => {
+                        // A crash mid-append leaves a torn *final* line;
+                        // tolerate that, but corruption with entries
+                        // after it is a real error.
+                        if lineno + 1 == lines.len() {
+                            robotune_obs::incr("service.store.wal_torn_line", 1);
+                            break;
+                        }
+                        return Err(format!("WAL line {}: {e}", lineno + 1));
+                    }
+                }
+            }
+        }
+
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(|e| format!("open {} for append: {e}", wal_path.display()))
+            .map_or_else(
+                |e| {
+                    robotune_obs::incr("service.store.wal_error", 1);
+                    robotune_obs::mark("service.store.degraded", || {
+                        serde_json::json!({ "error": e })
+                    });
+                    None
+                },
+                Some,
+            );
+
+        Ok(PersistentMemoStore { inner, dir, wal })
+    }
+
+    fn replay_snapshot(inner: &mut InMemoryMemoStore, snap: &Value) -> Result<(), String> {
+        let version = snap.get("version").and_then(Value::as_i64).unwrap_or(-1);
+        if version != FORMAT_VERSION {
+            return Err(format!("snapshot version {version} (want {FORMAT_VERSION})"));
+        }
+        if let Some(sels) = snap.get("selections").and_then(Value::as_object) {
+            for (workload, names) in sels.iter() {
+                let names = names
+                    .as_array()
+                    .ok_or("selection entry must be an array")?
+                    .iter()
+                    .map(|n| n.as_str().map(str::to_owned).ok_or("selection name must be a string"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                inner.cache.put_names(workload, names);
+            }
+        }
+        if let Some(cfgs) = snap.get("configs").and_then(Value::as_object) {
+            for (workload, entries) in cfgs.iter() {
+                let entries = entries.as_array().ok_or("config list must be an array")?;
+                for e in entries {
+                    let time_s = e
+                        .get("time_s")
+                        .and_then(Value::as_f64)
+                        .ok_or("config entry missing time_s")?;
+                    let config = config_from_json(
+                        e.get("values").ok_or("config entry missing values")?,
+                    )?;
+                    inner.memo.record(workload, config, time_s);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn replay_op(inner: &mut InMemoryMemoStore, op: &Value) -> Result<(), String> {
+        let kind = op.get("op").and_then(Value::as_str).ok_or("op entry missing \"op\"")?;
+        let workload = op
+            .get("workload")
+            .and_then(Value::as_str)
+            .ok_or("op entry missing \"workload\"")?
+            .to_owned();
+        match kind {
+            "sel" => {
+                let names = op
+                    .get("names")
+                    .and_then(Value::as_array)
+                    .ok_or("sel op missing \"names\"")?
+                    .iter()
+                    .map(|n| n.as_str().map(str::to_owned).ok_or("selection name must be a string"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                inner.cache.put_names(&workload, names);
+                Ok(())
+            }
+            "cfg" => {
+                let time_s = op
+                    .get("time_s")
+                    .and_then(Value::as_f64)
+                    .ok_or("cfg op missing \"time_s\"")?;
+                let config =
+                    config_from_json(op.get("values").ok_or("cfg op missing \"values\"")?)?;
+                inner.memo.record(&workload, config, time_s);
+                Ok(())
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    fn append(&mut self, op: &Value) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let Ok(mut line) = serde_json::to_string(op) else {
+            robotune_obs::incr("service.store.wal_error", 1);
+            return;
+        };
+        line.push('\n');
+        if wal.write_all(line.as_bytes()).and_then(|()| wal.flush()).is_err() {
+            robotune_obs::incr("service.store.wal_error", 1);
+        }
+    }
+
+    fn snapshot_value(&self) -> Value {
+        let mut selections = Map::new();
+        for workload in self.inner.cache.workloads() {
+            if let Some(names) = self.inner.cache.names(&workload) {
+                selections.insert(
+                    workload,
+                    Value::Array(names.iter().map(|n| Value::from(n.as_str())).collect()),
+                );
+            }
+        }
+        let mut configs = Map::new();
+        for workload in self.inner.memo.workloads() {
+            let entries: Vec<Value> = self
+                .inner
+                .memo
+                .best_recent(&workload, usize::MAX)
+                .into_iter()
+                .map(|(config, time_s)| {
+                    let mut e = Map::new();
+                    e.insert("time_s".into(), Value::from(time_s));
+                    e.insert("values".into(), config_to_json(&config));
+                    Value::Object(e)
+                })
+                .collect();
+            configs.insert(workload, Value::Array(entries));
+        }
+        let mut snap = Map::new();
+        snap.insert("version".into(), Value::from(FORMAT_VERSION));
+        snap.insert("selections".into(), Value::Object(selections));
+        snap.insert("configs".into(), Value::Object(configs));
+        Value::Object(snap)
+    }
+
+    /// Writes a fresh snapshot atomically and truncates the WAL.
+    pub fn write_snapshot(&mut self) -> Result<(), String> {
+        let text = serde_json::to_string_pretty(&self.snapshot_value())
+            .map_err(|e| format!("encode snapshot: {e}"))?;
+        let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        let dst = self.dir.join(SNAPSHOT_FILE);
+        fs::write(&tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, &dst)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), dst.display()))?;
+        // Everything journaled so far is now in the snapshot: start a
+        // fresh WAL. Recreating (truncate) keeps the append handle simple.
+        let wal_path = self.dir.join(WAL_FILE);
+        self.wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&wal_path)
+            .map_err(|e| {
+                robotune_obs::incr("service.store.wal_error", 1);
+                format!("truncate {}: {e}", wal_path.display())
+            })
+            .ok();
+        robotune_obs::incr("service.store.checkpoints", 1);
+        Ok(())
+    }
+
+    /// Wraps the store for sharing across sessions.
+    pub fn into_shared(self) -> SharedMemoStore {
+        Arc::new(RwLock::new(self))
+    }
+}
+
+impl MemoStore for PersistentMemoStore {
+    fn selection(&self, workload: &str) -> Option<Vec<String>> {
+        self.inner.selection(workload)
+    }
+
+    fn put_selection(&mut self, workload: &str, names: Vec<String>) {
+        let mut op = Map::new();
+        op.insert("op".into(), Value::from("sel"));
+        op.insert("workload".into(), Value::from(workload));
+        op.insert(
+            "names".into(),
+            Value::Array(names.iter().map(|n| Value::from(n.as_str())).collect()),
+        );
+        self.append(&Value::Object(op));
+        self.inner.put_selection(workload, names);
+    }
+
+    fn record_config(&mut self, workload: &str, config: Configuration, time_s: f64) {
+        let mut op = Map::new();
+        op.insert("op".into(), Value::from("cfg"));
+        op.insert("workload".into(), Value::from(workload));
+        op.insert("time_s".into(), Value::from(time_s));
+        op.insert("values".into(), config_to_json(&config));
+        self.append(&Value::Object(op));
+        self.inner.record_config(workload, config, time_s);
+    }
+
+    fn best_recent(&self, workload: &str, n: usize) -> Vec<(Configuration, f64)> {
+        self.inner.best_recent(workload, n)
+    }
+
+    fn workloads(&self) -> Vec<String> {
+        self.inner.workloads()
+    }
+
+    fn checkpoint(&mut self) -> Result<(), String> {
+        self.write_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "robotune-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_config() -> Configuration {
+        Configuration::new(vec![
+            ParamValue::Int(8),
+            ParamValue::Float(0.6),
+            ParamValue::Bool(true),
+            ParamValue::Cat(2),
+        ])
+    }
+
+    #[test]
+    fn wal_then_snapshot_then_wal_replays_identically() {
+        let dir = temp_dir("roundtrip");
+        {
+            let mut store = PersistentMemoStore::open(&dir).unwrap();
+            store.put_selection("km", vec!["a".into(), "b".into()]);
+            store.record_config("km", sample_config(), 120.5);
+            store.checkpoint().unwrap();
+            // Post-checkpoint mutations live only in the WAL.
+            store.put_selection("pr", vec!["c".into()]);
+            store.record_config("km", sample_config(), 90.25);
+        }
+        let store = PersistentMemoStore::open(&dir).unwrap();
+        assert_eq!(store.selection("km"), Some(vec!["a".into(), "b".into()]));
+        assert_eq!(store.selection("pr"), Some(vec!["c".into()]));
+        let recent = store.best_recent("km", 10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].1, 90.25, "best-first order survives reload");
+        assert_eq!(recent[0].0, sample_config());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn golden_snapshot_and_wal_fixtures_parse() {
+        // Pinned wire format: if this test breaks, the on-disk format
+        // changed and FORMAT_VERSION must be bumped with a migration.
+        let dir = temp_dir("golden");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(SNAPSHOT_FILE),
+            r#"{
+  "version": 1,
+  "selections": { "km": ["spark.executor.cores", "spark.executor.memory"] },
+  "configs": {
+    "km": [
+      { "time_s": 101.5,
+        "values": [ {"t":"i","v":8}, {"t":"f","v":0.6}, {"t":"b","v":true}, {"t":"c","v":2} ] }
+    ]
+  }
+}"#,
+        )
+        .unwrap();
+        fs::write(
+            dir.join(WAL_FILE),
+            concat!(
+                r#"{"op":"sel","workload":"pr","names":["spark.default.parallelism"]}"#,
+                "\n",
+                r#"{"op":"cfg","workload":"pr","time_s":55.0,"values":[{"t":"i","v":4},{"t":"f","v":0.25},{"t":"b","v":false},{"t":"c","v":0}]}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+
+        let store = PersistentMemoStore::open(&dir).unwrap();
+        assert_eq!(
+            store.selection("km"),
+            Some(vec!["spark.executor.cores".into(), "spark.executor.memory".into()])
+        );
+        assert_eq!(store.selection("pr"), Some(vec!["spark.default.parallelism".into()]));
+        assert_eq!(store.best_recent("km", 1)[0].1, 101.5);
+        assert_eq!(store.best_recent("km", 1)[0].0, sample_config());
+        assert_eq!(store.best_recent("pr", 1)[0].1, 55.0);
+        let mut sorted = store.workloads();
+        sorted.sort();
+        assert_eq!(sorted, vec!["km".to_string(), "pr".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_wal_line_is_tolerated_mid_corruption_is_not() {
+        let dir = temp_dir("torn");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(WAL_FILE),
+            concat!(
+                r#"{"op":"sel","workload":"km","names":["a"]}"#,
+                "\n",
+                r#"{"op":"cfg","workload":"km","ti"#, // torn mid-append
+            ),
+        )
+        .unwrap();
+        let store = PersistentMemoStore::open(&dir).unwrap();
+        assert_eq!(store.selection("km"), Some(vec!["a".into()]));
+
+        fs::write(
+            dir.join(WAL_FILE),
+            concat!(
+                r#"{"op":"sel","workload":"km","nam"#, // corruption with data after it
+                "\n",
+                r#"{"op":"sel","workload":"pr","names":["b"]}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        assert!(PersistentMemoStore::open(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_versions() {
+        let dir = temp_dir("version");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(SNAPSHOT_FILE), r#"{"version": 99}"#).unwrap();
+        assert!(PersistentMemoStore::open(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

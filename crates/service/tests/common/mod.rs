@@ -1,0 +1,41 @@
+//! Shared test scaffolding: boot a real daemon on a loopback port.
+
+#![allow(dead_code)]
+
+use robotune::SharedMemoStore;
+use robotune_service::{serve, ServiceOptions, SessionManager, TuningClient};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A live daemon on 127.0.0.1 with an OS-assigned port.
+pub struct TestServer {
+    /// Address clients should connect to.
+    pub addr: SocketAddr,
+    /// The manager, for white-box assertions.
+    pub manager: Arc<SessionManager>,
+    handle: JoinHandle<std::io::Result<()>>,
+}
+
+/// Boots a daemon and returns once it is accepting connections.
+pub fn start(opts: ServiceOptions, store: SharedMemoStore) -> TestServer {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let manager = Arc::new(SessionManager::new(opts, store));
+    let m = manager.clone();
+    let handle = std::thread::spawn(move || serve(listener, &m));
+    TestServer { addr, manager, handle }
+}
+
+impl TestServer {
+    /// Sends the shutdown verb and joins the server thread, asserting
+    /// a clean drain.
+    pub fn shutdown(self) {
+        let mut client = TuningClient::connect(self.addr).expect("connect for shutdown");
+        client.shutdown().expect("shutdown verb accepted");
+        self.handle
+            .join()
+            .expect("server thread must not panic")
+            .expect("serve must exit cleanly");
+    }
+}

@@ -1,0 +1,98 @@
+//! The service's core guarantee: a served trajectory is bit-identical
+//! to an in-process `tune_workload` run at the same seed.
+//!
+//! Both arms evaluate the same simulated Spark job. The in-process arm
+//! calls the pipeline directly; the served arm drives it through the
+//! full TCP protocol (create → suggest → evaluate client-side →
+//! observe → … → finished). A recording objective wraps both jobs and
+//! logs every evaluation as (rendered config, cap bits, time bits,
+//! flags); the two logs must match entry for entry.
+
+mod common;
+
+use robotune::{InMemoryMemoStore, RoboTune, RoboTuneOptions};
+use robotune_service::client::drive_session;
+use robotune_service::{Profile, ServiceOptions, TuningClient};
+use robotune_space::spark::spark_space;
+use robotune_space::{ConfigSpace, Configuration};
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{Evaluation, Objective};
+use std::sync::Arc;
+
+const SEED: u64 = 1234;
+const BUDGET: usize = 8;
+const JOB_SEED: u64 = 42;
+
+/// One evaluation, in exactly-comparable form.
+type LogEntry = (String, u64, u64, bool, bool, bool);
+
+struct Recorder<'a> {
+    inner: &'a mut SparkJob,
+    space: &'a ConfigSpace,
+    log: Vec<LogEntry>,
+}
+
+impl Objective for Recorder<'_> {
+    fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation {
+        let eval = self.inner.evaluate(config, cap_s);
+        self.log.push((
+            config.render(self.space),
+            cap_s.to_bits(),
+            eval.time_s.to_bits(),
+            eval.completed,
+            eval.failed,
+            eval.transient,
+        ));
+        eval
+    }
+}
+
+fn job(space: &Arc<ConfigSpace>) -> SparkJob {
+    SparkJob::new((**space).clone(), Workload::KMeans, Dataset::D1, JOB_SEED)
+}
+
+#[test]
+fn served_trajectory_is_bit_identical_to_in_process() {
+    let space = Arc::new(spark_space());
+
+    // --- In-process reference run -------------------------------------
+    let mut reference_job = job(&space);
+    let mut reference = Recorder { inner: &mut reference_job, space: &space, log: Vec::new() };
+    let mut tuner = RoboTune::new(RoboTuneOptions::fast());
+    let mut rng = rng_from_seed(SEED);
+    let reference_out = tuner.tune_workload(&space, "km", &mut reference, BUDGET, &mut rng);
+    let reference_log = reference.log;
+    assert_eq!(reference_out.session.len(), BUDGET);
+
+    // --- Served run over the real TCP protocol ------------------------
+    let server = common::start(
+        ServiceOptions { workers: 1, ..ServiceOptions::default() },
+        InMemoryMemoStore::new().into_shared(),
+    );
+    let mut served_job = job(&space);
+    let mut served = Recorder { inner: &mut served_job, space: &space, log: Vec::new() };
+    let mut client = TuningClient::connect(server.addr).expect("connect");
+    let report = drive_session(&mut client, &space, &mut served, "km", SEED, BUDGET, Profile::Fast)
+        .expect("served session completes");
+    let served_log = served.log;
+    server.shutdown();
+
+    // --- Bit-exact comparison -----------------------------------------
+    assert_eq!(report.evals_recorded as usize, BUDGET);
+    assert_eq!(
+        reference_log.len(),
+        served_log.len(),
+        "same number of objective evaluations (selection included)"
+    );
+    for (i, (r, s)) in reference_log.iter().zip(&served_log).enumerate() {
+        assert_eq!(r, s, "evaluation {i} diverged");
+    }
+    assert_eq!(
+        reference_out.session.best_time().map(f64::to_bits),
+        report.best_time_s.map(f64::to_bits),
+        "best time must agree to the bit"
+    );
+    assert_eq!(reference_out.warm_start, report.warm_start);
+    assert_eq!(reference_out.selection.is_none(), report.cache_hit);
+}

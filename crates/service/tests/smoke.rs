@@ -1,0 +1,134 @@
+//! End-to-end smoke: eight concurrent tenants drive real sessions over
+//! TCP against one persistent shared store; the daemon drains and
+//! snapshots on shutdown; a rebooted daemon serves the same workloads
+//! warm (selection-cache hits and memoized warm starts).
+
+mod common;
+
+use robotune_service::client::drive_session;
+use robotune_service::{PersistentMemoStore, Profile, ServiceOptions, TuningClient};
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, SparkJob, ALL_WORKLOADS};
+use serde_json::Value;
+use std::path::PathBuf;
+
+const TENANTS: usize = 8;
+const BUDGET: usize = 4;
+
+fn store_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("robotune-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn drive_tenants(addr: std::net::SocketAddr, tenants: usize) -> Vec<robotune_service::DriveReport> {
+    let space = std::sync::Arc::new(spark_space());
+    let mut reports: Vec<Option<robotune_service::DriveReport>> = Vec::new();
+    reports.resize_with(tenants, || None);
+    std::thread::scope(|scope| {
+        for (tenant, slot) in reports.iter_mut().enumerate() {
+            let space = space.clone();
+            scope.spawn(move || {
+                let workload = ALL_WORKLOADS[tenant % ALL_WORKLOADS.len()];
+                let key = format!("wl-{}", tenant % ALL_WORKLOADS.len());
+                let mut job =
+                    SparkJob::new((*space).clone(), workload, Dataset::D1, 7 + tenant as u64);
+                let mut client = TuningClient::connect(addr).expect("tenant connects");
+                let report = drive_session(
+                    &mut client,
+                    &space,
+                    &mut job,
+                    &key,
+                    1000 + tenant as u64,
+                    BUDGET,
+                    Profile::Fast,
+                )
+                .expect("tenant session completes");
+                *slot = Some(report);
+            });
+        }
+    });
+    reports.into_iter().map(|r| r.expect("every tenant reported")).collect()
+}
+
+#[test]
+fn concurrent_tenants_then_restart_serves_warm() {
+    let dir = store_dir();
+
+    // --- Cold boot: 8 concurrent tenants ------------------------------
+    let store = PersistentMemoStore::open(&dir).expect("open store").into_shared();
+    let server = common::start(
+        ServiceOptions { workers: TENANTS, ..ServiceOptions::default() },
+        store,
+    );
+    let addr = server.addr;
+    let reports = drive_tenants(addr, TENANTS);
+
+    // Coherent per-session accounting, via the server's own books.
+    let mut client = TuningClient::connect(addr).expect("connect for status");
+    for report in &reports {
+        assert_eq!(report.evals_recorded as usize, BUDGET, "{}", report.session);
+        let status = client.session_status(&report.session).expect("session status");
+        assert_eq!(status["state"].as_str(), Some("finished"));
+        assert_eq!(status["asked"], status["observed"], "{}", report.session);
+        assert_eq!(
+            status["observed"].as_u64(),
+            Some(report.evals_run),
+            "server and client agree on evaluation counts"
+        );
+        assert_eq!(
+            status["outcome"]["best_time_s"].as_f64(),
+            report.best_time_s,
+            "{}",
+            report.session
+        );
+    }
+    let status = client.status().expect("server status");
+    assert_eq!(status["shutting_down"], Value::Bool(false));
+    assert_eq!(
+        status["sessions"].as_array().map(Vec::len),
+        Some(TENANTS),
+        "all sessions remain queryable"
+    );
+    assert!(
+        status["store_workloads"].as_array().is_some_and(|w| !w.is_empty()),
+        "the shared store learned workloads"
+    );
+    drop(client);
+
+    // --- Drain-and-snapshot shutdown ----------------------------------
+    server.shutdown();
+    assert!(dir.join("memo.snapshot.json").exists(), "shutdown must checkpoint");
+
+    // --- Reboot on the same directory: every workload is warm ---------
+    let store = PersistentMemoStore::open(&dir).expect("reopen store").into_shared();
+    {
+        let store = store.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(!store.workloads().is_empty(), "reboot must reload the store");
+    }
+    let server = common::start(
+        ServiceOptions { workers: ALL_WORKLOADS.len(), ..ServiceOptions::default() },
+        store,
+    );
+    let warm_reports = drive_tenants(server.addr, ALL_WORKLOADS.len());
+    let warm_hits = warm_reports.iter().filter(|r| r.cache_hit).count();
+    let warm_starts = warm_reports.iter().filter(|r| r.warm_start).count();
+    assert_eq!(
+        warm_hits,
+        ALL_WORKLOADS.len(),
+        "every post-restart session must hit the reloaded selection cache"
+    );
+    assert!(
+        warm_starts > 0,
+        "memoized configurations must warm-start at least one session"
+    );
+    for report in &warm_reports {
+        // Cache hits skip the 100-sample selection phase entirely.
+        assert_eq!(
+            report.evals_run as usize, BUDGET,
+            "warm session runs exactly the budget"
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,158 @@
+//! Wire robustness: malformed, truncated, and oversized frames must
+//! each get a typed protocol error — and must never panic a server
+//! thread or wedge the connection.
+//!
+//! One daemon serves every case; after each hostile frame the same
+//! connection issues a valid `status` request and must get a healthy
+//! answer, proving the framing layer resynchronised.
+
+mod common;
+
+use proptest::prelude::*;
+use robotune::InMemoryMemoStore;
+use robotune_service::{ServiceOptions, MAX_FRAME_BYTES};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+
+/// One shared daemon for the whole file. Never shut down: the test
+/// process exits underneath it, which is exactly the abrupt-death case
+/// the WAL is for (no store is attached here anyway).
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let server = common::start(
+            ServiceOptions { workers: 1, ..ServiceOptions::default() },
+            InMemoryMemoStore::new().into_shared(),
+        );
+        let addr = server.addr;
+        std::mem::forget(server);
+        addr
+    })
+}
+
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawConn {
+    fn open() -> Self {
+        let stream = TcpStream::connect(server_addr()).expect("connect");
+        let writer = stream.try_clone().expect("clone stream");
+        RawConn { reader: BufReader::new(stream), writer }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("write frame");
+        self.writer.write_all(b"\n").expect("write newline");
+        self.writer.flush().expect("flush");
+    }
+
+    fn read_response(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection instead of answering");
+        serde_json::from_str(line.trim_end()).expect("response must be valid JSON")
+    }
+
+    /// The liveness probe: a valid status must still work.
+    fn assert_usable(&mut self) {
+        self.send_raw(br#"{"verb":"status"}"#);
+        let v = self.read_response();
+        assert_eq!(v["ok"], Value::Bool(true), "connection wedged: {v:?}");
+    }
+}
+
+fn assert_typed_error(v: &Value) {
+    assert_eq!(v["ok"], Value::Bool(false), "hostile frame must not succeed: {v:?}");
+    let code = v["error"]["code"].as_str().unwrap_or("");
+    assert!(!code.is_empty(), "error must carry a typed code: {v:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_bytes_get_typed_errors_and_never_wedge(
+        raw in proptest::collection::vec(0u32..256, 0..240),
+    ) {
+        // Newlines would split the garbage into several frames; fold
+        // them away so one frame goes out.
+        let bytes: Vec<u8> = raw.iter().map(|&b| {
+            let b = b as u8;
+            if b == b'\n' || b == b'\r' { b'x' } else { b }
+        }).collect();
+        let mut conn = RawConn::open();
+        // Blank frames are skipped by design and get no response.
+        let is_blank = std::str::from_utf8(&bytes).map(|s| s.trim().is_empty()).unwrap_or(false);
+        if !is_blank {
+            conn.send_raw(&bytes);
+            let v = conn.read_response();
+            // Random bytes cannot spell a full valid verb frame; every
+            // answer is a typed refusal.
+            assert_typed_error(&v);
+        }
+        conn.assert_usable();
+    }
+
+    #[test]
+    fn truncated_valid_requests_are_refused_not_fatal(cut in 1usize..70) {
+        let full = r#"{"id":9,"verb":"create_session","workload":"km","space":"spark","seed":3,"budget":20}"#;
+        let cut = cut.min(full.len() - 1);
+        let mut conn = RawConn::open();
+        conn.send_raw(&full.as_bytes()[..cut]);
+        assert_typed_error(&conn.read_response());
+        conn.assert_usable();
+    }
+}
+
+#[test]
+fn oversized_frames_are_rejected_before_parsing() {
+    let mut conn = RawConn::open();
+    let huge = vec![b'a'; MAX_FRAME_BYTES + 64];
+    conn.send_raw(&huge);
+    let v = conn.read_response();
+    assert_eq!(v["error"]["code"].as_str(), Some("frame_too_large"));
+    conn.assert_usable();
+}
+
+#[test]
+fn deep_nesting_is_rejected_by_parse_limits() {
+    let mut frame = String::from(r#"{"verb":"#);
+    frame.push_str(&"[".repeat(200));
+    frame.push_str(&"]".repeat(200));
+    frame.push('}');
+    let mut conn = RawConn::open();
+    conn.send_raw(frame.as_bytes());
+    let v = conn.read_response();
+    assert_eq!(v["error"]["code"].as_str(), Some("malformed_frame"));
+    conn.assert_usable();
+}
+
+#[test]
+fn non_utf8_frames_are_refused() {
+    let mut conn = RawConn::open();
+    conn.send_raw(&[0xff, 0xfe, 0x80, b'{', b'}']);
+    let v = conn.read_response();
+    assert_eq!(v["error"]["code"].as_str(), Some("malformed_frame"));
+    conn.assert_usable();
+}
+
+#[test]
+fn wrong_field_types_get_field_level_codes() {
+    let mut conn = RawConn::open();
+    for (frame, code) in [
+        (r#"{"verb":"observe","session":5,"time_s":1.0,"status":"completed"}"#, "invalid_field"),
+        (r#"{"verb":"observe","session":"s-1","time_s":1.0}"#, "missing_field"),
+        (r#"{"verb":"create_session","workload":"a","space":"spark","seed":-3,"budget":5}"#, "invalid_field"),
+        (r#"{"verb":17}"#, "unknown_verb"),
+        (r#"42"#, "malformed_frame"),
+    ] {
+        conn.send_raw(frame.as_bytes());
+        let v = conn.read_response();
+        assert_eq!(v["error"]["code"].as_str(), Some(code), "frame {frame}");
+    }
+    conn.assert_usable();
+}

@@ -55,8 +55,10 @@ fn main() {
         );
     }
 
+    let store = tuner.store();
+    let store = store.read().unwrap_or_else(std::sync::PoisonError::into_inner);
     println!(
         "\nmemoized configurations stored for \"kmeans\": {}",
-        tuner.memo().best_recent("kmeans", usize::MAX).len()
+        store.best_recent("kmeans", usize::MAX).len()
     );
 }

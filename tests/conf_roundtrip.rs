@@ -54,7 +54,8 @@ spark.serializer=kryo
     memo.record("km", config.clone(), measured.time_s);
     let sub = space.subspace(&[0, 1, 2], space.default_configuration());
     let mut rng = rng_from_seed(4);
-    let design = MemoizedSampler::default().initial_design(&sub, "km", &memo, &mut rng);
+    let design =
+        MemoizedSampler::default().initial_design(&sub, &memo.best_recent("km", 4), &mut rng);
     assert_eq!(design.memoized, 1);
     // The first design point decodes back to the deployed executor shape.
     let first = sub.decode(&design.points[0]);
