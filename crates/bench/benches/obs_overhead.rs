@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use robotune_obs::NullSink;
+use robotune_obs::{NullSink, Scope, ScopeLabels};
 use robotune_space::spark::spark_space;
 use robotune_space::SearchSpace;
 use robotune_sparksim::{simulate, Cluster, Dataset, SparkParams, Workload};
@@ -54,6 +54,18 @@ fn bench_disabled_kernel(c: &mut Criterion) {
     g.bench_function("kernel_instrumented_disabled", |b| {
         b.iter(|| stage_math_instrumented(black_box(1.5)));
     });
+    // Disabled tracing with a scope on the stack must cost the same as
+    // disabled tracing alone: attribution runs inside `emit`, which a
+    // disabled call never reaches.
+    let scope = Scope::new(ScopeLabels {
+        session_id: "bench".to_string(),
+        workload: "kernel".to_string(),
+    });
+    let _guard = scope.enter();
+    g.bench_function("kernel_instrumented_disabled_scoped", |b| {
+        b.iter(|| stage_math_instrumented(black_box(1.5)));
+    });
+    drop(_guard);
     g.finish();
 }
 
@@ -129,6 +141,20 @@ fn bench_primitives(c: &mut Criterion) {
     g.bench_function("span_null_sink", |b| {
         b.iter(|| robotune_obs::span(black_box("bench.span")));
     });
+    // Enabled *and* attributed: the per-session cost the service pays —
+    // one extra aggregate fold and a ring push per event.
+    let scope = Scope::new(ScopeLabels {
+        session_id: "bench".to_string(),
+        workload: "primitives".to_string(),
+    });
+    let _guard = scope.enter();
+    g.bench_function("incr_null_sink_scoped", |b| {
+        b.iter(|| robotune_obs::incr(black_box("bench.counter"), 1));
+    });
+    g.bench_function("span_null_sink_scoped", |b| {
+        b.iter(|| robotune_obs::span(black_box("bench.span")));
+    });
+    drop(_guard);
     robotune_obs::disable();
     g.finish();
 }

@@ -18,8 +18,12 @@
 //!   all        everything above + regenerate EXPERIMENTS.md fodder
 //!
 //! experiments serve   [--port N] [--store DIR] [--workers N] [--queue N]
+//!                     [--flight-dir DIR] [--no-telemetry]
 //! experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N]
 //!                     [--seed N] [--shutdown] [--expect-warm]
+//!                     [--faults none|transient|hostile]
+//! experiments top     [--addr HOST:PORT] [--interval-ms N] [--once]
+//! experiments flightcheck <flight.jsonl>...
 //! ```
 //!
 //! Every grid-backed command accepts `--faults <none|transient|hostile>`
@@ -92,6 +96,8 @@ fn main() {
     match cmd {
         "serve" => std::process::exit(robotune_bench::loadgen::serve_main(rest)),
         "loadgen" => std::process::exit(robotune_bench::loadgen::loadgen_main(rest)),
+        "top" => std::process::exit(robotune_bench::introspect::top_main(rest)),
+        "flightcheck" => std::process::exit(robotune_bench::introspect::flightcheck_main(rest)),
         _ => {}
     }
 
@@ -153,8 +159,10 @@ fn dispatch(cmd: &str, args: &Args) {
             eprintln!(
                 "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|chaos|all> \
                  [--reps N] [--budget N] [--out DIR] [--trace FILE] [--faults none|transient|hostile]\n\
-                 \x20      experiments serve [--port N] [--store DIR] [--workers N] [--queue N]\n\
-                 \x20      experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N] [--seed N] [--shutdown] [--expect-warm]"
+                 \x20      experiments serve [--port N] [--store DIR] [--workers N] [--queue N] [--flight-dir DIR] [--no-telemetry]\n\
+                 \x20      experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N] [--seed N] [--shutdown] [--expect-warm] [--faults none|transient|hostile]\n\
+                 \x20      experiments top [--addr HOST:PORT] [--interval-ms N] [--once]\n\
+                 \x20      experiments flightcheck <flight.jsonl>..."
             );
             std::process::exit(2);
         }

@@ -10,6 +10,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod exp;
+pub mod introspect;
 pub mod loadgen;
 pub mod report;
 pub mod runner;

@@ -2,13 +2,16 @@
 //! `experiments loadgen` multi-tenant load generator.
 //!
 //! `serve` boots a `robotune-service` daemon on loopback (optionally
-//! with a persistent store directory) and blocks until a client sends
-//! the `shutdown` verb. `loadgen` connects N concurrent simulated
-//! tenants — each drives a full ask/tell session against its own
-//! simulated Spark job — and reports throughput, request-latency
-//! percentiles, and per-session accounting (warm-start and
-//! selection-cache hits, which is how the CI smoke job proves the store
-//! survived a restart).
+//! with a persistent store directory and a `--flight-dir` failure
+//! flight recorder; scoped telemetry is on by default) and blocks until
+//! a client sends the `shutdown` verb. `loadgen` connects N concurrent
+//! simulated tenants — each drives a full ask/tell session against its
+//! own simulated Spark job, optionally under `--faults` cluster chaos —
+//! and reports throughput, client-side request-latency percentiles,
+//! the *server's* per-tenant suggest/observe percentiles (from each
+//! session's scoped metrics), and per-session accounting (warm-start
+//! and selection-cache hits, which is how the CI smoke job proves the
+//! store survived a restart).
 
 use robotune::InMemoryMemoStore;
 use robotune_service::client::drive_session;
@@ -16,7 +19,7 @@ use robotune_service::{
     serve, DriveReport, PersistentMemoStore, Profile, ServiceOptions, SessionManager, TuningClient,
 };
 use robotune_space::spark::spark_space;
-use robotune_sparksim::{Dataset, SparkJob, ALL_WORKLOADS};
+use robotune_sparksim::{Dataset, FaultPlan, FaultProfile, SparkJob, ALL_WORKLOADS};
 use robotune_stats::percentile;
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -35,6 +38,11 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Admission-queue capacity.
     pub queue: usize,
+    /// Failure flight-recorder directory; disabled when absent.
+    pub flight_dir: Option<PathBuf>,
+    /// Leave tracing off (per-session metrics and flight dumps will be
+    /// empty; the `metrics`/`health` verbs still answer).
+    pub no_telemetry: bool,
 }
 
 /// Flags for `experiments loadgen`.
@@ -52,6 +60,8 @@ pub struct LoadgenArgs {
     /// Exit non-zero unless at least one session hit the selection
     /// cache (the post-restart warm-start assertion).
     pub expect_warm: bool,
+    /// Fault profile injected into every tenant's simulated cluster.
+    pub faults: FaultProfile,
 }
 
 fn take_value(flag: &str, v: Option<&String>) -> String {
@@ -60,7 +70,14 @@ fn take_value(flag: &str, v: Option<&String>) -> String {
 
 /// Parses `experiments serve` flags.
 pub fn parse_serve_args(rest: &[String]) -> ServeArgs {
-    let mut args = ServeArgs { port: 7651, store: None, workers: 4, queue: 64 };
+    let mut args = ServeArgs {
+        port: 7651,
+        store: None,
+        workers: 4,
+        queue: 64,
+        flight_dir: None,
+        no_telemetry: false,
+    };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -80,6 +97,10 @@ pub fn parse_serve_args(rest: &[String]) -> ServeArgs {
                     .parse()
                     .unwrap_or_else(|e| fatal(format!("--queue: {e}")));
             }
+            "--flight-dir" => {
+                args.flight_dir = Some(PathBuf::from(take_value("--flight-dir DIR", it.next())));
+            }
+            "--no-telemetry" => args.no_telemetry = true,
             other => fatal(format!("serve: unknown flag {other}")),
         }
     }
@@ -95,6 +116,7 @@ pub fn parse_loadgen_args(rest: &[String]) -> LoadgenArgs {
         seed: 9000,
         shutdown: false,
         expect_warm: false,
+        faults: FaultProfile::None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -117,6 +139,11 @@ pub fn parse_loadgen_args(rest: &[String]) -> LoadgenArgs {
             }
             "--shutdown" => args.shutdown = true,
             "--expect-warm" => args.expect_warm = true,
+            "--faults" => {
+                args.faults = take_value("--faults <none|transient|hostile>", it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(e));
+            }
             other => fatal(format!("loadgen: unknown flag {other}")),
         }
     }
@@ -127,6 +154,15 @@ pub fn parse_loadgen_args(rest: &[String]) -> LoadgenArgs {
 /// Returns the process exit code.
 pub fn serve_main(rest: &[String]) -> i32 {
     let args = parse_serve_args(rest);
+    // Scoped telemetry is bit-transparent and within the 2% overhead
+    // budget, so the daemon runs with it on by default: per-session
+    // `metrics` views and flight-recorder dumps need the event stream.
+    if args.no_telemetry {
+        eprintln!("telemetry: disabled (--no-telemetry)");
+    } else {
+        robotune_obs::enable_null();
+        eprintln!("telemetry: enabled (null sink; per-session scopes live)");
+    }
     let store = match &args.store {
         Some(dir) => match PersistentMemoStore::open(dir) {
             Ok(s) => {
@@ -137,10 +173,14 @@ pub fn serve_main(rest: &[String]) -> i32 {
         },
         None => InMemoryMemoStore::new().into_shared(),
     };
+    if let Some(dir) = &args.flight_dir {
+        eprintln!("flight recorder: {}", dir.display());
+    }
     let manager = SessionManager::new(
         ServiceOptions {
             workers: args.workers,
             queue_capacity: args.queue,
+            flight_dir: args.flight_dir.clone(),
             ..ServiceOptions::default()
         },
         store,
@@ -165,10 +205,52 @@ pub fn serve_main(rest: &[String]) -> i32 {
     }
 }
 
+/// Server-side request-latency percentiles for one session, read from
+/// its scoped metrics (the `service.req_ns.*` histograms) after the
+/// drive finishes. `None` when the daemon runs with telemetry off.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLatencies {
+    /// Server-side `suggest` handling p50, milliseconds.
+    pub suggest_p50_ms: f64,
+    /// Server-side `suggest` handling p99, milliseconds.
+    pub suggest_p99_ms: f64,
+    /// Server-side `observe` handling p50, milliseconds.
+    pub observe_p50_ms: f64,
+    /// Server-side `observe` handling p99, milliseconds.
+    pub observe_p99_ms: f64,
+}
+
+/// One tenant's outcome: the client-side drive report plus the server's
+/// own view of the same session.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// What the client measured.
+    pub drive: DriveReport,
+    /// What the server measured for this session, when telemetry is on.
+    pub server: Option<ServerLatencies>,
+}
+
+/// Pulls p50/p99 (in ms) of one `service.req_ns.*` histogram out of a
+/// session-scoped `metrics` frame.
+fn req_percentiles(metrics: &serde_json::Value, name: &str) -> Option<(f64, f64)> {
+    let h = metrics.get("hists")?.get(name)?;
+    if h.get("count")?.as_u64()? == 0 {
+        return None;
+    }
+    Some((h.get("p50")?.as_f64()? / 1e6, h.get("p99")?.as_f64()? / 1e6))
+}
+
+fn server_latencies(metrics: &serde_json::Value) -> Option<ServerLatencies> {
+    let (suggest_p50_ms, suggest_p99_ms) = req_percentiles(metrics, "service.req_ns.suggest")?;
+    let (observe_p50_ms, observe_p99_ms) =
+        req_percentiles(metrics, "service.req_ns.observe").unwrap_or((f64::NAN, f64::NAN));
+    Some(ServerLatencies { suggest_p50_ms, suggest_p99_ms, observe_p50_ms, observe_p99_ms })
+}
+
 /// Aggregates one load-generation run.
 pub struct LoadgenReport {
-    /// Per-tenant drive reports.
-    pub reports: Vec<DriveReport>,
+    /// Per-tenant reports.
+    pub reports: Vec<TenantReport>,
     /// Wall-clock duration of the whole run, seconds.
     pub wall_s: f64,
 }
@@ -176,7 +258,7 @@ pub struct LoadgenReport {
 impl LoadgenReport {
     /// Sessions whose parameter selection came from the shared cache.
     pub fn warm_hits(&self) -> usize {
-        self.reports.iter().filter(|r| r.cache_hit).count()
+        self.reports.iter().filter(|r| r.drive.cache_hit).count()
     }
 
     /// Renders the markdown summary table.
@@ -184,7 +266,8 @@ impl LoadgenReport {
         let mut suggests: Vec<f64> = Vec::new();
         let mut observes: Vec<f64> = Vec::new();
         let mut requests = 0usize;
-        for r in &self.reports {
+        for t in &self.reports {
+            let r = &t.drive;
             suggests.extend(r.suggest_latencies_s.iter().map(|s| s * 1e3));
             observes.extend(r.observe_latencies_s.iter().map(|s| s * 1e3));
             // +2: create_session and the final finished-suggest.
@@ -220,17 +303,34 @@ impl LoadgenReport {
             pct(&observes, 99.0)
         ));
         md.push_str(
-            "| session | workload | evals | best (s) | selection | initial design |\n|---|---|---|---|---|---|\n",
+            "| session | workload | evals | best (s) | selection | initial design | server suggest p50/p99 (ms) | server observe p50/p99 (ms) |\n|---|---|---|---|---|---|---|---|\n",
         );
-        for (tenant, r) in self.reports.iter().enumerate() {
+        let pair = |p50: f64, p99: f64| {
+            if p50.is_nan() {
+                "—".to_string()
+            } else {
+                format!("{p50:.2} / {p99:.2}")
+            }
+        };
+        for (tenant, t) in self.reports.iter().enumerate() {
+            let r = &t.drive;
+            let (srv_suggest, srv_observe) = match &t.server {
+                Some(s) => (
+                    pair(s.suggest_p50_ms, s.suggest_p99_ms),
+                    pair(s.observe_p50_ms, s.observe_p99_ms),
+                ),
+                None => ("—".to_string(), "—".to_string()),
+            };
             md.push_str(&format!(
-                "| {} | wl-{} | {} | {} | {} | {} |\n",
+                "| {} | wl-{} | {} | {} | {} | {} | {} | {} |\n",
                 r.session,
                 tenant % ALL_WORKLOADS.len(),
                 r.evals_recorded,
                 r.best_time_s.map_or("—".to_string(), |b| format!("{b:.1}")),
                 if r.cache_hit { "cache hit" } else { "cold" },
                 if r.warm_start { "memoized" } else { "LHS" },
+                srv_suggest,
+                srv_observe,
             ));
         }
         md.push_str(&format!(
@@ -250,7 +350,7 @@ impl LoadgenReport {
 pub fn run_loadgen(args: &LoadgenArgs) -> Result<LoadgenReport, String> {
     let space = Arc::new(spark_space());
     let started = Instant::now();
-    let mut slots: Vec<Option<Result<DriveReport, String>>> = Vec::new();
+    let mut slots: Vec<Option<Result<TenantReport, String>>> = Vec::new();
     slots.resize_with(args.tenants, || None);
     std::thread::scope(|scope| {
         for (tenant, slot) in slots.iter_mut().enumerate() {
@@ -258,16 +358,20 @@ pub fn run_loadgen(args: &LoadgenArgs) -> Result<LoadgenReport, String> {
             let addr = args.addr.clone();
             let budget = args.budget;
             let seed = args.seed + tenant as u64;
+            let faults = args.faults;
             scope.spawn(move || {
                 let workload = ALL_WORKLOADS[tenant % ALL_WORKLOADS.len()];
                 let key = format!("wl-{}", tenant % ALL_WORKLOADS.len());
                 let mut job =
                     SparkJob::new((*space).clone(), workload, Dataset::D1, seed ^ 0x5eed);
+                if faults != FaultProfile::None {
+                    job = job.with_faults(FaultPlan::from_profile(faults, seed ^ 0xfa17));
+                }
                 *slot = Some(
                     TuningClient::connect(addr.as_str())
                         .map_err(|e| format!("tenant {tenant}: connect: {e}"))
                         .and_then(|mut client| {
-                            drive_session(
+                            let drive = drive_session(
                                 &mut client,
                                 &space,
                                 &mut job,
@@ -276,7 +380,16 @@ pub fn run_loadgen(args: &LoadgenArgs) -> Result<LoadgenReport, String> {
                                 budget,
                                 Profile::Fast,
                             )
-                            .map_err(|e| format!("tenant {tenant}: {e}"))
+                            .map_err(|e| format!("tenant {tenant}: {e}"))?;
+                            // The server's own latency ledger for this
+                            // session; best-effort (older daemons and
+                            // telemetry-off runs answer without hists).
+                            let server = client
+                                .session_metrics(&drive.session)
+                                .ok()
+                                .as_ref()
+                                .and_then(server_latencies);
+                            Ok(TenantReport { drive, server })
                         }),
                 );
             });

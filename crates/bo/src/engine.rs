@@ -142,6 +142,13 @@ impl BoEngine {
         if !y.is_finite() {
             return Err(EngineError::NonFiniteObservation(y));
         }
+        // The incumbent scan is only worth paying for when tracing is on.
+        if robotune_obs::is_enabled() {
+            robotune_obs::incr("bo.observe", 1);
+            if self.ys.iter().all(|&v| y < v) {
+                robotune_obs::incr("bo.improvement", 1);
+            }
+        }
         self.xs.push(x);
         self.ys.push(y);
         self.model = None; // stale

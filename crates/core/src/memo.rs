@@ -184,6 +184,13 @@ pub trait MemoStore: Send + Sync {
     fn checkpoint(&mut self) -> Result<(), String> {
         Ok(())
     }
+
+    /// Mutations applied since the last successful checkpoint — the
+    /// write-ahead-log "lag" a crash would have to replay. Always 0 for
+    /// stores with no durable log.
+    fn wal_lag(&self) -> u64 {
+        0
+    }
 }
 
 /// A [`MemoStore`] shared across sessions (and, in the tuning service,

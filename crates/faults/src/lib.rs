@@ -391,9 +391,68 @@ impl FaultCensus {
     }
 }
 
+/// Names of the telemetry metrics the fault-injection and retry paths
+/// emit, for consumers that filter or document them (the flight
+/// recorder, the service `metrics` verb, dashboards).
+///
+/// The emit sites live elsewhere — `fault.*` fires in the simulator when
+/// a [`FaultPlan`] injects something, `retry.*` in the tuning pipeline's
+/// retry layer as it recovers — but this crate owns the fault taxonomy,
+/// so it owns the name inventory too.
+pub mod telemetry {
+    /// Prefix of every fault-injection metric.
+    pub const FAULT_METRIC_PREFIX: &str = "fault.";
+    /// Prefix of every retry-layer metric (recovery from injected faults).
+    pub const RETRY_METRIC_PREFIX: &str = "retry.";
+
+    /// Every `fault.*` metric an evaluation can emit, sorted.
+    /// `fault.slowdown` is a histogram of injected runtime factors; the
+    /// rest are counters keyed to [`super::EvalFaults`] fields.
+    pub const FAULT_METRICS: [&str; 6] = [
+        "fault.disk_pressure",
+        "fault.executor_loss",
+        "fault.measurement_timeout",
+        "fault.slowdown",
+        "fault.straggler",
+        "fault.submit_failure",
+    ];
+
+    /// Every `retry.*` metric the retry layer can emit, sorted.
+    /// `retry.backoff_s` is a histogram of backoff sleeps; the rest are
+    /// counters.
+    pub const RETRY_METRICS: [&str; 5] = [
+        "retry.attempt",
+        "retry.backoff_s",
+        "retry.evals_retried",
+        "retry.exhausted",
+        "retry.recovered",
+    ];
+
+    /// Whether `name` belongs to the fault/retry metric families — the
+    /// subset a failure post-mortem cares about first.
+    pub fn is_fault_related(name: &str) -> bool {
+        name.starts_with(FAULT_METRIC_PREFIX) || name.starts_with(RETRY_METRIC_PREFIX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn telemetry_inventory_is_sorted_and_prefixed() {
+        for w in telemetry::FAULT_METRICS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+        for w in telemetry::RETRY_METRICS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+        for name in telemetry::FAULT_METRICS.iter().chain(&telemetry::RETRY_METRICS) {
+            assert!(telemetry::is_fault_related(name), "{name}");
+        }
+        assert!(!telemetry::is_fault_related("bo.suggest"));
+        assert!(!telemetry::is_fault_related("faulty.metric"));
+    }
 
     #[test]
     fn none_profile_is_always_clean() {

@@ -1,0 +1,166 @@
+//! Prometheus-style text exposition of a [`Snapshot`].
+//!
+//! The format follows the Prometheus 0.0.4 text conventions closely
+//! enough for standard scrapers and for stable golden-file tests:
+//!
+//! - metric names are the registry names with every character outside
+//!   `[a-zA-Z0-9_:]` replaced by `_` and a `robotune_` prefix
+//!   (`gp.fit` → `robotune_gp_fit`);
+//! - counters render as `# TYPE … counter` with one sample;
+//! - histograms and spans render as `# TYPE … summary` with
+//!   `quantile="0.5|0.9|0.99"` samples plus `_sum` and `_count`; span
+//!   names get a `_us` suffix because span durations are microseconds;
+//! - optional labels (e.g. `session`/`workload` from a
+//!   [`Scope`](crate::scope::Scope)) are attached to every sample with
+//!   `\\`, `"`, and newline escaped per the spec;
+//! - non-finite values render as `NaN`/`+Inf`/`-Inf`.
+//!
+//! Output order is deterministic: counters, then histograms, then
+//! spans, each sorted by name (the order [`Snapshot`] already holds).
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Prefix applied to every exposed metric name.
+const PREFIX: &str = "robotune_";
+
+/// Renders `snapshot` in the Prometheus text format with no labels.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    render_prometheus_labeled(snapshot, &[])
+}
+
+/// Renders `snapshot` with `labels` attached to every sample.
+///
+/// Label values are escaped; label *names* are sanitized like metric
+/// names, so callers can pass human-oriented keys directly.
+pub fn render_prometheus_labeled(snapshot: &Snapshot, labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric}{} {value}", label_block(labels, &[]));
+    }
+    for (name, summary) in &snapshot.hists {
+        write_summary(&mut out, &sanitize(name), summary, labels);
+    }
+    for (name, summary) in &snapshot.spans {
+        write_summary(&mut out, &format!("{}_us", sanitize(name)), summary, labels);
+    }
+    out
+}
+
+fn write_summary(
+    out: &mut String,
+    metric: &str,
+    summary: &crate::histogram::HistSummary,
+    labels: &[(&str, &str)],
+) {
+    let _ = writeln!(out, "# TYPE {metric} summary");
+    for (q, v) in [("0.5", summary.p50), ("0.9", summary.p90), ("0.99", summary.p99)] {
+        let _ = writeln!(
+            out,
+            "{metric}{} {}",
+            label_block(labels, &[("quantile", q)]),
+            fmt_value(v)
+        );
+    }
+    let _ = writeln!(out, "{metric}_sum{} {}", label_block(labels, &[]), fmt_value(summary.sum));
+    let _ = writeln!(out, "{metric}_count{} {}", label_block(labels, &[]), summary.count);
+}
+
+/// Replaces every character outside `[a-zA-Z0-9_:]` with `_` and
+/// prefixes `robotune_`; a leading digit gets an extra `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut s = String::with_capacity(PREFIX.len() + name.len());
+    s.push_str(PREFIX);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                s.push('_');
+            }
+            s.push(c);
+        } else {
+            s.push('_');
+        }
+    }
+    s
+}
+
+/// Builds `{k="v",…}` from base labels plus extras; empty string when
+/// there are none.
+fn label_block(labels: &[(&str, &str)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    let mut first = true;
+    for (k, v) in labels.iter().chain(extra.iter()) {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "{}=\"{}\"", sanitize_label_name(k), escape_label_value(v));
+    }
+    s.push('}');
+    s
+}
+
+fn sanitize_label_name(name: &str) -> String {
+    name.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                if i == 0 && c.is_ascii_digit() {
+                    '_'
+                } else {
+                    c
+                }
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn escape_label_value(value: &str) -> String {
+    let mut s = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            c => s.push(c),
+        }
+    }
+    s
+}
+
+/// Prometheus float formatting: `NaN`, `+Inf`, `-Inf`, else decimal.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize("gp.fit"), "robotune_gp_fit");
+        assert_eq!(sanitize("service.req_ns.suggest"), "robotune_service_req_ns_suggest");
+        assert_eq!(sanitize("9lives"), "robotune__9lives");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

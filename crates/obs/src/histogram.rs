@@ -336,6 +336,78 @@ mod tests {
         assert!((s.mean - 0.5).abs() < 0.01);
     }
 
+    /// Asserts the invariant every quantile estimate must satisfy:
+    /// finite and inside the observed [min, max].
+    fn assert_in_range(q: &P2Quantile, min: f64, max: f64, what: &str) {
+        let v = q.quantile();
+        assert!(v.is_finite(), "{what}: quantile must be finite, got {v}");
+        assert!(
+            (min..=max).contains(&v),
+            "{what}: quantile {v} outside observed range [{min}, {max}]"
+        );
+    }
+
+    #[test]
+    fn p2_fewer_than_five_samples_stays_exact_and_in_range() {
+        for p in [0.5, 0.9, 0.99] {
+            for n in 1..5usize {
+                let mut q = P2Quantile::new(p);
+                let vals: Vec<f64> = (0..n).map(|i| (n - i) as f64 * 3.5).collect();
+                for &v in &vals {
+                    q.record(v);
+                }
+                assert_eq!(q.count(), n as u64);
+                assert_in_range(&q, 3.5, n as f64 * 3.5, &format!("p={p} n={n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn p2_all_duplicate_stream_returns_the_duplicate() {
+        for p in [0.5, 0.9, 0.99] {
+            for n in [1usize, 4, 5, 6, 100, 10_000] {
+                let mut q = P2Quantile::new(p);
+                for _ in 0..n {
+                    q.record(42.0);
+                }
+                // Duplicates make every P² cell width zero; the linear /
+                // parabolic adjustments must not divide their way to NaN.
+                assert_eq!(q.quantile(), 42.0, "p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn p2_monotone_streams_stay_finite_and_in_range() {
+        for p in [0.5, 0.9, 0.99] {
+            // Increasing, decreasing, and increasing-with-plateaus.
+            let inc: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+            let dec: Vec<f64> = (0..5000).map(|i| (5000 - i) as f64).collect();
+            let plateau: Vec<f64> = (0..5000).map(|i| (i / 50) as f64).collect();
+            for (name, stream) in [("inc", &inc), ("dec", &dec), ("plateau", &plateau)] {
+                let mut q = P2Quantile::new(p);
+                let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &v in stream.iter() {
+                    q.record(v);
+                    min = min.min(v);
+                    max = max.max(v);
+                    assert_in_range(&q, min, max, &format!("p={p} {name}"));
+                }
+                // On a long uniform ramp the estimate should also be
+                // roughly at the right rank, not just in range.
+                let expect = min + p * (max - min);
+                let tol = 0.05 * (max - min);
+                if name != "plateau" {
+                    let v = q.quantile();
+                    assert!(
+                        (v - expect).abs() < tol,
+                        "p={p} {name}: {v} vs expected ~{expect}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn small_sample_quantiles_are_exact() {
         let mut q = P2Quantile::new(0.5);

@@ -15,6 +15,17 @@
 //! - **Report** — [`Report`] renders a per-run summary table from a
 //!   [`Snapshot`].
 //!
+//! Built on top of those:
+//!
+//! - **Scopes** ([`scope`]) — per-session attribution: enter a labelled
+//!   [`Scope`] and every event the thread emits is also folded into the
+//!   scope's own aggregates and bounded event ring (the flight-recorder
+//!   source), with zero changes at instrumentation call sites.
+//! - **Exposition** ([`expo`]) — Prometheus-style text rendering of any
+//!   [`Snapshot`], optionally labelled.
+//! - **SLO windows** ([`slo`]) — exact rolling-window percentiles over
+//!   the last N samples, for `health`-style endpoints.
+//!
 //! Tracing is **off by default**: every instrumentation call first
 //! checks one relaxed atomic and returns immediately when disabled, so
 //! instrumented hot paths pay a branch, nothing more. Turn it on with
@@ -38,19 +49,25 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod event;
+pub mod expo;
 pub mod histogram;
 pub mod registry;
 pub mod report;
+pub mod scope;
 pub mod sink;
+pub mod slo;
 
 pub use event::{Event, EventData};
+pub use expo::{render_prometheus, render_prometheus_labeled};
 pub use histogram::{HistSummary, Histogram, P2Quantile};
 pub use registry::{
     disable, enable, enable_null, enable_ring, flush, global, incr, is_enabled, mark, record,
     reset, snapshot, span, Registry, Snapshot, SpanGuard,
 };
 pub use report::Report;
+pub use scope::{Scope, ScopeGuard, ScopeLabels};
 pub use sink::{EventSink, JsonlSink, NullSink, RingBufferSink};
+pub use slo::RollingWindow;
 
 use std::path::Path;
 use std::sync::Arc;

@@ -59,11 +59,55 @@ impl Snapshot {
     }
 }
 
-#[derive(Default)]
-struct Aggregates {
+/// The mutable aggregation state shared by the global registry and by
+/// per-session [`Scope`](crate::scope::Scope)s.
+#[derive(Debug, Default)]
+pub(crate) struct Aggregates {
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Histogram>,
     spans: BTreeMap<&'static str, Histogram>,
+}
+
+impl Aggregates {
+    /// Folds one event payload into the aggregates. This is how scopes
+    /// mirror the registry's own bookkeeping: every enabled event passes
+    /// through [`Registry::emit`], which applies it to the innermost
+    /// entered scope as well.
+    pub(crate) fn apply(&mut self, data: &EventData) {
+        match data {
+            EventData::Counter { name, delta, .. } => {
+                *self.counters.entry(name).or_insert(0) += delta;
+            }
+            EventData::Hist { name, value } => {
+                self.hists.entry(name).or_default().record(*value);
+            }
+            EventData::SpanEnd { name, dur_us, .. } => {
+                self.spans.entry(name).or_default().record(*dur_us as f64);
+            }
+            EventData::SpanStart { .. } | EventData::Mark { .. } => {}
+        }
+    }
+
+    /// Copies the aggregates out into an owned [`Snapshot`].
+    pub(crate) fn to_snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.summary()))
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.summary()))
+                .collect(),
+        }
+    }
 }
 
 /// Thread-safe metrics registry. Most code uses the process-global one
@@ -105,8 +149,13 @@ impl Registry {
     }
 
     /// Flushes the installed sink.
+    ///
+    /// The sink `Arc` is cloned out first so the flush (which may do
+    /// real I/O) runs without any registry lock held — a concurrent
+    /// `incr`/`record`/`snapshot` never waits on a disk write.
     pub fn flush(&self) {
-        self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).flush();
+        let sink = self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        sink.flush();
     }
 
     /// Clears all aggregated metrics (the sink is left installed).
@@ -121,6 +170,9 @@ impl Registry {
             thread: THREAD_ID.with(|id| *id),
             data,
         };
+        // Attribute to the innermost entered scope (if any) before the
+        // sink sees the event; scope state is thread-local, no locks.
+        crate::scope::attribute(&event);
         // Clone the Arc so the sink call runs outside the lock.
         let sink = self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
         sink.emit(&event);
@@ -190,25 +242,29 @@ impl Registry {
     }
 
     /// Copies out all aggregated metrics.
+    ///
+    /// Events the installed sink had to evict (see
+    /// [`EventSink::dropped_events`]) surface as the
+    /// `obs.dropped_events` counter, so a full ring buffer never loses
+    /// data silently. The sink is consulted *after* the aggregate lock
+    /// is released — no registry lock is ever held across a sink call.
     pub fn snapshot(&self) -> Snapshot {
-        let agg = self.agg.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        Snapshot {
-            counters: agg
+        let mut snap = {
+            let agg = self.agg.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            agg.to_snapshot()
+        };
+        let sink = self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        let dropped = sink.dropped_events();
+        if dropped > 0 {
+            match snap
                 .counters
-                .iter()
-                .map(|(k, v)| (k.to_string(), *v))
-                .collect(),
-            hists: agg
-                .hists
-                .iter()
-                .map(|(k, h)| (k.to_string(), h.summary()))
-                .collect(),
-            spans: agg
-                .spans
-                .iter()
-                .map(|(k, h)| (k.to_string(), h.summary()))
-                .collect(),
+                .binary_search_by(|(n, _)| n.as_str().cmp("obs.dropped_events"))
+            {
+                Ok(i) => snap.counters[i].1 += dropped,
+                Err(i) => snap.counters.insert(i, ("obs.dropped_events".into(), dropped)),
+            }
         }
+        snap
     }
 }
 

@@ -161,6 +161,13 @@ impl Report {
             &hist_rows,
             &mut out,
         );
+        let dropped = self.snapshot.counter("obs.dropped_events");
+        if dropped > 0 {
+            out.push_str(&format!(
+                "WARNING: {dropped} trace event(s) dropped (ring overflow); \
+                 counters/histograms above are complete, the event stream is not.\n"
+            ));
+        }
         out
     }
 }
@@ -193,6 +200,21 @@ mod tests {
         assert!(text.contains("memo.hit"));
         assert!(text.contains("histograms"));
         assert!(text.contains("sim.stage_s"));
+    }
+
+    #[test]
+    fn dropped_events_surface_as_a_warning_footer() {
+        let snap = Snapshot {
+            counters: vec![("obs.dropped_events".into(), 17)],
+            ..Snapshot::default()
+        };
+        let text = Report::from_snapshot(snap).render();
+        assert!(text.contains("17 trace event(s) dropped"), "{text}");
+        let clean = Snapshot {
+            counters: vec![("memo.hit".into(), 1)],
+            ..Snapshot::default()
+        };
+        assert!(!Report::from_snapshot(clean).render().contains("dropped"));
     }
 
     #[test]

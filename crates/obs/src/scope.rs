@@ -1,0 +1,207 @@
+//! Telemetry scopes: per-session attribution of the global event
+//! stream.
+//!
+//! A [`Scope`] is a handle carrying labels (session id, workload). When
+//! a thread [`enter`](Scope::enter)s a scope, every event that thread
+//! emits through the global registry is *also* applied to the scope's
+//! own aggregates and appended to its bounded event ring — the existing
+//! `obs::incr`/`record`/`span` call sites in gp/bo/core need no
+//! changes. Scopes nest; attribution goes to the innermost scope on the
+//! current thread. The same `Scope` handle may be entered on several
+//! threads at once (e.g. a service worker running the session plus the
+//! connection thread handling its requests).
+//!
+//! Attribution happens inside the registry's emit path, so it is active
+//! only while tracing is enabled: with tracing disabled the
+//! instrumented code pays exactly the same single relaxed atomic load
+//! as before, and trajectories are bit-identical with scopes on or off
+//! (telemetry never touches RNG or evaluation state).
+//!
+//! The event ring doubles as a flight recorder: on failure the last
+//! `capacity` events (default 256) can be dumped for a post-mortem.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+use crate::registry::{Aggregates, Snapshot};
+
+/// Default bound on a scope's recent-event ring.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// Identifying labels attached to a [`Scope`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScopeLabels {
+    /// The owning session's id, if any.
+    pub session_id: String,
+    /// The workload the session is tuning, if known.
+    pub workload: String,
+}
+
+#[derive(Debug)]
+pub(crate) struct ScopeInner {
+    labels: ScopeLabels,
+    agg: Mutex<Aggregates>,
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl ScopeInner {
+    fn apply(&self, event: &Event) {
+        self.agg
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .apply(&event.data);
+        let mut ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event.clone());
+    }
+}
+
+/// A labelled telemetry scope. Cheap to clone (shared handle).
+#[derive(Debug, Clone)]
+pub struct Scope {
+    inner: Arc<ScopeInner>,
+}
+
+impl Scope {
+    /// Creates a scope with the default ring capacity.
+    pub fn new(labels: ScopeLabels) -> Self {
+        Scope::with_capacity(labels, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates a scope keeping up to `capacity` recent events
+    /// (minimum 1).
+    pub fn with_capacity(labels: ScopeLabels, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Scope {
+            inner: Arc::new(ScopeInner {
+                labels,
+                agg: Mutex::new(Aggregates::default()),
+                ring: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The scope's labels.
+    pub fn labels(&self) -> &ScopeLabels {
+        &self.inner.labels
+    }
+
+    /// Installs this scope as the innermost scope on the current thread
+    /// until the returned guard drops.
+    pub fn enter(&self) -> ScopeGuard {
+        CURRENT.with(|stack| stack.borrow_mut().push(self.inner.clone()));
+        ScopeGuard {
+            inner: self.inner.clone(),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Copies out the metrics attributed to this scope so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner
+            .agg
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .to_snapshot()
+    }
+
+    /// The most recent events attributed to this scope, oldest first
+    /// (bounded by the ring capacity; the ring is left intact).
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.inner
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted from the ring because it was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<ScopeInner>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`Scope::enter`]; removes the scope from the
+/// current thread's stack on drop. Deliberately `!Send`: a guard must
+/// drop on the thread that entered the scope.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    inner: Arc<ScopeInner>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Remove the innermost matching entry; guards normally drop
+            // in LIFO order but out-of-order drops stay correct.
+            if let Some(i) = stack.iter().rposition(|s| Arc::ptr_eq(s, &self.inner)) {
+                stack.remove(i);
+            }
+        });
+    }
+}
+
+/// Applies `event` to the innermost scope on the current thread, if
+/// any. Called from the registry's emit path, i.e. only while tracing
+/// is enabled.
+pub(crate) fn attribute(event: &Event) {
+    CURRENT.with(|stack| {
+        if let Some(scope) = stack.borrow().last() {
+            scope.apply(event);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_restores_stack_on_nested_and_out_of_order_drop() {
+        let a = Scope::new(ScopeLabels::default());
+        let b = Scope::new(ScopeLabels::default());
+        let ga = a.enter();
+        let gb = b.enter();
+        drop(ga); // out of order
+        CURRENT.with(|s| assert_eq!(s.borrow().len(), 1));
+        drop(gb);
+        CURRENT.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let scope = Scope::with_capacity(ScopeLabels::default(), 2);
+        for seq in 0..5 {
+            scope.inner.apply(&Event {
+                seq,
+                t_us: 0,
+                thread: 0,
+                data: crate::event::EventData::Counter { name: "x", delta: 1, total: seq + 1 },
+            });
+        }
+        let events = scope.recent_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(scope.dropped_events(), 3);
+        assert_eq!(scope.snapshot().counter("x"), 5);
+    }
+}

@@ -17,6 +17,13 @@ pub trait EventSink: Send + Sync {
 
     /// Flushes buffered output, if any.
     fn flush(&self) {}
+
+    /// Number of events this sink has discarded (e.g. ring overflow).
+    /// Surfaced by [`crate::snapshot`] as the `obs.dropped_events`
+    /// counter so overflow is never silent.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards everything. With this sink installed the only per-event
@@ -77,6 +84,10 @@ impl EventSink for RingBufferSink {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back(event.clone());
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 

@@ -1,0 +1,136 @@
+//! Rolling-window SLO tracking: exact percentiles over the last N
+//! observations.
+//!
+//! Unlike the streaming P² estimators in [`crate::histogram`] (constant
+//! memory over an unbounded stream), a [`RollingWindow`] keeps the last
+//! `capacity` samples verbatim, so its quantiles are *exact* for the
+//! window and respond immediately when behaviour shifts — exactly what
+//! a `health` endpoint wants ("suggest p99 over the last 256
+//! requests"), at a bounded, small memory cost.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity sliding window of `f64` samples with exact quantiles.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    capacity: usize,
+    samples: VecDeque<f64>,
+    /// Total samples ever pushed (including ones that have slid out).
+    total: u64,
+}
+
+impl RollingWindow {
+    /// Creates a window holding the last `capacity` samples (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RollingWindow {
+            capacity,
+            samples: VecDeque::with_capacity(capacity),
+            total: 0,
+        }
+    }
+
+    /// Pushes one sample, evicting the oldest when full. NaN is
+    /// ignored (it would poison every quantile).
+    pub fn push(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(value);
+        self.total += 1;
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The window's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total samples ever pushed (monotone; not bounded by capacity).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact quantile `p` in `[0, 1]` over the current window
+    /// (nearest-rank on the sorted samples; `None` when empty).
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let p = p.clamp(0.0, 1.0);
+        let rank = (p * (sorted.len() as f64 - 1.0)).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Median over the window.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile over the window.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_slides_and_quantiles_are_exact() {
+        let mut w = RollingWindow::new(4);
+        assert!(w.quantile(0.5).is_none());
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.push(v);
+        }
+        assert_eq!(w.p50(), Some(3.0)); // nearest-rank on [1,2,3,4]
+        assert_eq!(w.quantile(0.0), Some(1.0));
+        assert_eq!(w.quantile(1.0), Some(4.0));
+        // Slide: 1.0 falls out, 100.0 enters.
+        w.push(100.0);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.total(), 5);
+        assert_eq!(w.quantile(1.0), Some(100.0));
+        assert_eq!(w.quantile(0.0), Some(2.0), "oldest sample evicted");
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut w = RollingWindow::new(8);
+        w.push(f64::NAN);
+        assert!(w.is_empty());
+        w.push(1.0);
+        w.push(f64::NAN);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.p99(), Some(1.0));
+    }
+
+    #[test]
+    fn shift_detection_beats_unbounded_stream() {
+        // 1000 fast samples then 256 slow ones: the window's p50 tracks
+        // the new regime completely.
+        let mut w = RollingWindow::new(256);
+        for _ in 0..1000 {
+            w.push(1.0);
+        }
+        for _ in 0..256 {
+            w.push(50.0);
+        }
+        assert_eq!(w.p50(), Some(50.0));
+    }
+}

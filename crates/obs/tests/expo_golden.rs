@@ -1,0 +1,86 @@
+//! Golden-format tests for the Prometheus text exposition.
+//!
+//! The snapshot is constructed by hand from fixed values so the
+//! rendering is byte-deterministic; the goldens live in
+//! `tests/golden/`. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p robotune-obs --test expo_golden`
+//! and review the diff.
+
+use robotune_obs::histogram::Histogram;
+use robotune_obs::{render_prometheus, render_prometheus_labeled, Snapshot};
+
+fn fixture() -> Snapshot {
+    let mut hist = Histogram::new();
+    for v in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        hist.record(v);
+    }
+    let mut span = Histogram::new();
+    for v in [100.0, 200.0, 700.0] {
+        span.record(v);
+    }
+    Snapshot {
+        counters: vec![
+            ("bo.suggest".into(), 12),
+            ("gp.fit".into(), 7),
+            ("obs.dropped_events".into(), 3),
+            ("service.requests".into(), 40),
+        ],
+        hists: vec![("eval.time_s".into(), hist.summary())],
+        spans: vec![("gp.hyperfit".into(), span.summary())],
+    }
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}; run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        rendered,
+        expected,
+        "exposition drifted from golden {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn exposition_matches_golden() {
+    check_golden("exposition.txt", &render_prometheus(&fixture()));
+}
+
+#[test]
+fn labeled_exposition_matches_golden() {
+    check_golden(
+        "exposition_labeled.txt",
+        &render_prometheus_labeled(
+            &fixture(),
+            &[("session", "s-1a2b"), ("workload", "join \"heavy\"\n")],
+        ),
+    );
+}
+
+#[test]
+fn exposition_lines_are_well_formed() {
+    // Structural sanity independent of the golden bytes: every
+    // non-comment line is `name{labels} value` with a parseable value.
+    let text = render_prometheus_labeled(&fixture(), &[("session", "s-1")]);
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(line.starts_with("# TYPE robotune_"), "{line}");
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect("space-separated sample");
+        assert!(name_part.starts_with("robotune_"), "{line}");
+        assert!(
+            value == "NaN" || value == "+Inf" || value == "-Inf" || value.parse::<f64>().is_ok(),
+            "unparseable value in {line}"
+        );
+        assert!(name_part.contains("session=\"s-1\""), "label missing in {line}");
+    }
+}

@@ -228,6 +228,36 @@ impl TuningClient {
         self.request(Self::session_verb("close_session", session)).map(|_| ())
     }
 
+    /// Aggregate server metrics as structured JSON.
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.request(Self::verb("metrics"))
+    }
+
+    /// One session's scoped metrics as structured JSON.
+    pub fn session_metrics(&mut self, session: &str) -> Result<Value, ClientError> {
+        self.request(Self::session_verb("metrics", session))
+    }
+
+    /// Metrics rendered as Prometheus exposition text. `session` picks
+    /// one session's scoped view; `None` is the aggregate registry.
+    pub fn metrics_prometheus(&mut self, session: Option<&str>) -> Result<String, ClientError> {
+        let mut m = Self::verb("metrics");
+        if let Some(sid) = session {
+            m.insert("session".into(), Value::from(sid));
+        }
+        m.insert("format".into(), Value::from("prometheus"));
+        let v = self.request(m)?;
+        v.get("body")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::BadResponse("metrics: no body".into()))
+    }
+
+    /// The server's health frame (workers, queue, SLO windows, store).
+    pub fn health(&mut self) -> Result<Value, ClientError> {
+        self.request(Self::verb("health"))
+    }
+
     /// Asks the server to drain, checkpoint, and exit.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(Self::verb("shutdown")).map(|_| ())

@@ -1,0 +1,173 @@
+//! The failure flight recorder: black-box JSONL post-mortems for
+//! sessions that die badly.
+//!
+//! Every [`ServedSession`](crate::session::ServedSession) already keeps
+//! the two things a post-mortem needs — a bounded ring of its recent
+//! telemetry events (via its [`Scope`](robotune_obs::Scope)) and its
+//! ask/tell configuration trajectory. When a session is cancelled,
+//! errors out, or trips fault-injection paths, the manager asks the
+//! [`FlightRecorder`] to dump both (plus the session spec, lifecycle
+//! stats, and per-scope counters — including the `fault.*`/`retry.*`
+//! families) as one self-describing JSONL file.
+//!
+//! ## Dump format (one JSON object per line)
+//!
+//! 1. `{"kind":"flight","version":1,"session":…,"reason":…,"state":…,
+//!    "workload":…,"seed":…,"budget":…,"profile":…}` — header;
+//! 2. `{"kind":"stats",…}` — ask/tell lifecycle counters;
+//! 3. `{"kind":"counters","counters":{…}}` — the session scope's
+//!    counter totals (empty when tracing was disabled);
+//! 4. `{"kind":"fault_counters","counters":{…},"total":…}` — the
+//!    `fault.*`/`retry.*` subset of the same totals (per
+//!    [`robotune_faults::telemetry`]), pulled out so a post-mortem reader
+//!    sees the failure story without scanning the full counter map;
+//! 5. `{"kind":"ask","index":…,"cap_s":…,"config":{…}}` /
+//!    `{"kind":"tell","index":…,"time_s":…,"status":…}` — the config
+//!    trajectory in order;
+//! 6. `{"kind":"event","event":{…}}` — the recent telemetry events
+//!    (same schema as the `--trace` JSONL);
+//! 7. `{"kind":"recorder","events_dropped":…,"trajectory_dropped":…}`
+//!    — footer recording what the bounded buffers had to evict.
+//!
+//! Files are written to a temp name and renamed into place, so a
+//! half-written dump is never observed under the final name.
+
+use crate::protocol::config_to_wire;
+use crate::session::{ServedSession, TrajectoryEntry};
+use serde_json::{Map, Value};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Format version written into every dump header.
+pub const FLIGHT_FORMAT_VERSION: i64 = 1;
+
+/// Writes per-session failure dumps into one directory.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    dir: PathBuf,
+}
+
+impl FlightRecorder {
+    /// Creates the recorder (and its directory).
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("create flight dir {}: {e}", dir.display()))?;
+        Ok(FlightRecorder { dir })
+    }
+
+    /// The directory dumps land in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Dumps `session`'s black box; returns the file written.
+    pub fn dump(&self, session: &ServedSession, reason: &str) -> Result<PathBuf, String> {
+        let path = self.dir.join(format!("flight-{}.jsonl", session.id));
+        let tmp = self.dir.join(format!("flight-{}.jsonl.tmp", session.id));
+        let mut out = Vec::new();
+        for line in self.render_lines(session, reason) {
+            let text = serde_json::to_string(&line)
+                .map_err(|e| format!("encode flight line: {e}"))?;
+            out.extend_from_slice(text.as_bytes());
+            out.push(b'\n');
+        }
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("create {}: {e}", tmp.display()))?;
+        file.write_all(&out)
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        drop(file);
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
+        Ok(path)
+    }
+
+    fn render_lines(&self, session: &ServedSession, reason: &str) -> Vec<Value> {
+        let mut lines = Vec::new();
+
+        let mut header = Map::new();
+        header.insert("kind".into(), Value::from("flight"));
+        header.insert("version".into(), Value::from(FLIGHT_FORMAT_VERSION));
+        header.insert("session".into(), Value::from(session.id.as_str()));
+        header.insert("reason".into(), Value::from(reason));
+        header.insert("state".into(), Value::from(session.state().as_str()));
+        header.insert("workload".into(), Value::from(session.spec.workload.as_str()));
+        header.insert("seed".into(), Value::from(session.spec.seed));
+        header.insert("budget".into(), Value::from(session.spec.budget as u64));
+        header.insert("profile".into(), Value::from(session.spec.profile.as_str()));
+        lines.push(Value::Object(header));
+
+        let stats = session.stats();
+        let mut s = Map::new();
+        s.insert("kind".into(), Value::from("stats"));
+        s.insert("asked".into(), Value::from(stats.asked));
+        s.insert("observed".into(), Value::from(stats.observed));
+        s.insert("completed".into(), Value::from(stats.completed));
+        s.insert("failed".into(), Value::from(stats.failed));
+        s.insert("capped".into(), Value::from(stats.capped));
+        s.insert("best_time_s".into(), stats.best_time_s.map_or(Value::Null, Value::from));
+        lines.push(Value::Object(s));
+
+        // The scope's counters carry the fault/retry story for this
+        // session (retry.attempt, retry.exhausted, bo.censored_observation,
+        // …) when tracing is on; an empty object otherwise.
+        let snap = session.scope().snapshot();
+        let mut counters = Map::new();
+        let mut fault_counters = Map::new();
+        let mut fault_total = 0u64;
+        for (name, total) in &snap.counters {
+            counters.insert(name.clone(), Value::from(*total));
+            if robotune_faults::telemetry::is_fault_related(name) {
+                fault_counters.insert(name.clone(), Value::from(*total));
+                fault_total += *total;
+            }
+        }
+        let mut c = Map::new();
+        c.insert("kind".into(), Value::from("counters"));
+        c.insert("counters".into(), Value::Object(counters));
+        lines.push(Value::Object(c));
+
+        let mut fc = Map::new();
+        fc.insert("kind".into(), Value::from("fault_counters"));
+        fc.insert("counters".into(), Value::Object(fault_counters));
+        fc.insert("total".into(), Value::from(fault_total));
+        lines.push(Value::Object(fc));
+
+        let (trajectory, trajectory_dropped) = session.trajectory();
+        for entry in &trajectory {
+            lines.push(match entry {
+                TrajectoryEntry::Ask { index, cap_s, config } => {
+                    let mut m = Map::new();
+                    m.insert("kind".into(), Value::from("ask"));
+                    m.insert("index".into(), Value::from(*index));
+                    m.insert("cap_s".into(), Value::from(*cap_s));
+                    m.insert("config".into(), config_to_wire(session.space(), config));
+                    Value::Object(m)
+                }
+                TrajectoryEntry::Tell { index, time_s, status } => {
+                    let mut m = Map::new();
+                    m.insert("kind".into(), Value::from("tell"));
+                    m.insert("index".into(), Value::from(*index));
+                    m.insert("time_s".into(), Value::from(*time_s));
+                    m.insert("status".into(), Value::from(status.as_str()));
+                    Value::Object(m)
+                }
+            });
+        }
+
+        for event in session.scope().recent_events() {
+            let mut m = Map::new();
+            m.insert("kind".into(), Value::from("event"));
+            m.insert("event".into(), event.to_json());
+            lines.push(Value::Object(m));
+        }
+
+        let mut footer = Map::new();
+        footer.insert("kind".into(), Value::from("recorder"));
+        footer.insert("events_dropped".into(), Value::from(session.scope().dropped_events()));
+        footer.insert("trajectory_dropped".into(), Value::from(trajectory_dropped));
+        lines.push(Value::Object(footer));
+        lines
+    }
+}

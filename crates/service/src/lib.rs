@@ -22,8 +22,18 @@
 //! - [`manager`] — [`SessionManager`]: the bounded worker pool, the
 //!   admission queue with backpressure, and request dispatch;
 //! - [`server`] — the TCP accept/connection loop ([`serve`]);
+//! - [`flight`] — [`FlightRecorder`]: JSONL black-box dumps (recent
+//!   telemetry events + config trajectory + fault/retry counters) for
+//!   sessions that are cancelled or trip fault paths;
 //! - [`client`] — [`TuningClient`], a small blocking client library used
 //!   by the bench load generator and the integration tests.
+//!
+//! Live introspection: every session owns a telemetry
+//! [`Scope`](robotune_obs::Scope), entered by the worker running its
+//! pipeline *and* by connection threads serving its requests, so the
+//! `metrics` verb can answer per-session counters/histograms (JSON or
+//! Prometheus text) and `health` reports rolling suggest/observe SLO
+//! percentiles, worker/queue pressure, and store WAL lag.
 //!
 //! Everything is `std`-only: the TCP layer is `std::net`, JSON is the
 //! workspace's `serde_json` stand-in, threads are `std::thread::scope`.
@@ -33,6 +43,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod flight;
 pub mod manager;
 pub mod protocol;
 pub mod server;
@@ -40,8 +51,11 @@ pub mod session;
 pub mod store;
 
 pub use client::{ClientError, DriveReport, Suggestion, TuningClient};
+pub use flight::{FlightRecorder, FLIGHT_FORMAT_VERSION};
 pub use manager::{ServiceOptions, SessionManager};
-pub use protocol::{ErrorCode, ObservedStatus, Profile, ProtoError, Request, MAX_FRAME_BYTES};
+pub use protocol::{
+    ErrorCode, MetricsFormat, ObservedStatus, Profile, ProtoError, Request, MAX_FRAME_BYTES,
+};
 pub use server::serve;
-pub use session::{SessionOutcome, SessionState};
+pub use session::{SessionOutcome, SessionState, TrajectoryEntry};
 pub use store::PersistentMemoStore;

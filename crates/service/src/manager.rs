@@ -15,15 +15,18 @@
 //! skipped), workers drain, and the server checkpoints the shared
 //! store. In-flight requests get responses; new sessions are refused.
 
+use crate::flight::FlightRecorder;
 use crate::protocol::{
-    self, config_to_wire, error_frame, ok_frame, ErrorCode, ProtoError, Request,
+    self, config_to_wire, error_frame, ok_frame, ErrorCode, MetricsFormat, ProtoError, Request,
 };
 use crate::session::{ServedSession, SessionOutcome, SessionSpec, SessionState, SuggestReply};
 use robotune::SharedMemoStore;
+use robotune_obs::{HistSummary, RollingWindow, Snapshot};
 use robotune_space::spark::spark_space;
 use robotune_space::ConfigSpace;
 use serde_json::{Map, Value};
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -43,6 +46,12 @@ pub struct ServiceOptions {
     /// How long one `suggest` waits for the pipeline's next ask before
     /// answering a retryable `timeout` error.
     pub suggest_timeout: Duration,
+    /// How many recent suggest/observe requests the rolling SLO
+    /// percentiles in `health` cover.
+    pub slo_window: usize,
+    /// Where failure flight-recorder dumps are written; `None` disables
+    /// the recorder.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceOptions {
@@ -51,8 +60,23 @@ impl Default for ServiceOptions {
             workers: 4,
             queue_capacity: 64,
             suggest_timeout: Duration::from_secs(30),
+            slo_window: 256,
+            flight_dir: None,
         }
     }
+}
+
+/// Rolling request-latency windows behind one lock; samples are
+/// nanoseconds.
+struct SloWindows {
+    suggest: RollingWindow,
+    observe: RollingWindow,
+}
+
+/// Which SLO window a request feeds.
+enum SloVerb {
+    Suggest,
+    Observe,
 }
 
 /// Hosts every session and dispatches protocol requests.
@@ -66,12 +90,25 @@ pub struct SessionManager {
     next_id: AtomicU64,
     shutdown: AtomicBool,
     active: AtomicU64,
+    slo: Mutex<SloWindows>,
+    flight: Option<FlightRecorder>,
 }
 
 impl SessionManager {
     /// Builds a manager over a shared memo store. The Spark space is
     /// pre-registered as `"spark"`.
     pub fn new(opts: ServiceOptions, store: SharedMemoStore) -> Self {
+        let flight = opts.flight_dir.as_ref().and_then(|dir| {
+            FlightRecorder::new(dir)
+                .map_err(|e| {
+                    robotune_obs::incr("service.flight.errors", 1);
+                    robotune_obs::mark("service.flight.errors", || {
+                        serde_json::json!({ "error": e.clone() })
+                    });
+                })
+                .ok()
+        });
+        let slo_window = opts.slo_window.max(1);
         SessionManager {
             opts,
             store,
@@ -82,6 +119,11 @@ impl SessionManager {
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             active: AtomicU64::new(0),
+            slo: Mutex::new(SloWindows {
+                suggest: RollingWindow::new(slo_window),
+                observe: RollingWindow::new(slo_window),
+            }),
+            flight,
         }
     }
 
@@ -156,8 +198,44 @@ impl SessionManager {
             let active = self.active.fetch_sub(1, Ordering::Relaxed) - 1;
             robotune_obs::record("service.sessions_active", active as f64);
             match session.state() {
-                SessionState::Finished => robotune_obs::incr("service.sessions_finished", 1),
-                _ => robotune_obs::incr("service.sessions_cancelled", 1),
+                SessionState::Finished => {
+                    robotune_obs::incr("service.sessions_finished", 1);
+                    // Finished but with failed evaluations: the fault
+                    // paths fired — leave a black box anyway.
+                    if session.stats().failed > 0 {
+                        self.dump_flight(&session, "fault_injection");
+                    }
+                }
+                _ => {
+                    robotune_obs::incr("service.sessions_cancelled", 1);
+                    self.dump_flight(&session, "cancelled");
+                }
+            }
+        }
+    }
+
+    /// Writes a flight-recorder dump for `session`, if a recorder is
+    /// configured. Never fails the caller.
+    fn dump_flight(&self, session: &ServedSession, reason: &str) {
+        let Some(flight) = self.flight.as_ref() else {
+            return;
+        };
+        match flight.dump(session, reason) {
+            Ok(path) => {
+                robotune_obs::incr("service.flight.dumps", 1);
+                robotune_obs::mark("service.flight.dump", || {
+                    serde_json::json!({
+                        "session": session.id.clone(),
+                        "reason": reason,
+                        "path": path.display().to_string(),
+                    })
+                });
+            }
+            Err(e) => {
+                robotune_obs::incr("service.flight.errors", 1);
+                robotune_obs::mark("service.flight.errors", || {
+                    serde_json::json!({ "session": session.id.clone(), "error": e.clone() })
+                });
             }
         }
     }
@@ -189,8 +267,29 @@ impl SessionManager {
         let response = match parsed {
             Ok(req) => {
                 let verb = verb_metric(&req);
-                let result = self.dispatch(&id, req);
-                robotune_obs::record(verb, started.elapsed().as_nanos() as f64);
+                let slo = match &req {
+                    Request::Suggest { .. } => Some(SloVerb::Suggest),
+                    Request::Observe { .. } => Some(SloVerb::Observe),
+                    _ => None,
+                };
+                // Session-bearing verbs run inside the session's
+                // telemetry scope, so the per-verb latency histograms
+                // attribute per tenant as well as globally.
+                let scope_session = req.session_id().and_then(|sid| self.session(sid).ok());
+                let result = {
+                    let _guard = scope_session.as_ref().map(|s| s.scope().enter());
+                    let result = self.dispatch(&id, req);
+                    robotune_obs::record(verb, started.elapsed().as_nanos() as f64);
+                    result
+                };
+                if let Some(slo_verb) = slo {
+                    let ns = started.elapsed().as_nanos() as f64;
+                    let mut slo = lock(&self.slo);
+                    match slo_verb {
+                        SloVerb::Suggest => slo.suggest.push(ns),
+                        SloVerb::Observe => slo.observe.push(ns),
+                    }
+                }
                 robotune_obs::incr("service.requests", 1);
                 result
             }
@@ -261,6 +360,8 @@ impl SessionManager {
                     Value::Object(m)
                 }
             },
+            Request::Metrics { session, format } => self.metrics(id, session.as_deref(), format),
+            Request::Health => self.health(id),
             Request::Shutdown => {
                 self.begin_shutdown();
                 let mut m = ok_frame(id);
@@ -268,6 +369,122 @@ impl SessionManager {
                 Value::Object(m)
             }
         }
+    }
+
+    /// Answers `metrics`: the aggregate registry view, or one session's
+    /// scoped view, as JSON or Prometheus text.
+    fn metrics(&self, id: &Value, session: Option<&str>, format: MetricsFormat) -> Value {
+        let (snap, scope_name, labels): (Snapshot, String, Vec<(String, String)>) = match session {
+            None => (robotune_obs::snapshot(), "aggregate".to_string(), Vec::new()),
+            Some(sid) => match self.session(sid) {
+                Err(e) => return error_frame(id, &e),
+                Ok(s) => {
+                    let labels = vec![
+                        ("session".to_string(), s.id.clone()),
+                        ("workload".to_string(), s.spec.workload.clone()),
+                    ];
+                    (s.scope().snapshot(), s.id.clone(), labels)
+                }
+            },
+        };
+        let mut m = ok_frame(id);
+        m.insert("scope".into(), Value::from(scope_name));
+        m.insert("tracing_enabled".into(), Value::Bool(robotune_obs::is_enabled()));
+        match format {
+            MetricsFormat::Json => {
+                let mut counters = Map::new();
+                for (name, total) in &snap.counters {
+                    counters.insert(name.clone(), Value::from(*total));
+                }
+                let mut hists = Map::new();
+                for (name, summary) in &snap.hists {
+                    hists.insert(name.clone(), summary_to_json(summary));
+                }
+                let mut spans = Map::new();
+                for (name, summary) in &snap.spans {
+                    spans.insert(name.clone(), summary_to_json(summary));
+                }
+                m.insert("counters".into(), Value::Object(counters));
+                m.insert("hists".into(), Value::Object(hists));
+                m.insert("spans".into(), Value::Object(spans));
+            }
+            MetricsFormat::Prometheus => {
+                let label_refs: Vec<(&str, &str)> =
+                    labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                m.insert("format".into(), Value::from("prometheus"));
+                m.insert(
+                    "body".into(),
+                    Value::from(robotune_obs::render_prometheus_labeled(&snap, &label_refs)),
+                );
+            }
+        }
+        Value::Object(m)
+    }
+
+    /// Answers `health`: liveness, worker/queue pressure, rolling SLO
+    /// percentiles, and store durability lag.
+    fn health(&self, id: &Value) -> Value {
+        let snap = robotune_obs::snapshot();
+        let (wal_lag, store_workloads) = {
+            let store = self
+                .store
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (store.wal_lag(), store.workloads().len() as u64)
+        };
+        let degraded = snap.counter("service.store.wal_error") > 0
+            || snap.counter("service.store.checkpoint_error") > 0;
+        let status = if self.is_shutting_down() {
+            "draining"
+        } else if degraded {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let active = self.active.load(Ordering::Relaxed);
+        let workers = self.opts.workers.max(1) as u64;
+
+        let slo_json = {
+            let slo = lock(&self.slo);
+            let mut s = Map::new();
+            s.insert("window".into(), Value::from(slo.suggest.capacity() as u64));
+            s.insert("suggest".into(), window_to_json(&slo.suggest));
+            s.insert("observe".into(), window_to_json(&slo.observe));
+            Value::Object(s)
+        };
+
+        let mut store_json = Map::new();
+        store_json.insert("wal_lag".into(), Value::from(wal_lag));
+        store_json.insert("workloads".into(), Value::from(store_workloads));
+        store_json
+            .insert("checkpoints".into(), Value::from(snap.counter("service.store.checkpoints")));
+        store_json
+            .insert("wal_errors".into(), Value::from(snap.counter("service.store.wal_error")));
+        store_json.insert(
+            "checkpoint_errors".into(),
+            Value::from(snap.counter("service.store.checkpoint_error")),
+        );
+
+        let mut m = ok_frame(id);
+        m.insert("status".into(), Value::from(status));
+        m.insert("workers".into(), Value::from(workers));
+        m.insert("sessions_active".into(), Value::from(active));
+        m.insert(
+            "worker_utilization".into(),
+            Value::from((active as f64 / workers as f64).min(1.0)),
+        );
+        m.insert("queue_depth".into(), Value::from(self.queue_depth() as u64));
+        m.insert("queue_capacity".into(), Value::from(self.opts.queue_capacity as u64));
+        m.insert("slo".into(), slo_json);
+        m.insert("store".into(), Value::Object(store_json));
+        m.insert("tracing_enabled".into(), Value::Bool(robotune_obs::is_enabled()));
+        m.insert(
+            "flight_recorder".into(),
+            self.flight
+                .as_ref()
+                .map_or(Value::Null, |f| Value::from(f.dir().display().to_string())),
+        );
+        Value::Object(m)
     }
 
     fn create_session(
@@ -433,6 +650,32 @@ fn extend_outcome(m: &mut Map, s: &ServedSession, out: &SessionOutcome) {
     m.insert("search_cost_s".into(), Value::from(out.search_cost_s));
 }
 
+/// Renders a histogram summary as a JSON object (non-finite fields
+/// serialize as `null`).
+fn summary_to_json(s: &HistSummary) -> Value {
+    let mut m = Map::new();
+    m.insert("count".into(), Value::from(s.count));
+    m.insert("sum".into(), Value::from(s.sum));
+    m.insert("mean".into(), Value::from(s.mean));
+    m.insert("min".into(), Value::from(s.min));
+    m.insert("max".into(), Value::from(s.max));
+    m.insert("p50".into(), Value::from(s.p50));
+    m.insert("p90".into(), Value::from(s.p90));
+    m.insert("p99".into(), Value::from(s.p99));
+    Value::Object(m)
+}
+
+/// Renders a rolling latency window (ns samples) as millisecond
+/// percentiles.
+fn window_to_json(w: &RollingWindow) -> Value {
+    let mut m = Map::new();
+    m.insert("count".into(), Value::from(w.len() as u64));
+    m.insert("total".into(), Value::from(w.total()));
+    m.insert("p50_ms".into(), w.p50().map_or(Value::Null, |ns| Value::from(ns / 1e6)));
+    m.insert("p99_ms".into(), w.p99().map_or(Value::Null, |ns| Value::from(ns / 1e6)));
+    Value::Object(m)
+}
+
 fn verb_metric(req: &Request) -> &'static str {
     match req {
         Request::CreateSession { .. } => "service.req_ns.create_session",
@@ -441,6 +684,8 @@ fn verb_metric(req: &Request) -> &'static str {
         Request::Best { .. } => "service.req_ns.best",
         Request::Status { .. } => "service.req_ns.status",
         Request::CloseSession { .. } => "service.req_ns.close_session",
+        Request::Metrics { .. } => "service.req_ns.metrics",
+        Request::Health => "service.req_ns.health",
         Request::Shutdown => "service.req_ns.shutdown",
     }
 }
@@ -519,6 +764,67 @@ mod tests {
             r#"{"verb":"create_session","workload":"km","space":"spark","seed":1,"budget":5}"#,
         ));
         assert_eq!(r["error"]["code"].as_str(), Some("shutting_down"));
+    }
+
+    #[test]
+    fn metrics_answers_aggregate_and_per_session_views() {
+        let m = manager();
+        let agg = parse(&m.handle_line(r#"{"verb":"metrics"}"#));
+        assert_eq!(agg["ok"], Value::Bool(true));
+        assert_eq!(agg["scope"].as_str(), Some("aggregate"));
+        assert!(agg["counters"].as_object().is_some());
+        assert!(agg["hists"].as_object().is_some());
+        assert!(agg["spans"].as_object().is_some());
+
+        let r = parse(&m.handle_line(
+            r#"{"verb":"create_session","workload":"km","space":"spark","seed":1,"budget":5}"#,
+        ));
+        let sid = r["session"].as_str().unwrap().to_string();
+        let one = parse(&m.handle_line(&format!(r#"{{"verb":"metrics","session":"{sid}"}}"#)));
+        assert_eq!(one["scope"].as_str(), Some(sid.as_str()));
+
+        let prom = parse(&m.handle_line(
+            &format!(r#"{{"verb":"metrics","session":"{sid}","format":"prometheus"}}"#),
+        ));
+        assert_eq!(prom["format"].as_str(), Some("prometheus"));
+        assert!(prom["body"].as_str().is_some());
+
+        let missing = parse(&m.handle_line(r#"{"verb":"metrics","session":"s-404"}"#));
+        assert_eq!(missing["error"]["code"].as_str(), Some("unknown_session"));
+    }
+
+    #[test]
+    fn health_reports_pressure_slo_and_store() {
+        let m = manager();
+        let _ = m.handle_line(
+            r#"{"verb":"create_session","workload":"km","space":"spark","seed":1,"budget":5}"#,
+        );
+        let h = parse(&m.handle_line(r#"{"verb":"health"}"#));
+        assert_eq!(h["ok"], Value::Bool(true));
+        assert_eq!(h["status"].as_str(), Some("ok"));
+        assert_eq!(h["workers"].as_u64(), Some(2));
+        assert_eq!(h["queue_depth"].as_u64(), Some(1));
+        assert_eq!(h["queue_capacity"].as_u64(), Some(2));
+        assert_eq!(h["sessions_active"].as_u64(), Some(0));
+        assert_eq!(h["worker_utilization"].as_f64(), Some(0.0));
+        assert_eq!(h["slo"]["window"].as_u64(), Some(256));
+        assert_eq!(h["slo"]["suggest"]["count"].as_u64(), Some(0));
+        assert_eq!(h["store"]["wal_lag"].as_u64(), Some(0));
+        assert_eq!(h["flight_recorder"], Value::Null);
+
+        // A suggest against the queued session feeds the SLO window.
+        let sid = {
+            let server = parse(&m.handle_line(r#"{"verb":"status"}"#));
+            server["sessions"][0]["session"].as_str().unwrap().to_string()
+        };
+        let _ = m.handle_line(&format!(r#"{{"verb":"suggest","session":"{sid}"}}"#));
+        let h = parse(&m.handle_line(r#"{"verb":"health"}"#));
+        assert_eq!(h["slo"]["suggest"]["count"].as_u64(), Some(1));
+        assert!(h["slo"]["suggest"]["p50_ms"].as_f64().is_some());
+
+        m.begin_shutdown();
+        let h = parse(&m.handle_line(r#"{"verb":"health"}"#));
+        assert_eq!(h["status"].as_str(), Some("draining"));
     }
 
     #[test]

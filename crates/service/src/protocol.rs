@@ -205,6 +205,35 @@ impl ObservedStatus {
     }
 }
 
+/// How a `metrics` response should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Structured JSON: counters/hists/spans objects.
+    #[default]
+    Json,
+    /// Prometheus text exposition, returned as one string field.
+    Prometheus,
+}
+
+impl MetricsFormat {
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "json" => Some(MetricsFormat::Json),
+            "prometheus" => Some(MetricsFormat::Prometheus),
+            _ => None,
+        }
+    }
+
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricsFormat::Json => "json",
+            MetricsFormat::Prometheus => "prometheus",
+        }
+    }
+}
+
 /// A parsed request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -252,8 +281,32 @@ pub enum Request {
         /// Session id.
         session: String,
     },
+    /// Telemetry snapshot: aggregate (server-wide) or per-session.
+    Metrics {
+        /// Session id; `None` asks for the aggregate registry view.
+        session: Option<String>,
+        /// Rendering of the snapshot.
+        format: MetricsFormat,
+    },
+    /// Liveness/SLO view: worker utilization, queue depth, rolling
+    /// suggest/observe percentiles, store WAL/checkpoint health.
+    Health,
     /// Drain, checkpoint the store, and exit.
     Shutdown,
+}
+
+impl Request {
+    /// The session this request addresses, if it carries one.
+    pub fn session_id(&self) -> Option<&str> {
+        match self {
+            Request::Suggest { session }
+            | Request::Observe { session, .. }
+            | Request::Best { session }
+            | Request::CloseSession { session } => Some(session),
+            Request::Status { session } | Request::Metrics { session, .. } => session.as_deref(),
+            Request::CreateSession { .. } | Request::Health | Request::Shutdown => None,
+        }
+    }
 }
 
 fn need<'v>(obj: &'v Map, key: &str) -> Result<&'v Value, ProtoError> {
@@ -360,6 +413,28 @@ impl Request {
                 Ok(Request::Status { session })
             }
             "close_session" => Ok(Request::CloseSession { session: need_str(obj, "session")? }),
+            "metrics" => {
+                let session = match obj.get("session") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(v.as_str().map(str::to_owned).ok_or_else(|| {
+                        ProtoError::new(
+                            ErrorCode::InvalidField,
+                            "field \"session\" must be a string",
+                        )
+                    })?),
+                };
+                let format = match obj.get("format") {
+                    None | Some(Value::Null) => MetricsFormat::Json,
+                    Some(v) => v.as_str().and_then(MetricsFormat::parse).ok_or_else(|| {
+                        ProtoError::new(
+                            ErrorCode::InvalidField,
+                            "format must be \"json\" or \"prometheus\"",
+                        )
+                    })?,
+                };
+                Ok(Request::Metrics { session, format })
+            }
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => {
                 Err(ProtoError::new(ErrorCode::UnknownVerb, format!("unknown verb {other:?}")))
@@ -507,6 +582,51 @@ mod tests {
         ] {
             let (_, req) = Request::parse(&serde_json::from_str(frame).unwrap());
             assert_eq!(req.unwrap_err().code, code, "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn metrics_and_health_verbs_parse() {
+        let (_, req) = Request::parse(&serde_json::from_str(r#"{"verb":"metrics"}"#).unwrap());
+        assert_eq!(
+            req.unwrap(),
+            Request::Metrics { session: None, format: MetricsFormat::Json }
+        );
+        let (_, req) = Request::parse(
+            &serde_json::from_str(r#"{"verb":"metrics","session":"s-9","format":"prometheus"}"#)
+                .unwrap(),
+        );
+        assert_eq!(
+            req.unwrap(),
+            Request::Metrics { session: Some("s-9".into()), format: MetricsFormat::Prometheus }
+        );
+        let (_, req) = Request::parse(
+            &serde_json::from_str(r#"{"verb":"metrics","format":"xml"}"#).unwrap(),
+        );
+        assert_eq!(req.unwrap_err().code, ErrorCode::InvalidField);
+        let (_, req) = Request::parse(&serde_json::from_str(r#"{"verb":"health"}"#).unwrap());
+        assert_eq!(req.unwrap(), Request::Health);
+    }
+
+    #[test]
+    fn session_id_covers_every_session_bearing_verb() {
+        let cases = [
+            (r#"{"verb":"suggest","session":"s-1"}"#, Some("s-1")),
+            (
+                r#"{"verb":"observe","session":"s-2","time_s":1.0,"status":"completed"}"#,
+                Some("s-2"),
+            ),
+            (r#"{"verb":"best","session":"s-3"}"#, Some("s-3")),
+            (r#"{"verb":"close_session","session":"s-4"}"#, Some("s-4")),
+            (r#"{"verb":"status","session":"s-5"}"#, Some("s-5")),
+            (r#"{"verb":"metrics","session":"s-6"}"#, Some("s-6")),
+            (r#"{"verb":"status"}"#, None),
+            (r#"{"verb":"health"}"#, None),
+            (r#"{"verb":"shutdown"}"#, None),
+        ];
+        for (frame, want) in cases {
+            let (_, req) = Request::parse(&serde_json::from_str(frame).unwrap());
+            assert_eq!(req.unwrap().session_id(), want, "frame {frame}");
         }
     }
 

@@ -19,13 +19,19 @@
 
 use crate::protocol::{ErrorCode, ObservedStatus, Profile, ProtoError};
 use robotune::{RoboTune, SharedMemoStore};
+use robotune_obs::{Scope, ScopeLabels};
 use robotune_space::{ConfigSpace, Configuration};
 use robotune_stats::rng_from_seed;
 use robotune_tuners::{Evaluation, Objective};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Hard cap on a session's recorded config trajectory (asks + tells).
+/// Oldest entries roll off; the drop count is kept for the flight dump.
+pub const TRAJECTORY_CAPACITY: usize = 4096;
 
 fn lock<'a, T: ?Sized>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -117,6 +123,47 @@ pub struct SessionOutcome {
     pub search_cost_s: f64,
 }
 
+/// One step of a session's configuration trajectory, recorded for the
+/// flight recorder.
+#[derive(Debug, Clone)]
+pub enum TrajectoryEntry {
+    /// The pipeline asked the client to run `config` under `cap_s`.
+    Ask {
+        /// Per-session evaluation index.
+        index: u64,
+        /// Evaluation cap in seconds.
+        cap_s: f64,
+        /// The configuration handed out.
+        config: Configuration,
+    },
+    /// The client reported a measurement back.
+    Tell {
+        /// Index of the ask this answers.
+        index: u64,
+        /// Measured wall-clock seconds.
+        time_s: f64,
+        /// How the run ended.
+        status: ObservedStatus,
+    },
+}
+
+/// Bounded ask/tell history plus the count of rolled-off entries.
+#[derive(Debug, Default)]
+struct Trajectory {
+    entries: VecDeque<TrajectoryEntry>,
+    dropped: u64,
+}
+
+impl Trajectory {
+    fn push(&mut self, entry: TrajectoryEntry) {
+        if self.entries.len() == TRAJECTORY_CAPACITY {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+}
+
 /// What `suggest` can answer.
 #[derive(Debug, Clone)]
 pub enum SuggestReply {
@@ -176,11 +223,19 @@ pub struct ServedSession {
     pending: Mutex<Option<Ask>>,
     stats: Mutex<SessionStats>,
     outcome: Mutex<Option<SessionOutcome>>,
+    /// Telemetry scope: everything the pipeline (and the connection
+    /// threads serving this session) emits attributes here too.
+    scope: Scope,
+    trajectory: Mutex<Trajectory>,
 }
 
 impl ServedSession {
     /// Creates a session in the `Queued` state.
     pub fn new(id: String, spec: SessionSpec, space: Arc<ConfigSpace>) -> Arc<Self> {
+        let scope = Scope::new(ScopeLabels {
+            session_id: id.clone(),
+            workload: spec.workload.clone(),
+        });
         Arc::new(ServedSession {
             id,
             spec,
@@ -193,7 +248,21 @@ impl ServedSession {
             pending: Mutex::new(None),
             stats: Mutex::new(SessionStats::default()),
             outcome: Mutex::new(None),
+            scope,
+            trajectory: Mutex::new(Trajectory::default()),
         })
+    }
+
+    /// The session's telemetry scope.
+    pub fn scope(&self) -> &Scope {
+        &self.scope
+    }
+
+    /// A copy of the recorded ask/tell trajectory plus the number of
+    /// entries that rolled off the bounded history.
+    pub fn trajectory(&self) -> (Vec<TrajectoryEntry>, u64) {
+        let t = lock(&self.trajectory);
+        (t.entries.iter().cloned().collect(), t.dropped)
     }
 
     /// The space this session tunes over.
@@ -236,6 +305,10 @@ impl ServedSession {
             self.state_cv.notify_all();
         }
 
+        // Attribute everything the pipeline emits (gp.*, bo.*, retry.*,
+        // eval.*) to this session's scope. A no-op while tracing is
+        // disabled, so served trajectories stay bit-identical either way.
+        let _scope = self.scope.enter();
         let mut objective = ChannelObjective {
             ask_tx,
             tell_rx,
@@ -302,6 +375,11 @@ impl ServedSession {
             Ok(ask) => {
                 *lock(&self.pending) = Some(ask.clone());
                 lock(&self.stats).asked += 1;
+                lock(&self.trajectory).push(TrajectoryEntry::Ask {
+                    index: ask.index,
+                    cap_s: ask.cap_s,
+                    config: ask.config.clone(),
+                });
                 Ok(SuggestReply::Ask(ask))
             }
             Err(RecvTimeoutError::Timeout) => Err(ProtoError::new(
@@ -384,8 +462,11 @@ impl ServedSession {
             pending.take();
             return Err(ProtoError::new(ErrorCode::SessionClosed, "session is closed"));
         }
-        pending.take();
+        let answered = pending.take().map(|a| a.index);
         drop(tx_guard);
+        if let Some(index) = answered {
+            lock(&self.trajectory).push(TrajectoryEntry::Tell { index, time_s, status });
+        }
         let mut stats = lock(&self.stats);
         stats.observed += 1;
         match status {

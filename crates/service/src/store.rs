@@ -35,6 +35,9 @@ pub struct PersistentMemoStore {
     inner: InMemoryMemoStore,
     dir: PathBuf,
     wal: Option<File>,
+    /// Mutations appended to the WAL since the last checkpoint — the
+    /// replay debt a crash right now would incur. Surfaced by `health`.
+    wal_lag: u64,
 }
 
 fn value_to_json(v: &ParamValue) -> Value {
@@ -94,6 +97,7 @@ impl PersistentMemoStore {
         }
 
         let wal_path = dir.join(WAL_FILE);
+        let mut wal_lag = 0u64;
         if wal_path.exists() {
             let text = fs::read_to_string(&wal_path)
                 .map_err(|e| format!("read {}: {e}", wal_path.display()))?;
@@ -103,8 +107,12 @@ impl PersistentMemoStore {
                     continue;
                 }
                 match serde_json::from_str(line) {
-                    Ok(op) => Self::replay_op(&mut inner, &op)
-                        .map_err(|e| format!("WAL line {}: {e}", lineno + 1))?,
+                    Ok(op) => {
+                        Self::replay_op(&mut inner, &op)
+                            .map_err(|e| format!("WAL line {}: {e}", lineno + 1))?;
+                        // Replayed entries are still un-checkpointed debt.
+                        wal_lag += 1;
+                    }
                     Err(e) => {
                         // A crash mid-append leaves a torn *final* line;
                         // tolerate that, but corruption with entries
@@ -135,7 +143,7 @@ impl PersistentMemoStore {
                 Some,
             );
 
-        Ok(PersistentMemoStore { inner, dir, wal })
+        Ok(PersistentMemoStore { inner, dir, wal, wal_lag })
     }
 
     fn replay_snapshot(inner: &mut InMemoryMemoStore, snap: &Value) -> Result<(), String> {
@@ -216,6 +224,8 @@ impl PersistentMemoStore {
         line.push('\n');
         if wal.write_all(line.as_bytes()).and_then(|()| wal.flush()).is_err() {
             robotune_obs::incr("service.store.wal_error", 1);
+        } else {
+            self.wal_lag += 1;
         }
     }
 
@@ -274,6 +284,7 @@ impl PersistentMemoStore {
                 format!("truncate {}: {e}", wal_path.display())
             })
             .ok();
+        self.wal_lag = 0;
         robotune_obs::incr("service.store.checkpoints", 1);
         Ok(())
     }
@@ -321,6 +332,10 @@ impl MemoStore for PersistentMemoStore {
 
     fn checkpoint(&mut self) -> Result<(), String> {
         self.write_snapshot()
+    }
+
+    fn wal_lag(&self) -> u64 {
+        self.wal_lag
     }
 }
 
@@ -441,6 +456,26 @@ mod tests {
         )
         .unwrap();
         assert!(PersistentMemoStore::open(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_lag_tracks_appends_and_resets_on_checkpoint() {
+        let dir = temp_dir("lag");
+        {
+            let mut store = PersistentMemoStore::open(&dir).unwrap();
+            assert_eq!(store.wal_lag(), 0);
+            store.put_selection("km", vec!["a".into()]);
+            store.record_config("km", sample_config(), 10.0);
+            assert_eq!(store.wal_lag(), 2);
+            store.checkpoint().unwrap();
+            assert_eq!(store.wal_lag(), 0);
+            store.record_config("km", sample_config(), 9.0);
+            assert_eq!(store.wal_lag(), 1);
+        }
+        // A reopened store owes exactly the replayed WAL entries.
+        let store = PersistentMemoStore::open(&dir).unwrap();
+        assert_eq!(store.wal_lag(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -96,3 +96,64 @@ fn served_trajectory_is_bit_identical_to_in_process() {
     assert_eq!(reference_out.warm_start, report.warm_start);
     assert_eq!(reference_out.selection.is_none(), report.cache_hit);
 }
+
+/// Drives one served session against a fresh daemon and returns the
+/// evaluation log, the best-time bits, and the session's scoped
+/// counters as the server reported them.
+fn served_run(space: &Arc<ConfigSpace>) -> (Vec<LogEntry>, Option<u64>, serde_json::Value) {
+    let server = common::start(
+        ServiceOptions { workers: 1, ..ServiceOptions::default() },
+        InMemoryMemoStore::new().into_shared(),
+    );
+    let mut served_job = job(space);
+    let mut served = Recorder { inner: &mut served_job, space, log: Vec::new() };
+    let mut client = TuningClient::connect(server.addr).expect("connect");
+    let report = drive_session(&mut client, space, &mut served, "km", SEED, BUDGET, Profile::Fast)
+        .expect("served session completes");
+    let metrics = client
+        .session_metrics(&report.session)
+        .expect("session metrics answer");
+    server.shutdown();
+    (served.log, report.best_time_s.map(f64::to_bits), metrics)
+}
+
+/// The tentpole's transparency bar: turning scoped telemetry on (ring
+/// sink installed, every session's scope entered by its worker) must
+/// not move a single bit of the served trajectory.
+#[test]
+fn scoped_telemetry_is_bit_transparent() {
+    let space = Arc::new(spark_space());
+
+    robotune_obs::disable();
+    let (log_off, best_off, metrics_off) = served_run(&space);
+
+    let _ring = robotune_obs::enable_ring(1024);
+    let (log_on, best_on, metrics_on) = served_run(&space);
+    robotune_obs::disable();
+
+    assert_eq!(log_off.len(), log_on.len(), "same number of evaluations");
+    for (i, (off, on)) in log_off.iter().zip(&log_on).enumerate() {
+        assert_eq!(off, on, "evaluation {i} diverged with telemetry on");
+    }
+    assert_eq!(best_off, best_on, "best time must agree to the bit");
+
+    // And the telemetry itself must be live in the on arm: the session
+    // scope attributed the pipeline's counters (the off arm has none).
+    let count = |m: &serde_json::Value, name: &str| m["counters"][name].as_u64().unwrap_or(0);
+    let n_counters = |m: &serde_json::Value| {
+        m["counters"].as_object().map_or(0, |c| c.len())
+    };
+    assert_eq!(n_counters(&metrics_off), 0, "off arm must record nothing");
+    assert!(
+        count(&metrics_on, "bo.observe") > 0,
+        "on arm attributes BO observations: {metrics_on:?}"
+    );
+    assert!(
+        metrics_on["hists"]["service.req_ns.suggest"]["count"].as_u64().unwrap_or(0) > 0,
+        "connection threads attribute request latencies to the session"
+    );
+    assert!(
+        metrics_on["scope"].as_str().unwrap_or("").starts_with("s-"),
+        "per-session metrics answer with the session scope"
+    );
+}
