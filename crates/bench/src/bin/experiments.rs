@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <cmd> [--reps N] [--budget N] [--out DIR] [--trace FILE]
+//!                   [--profile FILE]
 //!
 //!   fig2       model-comparison CV R² (Fig. 2)
 //!   fig3       best-config execution time vs baselines (Fig. 3)
@@ -17,6 +18,9 @@
 //!   chaos      resilience report under fault injection
 //!   all        everything above + regenerate EXPERIMENTS.md fodder
 //!
+//! experiments bench   [--quick] [--reps N] [--out DIR] [--campaign NAME]
+//!                     [--check --baseline FILE [--manifest FILE]]
+//!                     [--validate FILE] [--tolerance PCT]
 //! experiments serve   [--port N] [--store DIR] [--workers N] [--queue N]
 //!                     [--flight-dir DIR] [--no-telemetry]
 //! experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N]
@@ -29,10 +33,19 @@
 //! Every grid-backed command accepts `--faults <none|transient|hostile>`
 //! to run the whole evaluation under deterministic cluster fault
 //! injection (same schedule for every tuner in a cell).
+//!
+//! `--trace FILE` streams raw events as JSONL; `--profile FILE` buffers
+//! the same span stream and writes Chrome trace-event JSON (load it in
+//! Perfetto or `chrome://tracing`) plus a per-span self-time breakdown.
+//! The two compose: pass both and the event stream is teed.
+//!
+//! `experiments bench` runs the calibrated perf campaigns and writes a
+//! versioned `BENCH_<campaign>.json` manifest; see `crates/bench/src/campaign.rs`.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use robotune_bench::exp::{ablation, defaults, fig2, fig5, fig6, fig7, fig8, fig9, tab2, GridResults};
 use robotune_bench::report::{fatal, write_results};
@@ -44,6 +57,7 @@ struct Args {
     budget: usize,
     out: PathBuf,
     trace: Option<PathBuf>,
+    profile: Option<PathBuf>,
     faults: FaultProfile,
 }
 
@@ -53,6 +67,7 @@ fn parse_args(rest: &[String]) -> Args {
         budget: 100,
         out: PathBuf::from("results"),
         trace: None,
+        profile: None,
         faults: FaultProfile::None,
     };
     let mut it = rest.iter();
@@ -73,6 +88,9 @@ fn parse_args(rest: &[String]) -> Args {
             }
             "--out" => args.out = PathBuf::from(value("--out DIR", it.next())),
             "--trace" => args.trace = Some(PathBuf::from(value("--trace FILE", it.next()))),
+            "--profile" => {
+                args.profile = Some(PathBuf::from(value("--profile FILE", it.next())));
+            }
             "--faults" => {
                 let p = value("--faults <none|transient|hostile>", it.next());
                 args.faults = p.parse().unwrap_or_else(|e| fatal(e));
@@ -94,6 +112,7 @@ fn main() {
     // before the experiment-grid parser sees (and rejects) them.
     let rest = argv.get(1..).unwrap_or(&[]);
     match cmd {
+        "bench" => std::process::exit(robotune_bench::campaign::bench_main(rest)),
         "serve" => std::process::exit(robotune_bench::loadgen::serve_main(rest)),
         "loadgen" => std::process::exit(robotune_bench::loadgen::loadgen_main(rest)),
         "top" => std::process::exit(robotune_bench::introspect::top_main(rest)),
@@ -103,18 +122,47 @@ fn main() {
 
     let args = parse_args(rest);
 
+    // `--trace` streams JSONL; `--profile` buffers for the Chrome trace
+    // export. Both at once tee the event stream to the two sinks.
+    let profile_sink =
+        args.profile.as_ref().map(|_| Arc::new(robotune_obs::ChromeTraceSink::default()));
+    let mut sinks: Vec<Arc<dyn robotune_obs::EventSink>> = Vec::new();
     if let Some(path) = &args.trace {
-        if let Err(e) = robotune_obs::enable_jsonl(path) {
-            fatal(format!("--trace {}: {e}", path.display()));
+        match robotune_obs::JsonlSink::create(path) {
+            Ok(s) => sinks.push(Arc::new(s)),
+            Err(e) => fatal(format!("--trace {}: {e}", path.display())),
         }
         eprintln!("tracing to {}", path.display());
+    }
+    if let Some(sink) = &profile_sink {
+        sinks.push(sink.clone());
+    }
+    match sinks.len() {
+        0 => {}
+        1 => robotune_obs::enable(sinks.remove(0)),
+        _ => robotune_obs::enable(Arc::new(robotune_obs::TeeSink::new(sinks))),
     }
 
     dispatch(cmd, &args);
 
-    if args.trace.is_some() {
+    if args.trace.is_some() || args.profile.is_some() {
         robotune_obs::flush();
         eprint!("{}", robotune_obs::Report::from_global().render());
+        if let (Some(path), Some(sink)) = (&args.profile, &profile_sink) {
+            eprint!("{}", sink.render_self_time());
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    fatal(format!("--profile {}: {e}", path.display()));
+                }
+            }
+            if let Err(e) = sink.write_to(path) {
+                fatal(format!("--profile {}: {e}", path.display()));
+            }
+            eprintln!(
+                "profile written to {} — load it in Perfetto (ui.perfetto.dev) or chrome://tracing",
+                path.display()
+            );
+        }
         robotune_obs::disable();
     }
 }
@@ -147,9 +195,7 @@ fn dispatch(cmd: &str, args: &Args) {
             write_results(&args.out, "ablation", &md, None);
         }
         "chaos" => {
-            let md = run_chaos(args);
-            print!("{md}");
-            write_results(&args.out, "chaos", &md, None);
+            emit(args, "chaos", run_chaos(args));
         }
         "all" => run_all(args),
         "calibrate" => calibrate(),
@@ -158,7 +204,8 @@ fn dispatch(cmd: &str, args: &Args) {
         _ => {
             eprintln!(
                 "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|chaos|all> \
-                 [--reps N] [--budget N] [--out DIR] [--trace FILE] [--faults none|transient|hostile]\n\
+                 [--reps N] [--budget N] [--out DIR] [--trace FILE] [--profile FILE] [--faults none|transient|hostile]\n\
+                 \x20      experiments bench [--quick] [--reps N] [--out DIR] [--campaign NAME] [--check --baseline FILE [--manifest FILE]] [--validate FILE] [--tolerance PCT]\n\
                  \x20      experiments serve [--port N] [--store DIR] [--workers N] [--queue N] [--flight-dir DIR] [--no-telemetry]\n\
                  \x20      experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N] [--seed N] [--shutdown] [--expect-warm] [--faults none|transient|hostile]\n\
                  \x20      experiments top [--addr HOST:PORT] [--interval-ms N] [--once]\n\
@@ -197,7 +244,8 @@ fn run_grid(args: &Args) -> GridResults {
 /// Resilience report: the full tuner grid under each fault profile, with
 /// the accounting a chaos drill needs — completion/kill/failure mix,
 /// retry-inflated search cost, and whether ROBOTune still beats RS.
-fn run_chaos(args: &Args) -> String {
+/// Returns markdown plus the machine-readable tallies.
+fn run_chaos(args: &Args) -> (String, serde_json::Value) {
     use robotune_bench::exp::chaos;
     chaos::run(args.reps, args.budget)
 }
@@ -359,8 +407,7 @@ fn debug_dist() {
                 Outcome::LaunchFailure => launch += 1,
             }
         }
-        times.sort_by(f64::total_cmp);
-        let pct = |q: f64| times[((times.len() - 1) as f64 * q) as usize];
+        let pct = |q: f64| robotune_stats::percentile(&times, q);
         println!(
             "{:>4}: oom={:3} launch={:2} capped={:3} ok={:3}  p10={:6.0} p50={:6.0} p90={:6.0} min={:5.0}",
             w.short_name(),
@@ -368,10 +415,10 @@ fn debug_dist() {
             launch,
             capped,
             times.len(),
-            pct(0.1),
-            pct(0.5),
-            pct(0.9),
-            times[0]
+            pct(10.0),
+            pct(50.0),
+            pct(90.0),
+            pct(0.0)
         );
     }
 }

@@ -9,6 +9,7 @@
 use robotune_sparksim::workload::ALL_DATASETS;
 use robotune_sparksim::{FaultProfile, Workload};
 use robotune_stats::median;
+use serde_json::{json, Value};
 
 use crate::report::markdown_table;
 use crate::runner::{
@@ -52,10 +53,14 @@ impl TunerTally {
     }
 }
 
-/// Runs the chaos drill over all three profiles and renders the report.
-pub fn run(reps: usize, budget: usize) -> String {
+/// Runs the chaos drill over all three profiles. Returns the rendered
+/// markdown report plus a machine-readable JSON document with the same
+/// per-profile per-tuner tallies (written next to the markdown by
+/// `experiments chaos`).
+pub fn run(reps: usize, budget: usize) -> (String, Value) {
     let workloads = [Workload::PageRank, Workload::KMeans, Workload::TeraSort];
     let mut out = String::from("## Chaos drill — tuning under cluster fault injection\n");
+    let mut json_profiles: Vec<Value> = Vec::new();
     for profile in FaultProfile::ALL {
         enum Item {
             Robo(Workload, usize),
@@ -96,6 +101,28 @@ pub fn run(reps: usize, budget: usize) -> String {
                 tallies[i].absorb(r);
             }
         }
+
+        let tuner_json: Vec<Value> = tuners
+            .iter()
+            .zip(&tallies)
+            .map(|(t, tl)| {
+                json!({
+                    "tuner": *t,
+                    "sessions": tl.sessions as u64,
+                    "evals": tl.evals as u64,
+                    "completed": tl.completed as u64,
+                    "killed": tl.killed as u64,
+                    "failed": tl.failed as u64,
+                    "retried": tl.retried as u64,
+                    "median_best_s": (!tl.best_times.is_empty()).then(|| median(&tl.best_times)),
+                    "mean_cost_s": tl.search_cost / tl.sessions.max(1) as f64,
+                })
+            })
+            .collect();
+        json_profiles.push(json!({
+            "profile": profile.to_string(),
+            "tuners": tuner_json,
+        }));
 
         out.push_str(&format!("\n### Profile: {profile}\n\n"));
         let rows: Vec<Vec<String>> = tuners
@@ -147,7 +174,11 @@ pub fn run(reps: usize, budget: usize) -> String {
             ));
         }
     }
-    out
+    let json = json!({
+        "experiment": "chaos",
+        "profiles": json_profiles,
+    });
+    (out, json)
 }
 
 #[cfg(test)]
@@ -156,10 +187,21 @@ mod tests {
 
     #[test]
     fn tiny_chaos_drill_reports_all_profiles() {
-        let md = run(1, 6);
+        let (md, json) = run(1, 6);
         assert!(md.contains("Profile: none"));
         assert!(md.contains("Profile: transient"));
         assert!(md.contains("Profile: hostile"));
         assert!(md.contains("without a panic"));
+
+        let profiles = json["profiles"].as_array().expect("profiles array");
+        assert_eq!(profiles.len(), FaultProfile::ALL.len());
+        for p in profiles {
+            let tuners = p["tuners"].as_array().expect("tuners array");
+            assert_eq!(tuners.len(), 4);
+            for t in tuners {
+                assert!(t["sessions"].as_u64().expect("sessions") > 0);
+                assert!(t["mean_cost_s"].as_f64().expect("mean_cost_s").is_finite());
+            }
+        }
     }
 }

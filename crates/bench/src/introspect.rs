@@ -14,6 +14,7 @@
 //! non-zero.
 
 use robotune_service::{TuningClient, FLIGHT_FORMAT_VERSION};
+use robotune_stats::OnlineStats;
 use serde_json::Value;
 use std::time::Duration;
 
@@ -202,6 +203,8 @@ struct FlightSummary {
     fault_total: u64,
     events_dropped: u64,
     trajectory_dropped: u64,
+    /// Streaming summary of the recorded `tell` evaluation times.
+    eval_times: OnlineStats,
 }
 
 /// Parses and validates one flight-recorder dump.
@@ -242,6 +245,7 @@ fn check_flight(text: &str, path: &str) -> Result<FlightSummary, String> {
         fault_total: 0,
         events_dropped: footer["events_dropped"].as_u64().unwrap_or(0),
         trajectory_dropped: footer["trajectory_dropped"].as_u64().unwrap_or(0),
+        eval_times: OnlineStats::new(),
     };
     let (mut saw_stats, mut saw_counters) = (false, false);
     for v in &lines[1..lines.len() - 1] {
@@ -257,7 +261,12 @@ fn check_flight(text: &str, path: &str) -> Result<FlightSummary, String> {
                 }
                 summary.asks += 1;
             }
-            "tell" => summary.tells += 1,
+            "tell" => {
+                summary.tells += 1;
+                if let Some(t) = v["time_s"].as_f64() {
+                    summary.eval_times.push(t);
+                }
+            }
             "event" => summary.events += 1,
             other => return Err(format!("{path}: unknown line kind {other:?}")),
         }
@@ -287,9 +296,18 @@ pub fn flightcheck_main(rest: &[String]) -> i32 {
         };
         match check_flight(&text, path) {
             Ok(s) => {
+                let evals = match s.eval_times.count() {
+                    0 => String::new(),
+                    1 => format!(", eval time {:.1}s", s.eval_times.mean()),
+                    _ => format!(
+                        ", eval time {:.1}s mean (σ {:.1})",
+                        s.eval_times.mean(),
+                        s.eval_times.std_dev()
+                    ),
+                };
                 println!(
                     "{path}: ok — session {} (v{}), reason {}, {} asks / {} tells, \
-                     {} events ({} dropped), {} trajectory dropped, {} fault/retry events",
+                     {} events ({} dropped), {} trajectory dropped, {} fault/retry events{evals}",
                     s.session,
                     s.version,
                     s.reason,

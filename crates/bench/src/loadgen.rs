@@ -274,13 +274,8 @@ impl LoadgenReport {
             requests += r.suggest_latencies_s.len() + r.observe_latencies_s.len() + 2;
         }
         let throughput = requests as f64 / self.wall_s.max(1e-9);
-        let pct = |xs: &[f64], q: f64| -> f64 {
-            if xs.is_empty() {
-                f64::NAN
-            } else {
-                percentile(xs, q)
-            }
-        };
+        // `percentile` already returns NaN on an empty (or all-NaN)
+        // slice, which renders as the table's "no data" marker.
         let mut md = String::from("## Service load generation\n\n");
         md.push_str(&format!(
             "{} tenants, {} requests in {:.2}s — {:.0} req/s\n\n",
@@ -292,15 +287,15 @@ impl LoadgenReport {
         md.push_str("| metric | p50 | p90 | p99 |\n|---|---|---|---|\n");
         md.push_str(&format!(
             "| suggest latency (ms) | {:.2} | {:.2} | {:.2} |\n",
-            pct(&suggests, 50.0),
-            pct(&suggests, 90.0),
-            pct(&suggests, 99.0)
+            percentile(&suggests, 50.0),
+            percentile(&suggests, 90.0),
+            percentile(&suggests, 99.0)
         ));
         md.push_str(&format!(
             "| observe latency (ms) | {:.2} | {:.2} | {:.2} |\n\n",
-            pct(&observes, 50.0),
-            pct(&observes, 90.0),
-            pct(&observes, 99.0)
+            percentile(&observes, 50.0),
+            percentile(&observes, 90.0),
+            percentile(&observes, 99.0)
         ));
         md.push_str(
             "| session | workload | evals | best (s) | selection | initial design | server suggest p50/p99 (ms) | server observe p50/p99 (ms) |\n|---|---|---|---|---|---|---|---|\n",

@@ -5,11 +5,10 @@ use std::path::{Path, PathBuf};
 
 /// Geometric mean of strictly positive values. `NaN` on empty input.
 pub fn geo_mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return f64::NAN;
-    }
     debug_assert!(xs.iter().all(|&x| x > 0.0), "geo_mean needs positive values");
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    // `mean` is NaN on empty input, and NaN.exp() stays NaN.
+    robotune_stats::mean(&logs).exp()
 }
 
 /// Aborts the process with an error message on stderr and exit code 2.

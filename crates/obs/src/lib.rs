@@ -25,6 +25,10 @@
 //!   [`Snapshot`], optionally labelled.
 //! - **SLO windows** ([`slo`]) — exact rolling-window percentiles over
 //!   the last N samples, for `health`-style endpoints.
+//! - **Trace export** ([`trace`]) — a [`ChromeTraceSink`] that buffers
+//!   the event stream and renders it as Chrome trace-event JSON for
+//!   Perfetto/`chrome://tracing` (the `--profile` format), plus a
+//!   per-span self-time breakdown.
 //!
 //! Tracing is **off by default**: every instrumentation call first
 //! checks one relaxed atomic and returns immediately when disabled, so
@@ -56,6 +60,7 @@ pub mod report;
 pub mod scope;
 pub mod sink;
 pub mod slo;
+pub mod trace;
 
 pub use event::{Event, EventData};
 pub use expo::{render_prometheus, render_prometheus_labeled};
@@ -66,8 +71,9 @@ pub use registry::{
 };
 pub use report::Report;
 pub use scope::{Scope, ScopeGuard, ScopeLabels};
-pub use sink::{EventSink, JsonlSink, NullSink, RingBufferSink};
+pub use sink::{EventSink, JsonlSink, NullSink, RingBufferSink, TeeSink};
 pub use slo::RollingWindow;
+pub use trace::{render_chrome_trace, render_self_time, self_times, ChromeTraceSink, SelfTime};
 
 use std::path::Path;
 use std::sync::Arc;

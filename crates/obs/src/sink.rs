@@ -125,3 +125,34 @@ impl Drop for JsonlSink {
         self.flush();
     }
 }
+
+/// Fans every event out to several sinks — how `--trace` (JSONL stream)
+/// and `--profile` (Chrome trace buffer) coexist on one run.
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn EventSink>>,
+}
+
+impl TeeSink {
+    /// Creates a tee over `sinks`; events are delivered in order.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn EventSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl EventSink for TeeSink {
+    fn emit(&self, event: &Event) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.sinks.iter().map(|s| s.dropped_events()).sum()
+    }
+}

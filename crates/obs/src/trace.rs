@@ -1,0 +1,349 @@
+//! Span-timeline profiling export: renders the trace-event stream to
+//! Chrome trace-event JSON, loadable in Perfetto or `chrome://tracing`.
+//!
+//! [`ChromeTraceSink`] buffers the raw events (bounded; overflow is
+//! counted, never silent) and [`render_chrome_trace`] turns any event
+//! slice into the JSON object format: spans become balanced `B`/`E`
+//! duration events, counters become `C` counter tracks, and marks become
+//! `i` instants. Only spans whose start *and* end both made it into the
+//! buffer are emitted, so the output is always balanced even when the
+//! process is profiled mid-flight.
+//!
+//! The same event slice also yields a per-phase *self-time* breakdown
+//! ([`self_times`]): for every span name, total wall time minus the time
+//! spent in child spans — the number that says where a phase actually
+//! burns its cycles, rather than what it happens to enclose.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde_json::{json, Value};
+
+use crate::event::{Event, EventData};
+use crate::sink::EventSink;
+
+/// Default event capacity of a [`ChromeTraceSink`] (about 100 MB of
+/// buffered events in the worst case; plenty for an experiments run).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1_000_000;
+
+/// An [`EventSink`] that buffers events in memory for later rendering to
+/// Chrome trace-event JSON. Install it with [`crate::enable`] (or tee it
+/// next to a [`crate::JsonlSink`] with [`crate::sink::TeeSink`]), run the
+/// workload, then call [`ChromeTraceSink::write_to`].
+pub struct ChromeTraceSink {
+    capacity: usize,
+    events: Mutex<Vec<Event>>,
+    dropped: AtomicU64,
+}
+
+impl Default for ChromeTraceSink {
+    fn default() -> Self {
+        ChromeTraceSink::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl ChromeTraceSink {
+    /// Creates a sink buffering up to `capacity` events (minimum 1);
+    /// further events are dropped and counted.
+    pub fn new(capacity: usize) -> Self {
+        ChromeTraceSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Copies out the buffered events in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Renders the buffered events as Chrome trace-event JSON.
+    pub fn render(&self) -> String {
+        render_chrome_trace(&self.events())
+    }
+
+    /// Writes the Chrome trace JSON to `path`.
+    pub fn write_to<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    /// Per-span-name self-time breakdown of the buffered events.
+    pub fn self_times(&self) -> Vec<SelfTime> {
+        self_times(&self.events())
+    }
+
+    /// Renders the self-time breakdown as an aligned text table, the
+    /// section the `--profile` report appends below the span summary.
+    pub fn render_self_time(&self) -> String {
+        render_self_time(&self.self_times())
+    }
+}
+
+impl EventSink for ChromeTraceSink {
+    fn emit(&self, event: &Event) {
+        // Histogram samples carry no timeline information; skip them so
+        // hot paths recording per-evaluation values don't flood the
+        // span buffer.
+        if matches!(event.data, EventData::Hist { .. }) {
+            return;
+        }
+        let mut buf = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if buf.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        buf.push(event.clone());
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Renders an event slice to the Chrome trace-event JSON object format
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+///
+/// Spans are emitted as `B`/`E` pairs — only when both endpoints are
+/// present in `events`, so the stream is always balanced — with the `E`
+/// timestamp computed as `start + dur_us`, keeping every pair exactly as
+/// long as the duration the registry aggregated. Counters become `C`
+/// events and marks become thread-scoped `i` instants. Events are sorted
+/// by timestamp (stable, so per-thread emission order breaks ties),
+/// which Perfetto requires for well-formed nesting.
+pub fn render_chrome_trace(events: &[Event]) -> String {
+    // First pass: pair up span endpoints by id.
+    let mut ends: std::collections::BTreeMap<u64, (u64, u64)> = std::collections::BTreeMap::new();
+    for e in events {
+        if let EventData::SpanEnd { id, dur_us, .. } = e.data {
+            ends.insert(id, (dur_us, e.seq));
+        }
+    }
+
+    // Second pass: synthesize the trace records with sortable keys.
+    // Key = (ts, seq) so same-timestamp events keep emission order and a
+    // synthesized E never precedes its own B.
+    let mut records: Vec<(u64, u64, Value)> = Vec::new();
+    for e in events {
+        match &e.data {
+            EventData::SpanStart { name, id, .. } => {
+                let Some(&(dur_us, end_seq)) = ends.get(id) else { continue };
+                records.push((
+                    e.t_us,
+                    e.seq,
+                    trace_record(name, "B", e.t_us, e.thread, None),
+                ));
+                // The E closes exactly dur_us later; it carries the end
+                // event's stream position so that when a child and its
+                // parent close at the same microsecond the child (which
+                // ended first) still sorts first.
+                records.push((
+                    e.t_us + dur_us,
+                    end_seq,
+                    trace_record(name, "E", e.t_us + dur_us, e.thread, None),
+                ));
+            }
+            EventData::Counter { name, total, .. } => {
+                records.push((
+                    e.t_us,
+                    e.seq,
+                    trace_record(name, "C", e.t_us, e.thread, Some(json!({ "value": *total }))),
+                ));
+            }
+            EventData::Mark { name, data } => {
+                let mut rec = trace_record(name, "i", e.t_us, e.thread, Some(data.clone()));
+                if let Value::Object(m) = &mut rec {
+                    m.insert("s".into(), Value::from("t"));
+                }
+                records.push((e.t_us, e.seq, rec));
+            }
+            EventData::SpanEnd { .. } | EventData::Hist { .. } => {}
+        }
+    }
+    records.sort_by_key(|r| (r.0, r.1));
+
+    let trace_events: Vec<Value> = records.into_iter().map(|(_, _, v)| v).collect();
+    let doc = json!({
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    });
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| String::from("{\"traceEvents\":[]}"))
+}
+
+fn trace_record(name: &str, ph: &str, ts_us: u64, tid: u64, args: Option<Value>) -> Value {
+    let mut rec = json!({
+        "name": name,
+        "cat": "robotune",
+        "ph": ph,
+        "ts": ts_us,
+        "pid": 1u64,
+        "tid": tid,
+    });
+    if let (Value::Object(m), Some(a)) = (&mut rec, args) {
+        m.insert("args".into(), a);
+    }
+    rec
+}
+
+/// Wall-time accounting for one span name across a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfTime {
+    /// Span name.
+    pub name: String,
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Total enclosed wall time, microseconds.
+    pub total_us: u64,
+    /// Wall time not spent inside child spans, microseconds.
+    pub self_us: u64,
+}
+
+/// Computes the per-span-name self-time breakdown: each completed span's
+/// duration minus the duration of its completed child spans, summed by
+/// name and sorted by descending self time.
+pub fn self_times(events: &[Event]) -> Vec<SelfTime> {
+    use std::collections::BTreeMap;
+    // id → (name, parent) from the start events.
+    let mut meta: BTreeMap<u64, (&'static str, Option<u64>)> = BTreeMap::new();
+    // id → microseconds consumed by direct children.
+    let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut acc: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
+    for e in events {
+        match e.data {
+            EventData::SpanStart { name, id, parent } => {
+                meta.insert(id, (name, parent));
+            }
+            EventData::SpanEnd { name, id, dur_us } => {
+                // Children end before their parent (RAII guards drop in
+                // LIFO order), so this span's child_us is final here.
+                let consumed = child_us.get(&id).copied().unwrap_or(0);
+                let entry = acc.entry(name).or_insert((0, 0, 0));
+                entry.0 += 1;
+                entry.1 += dur_us;
+                entry.2 += dur_us.saturating_sub(consumed);
+                if let Some((_, Some(parent))) = meta.get(&id) {
+                    *child_us.entry(*parent).or_insert(0) += dur_us;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out: Vec<SelfTime> = acc
+        .into_iter()
+        .map(|(name, (count, total_us, self_us))| SelfTime {
+            name: name.to_string(),
+            count,
+            total_us,
+            self_us,
+        })
+        .collect();
+    out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+    out
+}
+
+/// Renders a [`self_times`] breakdown as an aligned text table.
+pub fn render_self_time(rows: &[SelfTime]) -> String {
+    let mut out = String::from("span self-time (wall clock minus child spans)\n");
+    if rows.is_empty() {
+        out.push_str("  (no completed spans captured)\n");
+        return out;
+    }
+    let fmt_us = |us: u64| -> String {
+        let us = us as f64;
+        if us < 1_000.0 {
+            format!("{us:.0}µs")
+        } else if us < 1_000_000.0 {
+            format!("{:.2}ms", us / 1e3)
+        } else {
+            format!("{:.2}s", us / 1e6)
+        }
+    };
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+    out.push_str(&format!(
+        "  {:<name_w$}  {:>7}  {:>10}  {:>10}  {:>6}\n",
+        "name", "count", "total", "self", "self%"
+    ));
+    for r in rows {
+        let pct = if r.total_us == 0 {
+            0.0
+        } else {
+            100.0 * r.self_us as f64 / r.total_us as f64
+        };
+        out.push_str(&format!(
+            "  {:<name_w$}  {:>7}  {:>10}  {:>10}  {:>5.1}%\n",
+            r.name,
+            r.count,
+            fmt_us(r.total_us),
+            fmt_us(r.self_us),
+            pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, t_us: u64, thread: u64, data: EventData) -> Event {
+        Event { seq, t_us, thread, data }
+    }
+
+    fn nested_fixture() -> Vec<Event> {
+        vec![
+            ev(0, 10, 0, EventData::SpanStart { name: "outer", id: 1, parent: None }),
+            ev(1, 20, 0, EventData::SpanStart { name: "inner", id: 2, parent: Some(1) }),
+            ev(2, 25, 0, EventData::Counter { name: "hits", delta: 1, total: 1 }),
+            ev(3, 60, 0, EventData::SpanEnd { name: "inner", id: 2, dur_us: 40 }),
+            ev(4, 110, 0, EventData::SpanEnd { name: "outer", id: 1, dur_us: 100 }),
+            // An unclosed span must not appear in the trace.
+            ev(5, 120, 1, EventData::SpanStart { name: "dangling", id: 3, parent: None }),
+        ]
+    }
+
+    #[test]
+    fn trace_emits_balanced_sorted_pairs_and_skips_dangling_spans() {
+        let text = render_chrome_trace(&nested_fixture());
+        let doc = serde_json::from_str(&text).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        let phases: Vec<&str> = events.iter().map(|e| e["ph"].as_str().unwrap()).collect();
+        assert_eq!(phases, ["B", "B", "C", "E", "E"]);
+        assert!(!text.contains("dangling"));
+        let ts: Vec<u64> = events.iter().map(|e| e["ts"].as_u64().unwrap()).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted, "timestamps must be monotone");
+        // E timestamps are start + dur.
+        assert_eq!(ts, [10, 20, 25, 60, 110]);
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let st = self_times(&nested_fixture());
+        assert_eq!(st.len(), 2);
+        assert_eq!(st[0].name, "outer");
+        assert_eq!(st[0].total_us, 100);
+        assert_eq!(st[0].self_us, 60, "outer self = 100 - inner 40");
+        assert_eq!(st[1].name, "inner");
+        assert_eq!(st[1].self_us, 40);
+        let table = render_self_time(&st);
+        assert!(table.contains("outer"));
+        assert!(table.contains("60.0"), "{table}");
+    }
+
+    #[test]
+    fn sink_buffers_caps_and_counts_drops() {
+        let sink = ChromeTraceSink::new(2);
+        for i in 0..4 {
+            sink.emit(&ev(i, i * 10, 0, EventData::Counter { name: "c", delta: 1, total: i + 1 }));
+        }
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.dropped_events(), 2);
+        // Hist events never enter the buffer and never count as drops.
+        let sink = ChromeTraceSink::new(8);
+        sink.emit(&ev(0, 0, 0, EventData::Hist { name: "h", value: 1.0 }));
+        assert!(sink.events().is_empty());
+        assert_eq!(sink.dropped_events(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Golden-format and structural tests for the Chrome trace-event
+//! exporter.
+//!
+//! The golden fixture is built from hand-written events with fixed
+//! timestamps so the rendering is byte-deterministic; the golden lives
+//! in `tests/golden/`. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p robotune-obs --test trace_golden`
+//! and review the diff. A second test drives the real registry through
+//! a [`robotune_obs::ChromeTraceSink`] and checks the structural
+//! invariants a Perfetto load depends on: valid JSON, monotone
+//! timestamps, balanced `B`/`E` events, and a span set that matches the
+//! registry's own report.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use robotune_obs::event::{Event, EventData};
+use robotune_obs::{render_chrome_trace, ChromeTraceSink};
+use serde_json::Value;
+
+fn ev(seq: u64, t_us: u64, thread: u64, data: EventData) -> Event {
+    Event { seq, t_us, thread, data }
+}
+
+fn fixture() -> Vec<Event> {
+    vec![
+        ev(0, 100, 0, EventData::SpanStart { name: "session.tune", id: 1, parent: None }),
+        ev(1, 150, 0, EventData::SpanStart { name: "gp.hyperfit", id: 2, parent: Some(1) }),
+        ev(2, 200, 0, EventData::Counter { name: "gp.fit", delta: 1, total: 1 }),
+        ev(3, 900, 0, EventData::SpanEnd { name: "gp.hyperfit", id: 2, dur_us: 750 }),
+        ev(4, 950, 1, EventData::SpanStart { name: "bo.suggest", id: 3, parent: None }),
+        ev(5, 980, 1, EventData::Hist { name: "eval.time_s", value: 12.5 }),
+        ev(
+            6,
+            1000,
+            1,
+            EventData::Mark { name: "phase.switch", data: serde_json::json!({"to": "bo"}) },
+        ),
+        ev(7, 1200, 1, EventData::SpanEnd { name: "bo.suggest", id: 3, dur_us: 250 }),
+        ev(8, 1500, 0, EventData::SpanEnd { name: "session.tune", id: 1, dur_us: 1400 }),
+        // Still open at export time: must be excluded from the trace.
+        ev(9, 1600, 0, EventData::SpanStart { name: "unclosed", id: 4, parent: None }),
+    ]
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}; run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        rendered,
+        expected,
+        "trace export drifted from golden {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+/// Asserts the Chrome-trace structural invariants and returns the set of
+/// span names with their completed-pair counts.
+fn assert_well_formed(text: &str) -> BTreeMap<String, u64> {
+    let doc: Value = serde_json::from_str(text).expect("trace output must be valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let mut last_ts = 0u64;
+    // Per-tid stack of open span names: B pushes, E must pop its own name.
+    let mut open: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut spans: BTreeMap<String, u64> = BTreeMap::new();
+    for e in events {
+        let ts = e["ts"].as_u64().expect("every event has a u64 ts");
+        assert!(ts >= last_ts, "timestamps must be monotone: {ts} after {last_ts}");
+        last_ts = ts;
+        let name = e["name"].as_str().expect("every event has a name").to_string();
+        let tid = e["tid"].as_u64().expect("every event has a tid");
+        match e["ph"].as_str().expect("every event has a phase") {
+            "B" => open.entry(tid).or_default().push(name),
+            "E" => {
+                let top = open.entry(tid).or_default().pop();
+                assert_eq!(top.as_deref(), Some(name.as_str()), "E must close the innermost B");
+                *spans.entry(name).or_insert(0) += 1;
+            }
+            "C" | "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in &open {
+        assert!(stack.is_empty(), "unbalanced B events on tid {tid}: {stack:?}");
+    }
+    spans
+}
+
+#[test]
+fn trace_export_matches_golden() {
+    check_golden("chrome_trace.json", &render_chrome_trace(&fixture()));
+}
+
+#[test]
+fn golden_fixture_is_well_formed() {
+    let spans = assert_well_formed(&render_chrome_trace(&fixture()));
+    let names: Vec<&str> = spans.keys().map(String::as_str).collect();
+    assert_eq!(names, ["bo.suggest", "gp.hyperfit", "session.tune"]);
+}
+
+#[test]
+fn live_capture_is_balanced_and_matches_the_report_span_set() {
+    robotune_obs::reset();
+    let sink = Arc::new(ChromeTraceSink::default());
+    robotune_obs::enable(sink.clone());
+    for _ in 0..3 {
+        let _outer = robotune_obs::span("trace.outer");
+        robotune_obs::incr("trace.count", 1);
+        {
+            let _inner = robotune_obs::span("trace.inner");
+            robotune_obs::record("trace.value", 1.0);
+        }
+    }
+    robotune_obs::disable();
+
+    let spans = assert_well_formed(&sink.render());
+    assert_eq!(spans.get("trace.outer"), Some(&3));
+    assert_eq!(spans.get("trace.inner"), Some(&3));
+
+    // The exported span set must agree with the obs report's own view
+    // of the same run: same names, same counts.
+    let snap = robotune_obs::snapshot();
+    let report_spans: BTreeMap<String, u64> =
+        snap.spans.iter().map(|(n, s)| (n.clone(), s.count)).collect();
+    assert_eq!(spans, report_spans);
+
+    // Self-time: outer self excludes inner, totals match counts.
+    let st = robotune_obs::self_times(&sink.events());
+    let outer = st.iter().find(|s| s.name == "trace.outer").expect("outer present");
+    let inner = st.iter().find(|s| s.name == "trace.inner").expect("inner present");
+    assert_eq!(outer.count, 3);
+    assert!(outer.self_us <= outer.total_us);
+    assert!(inner.total_us <= outer.total_us);
+}

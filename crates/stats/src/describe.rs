@@ -57,6 +57,41 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     }
 }
 
+/// Median absolute deviation: `median(|x - median(xs)|)`. The robust
+/// spread estimate used by the benchmark-manifest noise thresholds —
+/// unlike the standard deviation it is insensitive to the occasional
+/// scheduler hiccup that inflates one repetition by an order of
+/// magnitude. `NaN` values are ignored; returns `NaN` when no finite
+/// values remain.
+pub fn mad(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    if m.is_nan() {
+        return f64::NAN;
+    }
+    let devs: Vec<f64> = xs
+        .iter()
+        .filter(|v| !v.is_nan())
+        .map(|&x| (x - m).abs())
+        .collect();
+    median(&devs)
+}
+
+/// Drops samples further than `k` MADs from the median (a robust outlier
+/// filter; `k = 5` is a conservative default for wall-clock timings).
+/// When the MAD is zero (at least half the samples identical) or not
+/// finite, no sample can be meaningfully judged an outlier and the
+/// finite samples are returned unchanged. NaN samples are always
+/// dropped.
+pub fn reject_outliers(xs: &[f64], k: f64) -> Vec<f64> {
+    let m = median(xs);
+    let d = mad(xs);
+    let keep_all = !(d.is_finite() && d > 0.0);
+    xs.iter()
+        .copied()
+        .filter(|v| !v.is_nan() && (keep_all || (v - m).abs() <= k * d))
+        .collect()
+}
+
 /// Welford online accumulator for mean/variance without storing samples.
 ///
 /// Used by the tuning-session bookkeeping to track evaluation-time
@@ -171,6 +206,27 @@ mod tests {
     #[should_panic(expected = "percentile q out of range")]
     fn percentile_rejects_bad_q() {
         percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 1000.0];
+        assert!((mad(&xs) - 1.0).abs() < 1e-12);
+        assert!(mad(&[]).is_nan());
+        assert!(mad(&[f64::NAN]).is_nan());
+        // Constant data has zero spread.
+        assert_eq!(mad(&[7.0, 7.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn reject_outliers_drops_the_tail_and_nans() {
+        let xs = [10.0, 11.0, 9.0, 10.5, 500.0, f64::NAN];
+        let kept = reject_outliers(&xs, 5.0);
+        assert_eq!(kept, vec![10.0, 11.0, 9.0, 10.5]);
+        // Zero MAD: nothing is judged an outlier, NaN still dropped.
+        let flat = [3.0, 3.0, 3.0, 9.0, f64::NAN];
+        assert_eq!(reject_outliers(&flat, 5.0), vec![3.0, 3.0, 3.0, 9.0]);
+        assert!(reject_outliers(&[], 5.0).is_empty());
     }
 
     #[test]

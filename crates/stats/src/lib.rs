@@ -6,8 +6,9 @@
 //! * the standard normal distribution ([`normal`]): `erf`, PDF, CDF and the
 //!   inverse CDF used by acquisition functions and Latin Hypercube Sampling;
 //! * descriptive statistics ([`describe`]): means, variances, medians,
-//!   arbitrary percentiles and an online (Welford) accumulator used by the
-//!   tuning-session cost accounting;
+//!   arbitrary percentiles, robust spread (MAD) with outlier rejection,
+//!   and an online (Welford) accumulator used by the tuning-session cost
+//!   accounting and the benchmark-campaign summaries;
 //! * random sampling helpers ([`sample`]): seeded RNG construction,
 //!   Box–Muller Gaussian and lognormal draws used for simulator noise.
 //!
@@ -21,6 +22,6 @@ pub mod describe;
 pub mod normal;
 pub mod sample;
 
-pub use describe::{mean, median, percentile, std_dev, variance, OnlineStats};
+pub use describe::{mad, mean, median, percentile, reject_outliers, std_dev, variance, OnlineStats};
 pub use normal::{erf, norm_cdf, norm_pdf, norm_ppf};
 pub use sample::{lognormal, rng_from_seed, standard_normal};
