@@ -27,6 +27,7 @@
 //!                     [--seed N] [--shutdown] [--expect-warm]
 //!                     [--faults none|transient|hostile]
 //! experiments top     [--addr HOST:PORT] [--interval-ms N] [--once]
+//! experiments store   <inspect|verify|compact> --dir PATH
 //! experiments flightcheck <flight.jsonl>...
 //! ```
 //!
@@ -116,6 +117,7 @@ fn main() {
         "serve" => std::process::exit(robotune_bench::loadgen::serve_main(rest)),
         "loadgen" => std::process::exit(robotune_bench::loadgen::loadgen_main(rest)),
         "top" => std::process::exit(robotune_bench::introspect::top_main(rest)),
+        "store" => std::process::exit(robotune_bench::storecmd::store_main(rest)),
         "flightcheck" => std::process::exit(robotune_bench::introspect::flightcheck_main(rest)),
         _ => {}
     }
@@ -209,6 +211,7 @@ fn dispatch(cmd: &str, args: &Args) {
                  \x20      experiments serve [--port N] [--store DIR] [--workers N] [--queue N] [--flight-dir DIR] [--no-telemetry]\n\
                  \x20      experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N] [--seed N] [--shutdown] [--expect-warm] [--faults none|transient|hostile]\n\
                  \x20      experiments top [--addr HOST:PORT] [--interval-ms N] [--once]\n\
+                 \x20      experiments store <inspect|verify|compact> --dir PATH\n\
                  \x20      experiments flightcheck <flight.jsonl>..."
             );
             std::process::exit(2);

@@ -29,7 +29,7 @@ use rand::Rng;
 use robotune::InMemoryMemoStore;
 use robotune_bo::{BoEngine, BoOptions};
 use robotune_gp::{fit_gp, GpModel, HyperFitOptions, Matern52};
-use robotune_service::{serve, ServiceOptions, SessionManager, TuningClient};
+use robotune_service::{serve, PersistentMemoStore, ServiceOptions, SessionManager, StoreOptions, TuningClient};
 use robotune_sparksim::{Dataset, Workload};
 use robotune_stats::{mad, median, percentile, reject_outliers, rng_from_seed};
 use serde_json::{json, Value};
@@ -442,6 +442,12 @@ pub struct CampaignConfig {
     pub service_budget: usize,
     /// Loadgen rounds (one throughput sample each).
     pub service_rounds: usize,
+    /// Writer threads hammering the persistent store concurrently.
+    pub store_threads: usize,
+    /// Store operations per writer thread.
+    pub store_ops: usize,
+    /// Store-contention rounds (one throughput sample each).
+    pub store_rounds: usize,
 }
 
 impl CampaignConfig {
@@ -458,6 +464,9 @@ impl CampaignConfig {
             service_tenants: 6,
             service_budget: 6,
             service_rounds: 3,
+            store_threads: 8,
+            store_ops: 2000,
+            store_rounds: 3,
         }
     }
 
@@ -472,6 +481,9 @@ impl CampaignConfig {
             service_tenants: 4,
             service_budget: 4,
             service_rounds: 2,
+            store_threads: 4,
+            store_ops: 500,
+            store_rounds: 2,
             ..CampaignConfig::full()
         }
     }
@@ -489,6 +501,9 @@ impl CampaignConfig {
             service_tenants: 2,
             service_budget: 3,
             service_rounds: 1,
+            store_threads: 2,
+            store_ops: 50,
+            store_rounds: 1,
         }
     }
 }
@@ -731,7 +746,80 @@ pub fn run_service_campaign(cfg: &CampaignConfig) -> Result<Vec<SeriesSamples>, 
     ])
 }
 
-/// Runs all three campaign groups and assembles the manifest.
+/// One store-contention round: `threads` writers hammer a fresh
+/// persistent store with distinct workloads; returns aggregate
+/// durable ops/s.
+fn store_round(cfg: &CampaignConfig, shards: usize, round: usize) -> Result<f64, String> {
+    let dir = std::env::temp_dir().join(format!(
+        "robotune-bench-store-{}-{shards}-{round}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = PersistentMemoStore::open_with(
+        &dir,
+        StoreOptions { shards, ..StoreOptions::default() },
+    )
+    .map_err(|e| format!("campaign: store open: {e}"))?
+    .into_shared();
+    let threads = cfg.store_threads.max(1);
+    let config = robotune_space::spark::spark_space().default_configuration();
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for tenant in 0..threads {
+            let store = store.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                // Each tenant cycles through 16 private workloads, so
+                // fingerprint routing spreads the fleet across shards
+                // and a global lock is the only cross-tenant coupling.
+                for k in 0..cfg.store_ops {
+                    let wl = format!("tenant{tenant}-wl{:02}", k % 16);
+                    if k % 2 == 0 {
+                        store.put_selection(&wl, vec!["spark.executor.cores".into()]);
+                    } else {
+                        store.record_config(&wl, config.clone(), 100.0 + k as f64);
+                    }
+                }
+            });
+        }
+    });
+    let wall = t.elapsed().as_secs_f64();
+    let degraded = store.status().degraded();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    if degraded {
+        return Err("campaign: store went degraded under load".into());
+    }
+    Ok((threads * cfg.store_ops) as f64 / wall.max(1e-9))
+}
+
+/// Store-contention campaign: the same concurrent write load against a
+/// single-stripe store (one big lock, one WAL) and the default sharded
+/// layout. The pair quantifies what fingerprint-striped locks/WALs buy.
+pub fn run_store_campaign(cfg: &CampaignConfig) -> Result<Vec<SeriesSamples>, String> {
+    let mut global = Vec::with_capacity(cfg.store_rounds);
+    let mut sharded = Vec::with_capacity(cfg.store_rounds);
+    for round in 0..cfg.store_rounds {
+        global.push(store_round(cfg, 1, round)?);
+        sharded.push(store_round(cfg, 16, round)?);
+    }
+    Ok(vec![
+        SeriesSamples {
+            name: "store.global_ops_per_s",
+            unit: "ops/s",
+            direction: Direction::Higher,
+            samples: global,
+        },
+        SeriesSamples {
+            name: "store.sharded_ops_per_s",
+            unit: "ops/s",
+            direction: Direction::Higher,
+            samples: sharded,
+        },
+    ])
+}
+
+/// Runs all four campaign groups and assembles the manifest.
 pub fn run_campaign(cfg: &CampaignConfig) -> Result<Manifest, String> {
     eprintln!(
         "bench campaign `{}`: gp micro-kernels (n={}, {} reps)...",
@@ -748,6 +836,11 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<Manifest, String> {
         cfg.name, cfg.service_tenants, cfg.service_rounds
     );
     all.extend(run_service_campaign(cfg)?);
+    eprintln!(
+        "bench campaign `{}`: store contention ({} threads x {} ops, {} rounds)...",
+        cfg.name, cfg.store_threads, cfg.store_ops, cfg.store_rounds
+    );
+    all.extend(run_store_campaign(cfg)?);
     let created_unix_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())

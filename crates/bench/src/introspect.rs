@@ -95,8 +95,20 @@ fn render_frame(client: &mut TuningClient, addr: &str) -> Result<String, String>
         slo_line(&health, "observe"),
     ));
     let store = &health["store"];
+    let durability = if store["degraded"].as_bool().unwrap_or(false) {
+        "DEGRADED"
+    } else if store["persistent"].as_bool().unwrap_or(false) {
+        "durable"
+    } else {
+        "memory"
+    };
     out.push_str(&format!(
-        "store: wal_lag {} | workloads {} | checkpoints {} | wal_errors {} | flight {}\n\n",
+        "store: {durability} | shards {} ({} degraded) | segments {} | corrupt {} | wal_lag {} | \
+         workloads {} | checkpoints {} | wal_errors {} | flight {}\n\n",
+        store["shards"].as_u64().unwrap_or(0),
+        store["degraded_shards"].as_u64().unwrap_or(0),
+        store["segments"].as_u64().unwrap_or(0),
+        store["corrupt_segments"].as_u64().unwrap_or(0),
         store["wal_lag"].as_u64().unwrap_or(0),
         store["workloads"].as_u64().unwrap_or(0),
         store["checkpoints"].as_u64().unwrap_or(0),

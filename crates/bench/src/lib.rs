@@ -17,6 +17,7 @@ pub mod introspect;
 pub mod loadgen;
 pub mod report;
 pub mod runner;
+pub mod storecmd;
 
 pub use campaign::{
     check_failed, check_manifests, run_campaign, validate_manifest, CampaignConfig, CheckOptions,

@@ -1,0 +1,159 @@
+//! `experiments store` — offline persistence tooling for the memo store.
+//!
+//! Three verbs, all operating on a store directory (no daemon needed):
+//!
+//! - `inspect` prints the layout: shard count, per-shard snapshot LSNs,
+//!   segment files with sizes, workloads, and quarantine contents.
+//! - `verify` re-reads every snapshot and WAL record, re-checking each
+//!   CRC, and reports problems (exit 1) or a clean bill (exit 0). Torn
+//!   final lines are warnings — boot recovers them — but anything
+//!   quarantined or failing its checksum is a problem.
+//! - `compact` opens the store (running normal crash recovery) and
+//!   checkpoints every shard, folding all WAL segments into the
+//!   snapshots.
+
+use robotune::ConcurrentMemoStore;
+use robotune_service::{inspect_store, verify_store, PersistentMemoStore};
+use std::path::PathBuf;
+
+fn fail(msg: impl AsRef<str>) -> i32 {
+    eprintln!("experiments store: {}", msg.as_ref());
+    2
+}
+
+fn pretty(v: &serde_json::Value) -> String {
+    serde_json::to_string_pretty(v).unwrap_or_else(|_| "<unprintable>".into())
+}
+
+// println! panics on EPIPE, which turns `store inspect | head` into a
+// crash; reports go through here instead and tolerate a closed pipe.
+fn emit(text: &str) {
+    use std::io::Write;
+    let _ = writeln!(std::io::stdout(), "{text}");
+}
+
+/// Entry point for `experiments store <inspect|verify|compact> --dir PATH`.
+/// Returns the process exit code.
+pub fn store_main(rest: &[String]) -> i32 {
+    let usage = "usage: experiments store <inspect|verify|compact> --dir PATH";
+    let Some(verb) = rest.first().map(String::as_str) else {
+        return fail(usage);
+    };
+    let mut dir: Option<PathBuf> = None;
+    let mut it = rest.iter().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" => match it.next() {
+                Some(v) => dir = Some(PathBuf::from(v)),
+                None => return fail("--dir needs a PATH"),
+            },
+            other => return fail(format!("unknown flag {other}\n{usage}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return fail(usage);
+    };
+
+    match verb {
+        "inspect" => match inspect_store(&dir) {
+            Ok(report) => {
+                emit(&pretty(&report));
+                0
+            }
+            Err(e) => fail(e),
+        },
+        "verify" => match verify_store(&dir) {
+            Ok(report) => {
+                emit(&pretty(&report));
+                if report["ok"].as_bool() == Some(true) {
+                    eprintln!("store OK: every record verified");
+                    0
+                } else {
+                    eprintln!(
+                        "store NOT OK: {} problem(s); see the report above",
+                        report["problems"].as_array().map_or(0, Vec::len)
+                    );
+                    1
+                }
+            }
+            Err(e) => fail(e),
+        },
+        "compact" => {
+            let store = match PersistentMemoStore::open(&dir) {
+                Ok(s) => s,
+                Err(e) => return fail(format!("open {}: {e}", dir.display())),
+            };
+            let before = store.wal_lag();
+            if let Err(e) = store.checkpoint() {
+                return fail(format!("checkpoint: {e}"));
+            }
+            let status = store.status();
+            eprintln!(
+                "compacted {}: wal_lag {before} -> {}, {} shard(s), {} segment(s) live",
+                dir.display(),
+                store.wal_lag(),
+                status.shards.len(),
+                status.segments(),
+            );
+            0
+        }
+        other => fail(format!("unknown verb {other}\n{usage}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_service::StoreOptions;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("robotune-storecmd-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn args(verb: &str, dir: &std::path::Path) -> Vec<String> {
+        vec![verb.into(), "--dir".into(), dir.display().to_string()]
+    }
+
+    #[test]
+    fn verify_then_compact_then_verify() {
+        let d = dir("roundtrip");
+        let opts = StoreOptions { shards: 2, ..StoreOptions::default() };
+        let store = PersistentMemoStore::open_with(&d, opts).expect("open");
+        store.put_selection("km", vec!["a".into()]);
+        store.put_selection("pr", vec!["b".into()]);
+        drop(store);
+
+        assert_eq!(store_main(&args("verify", &d)), 0);
+        assert_eq!(store_main(&args("inspect", &d)), 0);
+        assert_eq!(store_main(&args("compact", &d)), 0);
+        assert_eq!(store_main(&args("verify", &d)), 0);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn verify_flags_corruption_and_bad_usage_fails() {
+        let d = dir("corrupt");
+        let store =
+            PersistentMemoStore::open_with(&d, StoreOptions { shards: 1, ..StoreOptions::default() })
+                .expect("open");
+        store.put_selection("km", vec!["a".into()]);
+        store.put_selection("pr", vec!["b".into()]);
+        store.put_selection("nb", vec!["c".into()]);
+        drop(store);
+        // Stomp the second data record's CRC: mid-file corruption (a
+        // corrupt *final* line would only be a torn-tail warning).
+        let seg = d.join("shard-00").join("wal-00000001.jsonl");
+        let text = std::fs::read_to_string(&seg).expect("read segment");
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        lines[2] = format!("[\"00000000{}", &lines[2][10..]);
+        std::fs::write(&seg, lines.join("\n") + "\n").expect("corrupt");
+
+        assert_eq!(store_main(&args("verify", &d)), 1);
+        assert_eq!(store_main(&[]), 2);
+        assert_eq!(store_main(&["verify".into()]), 2);
+        assert_eq!(store_main(&args("frobnicate", &d)), 2);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -50,8 +50,9 @@ pub use encoder::encode_to_conf;
 pub use parser::{parse_conf, ParseError};
 pub use engine::{RoboTuneEngine, RoboTuneEngineOptions};
 pub use memo::{
-    resolve_selection, ConfigMemoBuffer, InMemoryMemoStore, MemoStore, MemoizedSampler,
-    ParameterSelectionCache, SharedMemoStore,
+    resolve_selection, shard_of, workload_fingerprint, ConcurrentMemoStore, ConfigMemoBuffer,
+    InMemoryMemoStore, LockedMemoStore, MemoStore, MemoizedSampler, ParameterSelectionCache,
+    ShardStatus, SharedMemoStore, StoreStatus,
 };
 pub use select::{ParameterSelector, SelectionResult};
 pub use tuner::{RoboTune, RoboTuneOptions, RoboTuneOutcome};

@@ -9,10 +9,97 @@
 //! and seeds the BO training set with its best recent configurations.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use rand::Rng;
 use robotune_space::{ConfigSpace, Configuration, SearchSpace, Subspace};
+
+/// 64-bit FNV-1a fingerprint of a workload identity string.
+///
+/// This is the *routing* fingerprint: a persistent store stripes its
+/// state across shards by `fingerprint % shards`, so the function must
+/// stay bit-stable forever — changing it would strand existing on-disk
+/// records in the wrong shard.
+pub fn workload_fingerprint(workload: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in workload.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Maps a workload identity to one of `shards` stripes (see
+/// [`workload_fingerprint`]). `shards == 0` is treated as one shard.
+pub fn shard_of(workload: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (workload_fingerprint(workload) % shards as u64) as usize
+}
+
+/// Durability/health report for one shard of a persistent store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Mutations not yet folded into this shard's snapshot.
+    pub wal_lag: u64,
+    /// Live WAL segment files on disk (sealed + open).
+    pub segments: u64,
+    /// Bytes in the currently open WAL segment.
+    pub wal_bytes: u64,
+    /// Segments quarantined at boot because of checksum/parse failures.
+    pub corrupt_segments: u64,
+    /// Torn segment tails truncated at boot (crash mid-append).
+    pub torn_tails: u64,
+    /// Whether WAL appends are currently failing: the shard serves
+    /// reads and in-memory writes but has lost durability.
+    pub degraded: bool,
+    /// Highest log sequence number assigned in this shard.
+    pub last_lsn: u64,
+    /// Workload keys stored in this shard.
+    pub workloads: u64,
+}
+
+/// Aggregate durability/health report for a [`ConcurrentMemoStore`].
+///
+/// The default value describes a purely in-memory store: not
+/// persistent, no shards, never degraded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreStatus {
+    /// Whether the store is backed by durable files at all.
+    pub persistent: bool,
+    /// Per-shard reports (empty for in-memory stores).
+    pub shards: Vec<ShardStatus>,
+}
+
+impl StoreStatus {
+    /// Whether any shard has lost durability.
+    pub fn degraded(&self) -> bool {
+        self.shards.iter().any(|s| s.degraded)
+    }
+
+    /// Total un-checkpointed mutations across shards.
+    pub fn wal_lag(&self) -> u64 {
+        self.shards.iter().map(|s| s.wal_lag).sum()
+    }
+
+    /// Total quarantined segments across shards.
+    pub fn corrupt_segments(&self) -> u64 {
+        self.shards.iter().map(|s| s.corrupt_segments).sum()
+    }
+
+    /// Total live WAL segments across shards.
+    pub fn segments(&self) -> u64 {
+        self.shards.iter().map(|s| s.segments).sum()
+    }
+
+    /// Shards currently degraded (appends failing).
+    pub fn degraded_shards(&self) -> u64 {
+        self.shards.iter().filter(|s| s.degraded).count() as u64
+    }
+}
 
 /// Resolves cached parameter *names* to indices within `space`. A hit
 /// requires every name to still resolve, so a stale selection against a
@@ -193,9 +280,134 @@ pub trait MemoStore: Send + Sync {
     }
 }
 
-/// A [`MemoStore`] shared across sessions (and, in the tuning service,
-/// across tenants): the paper's caches lifted behind `Arc<RwLock<…>>`.
-pub type SharedMemoStore = Arc<RwLock<dyn MemoStore>>;
+/// A memo store safe to share across sessions without an external lock.
+///
+/// This is the concurrent face of [`MemoStore`]: every method takes
+/// `&self`, so implementations own their synchronization internally. A
+/// single-lock store wraps a [`MemoStore`] in one `RwLock`
+/// ([`LockedMemoStore`]); a sharded store stripes workloads across
+/// independent locks (see [`shard_of`]) so sessions tuning different
+/// workloads never contend.
+pub trait ConcurrentMemoStore: Send + Sync {
+    /// The cached selected-parameter *names* for `workload`, if any.
+    fn selection(&self, workload: &str) -> Option<Vec<String>>;
+
+    /// Stores the selected-parameter names for `workload`.
+    fn put_selection(&self, workload: &str, names: Vec<String>);
+
+    /// Records a completed configuration and its runtime for `workload`.
+    fn record_config(&self, workload: &str, config: Configuration, time_s: f64);
+
+    /// The `n` best recent configurations for `workload`, best first.
+    fn best_recent(&self, workload: &str, n: usize) -> Vec<(Configuration, f64)>;
+
+    /// Whether a selection is cached for `workload`.
+    fn has_selection(&self, workload: &str) -> bool {
+        self.selection(workload).is_some()
+    }
+
+    /// Whether any configuration is memoized for `workload`.
+    fn has_configs(&self, workload: &str) -> bool {
+        !self.best_recent(workload, 1).is_empty()
+    }
+
+    /// Every workload key present in either structure, sorted.
+    fn workloads(&self) -> Vec<String>;
+
+    /// Flushes durable state (snapshot + WAL compaction for file-backed
+    /// stores). In-memory stores have nothing to do.
+    fn checkpoint(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Mutations applied since the last successful checkpoint, summed
+    /// over shards. Always 0 for stores with no durable log.
+    fn wal_lag(&self) -> u64 {
+        0
+    }
+
+    /// Durability/health report. The default describes an in-memory
+    /// store: not persistent, no shards, never degraded.
+    fn status(&self) -> StoreStatus {
+        StoreStatus::default()
+    }
+}
+
+/// A [`ConcurrentMemoStore`] shared across sessions (and, in the tuning
+/// service, across tenants).
+pub type SharedMemoStore = Arc<dyn ConcurrentMemoStore>;
+
+/// Adapts any single-threaded [`MemoStore`] into a
+/// [`ConcurrentMemoStore`] behind one process-wide `RwLock`.
+///
+/// Lock poisoning is deliberately ignored (`PoisonError::into_inner`):
+/// the store holds plain data, so a panic in some other session while
+/// it held the lock cannot leave the caches in a torn state worth
+/// refusing reads over — losing fleet memory to an unrelated panic
+/// would be the worse failure mode.
+#[derive(Debug, Default)]
+pub struct LockedMemoStore<S> {
+    inner: RwLock<S>,
+}
+
+impl<S: MemoStore> LockedMemoStore<S> {
+    /// Wraps `inner` behind a single lock.
+    pub fn new(inner: S) -> Self {
+        LockedMemoStore {
+            inner: RwLock::new(inner),
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, S> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, S> {
+        self.inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<S: MemoStore> ConcurrentMemoStore for LockedMemoStore<S> {
+    fn selection(&self, workload: &str) -> Option<Vec<String>> {
+        self.read().selection(workload)
+    }
+
+    fn put_selection(&self, workload: &str, names: Vec<String>) {
+        self.write().put_selection(workload, names);
+    }
+
+    fn record_config(&self, workload: &str, config: Configuration, time_s: f64) {
+        self.write().record_config(workload, config, time_s);
+    }
+
+    fn best_recent(&self, workload: &str, n: usize) -> Vec<(Configuration, f64)> {
+        self.read().best_recent(workload, n)
+    }
+
+    fn has_selection(&self, workload: &str) -> bool {
+        self.read().has_selection(workload)
+    }
+
+    fn has_configs(&self, workload: &str) -> bool {
+        self.read().has_configs(workload)
+    }
+
+    fn workloads(&self) -> Vec<String> {
+        self.read().workloads()
+    }
+
+    fn checkpoint(&self) -> Result<(), String> {
+        self.write().checkpoint()
+    }
+
+    fn wal_lag(&self) -> u64 {
+        self.read().wal_lag()
+    }
+}
 
 /// The default process-local store: a [`ParameterSelectionCache`] plus a
 /// [`ConfigMemoBuffer`], no persistence.
@@ -215,7 +427,7 @@ impl InMemoryMemoStore {
 
     /// Wraps the store for sharing across sessions.
     pub fn into_shared(self) -> SharedMemoStore {
-        Arc::new(RwLock::new(self))
+        Arc::new(LockedMemoStore::new(self))
     }
 }
 
@@ -460,5 +672,79 @@ mod tests {
         let mut cache = ParameterSelectionCache::new();
         cache.entries.insert("w".into(), vec!["no.such.param".into()]);
         assert!(cache.get("w", &s).is_none());
+    }
+
+    #[test]
+    fn workload_fingerprint_is_pinned() {
+        // FNV-1a test vectors: the routing hash must never change, or
+        // existing stores would look up workloads in the wrong shard.
+        assert_eq!(workload_fingerprint(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(workload_fingerprint("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(workload_fingerprint("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 8, 16] {
+            for wl in ["", "pagerank", "kmeans", "wl-42"] {
+                let s = shard_of(wl, shards);
+                assert!(s < shards, "shard {s} out of range for {shards}");
+                assert_eq!(s, shard_of(wl, shards), "routing must be stable");
+            }
+        }
+        assert_eq!(shard_of("anything", 0), 0, "zero shards treated as one");
+        // Pin a routing decision so the hash-to-stripe mapping cannot
+        // silently drift either.
+        assert_eq!(
+            shard_of("pagerank", 8),
+            (workload_fingerprint("pagerank") % 8) as usize
+        );
+    }
+
+    #[test]
+    fn locked_store_delegates_and_reports_default_status() {
+        let s = space();
+        let shared: SharedMemoStore = InMemoryMemoStore::new().into_shared();
+        assert!(!shared.has_selection("pr"));
+        shared.put_selection("pr", vec![names::EXECUTOR_CORES.to_string()]);
+        assert!(shared.has_selection("pr"));
+        shared.record_config("pr", s.default_configuration(), 12.5);
+        assert!(shared.has_configs("pr"));
+        assert_eq!(shared.best_recent("pr", 4).len(), 1);
+        assert_eq!(shared.workloads(), vec!["pr".to_string()]);
+        assert!(shared.checkpoint().is_ok());
+        assert_eq!(shared.wal_lag(), 0);
+        let status = shared.status();
+        assert!(!status.persistent);
+        assert!(!status.degraded());
+        assert!(status.shards.is_empty());
+    }
+
+    #[test]
+    fn store_status_aggregates_over_shards() {
+        let status = StoreStatus {
+            persistent: true,
+            shards: vec![
+                ShardStatus {
+                    shard: 0,
+                    wal_lag: 3,
+                    segments: 2,
+                    corrupt_segments: 1,
+                    ..ShardStatus::default()
+                },
+                ShardStatus {
+                    shard: 1,
+                    wal_lag: 4,
+                    segments: 1,
+                    degraded: true,
+                    ..ShardStatus::default()
+                },
+            ],
+        };
+        assert!(status.degraded());
+        assert_eq!(status.degraded_shards(), 1);
+        assert_eq!(status.wal_lag(), 7);
+        assert_eq!(status.segments(), 3);
+        assert_eq!(status.corrupt_segments(), 1);
     }
 }

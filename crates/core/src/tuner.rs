@@ -7,26 +7,8 @@ use robotune_space::ConfigSpace;
 use robotune_tuners::{Objective, Tuner, TuningSession};
 
 use crate::engine::{RoboTuneEngine, RoboTuneEngineOptions};
-use crate::memo::{
-    resolve_selection, InMemoryMemoStore, MemoStore, MemoizedSampler, SharedMemoStore,
-};
+use crate::memo::{resolve_selection, InMemoryMemoStore, MemoizedSampler, SharedMemoStore};
 use crate::select::{ParameterSelector, SelectionResult, SelectorOptions};
-
-/// Poison-tolerant read lock: a panicked writer can only have left the
-/// caches partially warmed, never structurally broken, and a tuning
-/// session must not die because an unrelated session crashed.
-fn read_store(store: &SharedMemoStore) -> std::sync::RwLockReadGuard<'_, dyn MemoStore + 'static> {
-    store
-        .read()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// Poison-tolerant write lock (see [`read_store`]).
-fn write_store(store: &SharedMemoStore) -> std::sync::RwLockWriteGuard<'_, dyn MemoStore + 'static> {
-    store
-        .write()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
 
 /// Framework-level options.
 #[derive(Debug, Clone, Default)]
@@ -114,13 +96,13 @@ impl RoboTune {
     /// Whether the parameter-selection cache holds `workload`
     /// (inspection/testing).
     pub fn knows_selection(&self, workload: &str) -> bool {
-        read_store(&self.store).has_selection(workload)
+        self.store.has_selection(workload)
     }
 
     /// Whether any configuration is memoized for `workload`
     /// (inspection/testing).
     pub fn knows_configs(&self, workload: &str) -> bool {
-        read_store(&self.store).has_configs(workload)
+        self.store.has_configs(workload)
     }
 
     /// Sets the workload key used by [`Tuner::tune`].
@@ -150,7 +132,8 @@ impl RoboTune {
         let cancelled =
             || cancel.as_ref().is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed));
         // --- Parameter selection (cached) -----------------------------------
-        let cached = read_store(&self.store)
+        let cached = self
+            .store
             .selection(workload)
             .and_then(|names| resolve_selection(&names, space));
         match cached {
@@ -181,7 +164,7 @@ impl RoboTune {
                     .map(|&i| space.params()[i].name.clone())
                     .collect();
                 if !cancelled() {
-                    write_store(&self.store).put_selection(workload, names);
+                    self.store.put_selection(workload, names);
                 }
                 let cost = result.sampling_cost_s;
                 (sel, Some(result), cost)
@@ -191,8 +174,9 @@ impl RoboTune {
         // --- Memoized sampling ------------------------------------------------
         let sub = space.subspace(&selected, space.default_configuration());
         robotune_obs::record("select.subspace_size", selected.len() as f64);
-        let mut recent =
-            read_store(&self.store).best_recent(workload, self.opts.sampler.memo_configs);
+        let mut recent = self
+            .store
+            .best_recent(workload, self.opts.sampler.memo_configs);
         // A persistent store reloaded against a revised space could hold
         // configurations of the wrong width; drop them instead of letting
         // `Subspace::encode` assert deep inside the sampler.
@@ -220,9 +204,9 @@ impl RoboTune {
             .collect();
         completed.sort_by(|a, b| a.eval.time_s.total_cmp(&b.eval.time_s));
         if !cancelled() {
-            let mut store = write_store(&self.store);
             for r in completed.into_iter().take(self.opts.sampler.memo_configs) {
-                store.record_config(workload, r.config.clone(), r.eval.time_s);
+                self.store
+                    .record_config(workload, r.config.clone(), r.eval.time_s);
             }
         }
 

@@ -16,7 +16,9 @@
 //! - [`protocol`] — the newline-delimited JSON request/response frames
 //!   and the typed error codes, plus the configuration wire codec;
 //! - [`store`] — [`PersistentMemoStore`]: the process-wide shared memo
-//!   store with snapshot + append-only JSONL WAL persistence;
+//!   store, sharded by workload fingerprint, each shard with its own
+//!   lock, snapshot, and checksummed segmented WAL with compaction and
+//!   crash recovery;
 //! - [`session`] — one served tuning session (ask/tell channel bridge,
 //!   lifecycle, per-session accounting);
 //! - [`manager`] — [`SessionManager`]: the bounded worker pool, the
@@ -58,4 +60,4 @@ pub use protocol::{
 };
 pub use server::serve;
 pub use session::{SessionOutcome, SessionState, TrajectoryEntry};
-pub use store::PersistentMemoStore;
+pub use store::{inspect_store, verify_store, PersistentMemoStore, StoreOptions};

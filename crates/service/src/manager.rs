@@ -425,14 +425,14 @@ impl SessionManager {
     /// percentiles, and store durability lag.
     fn health(&self, id: &Value) -> Value {
         let snap = robotune_obs::snapshot();
-        let (wal_lag, store_workloads) = {
-            let store = self
-                .store
-                .read()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            (store.wal_lag(), store.workloads().len() as u64)
-        };
-        let degraded = snap.counter("service.store.wal_error") > 0
+        let store_status = self.store.status();
+        let wal_lag = self.store.wal_lag();
+        let store_workloads = self.store.workloads().len() as u64;
+        // Degradation comes from the store itself (a shard whose WAL
+        // appends are failing), not from telemetry counters: counters
+        // are no-ops when tracing is disabled, and they never reset, so
+        // a long-recovered hiccup would pin health at degraded forever.
+        let degraded = store_status.degraded()
             || snap.counter("service.store.checkpoint_error") > 0;
         let status = if self.is_shutting_down() {
             "draining"
@@ -463,6 +463,38 @@ impl SessionManager {
         store_json.insert(
             "checkpoint_errors".into(),
             Value::from(snap.counter("service.store.checkpoint_error")),
+        );
+        store_json.insert("persistent".into(), Value::Bool(store_status.persistent));
+        store_json.insert("shards".into(), Value::from(store_status.shards.len() as u64));
+        store_json.insert("degraded".into(), Value::Bool(store_status.degraded()));
+        store_json.insert(
+            "degraded_shards".into(),
+            Value::from(store_status.degraded_shards()),
+        );
+        store_json.insert("segments".into(), Value::from(store_status.segments()));
+        store_json.insert(
+            "corrupt_segments".into(),
+            Value::from(store_status.corrupt_segments()),
+        );
+        store_json.insert(
+            "shard_detail".into(),
+            Value::Array(
+                store_status
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        let mut d = Map::new();
+                        d.insert("shard".into(), Value::from(s.shard as u64));
+                        d.insert("wal_lag".into(), Value::from(s.wal_lag));
+                        d.insert("segments".into(), Value::from(s.segments));
+                        d.insert("corrupt_segments".into(), Value::from(s.corrupt_segments));
+                        d.insert("torn_tails".into(), Value::from(s.torn_tails));
+                        d.insert("degraded".into(), Value::Bool(s.degraded));
+                        d.insert("workloads".into(), Value::from(s.workloads));
+                        Value::Object(d)
+                    })
+                    .collect(),
+            ),
         );
 
         let mut m = ok_frame(id);
@@ -579,13 +611,7 @@ impl SessionManager {
         drop(sessions);
         // HashMap iteration order is arbitrary; sort for stable output.
         rows.sort_by(|a, b| a.0.cmp(&b.0));
-        let store_workloads = {
-            let store = self
-                .store
-                .read()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            store.workloads()
-        };
+        let store_workloads = self.store.workloads();
         let mut m = ok_frame(id);
         m.insert("shutting_down".into(), Value::Bool(self.is_shutting_down()));
         m.insert("workers".into(), Value::from(self.opts.workers as u64));

@@ -156,12 +156,7 @@ pub fn serve(listener: TcpListener, manager: &SessionManager) -> io::Result<()> 
         Ok(())
     })?;
     // Every worker and connection has exited: quiesce, then persist.
-    let checkpoint = {
-        let store = manager.store();
-        let mut store = store.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-        store.checkpoint()
-    };
-    if let Err(e) = checkpoint {
+    if let Err(e) = manager.store().checkpoint() {
         robotune_obs::incr("service.store.checkpoint_error", 1);
         robotune_obs::mark("service.store.checkpoint_error", || {
             serde_json::json!({ "error": e.clone() })

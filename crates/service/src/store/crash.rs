@@ -1,0 +1,93 @@
+//! Crash-injection points for the torture harness.
+//!
+//! The store calls [`hit`] at named interleaving points and routes WAL
+//! writes through [`wal_write_budget`]. Both are inert unless the
+//! `ROBOTUNE_STORE_CRASH` environment variable is set, which only the
+//! crash-recovery tests do when spawning a child process:
+//!
+//! - `wal-byte:<n>` — abort after `n` cumulative WAL bytes, writing
+//!   (and flushing) a partial record first, so the surviving file ends
+//!   in a torn line at an arbitrary byte offset;
+//! - `seal:<k>` — abort at the k-th segment seal, between closing the
+//!   full segment and creating its successor;
+//! - `ckpt-tmp:<k>` — abort at the k-th checkpoint after the tmp
+//!   snapshot is written but before the rename;
+//! - `ckpt-rename:<k>` — abort after the snapshot rename but before any
+//!   sealed segment is deleted (the double-replay window LSN gating
+//!   must cover);
+//! - `ckpt-clean:<k>` — abort after the k-th segment deletion overall,
+//!   mid-cleanup.
+//!
+//! Aborts use [`std::process::abort`] so no destructor, flush, or
+//! unwind cleanup softens the crash.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable holding the crash plan.
+pub const CRASH_ENV: &str = "ROBOTUNE_STORE_CRASH";
+
+struct Plan {
+    point: String,
+    n: u64,
+}
+
+static PLAN: OnceLock<Option<Plan>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static WAL_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn plan() -> Option<&'static Plan> {
+    PLAN.get_or_init(|| {
+        let spec = std::env::var(CRASH_ENV).ok()?;
+        let (point, n) = spec.rsplit_once(':')?;
+        let n = n.parse::<u64>().ok()?;
+        Some(Plan {
+            point: point.to_string(),
+            n,
+        })
+    })
+    .as_ref()
+}
+
+/// A named crash point; aborts the process on the configured occurrence.
+pub fn hit(point: &str) {
+    let Some(p) = plan() else { return };
+    if p.point != point {
+        return;
+    }
+    if HITS.fetch_add(1, Ordering::SeqCst) + 1 >= p.n.max(1) {
+        std::process::abort();
+    }
+}
+
+/// Intercepts a WAL write of `len` bytes under a `wal-byte:<n>` plan.
+///
+/// Returns `Some(k)` when this write crosses the byte budget: the
+/// caller must write only the first `k` bytes, flush, and abort.
+/// Returns `None` (write everything, carry on) otherwise.
+pub fn wal_write_budget(len: usize) -> Option<usize> {
+    let p = plan()?;
+    if p.point != "wal-byte" {
+        return None;
+    }
+    let before = WAL_BYTES.fetch_add(len as u64, Ordering::SeqCst);
+    if before + len as u64 > p.n {
+        Some(usize::try_from(p.n.saturating_sub(before)).unwrap_or(0))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_without_the_env_var() {
+        // The test runner never sets CRASH_ENV, so both hooks must be
+        // no-ops here — if they weren't, this very process would abort.
+        hit("seal");
+        hit("ckpt-rename");
+        assert_eq!(wal_write_budget(4096), None);
+    }
+}

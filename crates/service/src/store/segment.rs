@@ -1,0 +1,179 @@
+//! Size-rotated WAL segment files: naming, the append handle, and the
+//! streaming reader used at boot.
+
+use super::codec::{encode_header, encode_record};
+use super::crash;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+const PREFIX: &str = "wal-";
+const SUFFIX: &str = ".jsonl";
+
+/// File name of segment `seq` (zero-padded so lexicographic order is
+/// replay order).
+pub(crate) fn segment_file_name(seq: u64) -> String {
+    format!("{PREFIX}{seq:08}{SUFFIX}")
+}
+
+/// Parses a segment sequence number back out of a file name.
+pub(crate) fn parse_segment_seq(name: &str) -> Option<u64> {
+    name.strip_prefix(PREFIX)?
+        .strip_suffix(SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// Sorted sequence numbers of every segment file in `dir`.
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<u64>, String> {
+    let mut seqs = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_seq) {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Append handle on the open (last) segment of one shard.
+pub(crate) struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    /// Segment sequence number.
+    pub seq: u64,
+    /// Bytes written to this segment (header included) — drives
+    /// size-based rotation.
+    pub bytes: u64,
+}
+
+impl SegmentWriter {
+    /// Creates segment `seq` in `dir` and writes its header record.
+    pub(crate) fn create(
+        dir: &Path,
+        format_version: i64,
+        shard: usize,
+        seq: u64,
+    ) -> Result<SegmentWriter, String> {
+        let path = dir.join(segment_file_name(seq));
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("create {}: {e}", path.display()))?;
+        let mut w = SegmentWriter {
+            file,
+            path,
+            seq,
+            bytes: 0,
+        };
+        let header = encode_record(&encode_header(format_version, shard, seq))?;
+        w.append(&header)?;
+        Ok(w)
+    }
+
+    /// Appends one encoded record line and flushes it.
+    ///
+    /// Routes through the crash-injection hook: under a `wal-byte` plan
+    /// the process writes a partial line and aborts, leaving exactly
+    /// the torn tail the recovery path must handle.
+    pub(crate) fn append(&mut self, line: &str) -> Result<(), String> {
+        if let Some(partial) = crash::wal_write_budget(line.len()) {
+            let _ = self.file.write_all(&line.as_bytes()[..partial]);
+            let _ = self.file.flush();
+            std::process::abort();
+        }
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("append {}: {e}", self.path.display()))?;
+        self.bytes += line.len() as u64;
+        Ok(())
+    }
+}
+
+/// One line read from a segment, with enough position information to
+/// truncate a torn tail.
+pub(crate) struct SegmentLine {
+    /// 1-based line number.
+    pub lineno: u64,
+    /// Byte offset of the line start in the file.
+    pub offset: u64,
+    /// Line content, trailing newline stripped.
+    pub text: String,
+    /// Whether anything (even a partial line) follows in the file.
+    pub has_more: bool,
+}
+
+/// Streams a segment line-by-line — boot memory stays O(1) in segment
+/// size.
+pub(crate) struct SegmentReader {
+    reader: BufReader<File>,
+    offset: u64,
+    lineno: u64,
+    peeked: Option<String>,
+}
+
+impl SegmentReader {
+    pub(crate) fn open(path: &Path) -> Result<SegmentReader, String> {
+        let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+        Ok(SegmentReader {
+            reader: BufReader::new(file),
+            offset: 0,
+            lineno: 0,
+            peeked: None,
+        })
+    }
+
+    fn read_raw(&mut self) -> Result<Option<String>, String> {
+        if let Some(line) = self.peeked.take() {
+            return Ok(Some(line));
+        }
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read segment: {e}"))?;
+        if n == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(line))
+        }
+    }
+
+    /// Next line, or `None` at end of file.
+    pub(crate) fn next_line(&mut self) -> Result<Option<SegmentLine>, String> {
+        let Some(raw) = self.read_raw()? else {
+            return Ok(None);
+        };
+        let offset = self.offset;
+        self.offset += raw.len() as u64;
+        self.lineno += 1;
+        // Peek one line ahead so the caller can tell a torn final line
+        // (safe to truncate) from corruption with data after it.
+        self.peeked = self.read_raw()?;
+        Ok(Some(SegmentLine {
+            lineno: self.lineno,
+            offset,
+            text: raw.trim_end_matches(['\n', '\r']).to_string(),
+            has_more: self.peeked.is_some(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_names_round_trip_and_sort() {
+        assert_eq!(segment_file_name(7), "wal-00000007.jsonl");
+        assert_eq!(parse_segment_seq("wal-00000007.jsonl"), Some(7));
+        assert_eq!(parse_segment_seq("wal-123.jsonl"), Some(123));
+        assert_eq!(parse_segment_seq("memo.snapshot.json"), None);
+        assert_eq!(parse_segment_seq("wal-.jsonl"), None);
+        assert!(segment_file_name(9) < segment_file_name(10));
+    }
+}

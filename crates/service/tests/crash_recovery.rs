@@ -1,0 +1,646 @@
+//! Crash-recovery torture tests for the sharded persistent memo store.
+//!
+//! Parent tests re-spawn this test binary as a child process with
+//! `ROBOTUNE_STORE_CRASH` set so the store kills itself (via
+//! `std::process::abort`) at a named point: mid-WAL-record at an
+//! arbitrary byte offset, at a segment seal, or between the three
+//! steps of a checkpoint (tmp write, rename, segment cleanup). The
+//! child acknowledges each durable operation by appending its index to
+//! `acks.log` *after* the store call returns, so the parent can assert
+//! the recovered store holds **exactly** the acknowledged prefix of
+//! operations — plus at most the single in-flight operation whose
+//! append happened to complete before the abort.
+//!
+//! The child-side entry points (`crashtest_child`,
+//! `crashtest_tuning_child`) are ordinary `#[test]`s that no-op unless
+//! the corresponding `ROBOTUNE_CRASHTEST_*` env var is set, so a plain
+//! `cargo test` run treats them as trivially green.
+
+use robotune::{shard_of, ConcurrentMemoStore, RoboTune, RoboTuneOptions};
+use robotune_service::{verify_store, PersistentMemoStore, StoreOptions};
+use robotune_space::spark::spark_space;
+use robotune_space::{ConfigSpace, Configuration, ParamValue};
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{Evaluation, Objective};
+use serde_json::Value;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// The deterministic op stream shared by child (writer) and parent (checker)
+// ---------------------------------------------------------------------------
+
+/// Configuration for op `i`: distinct values per op, awkward float bit
+/// patterns (including non-finite ones) so "recovered" can only mean
+/// "bit-identical through the codec".
+fn op_config(i: u64) -> Configuration {
+    let f = match i % 7 {
+        3 => f64::NAN,
+        5 => f64::INFINITY,
+        6 => f64::NEG_INFINITY,
+        _ => 0.1 * i as f64 + 0.0625,
+    };
+    Configuration::new(vec![
+        ParamValue::Int(i as i64),
+        ParamValue::Float(f),
+        ParamValue::Bool(i.is_multiple_of(2)),
+        ParamValue::Cat((i % 3) as usize),
+    ])
+}
+
+fn op_workload(i: u64) -> String {
+    format!("w{i}")
+}
+
+fn op_time(i: u64) -> f64 {
+    100.0 + i as f64
+}
+
+/// Applies op `i` to a store: even ops store a selection, odd ops
+/// memoize a configuration. Every op targets its own workload so
+/// presence checks are unambiguous.
+fn apply_op(store: &dyn ConcurrentMemoStore, i: u64) {
+    let wl = op_workload(i);
+    if i.is_multiple_of(2) {
+        store.put_selection(&wl, vec![format!("p{i}")]);
+    } else {
+        store.record_config(&wl, op_config(i), op_time(i));
+    }
+}
+
+fn f64_bits_eq(a: f64, b: f64) -> bool {
+    // NaNs are canonicalized by the codec; treat any NaN as equal.
+    (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits()
+}
+
+fn value_bits_eq(a: &ParamValue, b: &ParamValue) -> bool {
+    match (a, b) {
+        (ParamValue::Int(x), ParamValue::Int(y)) => x == y,
+        (ParamValue::Float(x), ParamValue::Float(y)) => f64_bits_eq(*x, *y),
+        (ParamValue::Bool(x), ParamValue::Bool(y)) => x == y,
+        (ParamValue::Cat(x), ParamValue::Cat(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Whether op `i` is present in the recovered store with exact values.
+fn op_present(store: &PersistentMemoStore, i: u64) -> bool {
+    let wl = op_workload(i);
+    if i.is_multiple_of(2) {
+        store.selection(&wl) == Some(vec![format!("p{i}")])
+    } else {
+        let recent = store.best_recent(&wl, usize::MAX);
+        recent.len() == 1
+            && f64_bits_eq(recent[0].1, op_time(i))
+            && recent[0].0.len() == 4
+            && recent[0]
+                .0
+                .values()
+                .iter()
+                .zip(op_config(i).values())
+                .all(|(a, b)| value_bits_eq(a, b))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Child process: write ops, ack each one, die wherever the plan says
+// ---------------------------------------------------------------------------
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn child_opts() -> StoreOptions {
+    StoreOptions {
+        shards: env_u64("CRASHTEST_SHARDS", 4) as usize,
+        segment_max_bytes: env_u64("CRASHTEST_SEG", 1 << 20),
+        compact_after_sealed: env_u64("CRASHTEST_CKPT_AFTER", u64::MAX),
+    }
+}
+
+/// Child entry point: no-op unless spawned by a parent test below.
+#[test]
+fn crashtest_child() {
+    if std::env::var("ROBOTUNE_CRASHTEST_CHILD").as_deref() != Ok("1") {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var("CRASHTEST_DIR").expect("CRASHTEST_DIR"));
+    let base = env_u64("CRASHTEST_BASE", 0);
+    let ops = env_u64("CRASHTEST_OPS", 40);
+    let ckpt_every = env_u64("CRASHTEST_CKPT", 0);
+    let store = PersistentMemoStore::open_with(&dir, child_opts()).expect("child open");
+    let mut acks = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("acks.log"))
+        .expect("open acks.log");
+    for i in base..base + ops {
+        apply_op(&store, i);
+        // The store's degraded flag distinguishes "durable" from
+        // "served from memory only"; an ack is a durability claim.
+        if store.status().degraded() {
+            panic!("child went degraded at op {i}");
+        }
+        writeln!(acks, "{i}").expect("ack write");
+        acks.flush().expect("ack flush");
+        if ckpt_every > 0 && (i + 1) % ckpt_every == 0 {
+            store.checkpoint().expect("child checkpoint");
+        }
+    }
+}
+
+/// Child entry point for the warm-start trajectory test: run one full
+/// tuning session against the persistent store, acknowledge it, then
+/// die in the middle of a checkpoint rename.
+#[test]
+fn crashtest_tuning_child() {
+    if std::env::var("ROBOTUNE_CRASHTEST_TUNER").as_deref() != Ok("1") {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var("CRASHTEST_DIR").expect("CRASHTEST_DIR"));
+    let store = PersistentMemoStore::open_with(&dir, tuning_opts()).expect("child open");
+    let shared = store.into_shared();
+    run_tuning_session(shared.clone(), Dataset::D1, None);
+    fs::write(dir.join("tuned.ok"), "1").expect("ack session");
+    // ROBOTUNE_STORE_CRASH=ckpt-rename:1 aborts inside this call.
+    let _ = shared.checkpoint();
+    panic!("checkpoint was expected to crash the child");
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side harness
+// ---------------------------------------------------------------------------
+
+struct ChildRun {
+    crashed: bool,
+    acked: Vec<u64>,
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "robotune-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Spawns this very test binary filtered down to one child test, with
+/// the crash plan in the environment, and collects the ack log.
+fn run_child(test: &str, gate: &str, dir: &Path, crash: Option<&str>, envs: &[(&str, String)]) -> ChildRun {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.args([test, "--exact", "--nocapture", "--test-threads=1"])
+        .env(gate, "1")
+        .env("CRASHTEST_DIR", dir)
+        .env_remove("ROBOTUNE_STORE_CRASH");
+    if let Some(spec) = crash {
+        cmd.env("ROBOTUNE_STORE_CRASH", spec);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn child");
+    let acked = fs::read_to_string(dir.join("acks.log"))
+        .unwrap_or_default()
+        .lines()
+        .map(|l| l.parse().expect("ack line"))
+        .collect();
+    ChildRun { crashed: !out.status.success(), acked }
+}
+
+/// The core invariant: after recovery the store holds a contiguous
+/// prefix of the op stream that covers every acknowledged op and at
+/// most one unacknowledged in-flight op, with bit-exact values, no
+/// quarantined segments, and a clean `verify_store` report.
+fn check_recovery(
+    dir: &Path,
+    opts: StoreOptions,
+    base: u64,
+    ops: u64,
+    run: &ChildRun,
+) -> PersistentMemoStore {
+    // Acks are issued in order, so the log must be base..base+n.
+    for (k, &i) in run.acked.iter().enumerate() {
+        assert_eq!(i, base + k as u64, "ack log must be a contiguous prefix");
+    }
+    // Pre-recovery: verify tolerates a torn tail (warning), flags
+    // nothing else.
+    let report = verify_store(dir).expect("verify before recovery");
+    assert_eq!(
+        report["ok"],
+        Value::Bool(true),
+        "clean crashes must not corrupt the store: {}",
+        serde_json::to_string(&report).expect("report json")
+    );
+
+    let store = PersistentMemoStore::open_with(dir, opts).expect("recovery must never fail");
+    let present: Vec<bool> = (base..base + ops).map(|i| op_present(&store, i)).collect();
+    let recovered = present.iter().rposition(|&p| p).map_or(0, |m| m as u64 + 1);
+    for k in 0..ops {
+        assert_eq!(
+            present[k as usize],
+            k < recovered,
+            "recovered ops must form a contiguous prefix (op {}, prefix {recovered})",
+            base + k
+        );
+    }
+    let acked = run.acked.len() as u64;
+    assert!(
+        recovered >= acked,
+        "acknowledged ops must survive recovery ({recovered} recovered < {acked} acked)"
+    );
+    assert!(
+        recovered <= acked + 1,
+        "at most the single in-flight op may appear beyond the acks \
+         ({recovered} recovered vs {acked} acked)"
+    );
+    let status = store.status();
+    assert_eq!(status.corrupt_segments(), 0, "clean crashes must not quarantine segments");
+    assert!(!status.degraded(), "recovered store must not be degraded");
+    store
+}
+
+fn ops_envs(ops: u64, shards: u64, seg: u64, ckpt: u64) -> Vec<(&'static str, String)> {
+    vec![
+        ("CRASHTEST_OPS", ops.to_string()),
+        ("CRASHTEST_SHARDS", shards.to_string()),
+        ("CRASHTEST_SEG", seg.to_string()),
+        ("CRASHTEST_CKPT", ckpt.to_string()),
+    ]
+}
+
+fn torture(tag: &str, crash: &str, ops: u64, shards: u64, seg: u64, ckpt: u64) -> (PathBuf, ChildRun) {
+    let dir = temp_dir(tag);
+    let run = run_child(
+        "crashtest_child",
+        "ROBOTUNE_CRASHTEST_CHILD",
+        &dir,
+        Some(crash),
+        &ops_envs(ops, shards, seg, ckpt),
+    );
+    let opts = StoreOptions {
+        shards: shards as usize,
+        segment_max_bytes: seg,
+        compact_after_sealed: u64::MAX,
+    };
+    let store = check_recovery(&dir, opts, 0, ops, &run);
+    drop(store);
+    (dir, run)
+}
+
+// ---------------------------------------------------------------------------
+// Named kill points
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill_mid_wal_record_at_arbitrary_byte_offsets() {
+    // Each budget lands the abort inside a different record, partway
+    // through its bytes; recovery truncates the torn tail.
+    for (k, budget) in [137u64, 600, 1511, 4099].into_iter().enumerate() {
+        let tag = format!("walbyte{k}");
+        let (dir, run) = torture(&tag, &format!("wal-byte:{budget}"), 80, 4, 1 << 20, 0);
+        assert!(run.crashed, "budget {budget} must kill the child mid-record");
+        assert!(
+            (run.acked.len() as u64) < 80,
+            "budget {budget} must kill the child before it finishes"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn kill_at_segment_seal() {
+    // Tiny segments force frequent rotation; die on the third seal.
+    let (dir, run) = torture("seal", "seal:3", 60, 2, 256, 0);
+    assert!(run.crashed, "the child must die at a segment seal");
+    assert!(!run.acked.is_empty(), "some ops must land before the third seal");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn kill_mid_checkpoint_tmp_write() {
+    let (dir, run) = torture("ckpt-tmp", "ckpt-tmp:2", 50, 3, 1 << 20, 7);
+    assert!(run.crashed, "the child must die during the checkpoint tmp write");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn kill_mid_checkpoint_rename() {
+    let (dir, run) = torture("ckpt-rename", "ckpt-rename:2", 50, 3, 1 << 20, 7);
+    assert!(run.crashed, "the child must die between tmp write and rename");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn kill_mid_checkpoint_segment_cleanup() {
+    // The snapshot is durable but only some sealed segments were
+    // removed; LSN gating must keep replay idempotent.
+    let (dir, run) = torture("ckpt-clean", "ckpt-clean:2", 60, 2, 512, 10);
+    assert!(run.crashed, "the child must die during segment cleanup");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn double_crash_then_recovery() {
+    // Crash once mid-record, recover, then crash the *recovered* store
+    // again on a disjoint op range: recovery must compose.
+    let dir = temp_dir("double");
+    let first = run_child(
+        "crashtest_child",
+        "ROBOTUNE_CRASHTEST_CHILD",
+        &dir,
+        Some("wal-byte:600"),
+        &ops_envs(40, 2, 1 << 20, 0),
+    );
+    assert!(first.crashed);
+    let _ = fs::remove_file(dir.join("acks.log"));
+    let mut envs = ops_envs(40, 2, 1 << 20, 0);
+    envs.push(("CRASHTEST_BASE", "1000".to_string()));
+    let second = run_child(
+        "crashtest_child",
+        "ROBOTUNE_CRASHTEST_CHILD",
+        &dir,
+        Some("wal-byte:2000"),
+        &envs,
+    );
+    assert!(second.crashed, "the second run must also crash");
+    let opts = StoreOptions { shards: 2, segment_max_bytes: 1 << 20, compact_after_sealed: u64::MAX };
+    let store = check_recovery(&dir, opts, 1000, 40, &second);
+    // Everything the first run acknowledged must have survived both
+    // crashes and both recoveries.
+    for &i in &first.acked {
+        assert!(op_present(&store, i), "first-run acked op {i} lost after second crash");
+    }
+    drop(store);
+    let _ = fs::remove_dir_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized sweep over kill points and shard counts
+// ---------------------------------------------------------------------------
+
+mod sweep {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn crash_spec() -> impl Strategy<Value = String> {
+        prop_oneof![
+            (100u64..5000).prop_map(|b| format!("wal-byte:{b}")),
+            (1u64..5).prop_map(|k| format!("seal:{k}")),
+            (1u64..3).prop_map(|k| format!("ckpt-tmp:{k}")),
+            (1u64..3).prop_map(|k| format!("ckpt-rename:{k}")),
+            (1u64..3).prop_map(|k| format!("ckpt-clean:{k}")),
+        ]
+    }
+
+    /// Local runs default to 12 cases (each one spawns a child
+    /// process); the CI store-crash matrix widens the sweep through
+    /// `PROPTEST_CASES`.
+    fn sweep_cases() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(12)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(sweep_cases()))]
+        #[test]
+        fn any_kill_point_recovers_the_acked_prefix(
+            spec in crash_spec(),
+            shards in 1u64..5,
+            case in any::<u64>(),
+        ) {
+            let tag = format!("sweep{:x}", case & 0xffff_ffff);
+            let dir = temp_dir(&tag);
+            let run = run_child(
+                "crashtest_child",
+                "ROBOTUNE_CRASHTEST_CHILD",
+                &dir,
+                Some(&spec),
+                &ops_envs(60, shards, 384, 9),
+            );
+            // Some specs never fire (e.g. a seal count past the run's
+            // rotations); the invariant must hold either way.
+            let opts = StoreOptions {
+                shards: shards as usize,
+                segment_max_bytes: 384,
+                compact_after_sealed: u64::MAX,
+            };
+            let store = check_recovery(&dir, opts, 0, 60, &run);
+            drop(store);
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: one bad shard must not take down the fleet
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corrupt_segment_quarantines_only_its_shard() {
+    const SHARDS: usize = 4;
+    const OPS: u64 = 40;
+    let dir = temp_dir("corrupt");
+    let opts = StoreOptions {
+        shards: SHARDS,
+        segment_max_bytes: 1 << 20,
+        compact_after_sealed: u64::MAX,
+    };
+    {
+        let store = PersistentMemoStore::open_with(&dir, opts.clone()).expect("open");
+        for i in 0..OPS {
+            apply_op(&store, i);
+        }
+    }
+    // Route the op stream the way the store does, pick a shard with at
+    // least three ops, and corrupt the checksum of its *second* data
+    // record (mid-file, so this is corruption — not a torn tail).
+    let mut ops_by_shard: Vec<Vec<u64>> = vec![Vec::new(); SHARDS];
+    for i in 0..OPS {
+        ops_by_shard[shard_of(&op_workload(i), SHARDS)].push(i);
+    }
+    let victim = (0..SHARDS)
+        .find(|&s| ops_by_shard[s].len() >= 3)
+        .expect("some shard holds at least three ops");
+    let sdir = dir.join(format!("shard-{victim:02}"));
+    let seg = fs::read_dir(&sdir)
+        .expect("read shard dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("wal-")))
+        .expect("victim shard has a segment");
+    let text = fs::read_to_string(&seg).expect("read segment");
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    assert!(lines.len() >= 3, "need header + two data records");
+    // Line 0 is the header; line 2 is the second data record. Stomp
+    // its CRC field.
+    let bad = if lines[2].starts_with("[\"00000000\"") {
+        lines[2].replacen("00000000", "ffffffff", 1)
+    } else {
+        format!("[\"00000000{}", &lines[2][10..])
+    };
+    lines[2] = bad;
+    fs::write(&seg, lines.join("\n") + "\n").expect("write corrupted segment");
+
+    // verify (read-only) must detect and explain the corruption.
+    let report = verify_store(&dir).expect("verify runs");
+    assert_eq!(report["ok"], Value::Bool(false));
+    let problems = serde_json::to_string(&report["problems"]).expect("problems json");
+    assert!(
+        problems.contains("checksum mismatch"),
+        "verify must explain the corruption: {problems}"
+    );
+
+    // Boot must succeed: the victim shard keeps its pre-corruption
+    // prefix, the segment is quarantined, and every other shard is
+    // fully intact.
+    let store = PersistentMemoStore::open_with(&dir, opts.clone()).expect("boot with corruption");
+    for (s, ops) in ops_by_shard.iter().enumerate() {
+        for (k, &i) in ops.iter().enumerate() {
+            let expect = s != victim || k < 1;
+            assert_eq!(
+                op_present(&store, i),
+                expect,
+                "shard {s} op {i} (position {k}): victim was {victim}"
+            );
+        }
+    }
+    let status = store.status();
+    assert!(status.corrupt_segments() >= 1, "quarantine must be reported in status");
+    let quarantined: Vec<String> = fs::read_dir(dir.join("corrupt"))
+        .expect("quarantine dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        quarantined.iter().any(|n| n.starts_with(&format!("shard-{victim:02}."))),
+        "the bad segment must land in corrupt/: {quarantined:?}"
+    );
+    drop(store);
+
+    // After recovery the quarantine is still surfaced by verify.
+    let report = verify_store(&dir).expect("verify after recovery");
+    assert_eq!(report["ok"], Value::Bool(false), "quarantine history keeps verify red");
+    assert!(
+        report["quarantined"].as_array().is_some_and(|q| !q.is_empty()),
+        "verify must list quarantined files"
+    );
+
+    // A second boot is stable: nothing new is lost or quarantined.
+    let store = PersistentMemoStore::open_with(&dir, opts).expect("second boot");
+    assert_eq!(store.status().corrupt_segments(), 0, "corruption was already folded away");
+    let _ = fs::remove_dir_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start trajectories after recovery are bit-identical
+// ---------------------------------------------------------------------------
+
+const TUNE_SEED: u64 = 99;
+const TUNE_JOB_SEED: u64 = 7;
+const TUNE_BUDGET: usize = 6;
+
+fn tuning_opts() -> StoreOptions {
+    StoreOptions { shards: 2, segment_max_bytes: 1 << 20, compact_after_sealed: u64::MAX }
+}
+
+/// One evaluation in exactly-comparable form: rendered config plus the
+/// raw bits of cap and outcome.
+type LogEntry = (String, u64, u64, bool, bool, bool);
+
+struct Recorder<'a> {
+    inner: &'a mut SparkJob,
+    space: &'a ConfigSpace,
+    log: Vec<LogEntry>,
+}
+
+impl Objective for Recorder<'_> {
+    fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation {
+        let eval = self.inner.evaluate(config, cap_s);
+        self.log.push((
+            config.render(self.space),
+            cap_s.to_bits(),
+            eval.time_s.to_bits(),
+            eval.completed,
+            eval.failed,
+            eval.transient,
+        ));
+        eval
+    }
+}
+
+/// Runs one deterministic KMeans session against `store`; returns the
+/// evaluation log and whether the session warm-started.
+fn run_tuning_session(
+    store: robotune::SharedMemoStore,
+    dataset: Dataset,
+    log: Option<&mut Vec<LogEntry>>,
+) -> bool {
+    let space = Arc::new(spark_space());
+    let mut job = SparkJob::new((*space).clone(), Workload::KMeans, dataset, TUNE_JOB_SEED);
+    let mut tuner = RoboTune::with_store(RoboTuneOptions::fast(), store);
+    let mut rng = rng_from_seed(TUNE_SEED);
+    match log {
+        Some(entries) => {
+            let mut recorder = Recorder { inner: &mut job, space: &space, log: Vec::new() };
+            let outcome =
+                tuner.tune_workload(&space, "kmeans", &mut recorder, TUNE_BUDGET, &mut rng);
+            *entries = recorder.log;
+            outcome.warm_start
+        }
+        None => {
+            tuner
+                .tune_workload(&space, "kmeans", &mut job, TUNE_BUDGET, &mut rng)
+                .warm_start
+        }
+    }
+}
+
+#[test]
+fn warm_start_after_crash_recovery_is_bit_identical_to_uninterrupted() {
+    // Arm A: a child tunes one session, acknowledges it, then dies in
+    // the middle of the post-session checkpoint's rename step.
+    let dir_a = temp_dir("warm-a");
+    let run = run_child(
+        "crashtest_tuning_child",
+        "ROBOTUNE_CRASHTEST_TUNER",
+        &dir_a,
+        Some("ckpt-rename:1"),
+        &[],
+    );
+    assert!(run.crashed, "the tuning child must die mid-checkpoint");
+    assert!(dir_a.join("tuned.ok").is_file(), "the session must finish before the crash");
+
+    // Arm B: the same session, uninterrupted, in-process.
+    let dir_b = temp_dir("warm-b");
+    let store_b = PersistentMemoStore::open_with(&dir_b, tuning_opts())
+        .expect("open arm B")
+        .into_shared();
+    let warm = run_tuning_session(store_b.clone(), Dataset::D1, None);
+    assert!(!warm, "the first session is cold");
+
+    // Recover arm A and drive an identical warm session on both arms.
+    let store_a = PersistentMemoStore::open_with(&dir_a, tuning_opts())
+        .expect("recover arm A")
+        .into_shared();
+    let mut log_a = Vec::new();
+    let mut log_b = Vec::new();
+    let warm_a = run_tuning_session(store_a, Dataset::D2, Some(&mut log_a));
+    let warm_b = run_tuning_session(store_b, Dataset::D2, Some(&mut log_b));
+    assert!(warm_a, "recovered store must warm-start");
+    assert!(warm_b, "uninterrupted store must warm-start");
+    assert!(!log_a.is_empty());
+    assert_eq!(
+        log_a, log_b,
+        "warm-start trajectory after crash recovery must be bit-identical \
+         to the uninterrupted store's"
+    );
+    let _ = fs::remove_dir_all(dir_a);
+    let _ = fs::remove_dir_all(dir_b);
+}

@@ -56,7 +56,6 @@ fn main() {
     }
 
     let store = tuner.store();
-    let store = store.read().unwrap_or_else(std::sync::PoisonError::into_inner);
     println!(
         "\nmemoized configurations stored for \"kmeans\": {}",
         store.best_recent("kmeans", usize::MAX).len()
