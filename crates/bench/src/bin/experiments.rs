@@ -22,10 +22,14 @@
 //!                     [--check --baseline FILE [--manifest FILE]]
 //!                     [--validate FILE] [--tolerance PCT]
 //! experiments serve   [--port N] [--store DIR] [--workers N] [--queue N]
-//!                     [--flight-dir DIR] [--no-telemetry]
+//!                     [--dispatch N] [--flight-dir DIR] [--no-telemetry]
 //! experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N]
 //!                     [--seed N] [--shutdown] [--expect-warm]
 //!                     [--faults none|transient|hostile]
+//! experiments loadgen --open-loop [--addr HOST:PORT] [--tenants N]
+//!                     [--rate R] [--hold S] [--budget N] [--poll-ms N]
+//!                     [--seed N] [--slo-suggest-p99-ms MS]
+//!                     [--slo-observe-p99-ms MS] [--shutdown]
 //! experiments top     [--addr HOST:PORT] [--interval-ms N] [--once]
 //! experiments store   <inspect|verify|compact> --dir PATH
 //! experiments flightcheck <flight.jsonl>...
@@ -208,8 +212,9 @@ fn dispatch(cmd: &str, args: &Args) {
                 "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|chaos|all> \
                  [--reps N] [--budget N] [--out DIR] [--trace FILE] [--profile FILE] [--faults none|transient|hostile]\n\
                  \x20      experiments bench [--quick] [--reps N] [--out DIR] [--campaign NAME] [--check --baseline FILE [--manifest FILE]] [--validate FILE] [--tolerance PCT]\n\
-                 \x20      experiments serve [--port N] [--store DIR] [--workers N] [--queue N] [--flight-dir DIR] [--no-telemetry]\n\
+                 \x20      experiments serve [--port N] [--store DIR] [--workers N] [--queue N] [--dispatch N] [--flight-dir DIR] [--no-telemetry]\n\
                  \x20      experiments loadgen [--addr HOST:PORT] [--tenants N] [--budget N] [--seed N] [--shutdown] [--expect-warm] [--faults none|transient|hostile]\n\
+                 \x20      experiments loadgen --open-loop [--addr HOST:PORT] [--tenants N] [--rate R] [--hold S] [--budget N] [--poll-ms N] [--seed N] [--slo-suggest-p99-ms MS] [--slo-observe-p99-ms MS] [--shutdown]\n\
                  \x20      experiments top [--addr HOST:PORT] [--interval-ms N] [--once]\n\
                  \x20      experiments store <inspect|verify|compact> --dir PATH\n\
                  \x20      experiments flightcheck <flight.jsonl>..."

@@ -5,7 +5,10 @@
 //! simulator with deterministic seeding and thread-level parallelism;
 //! [`report`] renders markdown tables and JSON series into `results/`;
 //! [`campaign`] runs calibrated perf campaigns and maintains the
-//! versioned `BENCH_*.json` trajectory manifests.
+//! versioned `BENCH_*.json` trajectory manifests; [`loadgen`] boots
+//! and drives the tuning daemon over real TCP, with [`openloop`]
+//! providing the single-threaded multiplexed generator behind
+//! `loadgen --open-loop` for reactor-scale (10k+ tenant) runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,6 +18,7 @@ pub mod campaign;
 pub mod exp;
 pub mod introspect;
 pub mod loadgen;
+pub mod openloop;
 pub mod report;
 pub mod runner;
 pub mod storecmd;

@@ -38,6 +38,10 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Admission-queue capacity.
     pub queue: usize,
+    /// Reactor dispatch threads; `None` = workers + 8, which keeps
+    /// cheap traffic (queued polls, status) flowing even when every
+    /// session worker has a blocking `suggest` in flight.
+    pub dispatch: Option<usize>,
     /// Failure flight-recorder directory; disabled when absent.
     pub flight_dir: Option<PathBuf>,
     /// Leave tracing off (per-session metrics and flight dumps will be
@@ -75,6 +79,7 @@ pub fn parse_serve_args(rest: &[String]) -> ServeArgs {
         store: None,
         workers: 4,
         queue: 64,
+        dispatch: None,
         flight_dir: None,
         no_telemetry: false,
     };
@@ -96,6 +101,13 @@ pub fn parse_serve_args(rest: &[String]) -> ServeArgs {
                 args.queue = take_value("--queue N", it.next())
                     .parse()
                     .unwrap_or_else(|e| fatal(format!("--queue: {e}")));
+            }
+            "--dispatch" => {
+                args.dispatch = Some(
+                    take_value("--dispatch N", it.next())
+                        .parse()
+                        .unwrap_or_else(|e| fatal(format!("--dispatch: {e}"))),
+                );
             }
             "--flight-dir" => {
                 args.flight_dir = Some(PathBuf::from(take_value("--flight-dir DIR", it.next())));
@@ -181,6 +193,7 @@ pub fn serve_main(rest: &[String]) -> i32 {
             workers: args.workers,
             queue_capacity: args.queue,
             flight_dir: args.flight_dir.clone(),
+            dispatch_workers: args.dispatch.unwrap_or(args.workers + 8),
             ..ServiceOptions::default()
         },
         store,
@@ -398,7 +411,17 @@ pub fn run_loadgen(args: &LoadgenArgs) -> Result<LoadgenReport, String> {
 }
 
 /// Entry point for `experiments loadgen`. Returns the exit code.
+///
+/// `--open-loop` switches to the single-threaded open-loop multiplexer
+/// in [`crate::openloop`] (10k+ tenants, arrival rates, server-side SLO
+/// assertions); everything else runs the closed-loop thread-per-tenant
+/// driver below.
 pub fn loadgen_main(rest: &[String]) -> i32 {
+    if rest.iter().any(|a| a == "--open-loop") {
+        let filtered: Vec<String> =
+            rest.iter().filter(|a| a.as_str() != "--open-loop").cloned().collect();
+        return crate::openloop::open_loop_main(&filtered);
+    }
     let args = parse_loadgen_args(rest);
     let report = match run_loadgen(&args) {
         Ok(r) => r,

@@ -1,0 +1,792 @@
+//! Open-loop service load: `experiments loadgen --open-loop`.
+//!
+//! The closed-loop load generator ([`crate::loadgen`]) spawns one
+//! thread per tenant — fine for dozens, impossible for the 10k+ the
+//! reactor service core is built to hold. This module multiplexes every
+//! simulated tenant onto **one** client thread with the same poller the
+//! server uses (the workspace `mio` stand-in) and the service crate's
+//! [`FrameDecoder`] for pipelined response reassembly.
+//!
+//! *Open loop* means tenants arrive on a fixed schedule (`--rate`
+//! arrivals/second) regardless of how fast the daemon answers — the
+//! honest way to measure a service under load, since a closed loop
+//! self-throttles exactly when the server degrades. Each tenant
+//! connects, opens a session, and then lives the real tenant life:
+//! poll `suggest` with jittered backoff while queued, evaluate the
+//! suggested configuration on its own simulated Spark job when one
+//! arrives, report `observe`, repeat until the session finishes — then
+//! stays connected (an idle tenant must cost the server nothing).
+//!
+//! After the arrival ramp plus `--hold` seconds, the run asserts:
+//!
+//! - **zero dropped connections** (no unexpected EOF/reset) and **zero
+//!   wedged requests** (in flight longer than the server's own
+//!   `suggest` timeout);
+//! - every admitted tenant completed its `create_session` round trip —
+//!   10k concurrent open sessions means 10k *answered* tenants;
+//! - optionally, the server's rolling suggest/observe SLO windows
+//!   (the `health` verb, PR-5) stay under `--slo-suggest-p99-ms` /
+//!   `--slo-observe-p99-ms`.
+
+use mio::{Events, Interest, Poll, Token};
+use robotune_service::framing::{DecodedFrame, FrameDecoder};
+use robotune_service::protocol::config_from_wire;
+use robotune_service::{ObservedStatus, Profile, TuningClient};
+use robotune_space::spark::spark_space;
+use robotune_space::ConfigSpace;
+use robotune_sparksim::{Dataset, SparkJob, ALL_WORKLOADS};
+use robotune_stats::percentile;
+use robotune_tuners::Objective;
+use serde_json::Value;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::report::fatal;
+
+/// Flags for `experiments loadgen --open-loop`.
+pub struct OpenLoopArgs {
+    /// Daemon address.
+    pub addr: String,
+    /// Total simulated tenants.
+    pub tenants: usize,
+    /// Tenant arrivals per second.
+    pub rate: f64,
+    /// Seconds to keep driving after the last arrival.
+    pub hold_s: f64,
+    /// Per-session BO budget.
+    pub budget: usize,
+    /// Base re-poll interval while a session is queued, milliseconds
+    /// (jittered ±50% per poll so 10k tenants don't phase-lock).
+    pub poll_ms: u64,
+    /// Base RNG seed (tenant i uses `seed + i`).
+    pub seed: u64,
+    /// Assert the server's rolling suggest p99 (from `health`) is at
+    /// most this many milliseconds.
+    pub slo_suggest_p99_ms: Option<f64>,
+    /// Assert the server's rolling observe p99 is at most this.
+    pub slo_observe_p99_ms: Option<f64>,
+    /// Send `shutdown` when the run completes.
+    pub shutdown: bool,
+}
+
+impl Default for OpenLoopArgs {
+    fn default() -> Self {
+        OpenLoopArgs {
+            addr: "127.0.0.1:7651".to_string(),
+            tenants: 10_000,
+            rate: 2000.0,
+            hold_s: 10.0,
+            budget: 2,
+            poll_ms: 400,
+            seed: 9000,
+            slo_suggest_p99_ms: None,
+            slo_observe_p99_ms: None,
+            shutdown: false,
+        }
+    }
+}
+
+fn take_value(flag: &str, v: Option<&String>) -> String {
+    v.cloned().unwrap_or_else(|| fatal(format!("{flag} requires a value")))
+}
+
+/// Parses `loadgen --open-loop` flags (the `--open-loop` token itself
+/// must already be stripped).
+pub fn parse_open_loop_args(rest: &[String]) -> OpenLoopArgs {
+    let mut args = OpenLoopArgs::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        macro_rules! parse_next {
+            ($flag:literal) => {
+                take_value($flag, it.next())
+                    .parse()
+                    .unwrap_or_else(|e| fatal(format!("{}: {e}", $flag)))
+            };
+        }
+        match a.as_str() {
+            "--addr" => args.addr = take_value("--addr HOST:PORT", it.next()),
+            "--tenants" => args.tenants = parse_next!("--tenants N"),
+            "--rate" => args.rate = parse_next!("--rate ARRIVALS_PER_S"),
+            "--hold" => args.hold_s = parse_next!("--hold SECONDS"),
+            "--budget" => args.budget = parse_next!("--budget N"),
+            "--poll-ms" => args.poll_ms = parse_next!("--poll-ms MS"),
+            "--seed" => args.seed = parse_next!("--seed N"),
+            "--slo-suggest-p99-ms" => {
+                args.slo_suggest_p99_ms = Some(parse_next!("--slo-suggest-p99-ms MS"));
+            }
+            "--slo-observe-p99-ms" => {
+                args.slo_observe_p99_ms = Some(parse_next!("--slo-observe-p99-ms MS"));
+            }
+            "--shutdown" => args.shutdown = true,
+            other => fatal(format!("loadgen --open-loop: unknown flag {other}")),
+        }
+    }
+    args
+}
+
+/// In-flight requests older than this count as wedged at teardown;
+/// matches the server's default `suggest_timeout` — nothing legitimate
+/// takes longer.
+const STALL_LIMIT: Duration = Duration::from_secs(30);
+/// Event buffer per poll.
+const EVENTS_PER_LOOP: usize = 4096;
+/// Read scratch size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Where one tenant's state machine stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// `create_session` sent, response pending.
+    AwaitCreate,
+    /// `suggest` sent, response pending.
+    AwaitSuggest,
+    /// `observe` sent, response pending.
+    AwaitObserve,
+    /// Queued backoff: the timer heap owns the next suggest.
+    Idle,
+    /// Session finished; connection stays open, tenant stays silent.
+    Done,
+    /// Connection failed or protocol error; counted, inert.
+    Dead,
+}
+
+struct Tenant {
+    stream: Option<TcpStream>,
+    decoder: FrameDecoder,
+    outbuf: Vec<u8>,
+    cursor: usize,
+    write_armed: bool,
+    phase: Phase,
+    session: Option<String>,
+    job: SparkJob,
+    next_id: u64,
+    sent_at: Instant,
+    rng: u64,
+}
+
+/// Everything the run counts.
+#[derive(Default)]
+struct Stats {
+    connect_failures: usize,
+    dropped: usize,
+    wedged: usize,
+    protocol_errors: usize,
+    overloaded: usize,
+    created: usize,
+    finished: usize,
+    evals: u64,
+    queued_polls: u64,
+    requests: u64,
+    responses: u64,
+    open_now: isize,
+    peak_open: isize,
+    create_rtt_ms: Vec<f64>,
+    suggest_rtt_ms: Vec<f64>,
+    observe_rtt_ms: Vec<f64>,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+impl Tenant {
+    fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.cursor
+    }
+
+    /// Queues one frame and pushes as much as the socket takes now.
+    fn send(&mut self, frame: &str, stats: &mut Stats) {
+        self.outbuf.extend_from_slice(frame.as_bytes());
+        self.outbuf.push(b'\n');
+        self.sent_at = Instant::now();
+        stats.requests += 1;
+        self.flush(stats);
+    }
+
+    fn flush(&mut self, stats: &mut Stats) {
+        let Some(stream) = self.stream.as_ref() else { return };
+        while self.cursor < self.outbuf.len() {
+            match (&*stream).write(&self.outbuf[self.cursor..]) {
+                Ok(0) => {
+                    self.die_dropped(stats);
+                    return;
+                }
+                Ok(n) => self.cursor += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.die_dropped(stats);
+                    return;
+                }
+            }
+        }
+        if self.cursor == self.outbuf.len() {
+            self.outbuf.clear();
+            self.cursor = 0;
+        }
+    }
+
+    fn die_dropped(&mut self, stats: &mut Stats) {
+        if self.phase != Phase::Done && self.phase != Phase::Dead {
+            stats.dropped += 1;
+            self.retire(stats);
+        }
+    }
+
+    /// Removes this tenant from the open-session census and goes inert.
+    fn retire(&mut self, stats: &mut Stats) {
+        if self.session.is_some() && self.phase != Phase::Done && self.phase != Phase::Dead {
+            stats.open_now -= 1;
+        }
+        self.phase = Phase::Dead;
+    }
+
+    fn jittered_poll(&mut self, base_ms: u64) -> Duration {
+        // ±50% deterministic jitter so tenants spread their polls.
+        let base = base_ms.max(1);
+        let jitter = xorshift(&mut self.rng) % base.max(1);
+        Duration::from_millis(base / 2 + jitter)
+    }
+}
+
+fn frame_create(id: u64, key: &str, seed: u64, budget: usize) -> String {
+    format!(
+        "{{\"id\":{id},\"verb\":\"create_session\",\"workload\":\"{key}\",\"space\":\"spark\",\
+         \"seed\":{seed},\"budget\":{budget},\"profile\":\"{}\"}}",
+        Profile::Fast.as_str()
+    )
+}
+
+fn frame_suggest(id: u64, session: &str) -> String {
+    format!("{{\"id\":{id},\"verb\":\"suggest\",\"session\":\"{session}\"}}")
+}
+
+fn frame_observe(id: u64, session: &str, index: u64, time_s: f64, status: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"verb\":\"observe\",\"session\":\"{session}\",\"index\":{index},\
+         \"time_s\":{time_s},\"status\":\"{status}\"}}"
+    )
+}
+
+/// The aggregate outcome of one open-loop run.
+pub struct OpenLoopReport {
+    /// The flags the run used.
+    args_summary: String,
+    stats: Stats,
+    wall_s: f64,
+    /// The server's `health` frame at the end of the run.
+    health: Option<Value>,
+    /// Human-readable assertion failures; empty means the run passed.
+    pub failures: Vec<String>,
+}
+
+impl OpenLoopReport {
+    /// Renders the markdown summary.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        let mut md = String::from("## Open-loop service load\n\n");
+        md.push_str(&format!("{}\n\n", self.args_summary));
+        md.push_str(&format!(
+            "connections: {} opened, {} connect failures, {} dropped, {} wedged\n",
+            s.created + s.overloaded + s.protocol_errors,
+            s.connect_failures,
+            s.dropped,
+            s.wedged
+        ));
+        md.push_str(&format!(
+            "sessions: {} created (peak {} concurrently open), {} finished, {} evals observed\n",
+            s.created, s.peak_open, s.finished, s.evals
+        ));
+        md.push_str(&format!(
+            "requests: {} sent, {} answered ({:.0} req/s over {:.1}s); {} queued polls\n\n",
+            s.requests,
+            s.responses,
+            s.responses as f64 / self.wall_s.max(1e-9),
+            self.wall_s,
+            s.queued_polls
+        ));
+        md.push_str("| client RTT (ms) | p50 | p99 | n |\n|---|---|---|---|\n");
+        for (name, samples) in [
+            ("create_session", &s.create_rtt_ms),
+            ("suggest", &s.suggest_rtt_ms),
+            ("observe", &s.observe_rtt_ms),
+        ] {
+            md.push_str(&format!(
+                "| {name} | {:.2} | {:.2} | {} |\n",
+                percentile(samples, 50.0),
+                percentile(samples, 99.0),
+                samples.len()
+            ));
+        }
+        if let Some(h) = &self.health {
+            let window = |verb: &str| {
+                let w = &h["slo"][verb];
+                format!(
+                    "p50 {} / p99 {} over {} samples",
+                    w["p50_ms"].as_f64().map_or("—".into(), |v| format!("{v:.2}ms")),
+                    w["p99_ms"].as_f64().map_or("—".into(), |v| format!("{v:.2}ms")),
+                    w["count"].as_u64().unwrap_or(0)
+                )
+            };
+            md.push_str(&format!(
+                "\nserver SLO windows (health): suggest {}; observe {}\n",
+                window("suggest"),
+                window("observe")
+            ));
+            md.push_str(&format!(
+                "server: status={} workers={} active={} queue={}/{}\n",
+                h["status"].as_str().unwrap_or("?"),
+                h["workers"].as_u64().unwrap_or(0),
+                h["sessions_active"].as_u64().unwrap_or(0),
+                h["queue_depth"].as_u64().unwrap_or(0),
+                h["queue_capacity"].as_u64().unwrap_or(0),
+            ));
+        }
+        if self.failures.is_empty() {
+            md.push_str("\nassertions: all passed\n");
+        } else {
+            md.push_str("\nassertions FAILED:\n");
+            for f in &self.failures {
+                md.push_str(&format!("  - {f}\n"));
+            }
+        }
+        md
+    }
+}
+
+fn connect_with_retry(addr: &str) -> Option<TcpStream> {
+    for attempt in 0..5 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Some(s),
+            Err(_) if attempt < 4 => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => break,
+        }
+    }
+    None
+}
+
+/// Runs the open-loop multiplexer against a live daemon.
+#[allow(clippy::too_many_lines)]
+pub fn run_open_loop(args: &OpenLoopArgs) -> Result<OpenLoopReport, String> {
+    let space: Arc<ConfigSpace> = Arc::new(spark_space());
+    let mut poll = Poll::new().map_err(|e| format!("poller: {e}"))?;
+    let mut events = Events::with_capacity(EVENTS_PER_LOOP);
+    let mut tenants: Vec<Tenant> = Vec::with_capacity(args.tenants);
+    let mut timers: BinaryHeap<Reverse<(Instant, usize)>> = BinaryHeap::new();
+    let mut stats = Stats::default();
+
+    let start = Instant::now();
+    let interarrival = if args.rate > 0.0 { 1.0 / args.rate } else { 0.0 };
+    let ramp = Duration::from_secs_f64(interarrival * args.tenants as f64);
+    let deadline = start + ramp + Duration::from_secs_f64(args.hold_s.max(0.0));
+    let mut next_arrival = 0usize;
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+
+        // Admit every tenant whose arrival time has come.
+        while next_arrival < args.tenants
+            && now >= start + Duration::from_secs_f64(interarrival * next_arrival as f64)
+        {
+            let i = next_arrival;
+            next_arrival += 1;
+            let wl = i % ALL_WORKLOADS.len();
+            let mut tenant = Tenant {
+                stream: None,
+                decoder: FrameDecoder::new(),
+                outbuf: Vec::new(),
+                cursor: 0,
+                write_armed: false,
+                phase: Phase::Dead,
+                session: None,
+                job: SparkJob::new(
+                    (*space).clone(),
+                    ALL_WORKLOADS[wl],
+                    Dataset::D1,
+                    (args.seed + i as u64) ^ 0x5eed,
+                ),
+                next_id: 0,
+                sent_at: now,
+                rng: args.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            };
+            match connect_with_retry(&args.addr) {
+                None => stats.connect_failures += 1,
+                Some(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err()
+                        || poll.register(&stream, Token(i), Interest::READABLE).is_err()
+                    {
+                        stats.connect_failures += 1;
+                    } else {
+                        tenant.stream = Some(stream);
+                        tenant.phase = Phase::AwaitCreate;
+                        tenant.next_id += 1;
+                        let frame = frame_create(
+                            tenant.next_id,
+                            &format!("wl-{wl}"),
+                            args.seed + i as u64,
+                            args.budget,
+                        );
+                        tenant.send(&frame, &mut stats);
+                    }
+                }
+            }
+            tenants.push(tenant);
+        }
+
+        // Fire due suggest timers.
+        while let Some(&Reverse((due, i))) = timers.peek() {
+            if due > now {
+                break;
+            }
+            timers.pop();
+            let t = &mut tenants[i];
+            if t.phase == Phase::Idle {
+                if let Some(session) = t.session.clone() {
+                    t.next_id += 1;
+                    t.phase = Phase::AwaitSuggest;
+                    let frame = frame_suggest(t.next_id, &session);
+                    t.send(&frame, &mut stats);
+                }
+            }
+        }
+
+        // Sleep until the next arrival, the next timer, or a tick.
+        let mut timeout = deadline.saturating_duration_since(now).min(Duration::from_millis(100));
+        if next_arrival < args.tenants {
+            let due = start + Duration::from_secs_f64(interarrival * next_arrival as f64);
+            timeout = timeout.min(due.saturating_duration_since(now));
+        }
+        if let Some(&Reverse((due, _))) = timers.peek() {
+            timeout = timeout.min(due.saturating_duration_since(now));
+        }
+        poll.poll(&mut events, Some(timeout.max(Duration::from_millis(1))))
+            .map_err(|e| format!("poll: {e}"))?;
+
+        for event in &events {
+            let Token(i) = event.token();
+            let Some(t) = tenants.get_mut(i) else { continue };
+            if t.phase == Phase::Dead {
+                continue;
+            }
+            if event.is_writable() && t.pending_out() > 0 {
+                t.flush(&mut stats);
+            }
+            if event.is_readable() {
+                drive_reads(t, i, &space, args, &mut stats, &mut timers);
+            }
+            // Re-arm write interest only while a partial frame is stuck.
+            let want_write = t.pending_out() > 0;
+            if want_write != t.write_armed {
+                if let Some(stream) = t.stream.as_ref() {
+                    let interest = if want_write {
+                        Interest::READABLE | Interest::WRITABLE
+                    } else {
+                        Interest::READABLE
+                    };
+                    if poll.reregister(stream, Token(i), interest).is_ok() {
+                        t.write_armed = want_write;
+                    }
+                }
+            }
+        }
+    }
+
+    // Teardown census: anything still awaiting a response past the
+    // server's own timeout is wedged; shorter waits are just in flight.
+    for t in &mut tenants {
+        if matches!(t.phase, Phase::AwaitCreate | Phase::AwaitSuggest | Phase::AwaitObserve)
+            && t.sent_at.elapsed() > STALL_LIMIT
+        {
+            stats.wedged += 1;
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    drop(tenants); // close every simulated tenant's socket
+
+    // The server's own ledger, over a fresh blocking connection.
+    let health = TuningClient::connect(args.addr.as_str())
+        .and_then(|mut c| c.health())
+        .map_err(|e| format!("health after run: {e}"))?;
+
+    let mut failures = Vec::new();
+    let admitted = args.tenants - stats.connect_failures;
+    if stats.connect_failures > 0 {
+        failures.push(format!("{} tenants failed to connect", stats.connect_failures));
+    }
+    if stats.dropped > 0 {
+        failures.push(format!("{} connections dropped by the server", stats.dropped));
+    }
+    if stats.wedged > 0 {
+        failures.push(format!("{} requests wedged past {STALL_LIMIT:?}", stats.wedged));
+    }
+    if stats.overloaded > 0 {
+        failures.push(format!(
+            "{} sessions refused as overloaded (raise serve --queue above --tenants)",
+            stats.overloaded
+        ));
+    }
+    if stats.protocol_errors > 0 {
+        failures.push(format!("{} tenants hit protocol errors", stats.protocol_errors));
+    }
+    if stats.created < admitted {
+        failures.push(format!(
+            "only {} of {admitted} connected tenants completed create_session",
+            stats.created
+        ));
+    }
+    let assert_slo = |failures: &mut Vec<String>, verb: &str, cap_ms: f64| {
+        let w = &health["slo"][verb];
+        match (w["count"].as_u64().unwrap_or(0), w["p99_ms"].as_f64()) {
+            (0, _) | (_, None) => {
+                failures.push(format!("SLO window for {verb} is empty — nothing to assert"));
+            }
+            (_, Some(p99)) if p99 > cap_ms => {
+                failures.push(format!("{verb} p99 {p99:.2}ms exceeds the {cap_ms:.2}ms SLO"));
+            }
+            _ => {}
+        }
+    };
+    if let Some(cap) = args.slo_suggest_p99_ms {
+        assert_slo(&mut failures, "suggest", cap);
+    }
+    if let Some(cap) = args.slo_observe_p99_ms {
+        assert_slo(&mut failures, "observe", cap);
+    }
+
+    if args.shutdown {
+        TuningClient::connect(args.addr.as_str())
+            .and_then(|mut c| c.shutdown())
+            .map_err(|e| format!("shutdown: {e}"))?;
+    }
+
+    Ok(OpenLoopReport {
+        args_summary: format!(
+            "{} tenants at {:.0}/s ({:.1}s ramp), {:.1}s hold, budget {}, poll {}ms, seed {}",
+            args.tenants,
+            args.rate,
+            ramp.as_secs_f64(),
+            args.hold_s,
+            args.budget,
+            args.poll_ms,
+            args.seed
+        ),
+        stats,
+        wall_s,
+        health: Some(health),
+        failures,
+    })
+}
+
+/// Reads everything available for one tenant and advances its state
+/// machine per response.
+fn drive_reads(
+    t: &mut Tenant,
+    i: usize,
+    space: &ConfigSpace,
+    args: &OpenLoopArgs,
+    stats: &mut Stats,
+    timers: &mut BinaryHeap<Reverse<(Instant, usize)>>,
+) {
+    let mut scratch = [0u8; READ_CHUNK];
+    let mut frames = Vec::new();
+    let mut eof = false;
+    {
+        let Some(stream) = t.stream.as_ref() else { return };
+        loop {
+            match (&*stream).read(&mut scratch) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => t.decoder.push(&scratch[..n], &mut frames),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+    }
+    for frame in frames {
+        let DecodedFrame::Line(bytes) = frame else { continue };
+        let Ok(text) = String::from_utf8(bytes) else {
+            stats.protocol_errors += 1;
+            t.retire(stats);
+            return;
+        };
+        let Ok(v): Result<Value, _> = serde_json::from_str(&text) else {
+            stats.protocol_errors += 1;
+            t.retire(stats);
+            return;
+        };
+        stats.responses += 1;
+        let rtt_ms = t.sent_at.elapsed().as_secs_f64() * 1e3;
+        step(t, i, v, rtt_ms, space, args, stats, timers);
+        if t.phase == Phase::Dead || t.phase == Phase::Done {
+            break;
+        }
+    }
+    if eof {
+        t.die_dropped(stats);
+    }
+}
+
+/// One response → the tenant's next move.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    t: &mut Tenant,
+    i: usize,
+    v: Value,
+    rtt_ms: f64,
+    space: &ConfigSpace,
+    args: &OpenLoopArgs,
+    stats: &mut Stats,
+    timers: &mut BinaryHeap<Reverse<(Instant, usize)>>,
+) {
+    let ok = v["ok"].as_bool() == Some(true);
+    let code = v["error"]["code"].as_str().unwrap_or("");
+    match t.phase {
+        Phase::AwaitCreate => {
+            stats.create_rtt_ms.push(rtt_ms);
+            if ok {
+                if let Some(sid) = v["session"].as_str() {
+                    t.session = Some(sid.to_string());
+                    stats.created += 1;
+                    stats.open_now += 1;
+                    stats.peak_open = stats.peak_open.max(stats.open_now);
+                    // First suggest goes out immediately; it will
+                    // usually answer `queued` and start the backoff.
+                    t.next_id += 1;
+                    t.phase = Phase::AwaitSuggest;
+                    let frame = frame_suggest(t.next_id, sid.to_string().as_str());
+                    t.send(&frame, stats);
+                    return;
+                }
+            }
+            if code == "overloaded" {
+                stats.overloaded += 1;
+            } else {
+                stats.protocol_errors += 1;
+            }
+            t.retire(stats);
+        }
+        Phase::AwaitSuggest => {
+            stats.suggest_rtt_ms.push(rtt_ms);
+            if !ok {
+                if code == "timeout" {
+                    // Retryable by contract: back off like a queued poll.
+                    t.phase = Phase::Idle;
+                    let delay = t.jittered_poll(args.poll_ms);
+                    timers.push(Reverse((Instant::now() + delay, i)));
+                } else {
+                    stats.protocol_errors += 1;
+                    t.retire(stats);
+                }
+                return;
+            }
+            match v["type"].as_str() {
+                Some("queued") => {
+                    stats.queued_polls += 1;
+                    t.phase = Phase::Idle;
+                    let delay = t.jittered_poll(args.poll_ms);
+                    timers.push(Reverse((Instant::now() + delay, i)));
+                }
+                Some("config") => {
+                    let (Some(index), Some(cap_s)) =
+                        (v["index"].as_u64(), v["cap_s"].as_f64())
+                    else {
+                        stats.protocol_errors += 1;
+                        t.retire(stats);
+                        return;
+                    };
+                    let Ok(config) = config_from_wire(space, &v["config"]) else {
+                        stats.protocol_errors += 1;
+                        t.retire(stats);
+                        return;
+                    };
+                    let Some(session) = t.session.clone() else {
+                        t.retire(stats);
+                        return;
+                    };
+                    // The evaluation is the simulated Spark run — fast
+                    // enough to do inline on the multiplexer thread.
+                    let eval = t.job.evaluate(&config, cap_s);
+                    let status = ObservedStatus::of(&eval);
+                    t.next_id += 1;
+                    t.phase = Phase::AwaitObserve;
+                    let frame = frame_observe(
+                        t.next_id,
+                        &session,
+                        index,
+                        eval.time_s,
+                        status.as_str(),
+                    );
+                    t.send(&frame, stats);
+                }
+                Some("finished") => {
+                    stats.finished += 1;
+                    stats.open_now -= 1;
+                    t.phase = Phase::Done;
+                }
+                _ => {
+                    stats.protocol_errors += 1;
+                    t.retire(stats);
+                }
+            }
+        }
+        Phase::AwaitObserve => {
+            stats.observe_rtt_ms.push(rtt_ms);
+            if !ok {
+                stats.protocol_errors += 1;
+                t.retire(stats);
+                return;
+            }
+            stats.evals += 1;
+            if let Some(session) = t.session.clone() {
+                // Straight back to suggest: the next ask needs GP
+                // compute, so this is the request that exercises the
+                // real suggest path in the SLO window.
+                t.next_id += 1;
+                t.phase = Phase::AwaitSuggest;
+                let frame = frame_suggest(t.next_id, &session);
+                t.send(&frame, stats);
+            }
+        }
+        Phase::Idle | Phase::Done | Phase::Dead => {
+            // Unsolicited frame: the server never pushes, so this is a
+            // protocol violation.
+            stats.protocol_errors += 1;
+            t.retire(stats);
+        }
+    }
+}
+
+/// Entry point for `experiments loadgen --open-loop`; returns the exit
+/// code.
+pub fn open_loop_main(rest: &[String]) -> i32 {
+    let args = parse_open_loop_args(rest);
+    match run_open_loop(&args) {
+        Ok(report) => {
+            print!("{}", report.render());
+            i32::from(!report.failures.is_empty())
+        }
+        Err(e) => {
+            eprintln!("loadgen --open-loop: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,729 @@
+//! Offline stand-in for the `mio` crate: the readiness-polling subset
+//! the ROBOTune service reactor uses.
+//!
+//! This build environment has no registry access, so — like the other
+//! crates under `crates/compat/` — this is a small, zero-dependency
+//! reimplementation of the pieces of the real crate's API the workspace
+//! actually needs:
+//!
+//! - [`Poll`] — a level-triggered readiness queue over raw file
+//!   descriptors: `epoll(7)` on Linux, with a portable `poll(2)`
+//!   fallback for other unixes (selectable on Linux too, for tests);
+//! - [`Events`] / [`Event`] / [`Token`] / [`Interest`] — the readiness
+//!   vocabulary;
+//! - [`Waker`] — a cross-thread wakeup handle (socketpair-backed) that
+//!   interrupts a blocked [`Poll::poll`] and is drained automatically.
+//!
+//! The syscalls are reached through `extern "C"` declarations against
+//! the libc that `std` already links; no external crate is involved.
+//! Everything is level-triggered: a ready fd keeps reporting until the
+//! condition (unread bytes, writable buffer space) clears, which is the
+//! simplest model for a correctness-first reactor.
+//!
+//! Not supported (not needed here): edge triggering, oneshot
+//! registrations, Windows, and mio's `event::Source` trait — sources
+//! are anything `AsRawFd`.
+
+#![cfg(unix)]
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::mem::ManuallyDrop;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Identifies one registration; carried back on every [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness conditions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interested in the fd becoming readable.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interested in the fd becoming writable.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests.
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether readable readiness is included.
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether writable readiness is included.
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+}
+
+impl Event {
+    /// The token the fd was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable (or peer-closed / errored: reads will not block — they
+    /// observe the EOF or the error, which is how mio reports those).
+    pub fn is_readable(&self) -> bool {
+        self.readable || self.error
+    }
+
+    /// Writable (or errored: writes will not block).
+    pub fn is_writable(&self) -> bool {
+        self.writable || self.error
+    }
+
+    /// An error or hangup condition was reported for the fd.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+}
+
+/// A reusable buffer of readiness events.
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A buffer that accepts up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { inner: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Iterates over the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Number of events captured by the last poll.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the last poll captured nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Which kernel mechanism backs a [`Poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// `epoll(7)`: O(ready) wakeups, Linux only. The default on Linux.
+    Epoll,
+    /// `poll(2)`: O(registered) scans, portable across unixes.
+    Poll,
+}
+
+// ---------------------------------------------------------------------
+// Raw syscall surface. These symbols come from the libc that std links;
+// the structs mirror the kernel ABI.
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys_epoll {
+    use std::os::raw::c_int;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    // On x86-64 the kernel packs epoll_event to 12 bytes; other
+    // architectures use natural alignment.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+}
+
+mod sys_poll {
+    use std::os::raw::{c_int, c_ulong};
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+}
+
+fn timeout_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            // Round up so sub-millisecond timeouts still sleep.
+            let ms = d.as_millis().saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+            c_int::try_from(ms).unwrap_or(c_int::MAX)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+struct EpollBackend {
+    epfd: OwnedFd,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollBackend {
+    fn new() -> io::Result<EpollBackend> {
+        // SAFETY: plain syscall; the returned fd (if valid) is owned
+        // exclusively by the OwnedFd below.
+        let fd = unsafe { sys_epoll::epoll_create1(sys_epoll::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: fd is a freshly created, valid epoll descriptor.
+        Ok(EpollBackend { epfd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = sys_epoll::EPOLLRDHUP;
+        if interest.is_readable() {
+            bits |= sys_epoll::EPOLLIN;
+        }
+        if interest.is_writable() {
+            bits |= sys_epoll::EPOLLOUT;
+        }
+        bits
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = sys_epoll::EpollEvent {
+            events: Self::interest_bits(interest),
+            data: token.0 as u64,
+        };
+        // SAFETY: epfd and fd are valid descriptors; ev outlives the call.
+        let rc = unsafe { sys_epoll::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let mut raw =
+            vec![sys_epoll::EpollEvent { events: 0, data: 0 }; events.capacity];
+        // SAFETY: raw is a valid, writable buffer of `capacity` events.
+        let n = unsafe {
+            sys_epoll::epoll_wait(
+                self.epfd.as_raw_fd(),
+                raw.as_mut_ptr(),
+                c_int::try_from(raw.len()).unwrap_or(c_int::MAX),
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ev in raw.iter().take(n as usize) {
+            let bits = ev.events;
+            events.inner.push(Event {
+                token: Token(ev.data as usize),
+                readable: bits & (sys_epoll::EPOLLIN | sys_epoll::EPOLLRDHUP) != 0,
+                writable: bits & sys_epoll::EPOLLOUT != 0,
+                error: bits & (sys_epoll::EPOLLERR | sys_epoll::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+/// The portable fallback: a registration table scanned by `poll(2)`.
+struct PollBackend {
+    fds: Mutex<Vec<(RawFd, Token, Interest)>>,
+}
+
+impl PollBackend {
+    fn new() -> PollBackend {
+        PollBackend { fds: Mutex::new(Vec::new()) }
+    }
+
+    fn table(&self) -> std::sync::MutexGuard<'_, Vec<(RawFd, Token, Interest)>> {
+        self.fds.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut t = self.table();
+        if t.iter().any(|(f, _, _)| *f == fd) {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        t.push((fd, token, interest));
+        Ok(())
+    }
+
+    fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut t = self.table();
+        match t.iter_mut().find(|(f, _, _)| *f == fd) {
+            Some(slot) => {
+                *slot = (fd, token, interest);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut t = self.table();
+        let before = t.len();
+        t.retain(|(f, _, _)| *f != fd);
+        if t.len() == before {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        Ok(())
+    }
+
+    fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let snapshot: Vec<(RawFd, Token, Interest)> = self.table().clone();
+        let mut raw: Vec<sys_poll::PollFd> = snapshot
+            .iter()
+            .map(|(fd, _, interest)| {
+                let mut bits = 0i16;
+                if interest.is_readable() {
+                    bits |= sys_poll::POLLIN;
+                }
+                if interest.is_writable() {
+                    bits |= sys_poll::POLLOUT;
+                }
+                sys_poll::PollFd { fd: *fd, events: bits, revents: 0 }
+            })
+            .collect();
+        // SAFETY: raw is a valid pollfd array of the stated length.
+        let n = unsafe {
+            sys_poll::poll(raw.as_mut_ptr(), raw.len() as c_ulong, timeout_ms(timeout))
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        let mut pushed = 0usize;
+        for (pfd, (_, token, _)) in raw.iter().zip(&snapshot) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            if pushed == events.capacity {
+                break;
+            }
+            events.inner.push(Event {
+                token: *token,
+                readable: pfd.revents & sys_poll::POLLIN != 0,
+                writable: pfd.revents & sys_poll::POLLOUT != 0,
+                error: pfd.revents
+                    & (sys_poll::POLLERR | sys_poll::POLLHUP | sys_poll::POLLNVAL)
+                    != 0,
+            });
+            pushed += 1;
+        }
+        Ok(pushed)
+    }
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollBackend),
+    Poll(PollBackend),
+}
+
+/// A level-triggered readiness queue over raw file descriptors.
+///
+/// Sources are anything [`AsRawFd`] — `TcpListener`, `TcpStream`,
+/// `UnixStream`, … The caller must keep a registered source alive (and
+/// nonblocking) until it is deregistered or dropped; closing an fd
+/// silently removes it from the kernel set.
+pub struct Poll {
+    backend: Backend,
+    /// Registered waker receive-fds, drained automatically when their
+    /// token fires so level-triggered wakeups self-reset.
+    wakers: Mutex<Vec<(Token, RawFd)>>,
+}
+
+impl Poll {
+    /// A poller on the platform default backend (`epoll` on Linux,
+    /// `poll(2)` elsewhere).
+    pub fn new() -> io::Result<Poll> {
+        #[cfg(target_os = "linux")]
+        {
+            Poll::with_backend(BackendKind::Epoll)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poll::with_backend(BackendKind::Poll)
+        }
+    }
+
+    /// A poller on an explicit backend. `Epoll` errors with
+    /// [`io::ErrorKind::Unsupported`] off Linux.
+    pub fn with_backend(kind: BackendKind) -> io::Result<Poll> {
+        let backend = match kind {
+            BackendKind::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    Backend::Epoll(EpollBackend::new()?)
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "epoll is Linux-only; use BackendKind::Poll",
+                    ));
+                }
+            }
+            BackendKind::Poll => Backend::Poll(PollBackend::new()),
+        };
+        Ok(Poll { backend, wakers: Mutex::new(Vec::new()) })
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> BackendKind {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => BackendKind::Epoll,
+            Backend::Poll(_) => BackendKind::Poll,
+        }
+    }
+
+    /// Subscribes `source` under `token`. The source must already be
+    /// nonblocking for a correct reactor (readiness ≠ a full buffer).
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => {
+                b.ctl(sys_epoll::EPOLL_CTL_ADD, source.as_raw_fd(), token, interest)
+            }
+            Backend::Poll(b) => b.register(source.as_raw_fd(), token, interest),
+        }
+    }
+
+    /// Replaces the token/interest of an existing registration.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => {
+                b.ctl(sys_epoll::EPOLL_CTL_MOD, source.as_raw_fd(), token, interest)
+            }
+            Backend::Poll(b) => b.reregister(source.as_raw_fd(), token, interest),
+        }
+    }
+
+    /// Removes a registration.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => {
+                b.ctl(sys_epoll::EPOLL_CTL_DEL, source.as_raw_fd(), Token(0), Interest(0))
+            }
+            Backend::Poll(b) => b.deregister(source.as_raw_fd()),
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses, or a [`Waker`] fires. Events land in `events` (cleared
+    /// first); returns how many. `EINTR` returns `Ok(0)`.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let n = match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.wait(events, timeout)?,
+            Backend::Poll(b) => b.wait(events, timeout)?,
+        };
+        // Self-resetting wakeups: drain any waker whose token fired so
+        // the level-triggered readiness clears.
+        if n > 0 {
+            let wakers = self.wakers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !wakers.is_empty() {
+                for ev in events.iter() {
+                    if let Some((_, fd)) = wakers.iter().find(|(t, _)| *t == ev.token) {
+                        drain_fd(*fd);
+                    }
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    fn note_waker(&self, token: Token, fd: RawFd) {
+        self.wakers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((token, fd));
+    }
+}
+
+/// Reads and discards everything currently buffered on `fd`.
+fn drain_fd(fd: RawFd) {
+    // SAFETY: the fd belongs to a live Waker (its streams outlive the
+    // Poll registration); ManuallyDrop prevents a double close.
+    let mut stream = ManuallyDrop::new(unsafe { UnixStream::from_raw_fd(fd) });
+    let mut sink = [0u8; 64];
+    while let Ok(n) = stream.read(&mut sink) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
+/// Wakes a [`Poll`] blocked on another thread.
+///
+/// Backed by a nonblocking socketpair: `wake` writes a byte to the send
+/// half; the receive half is registered with the poll under the given
+/// token, and [`Poll::poll`] drains it automatically when it fires.
+/// Keep the `Waker` alive as long as the poll uses it.
+pub struct Waker {
+    tx: UnixStream,
+    _rx: UnixStream,
+}
+
+impl Waker {
+    /// Creates a waker registered with `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        poll.register(&rx, token, Interest::READABLE)?;
+        poll.note_waker(token, rx.as_raw_fd());
+        Ok(Waker { tx, _rx: rx })
+    }
+
+    /// Makes the poll return promptly. Cheap, thread-safe, coalescing:
+    /// a full pipe means a wakeup is already pending.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&self.tx).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn backends() -> Vec<BackendKind> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![BackendKind::Epoll, BackendKind::Poll]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![BackendKind::Poll]
+        }
+    }
+
+    #[test]
+    fn accept_readiness_reports_the_right_token() {
+        for kind in backends() {
+            let mut poll = Poll::with_backend(kind).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poll.register(&listener, Token(7), Interest::READABLE).unwrap();
+
+            let mut events = Events::with_capacity(8);
+            // Nothing pending: a short timeout elapses with no events.
+            poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert!(events.is_empty(), "{kind:?}: spurious readiness");
+
+            let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(
+                events.iter().any(|e| e.token() == Token(7) && e.is_readable()),
+                "{kind:?}: accept readiness missing"
+            );
+        }
+    }
+
+    #[test]
+    fn write_interest_and_reregister_work() {
+        for kind in backends() {
+            let mut poll = Poll::with_backend(kind).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            client.set_nonblocking(true).unwrap();
+            let (server, _) = listener.accept().unwrap();
+
+            poll.register(&client, Token(1), Interest::READABLE).unwrap();
+            let mut events = Events::with_capacity(8);
+            poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert!(events.is_empty(), "{kind:?}: idle socket reported readable");
+
+            // An idle connected socket is immediately writable.
+            poll.reregister(&client, Token(2), Interest::READABLE | Interest::WRITABLE)
+                .unwrap();
+            poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(
+                events.iter().any(|e| e.token() == Token(2) && e.is_writable()),
+                "{kind:?}: write readiness missing"
+            );
+
+            // Incoming bytes flip readable on.
+            (&server).write_all(b"hi").unwrap();
+            poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(
+                events.iter().any(|e| e.token() == Token(2) && e.is_readable()),
+                "{kind:?}: read readiness missing"
+            );
+
+            poll.deregister(&client).unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert!(events.is_empty(), "{kind:?}: deregistered fd still reported");
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll_and_self_resets() {
+        for kind in backends() {
+            let mut poll = Poll::with_backend(kind).unwrap();
+            let waker = std::sync::Arc::new(Waker::new(&poll, Token(9)).unwrap());
+            let mut events = Events::with_capacity(8);
+
+            let w = waker.clone();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                w.wake().unwrap();
+            });
+            let start = Instant::now();
+            poll.poll(&mut events, Some(Duration::from_secs(10))).unwrap();
+            assert!(start.elapsed() < Duration::from_secs(5), "{kind:?}: wake lost");
+            assert!(
+                events.iter().any(|e| e.token() == Token(9) && e.is_readable()),
+                "{kind:?}: waker event missing"
+            );
+            handle.join().unwrap();
+
+            // Drained: without another wake the next poll times out.
+            poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert!(events.is_empty(), "{kind:?}: waker did not self-reset");
+
+            // Coalescing: many wakes, one drained event, still resets.
+            for _ in 0..100 {
+                waker.wake().unwrap();
+            }
+            poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(!events.is_empty(), "{kind:?}: coalesced wake lost");
+            poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert!(events.is_empty(), "{kind:?}: coalesced waker did not reset");
+        }
+    }
+
+    #[test]
+    fn peer_close_is_reported_as_readable() {
+        for kind in backends() {
+            let mut poll = Poll::with_backend(kind).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            client.set_nonblocking(true).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            poll.register(&client, Token(3), Interest::READABLE).unwrap();
+            drop(server);
+            let mut events = Events::with_capacity(8);
+            poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(
+                events.iter().any(|e| e.token() == Token(3) && e.is_readable()),
+                "{kind:?}: close must surface as readable (EOF)"
+            );
+        }
+    }
+}

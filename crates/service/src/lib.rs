@@ -23,7 +23,14 @@
 //!   lifecycle, per-session accounting);
 //! - [`manager`] — [`SessionManager`]: the bounded worker pool, the
 //!   admission queue with backpressure, and request dispatch;
-//! - [`server`] — the TCP accept/connection loop ([`serve`]);
+//! - [`framing`] — [`FrameDecoder`]: incremental, capped NDJSON frame
+//!   reassembly shared by the server reactor and pipelined clients;
+//! - [`server`] — the nonblocking reactor ([`serve`]): one event-loop
+//!   thread (epoll via the `mio` stand-in) owns every connection's
+//!   state machine — incremental frame reassembly, buffered
+//!   nonblocking writes with backpressure, per-connection serial
+//!   pipelining into a dispatch pool — so one process holds tens of
+//!   thousands of idle tenants without a thread or a wakeup each;
 //! - [`flight`] — [`FlightRecorder`]: JSONL black-box dumps (recent
 //!   telemetry events + config trajectory + fault/retry counters) for
 //!   sessions that are cancelled or trip fault paths;
@@ -46,6 +53,7 @@
 
 pub mod client;
 pub mod flight;
+pub mod framing;
 pub mod manager;
 pub mod protocol;
 pub mod server;
@@ -54,6 +62,7 @@ pub mod store;
 
 pub use client::{ClientError, DriveReport, Suggestion, TuningClient};
 pub use flight::{FlightRecorder, FLIGHT_FORMAT_VERSION};
+pub use framing::{DecodedFrame, FrameDecoder};
 pub use manager::{ServiceOptions, SessionManager};
 pub use protocol::{
     ErrorCode, MetricsFormat, ObservedStatus, Profile, ProtoError, Request, MAX_FRAME_BYTES,

@@ -52,6 +52,11 @@ pub struct ServiceOptions {
     /// Where failure flight-recorder dumps are written; `None` disables
     /// the recorder.
     pub flight_dir: Option<PathBuf>,
+    /// Dispatch threads the reactor hands decoded requests to. These
+    /// execute `handle_line` (which can block up to `suggest_timeout`
+    /// waiting on a session's pipeline) so the event loop never does;
+    /// they are cheap threads, distinct from the GP-compute `workers`.
+    pub dispatch_workers: usize,
 }
 
 impl Default for ServiceOptions {
@@ -62,6 +67,7 @@ impl Default for ServiceOptions {
             suggest_timeout: Duration::from_secs(30),
             slo_window: 256,
             flight_dir: None,
+            dispatch_workers: 8,
         }
     }
 }

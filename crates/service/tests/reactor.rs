@@ -1,0 +1,197 @@
+//! Wire-level behavior of the nonblocking reactor core: pipelining,
+//! slow writers, slow readers (write backpressure), overflow-at-EOF,
+//! and drain semantics — everything ISSUE 8's connection-layer sweep
+//! pinned down, exercised over real loopback TCP.
+
+mod common;
+
+use robotune::InMemoryMemoStore;
+use robotune_service::{serve, ServiceOptions, SessionManager, MAX_FRAME_BYTES};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One shared daemon for the cases that never shut it down (the test
+/// process exits underneath it, as in wire.rs).
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let server = common::start(
+            ServiceOptions { workers: 1, ..ServiceOptions::default() },
+            InMemoryMemoStore::new().into_shared(),
+        );
+        let addr = server.addr;
+        std::mem::forget(server);
+        addr
+    })
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(READ_TIMEOUT)).expect("read timeout");
+    stream
+}
+
+fn status_frame(id: usize) -> String {
+    format!("{{\"id\":{id},\"verb\":\"status\"}}\n")
+}
+
+fn read_json_line(reader: &mut BufReader<TcpStream>) -> Value {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("read response line");
+    assert!(n > 0, "server closed the connection instead of answering");
+    serde_json::from_str(line.trim_end()).expect("response is JSON")
+}
+
+#[test]
+fn n_pipelined_requests_in_one_segment_get_n_in_order_responses() {
+    const N: usize = 64;
+    let stream = connect(server_addr());
+    let mut segment = String::new();
+    for id in 0..N {
+        segment.push_str(&status_frame(id));
+    }
+    // All N requests leave in one write: the reactor must reassemble
+    // and answer them serially, in arrival order.
+    (&stream).write_all(segment.as_bytes()).expect("write pipelined segment");
+    let mut reader = BufReader::new(stream);
+    for id in 0..N {
+        let v = read_json_line(&mut reader);
+        assert_eq!(v["ok"], Value::Bool(true), "request {id}: {v:?}");
+        assert_eq!(v["id"].as_u64(), Some(id as u64), "responses must be in order");
+    }
+}
+
+#[test]
+fn frame_dribbled_one_byte_per_write_is_reassembled() {
+    let stream = connect(server_addr());
+    stream.set_nodelay(true).expect("nodelay");
+    let frame = status_frame(4242);
+    for &b in frame.as_bytes() {
+        (&stream).write_all(&[b]).expect("write one byte");
+        (&stream).flush().expect("flush");
+    }
+    let mut reader = BufReader::new(stream);
+    let v = read_json_line(&mut reader);
+    assert_eq!(v["ok"], Value::Bool(true), "{v:?}");
+    assert_eq!(v["id"].as_u64(), Some(4242));
+}
+
+#[test]
+fn overflow_then_eof_is_a_silent_close_not_an_error_frame() {
+    // Regression (ISSUE 8 satellite): the old reader returned TooLong
+    // at EOF and wrote `frame_too_large` to a peer that had already
+    // hung up. An oversized, never-terminated frame followed by EOF
+    // must now produce no bytes at all.
+    let stream = connect(server_addr());
+    let huge = vec![b'z'; MAX_FRAME_BYTES + 4096];
+    (&stream).write_all(&huge).expect("write oversized partial");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut tail = Vec::new();
+    let n = (&stream).read_to_end(&mut tail).expect("read until server closes");
+    assert_eq!(n, 0, "no error frame may follow EOF, got: {:?}", String::from_utf8_lossy(&tail));
+}
+
+#[test]
+fn final_unterminated_frame_still_gets_an_answer_at_eof() {
+    // The flip side of the overflow case: a *well-formed* last request
+    // whose client forgot the trailing newline keeps being served.
+    let stream = connect(server_addr());
+    (&stream).write_all(br#"{"id":7,"verb":"status"}"#).expect("write partial");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut reader = BufReader::new(stream);
+    let v = read_json_line(&mut reader);
+    assert_eq!(v["ok"], Value::Bool(true), "{v:?}");
+    assert_eq!(v["id"].as_u64(), Some(7));
+}
+
+#[test]
+fn drain_answers_fully_buffered_pipelined_requests_before_close() {
+    // Regression (ISSUE 8 satellite): shutdown used to race buffered
+    // frames — `read_frame` reported Shutdown even with a request
+    // fully received. Here the shutdown verb and a trailing status
+    // request leave in ONE segment; the drain must answer both, then
+    // close without waiting for client EOF, and `serve` must return.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let manager = Arc::new(SessionManager::new(
+        ServiceOptions { workers: 1, ..ServiceOptions::default() },
+        InMemoryMemoStore::new().into_shared(),
+    ));
+    let m = manager.clone();
+    let server = std::thread::spawn(move || serve(listener, &m));
+
+    let stream = connect(addr);
+    (&stream)
+        .write_all(b"{\"id\":1,\"verb\":\"shutdown\"}\n{\"id\":2,\"verb\":\"status\"}\n")
+        .expect("write shutdown+status in one segment");
+    let mut reader = BufReader::new(stream);
+    let v = read_json_line(&mut reader);
+    assert_eq!(v["id"].as_u64(), Some(1));
+    assert_eq!(v["ok"], Value::Bool(true), "shutdown accepted: {v:?}");
+    let v = read_json_line(&mut reader);
+    assert_eq!(v["id"].as_u64(), Some(2), "buffered pipelined request answered in drain");
+    assert_eq!(v["ok"], Value::Bool(true), "{v:?}");
+    // The server initiates the close (we never sent EOF).
+    let mut tail = String::new();
+    let n = reader.read_line(&mut tail).expect("server closes after drain");
+    assert_eq!(n, 0, "no frames after the drained ones: {tail:?}");
+    server
+        .join()
+        .expect("server thread must not panic")
+        .expect("serve exits cleanly after drain");
+    assert!(manager.is_shutting_down());
+}
+
+#[test]
+fn slow_reader_trips_backpressure_without_wedging_the_reactor() {
+    // A peer that pipelines thousands of requests but never reads fills
+    // its response buffer; the reactor must throttle *that* connection
+    // (inbox cap + write watermark) while other tenants stay live —
+    // and once the slacker finally reads, every response arrives in
+    // order.
+    const REQUESTS: usize = 4000;
+    let server = common::start(
+        ServiceOptions { workers: 1, ..ServiceOptions::default() },
+        InMemoryMemoStore::new().into_shared(),
+    );
+    let addr = server.addr;
+
+    let slacker = connect(addr);
+    let writer = slacker.try_clone().expect("clone for writer");
+    let pump = std::thread::spawn(move || {
+        // May block mid-way once kernel buffers and the server's inbox
+        // cap fill up — that is the point; it must unblock eventually.
+        let mut segment = Vec::new();
+        for id in 0..REQUESTS {
+            segment.extend_from_slice(status_frame(id).as_bytes());
+        }
+        (&writer).write_all(&segment).expect("write flood");
+        writer.shutdown(Shutdown::Write).expect("half-close");
+    });
+
+    // While the slacker's backlog builds, an innocent tenant must get
+    // prompt service on the same reactor.
+    let bystander = connect(addr);
+    let mut bystander_reader = BufReader::new(bystander.try_clone().expect("clone"));
+    for id in 0..20 {
+        (&bystander).write_all(status_frame(id).as_bytes()).expect("bystander write");
+        let v = read_json_line(&mut bystander_reader);
+        assert_eq!(v["id"].as_u64(), Some(id as u64), "reactor wedged: {v:?}");
+    }
+    drop(bystander_reader);
+    drop(bystander);
+
+    // Now drain the flood: all responses, in order, nothing lost.
+    let mut reader = BufReader::new(slacker);
+    for id in 0..REQUESTS {
+        let v = read_json_line(&mut reader);
+        assert_eq!(v["id"].as_u64(), Some(id as u64), "response {id} out of order");
+    }
+    pump.join().expect("writer thread");
+    server.shutdown();
+}
