@@ -16,6 +16,7 @@
 //!   default    tuned vs Spark factory default (§5.2)
 //!   ablation   all five design-choice ablations
 //!   chaos      resilience report under fault injection
+//!   mf         multi-fidelity cost-to-within-5% vs ROBOTune and RS
 //!   all        everything above + regenerate EXPERIMENTS.md fodder
 //!
 //! experiments bench   [--quick] [--reps N] [--out DIR] [--campaign NAME]
@@ -203,13 +204,17 @@ fn dispatch(cmd: &str, args: &Args) {
         "chaos" => {
             emit(args, "chaos", run_chaos(args));
         }
+        "mf" => {
+            use robotune_bench::exp::mf;
+            emit(args, "mf", mf::run(args.reps, args.budget, args.faults));
+        }
         "all" => run_all(args),
         "calibrate" => calibrate(),
         "debug-select" => debug_select(),
         "debug-dist" => debug_dist(),
         _ => {
             eprintln!(
-                "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|chaos|all> \
+                "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|tab2|default|ablation|extras|chaos|mf|all> \
                  [--reps N] [--budget N] [--out DIR] [--trace FILE] [--profile FILE] [--faults none|transient|hostile]\n\
                  \x20      experiments bench [--quick] [--reps N] [--out DIR] [--campaign NAME] [--check --baseline FILE [--manifest FILE]] [--validate FILE] [--tolerance PCT]\n\
                  \x20      experiments serve [--port N] [--store DIR] [--workers N] [--queue N] [--dispatch N] [--flight-dir DIR] [--no-telemetry]\n\
@@ -342,6 +347,7 @@ fn run_all(args: &Args) {
     let extras = run_extras(args);
     print!("{extras}");
     write_results(&args.out, "extras", &extras, None);
+    emit(args, "mf", robotune_bench::exp::mf::run(args.reps, args.budget, args.faults));
     eprintln!("\nall experiment outputs written under {}/", args.out.display());
 }
 

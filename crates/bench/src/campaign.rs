@@ -10,6 +10,8 @@
 //!   and robust statistics so the numbers are comparable across runs;
 //! - **end-to-end tuner sessions** — wall-clock time of full ROBOTune
 //!   and Random Search sessions over the simulator via [`crate::runner`];
+//! - **multi-fidelity sessions** — Hyperband+BO wall-clock plus the
+//!   simulated `mf.cost_to_target_s` trajectory metric;
 //! - **service verbs** — an in-process `serve` + loadgen pass measuring
 //!   per-request `suggest`/`observe` round-trip latency and throughput.
 //!
@@ -36,7 +38,7 @@ use serde_json::{json, Value};
 
 use crate::loadgen::{run_loadgen, LoadgenArgs};
 use crate::report::{fatal, markdown_table};
-use crate::runner::{run_baseline, run_robotune_sequence, TunerKind};
+use crate::runner::{run_baseline, run_mf, run_robotune_sequence, MfKind, TunerKind};
 
 /// Manifest discriminator (`"kind"` field).
 pub const MANIFEST_KIND: &str = "robotune-bench-manifest";
@@ -647,6 +649,50 @@ pub fn run_tuner_campaign(cfg: &CampaignConfig) -> Result<Vec<SeriesSamples>, St
     ])
 }
 
+/// Multi-fidelity tuner campaign: one warm-started Hyperband+BO session
+/// per rep on TeraSort/D1. Two series: session wall-clock, and the
+/// *simulated* evaluation cost charged until the session first lands
+/// within 5% of its own final best (`mf.cost_to_target_s` — the
+/// headline metric of `experiments mf`, here on a fixed cell so the
+/// trajectory is comparable across commits). A session that never
+/// completes a full-fidelity run inside the campaign's small budget is
+/// charged its entire search cost.
+pub fn run_mf_campaign(cfg: &CampaignConfig) -> Result<Vec<SeriesSamples>, String> {
+    let mut wall = Vec::with_capacity(cfg.tuner_reps);
+    let mut cost = Vec::with_capacity(cfg.tuner_reps);
+    for rep in 0..cfg.tuner_reps {
+        let t = Instant::now();
+        let (r, accounting) =
+            run_mf(MfKind::HyperbandBo, Workload::TeraSort, Dataset::D1, cfg.tuner_budget, rep);
+        wall.push(t.elapsed().as_secs_f64() * 1e3);
+        if r.session.len() != cfg.tuner_budget {
+            return Err("campaign: short Hyperband+BO session".into());
+        }
+        if accounting.total_evals() == 0 {
+            return Err("campaign: Hyperband phase ran no rung evaluations".into());
+        }
+        let to_target = r
+            .best_time
+            .and_then(|best| r.session.cost_to_within_of(best, 0.05))
+            .unwrap_or(r.search_cost);
+        cost.push(to_target);
+    }
+    Ok(vec![
+        SeriesSamples {
+            name: "mf.hyperband_bo_session_ms",
+            unit: "ms",
+            direction: Direction::Lower,
+            samples: wall,
+        },
+        SeriesSamples {
+            name: "mf.cost_to_target_s",
+            unit: "s",
+            direction: Direction::Lower,
+            samples: cost,
+        },
+    ])
+}
+
 /// Service-verb campaign: boots an in-process daemon on an OS-assigned
 /// loopback port, drives `service_rounds` loadgen passes through real
 /// TCP sessions, and collects per-request suggest/observe latencies plus
@@ -831,6 +877,11 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<Manifest, String> {
         cfg.name, cfg.tuner_budget, cfg.tuner_reps
     );
     all.extend(run_tuner_campaign(cfg)?);
+    eprintln!(
+        "bench campaign `{}`: multi-fidelity sessions (budget {}, {} reps)...",
+        cfg.name, cfg.tuner_budget, cfg.tuner_reps
+    );
+    all.extend(run_mf_campaign(cfg)?);
     eprintln!(
         "bench campaign `{}`: service verbs ({} tenants x {} rounds)...",
         cfg.name, cfg.service_tenants, cfg.service_rounds
@@ -1284,7 +1335,7 @@ mod tests {
         let cfg = CampaignConfig::tiny();
         let m = run_campaign(&cfg).expect("tiny campaign");
         assert!(m.series.len() >= 8, "expected >= 8 series, got {}", m.series.len());
-        for prefix in ["gp.", "tuner.", "service."] {
+        for prefix in ["gp.", "tuner.", "mf.", "service.", "store."] {
             assert!(
                 m.series.iter().any(|s| s.name.starts_with(prefix)),
                 "missing {prefix} series"

@@ -12,6 +12,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod grid;
+pub mod mf;
 pub mod tab2;
 
 pub use grid::GridResults;

@@ -117,7 +117,7 @@ fn render_frame(client: &mut TuningClient, addr: &str) -> Result<String, String>
     ));
 
     out.push_str(&format!(
-        "{:<8} {:<10} {:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>12} {:>12}\n",
+        "{:<8} {:<10} {:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>6} {:>6} {:>9} {:>12} {:>12}\n",
         "session",
         "state",
         "workload",
@@ -127,6 +127,9 @@ fn render_frame(client: &mut TuningClient, addr: &str) -> Result<String, String>
         "best(s)",
         "bo.obs",
         "retries",
+        "rungs",
+        "promo",
+        "mf(s)",
         "sug p50/p99",
         "obs p50/p99"
     ));
@@ -152,8 +155,20 @@ fn render_frame(client: &mut TuningClient, addr: &str) -> Result<String, String>
         };
         let (sp50, sp99) = req("service.req_ns.suggest");
         let (op50, op99) = req("service.req_ns.observe");
+        // Simulated seconds burned on partial- and full-fidelity rungs:
+        // the sum across every `mf.budget_spent.<fidelity>` histogram.
+        let mf_spent: f64 = metrics["hists"]
+            .as_object()
+            .map(|hists| {
+                hists
+                    .iter()
+                    .filter(|(name, _)| name.starts_with("mf.budget_spent."))
+                    .filter_map(|(_, h)| h["sum"].as_f64())
+                    .sum()
+            })
+            .unwrap_or(0.0);
         out.push_str(&format!(
-            "{:<8} {:<10} {:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>12} {:>12}\n",
+            "{:<8} {:<10} {:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>6} {:>6} {:>9} {:>12} {:>12}\n",
             sid,
             s["state"].as_str().unwrap_or("?"),
             s["workload"].as_str().unwrap_or("?"),
@@ -163,6 +178,9 @@ fn render_frame(client: &mut TuningClient, addr: &str) -> Result<String, String>
             s["best_time_s"].as_f64().map_or("—".to_string(), |b| format!("{b:.1}")),
             counter("bo.observe"),
             counter("retry.attempt"),
+            counter("mf.rung_evals"),
+            counter("mf.promotions"),
+            if mf_spent > 0.0 { format!("{mf_spent:.0}") } else { "—".to_string() },
             format!("{sp50}/{sp99}"),
             format!("{op50}/{op99}"),
         ));

@@ -1,6 +1,7 @@
 //! Session execution over the Spark simulator.
 
 use robotune::{RoboTune, RoboTuneOptions};
+use robotune_mf::{HyperbandBo, HyperbandBoOptions, HyperbandOptions, HyperbandTuner, MfAccounting};
 use robotune_space::spark::spark_space;
 use robotune_space::{ConfigSpace, Configuration};
 use robotune_sparksim::{Dataset, FaultPlan, FaultProfile, SparkJob, Workload};
@@ -212,6 +213,72 @@ pub fn run_robotune_sequence_with_faults(
         ));
     }
     out
+}
+
+/// Which multi-fidelity tuner to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MfKind {
+    /// Pure Hyperband: successive-halving brackets, no model.
+    Hyperband,
+    /// Hyperband exploration warm-starting a full-fidelity BO phase.
+    HyperbandBo,
+}
+
+impl MfKind {
+    /// Display name used in figures and seeds.
+    pub fn name(self) -> &'static str {
+        match self {
+            MfKind::Hyperband => "Hyperband",
+            MfKind::HyperbandBo => "Hyperband+BO",
+        }
+    }
+}
+
+/// Runs one multi-fidelity tuner session on a fault-free cluster.
+pub fn run_mf(
+    kind: MfKind,
+    workload: Workload,
+    dataset: Dataset,
+    budget: usize,
+    rep: usize,
+) -> (SessionResult, MfAccounting) {
+    run_mf_with_faults(kind, workload, dataset, budget, rep, FaultProfile::None)
+}
+
+/// Runs one multi-fidelity tuner session under a fault-injection
+/// profile. Seeding mirrors [`run_baseline_with_faults`]: the tuner RNG
+/// is keyed by the (workload, dataset, tuner, rep) cell and the fault
+/// plan by the tuner-independent [`fault_seed_for`], so Hyperband faces
+/// the same fault schedule as every baseline at the same eval indices.
+pub fn run_mf_with_faults(
+    kind: MfKind,
+    workload: Workload,
+    dataset: Dataset,
+    budget: usize,
+    rep: usize,
+    profile: FaultProfile,
+) -> (SessionResult, MfAccounting) {
+    let sp = space();
+    let seed = seed_for(workload, dataset, kind.name(), rep);
+    let job = SparkJob::new((*sp).clone(), workload, dataset, seed ^ 0x5151);
+    let mut job = maybe_faulted(job, profile, fault_seed_for(workload, dataset, rep));
+    let mut rng = rng_from_seed(seed);
+    let (session, accounting) = match kind {
+        MfKind::Hyperband => {
+            let mut tuner = HyperbandTuner::new(HyperbandOptions::default());
+            let session = tuner.tune(sp.as_ref(), &mut job, budget, &mut rng);
+            (session, tuner.accounting().clone())
+        }
+        MfKind::HyperbandBo => {
+            let mut tuner = HyperbandBo::new(HyperbandBoOptions::default());
+            let session = tuner.tune(sp.as_ref(), &mut job, budget, &mut rng);
+            (session, tuner.accounting().clone())
+        }
+    };
+    (
+        SessionResult::from_session(workload, dataset, kind.name(), rep, session, 0.0),
+        accounting,
+    )
 }
 
 /// Maps `f` over `items` on up to `available_parallelism` threads,

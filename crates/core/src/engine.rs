@@ -142,7 +142,8 @@ impl RoboTuneEngine {
         if eval.completed {
             self.completed_times.push(eval.time_s);
         }
-        self.session.push(point.clone(), config, eval, cap);
+        self.session
+            .push_at(point.clone(), config, eval, cap, objective.fidelity());
         // Completed runs feed the surrogate their measured time; killed and
         // failed runs become *censored* observations at the policy maximum
         // so failure regions stay unattractive without crashing the loop.

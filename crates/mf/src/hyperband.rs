@@ -1,0 +1,179 @@
+//! Hyperband: cycling successive-halving brackets from aggressive
+//! (many configs, tiny fidelity) to conservative (few configs, full
+//! fidelity), so no single halving rate has to be right (Li et al.,
+//! JMLR '18).
+
+use rand::rngs::StdRng;
+use robotune_sampling::uniform;
+use robotune_space::SearchSpace;
+use robotune_tuners::{Fidelity, Objective, Tuner, TuningSession};
+
+use crate::sha::{MfAccounting, ShaOptions, ShaScheduler, Survivor};
+
+/// Hyperband configuration.
+#[derive(Debug, Clone, Default)]
+pub struct HyperbandOptions {
+    /// Bracket/rung mechanics (η, fidelity ladder, caps, retries).
+    pub sha: ShaOptions,
+}
+
+impl HyperbandOptions {
+    /// Starting size of bracket `s`: `n₀ = ⌈(s_max + 1) · η^s / (s + 1)⌉`,
+    /// the standard Hyperband allocation that gives every bracket roughly
+    /// the same total budget.
+    pub fn bracket_size(&self, s: usize) -> usize {
+        let eta = self.sha.eta.max(2);
+        let s_max = self.sha.s_max();
+        ((s_max + 1) * eta.pow(s as u32)).div_ceil(s + 1)
+    }
+}
+
+/// The Hyperband tuner: a drop-in [`Tuner`] that spends its evaluation
+/// budget on successive-halving brackets instead of a single-fidelity
+/// loop. Works against any [`Objective`]; on objectives without a
+/// fidelity axis it degenerates to successive halving on counts alone.
+#[derive(Debug, Clone, Default)]
+pub struct HyperbandTuner {
+    opts: HyperbandOptions,
+    accounting: MfAccounting,
+}
+
+impl HyperbandTuner {
+    /// Creates a Hyperband tuner.
+    pub fn new(opts: HyperbandOptions) -> Self {
+        HyperbandTuner { opts, accounting: MfAccounting::default() }
+    }
+
+    /// The spend ledger of the most recent [`Tuner::tune`] call.
+    pub fn accounting(&self) -> &MfAccounting {
+        &self.accounting
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> &HyperbandOptions {
+        &self.opts
+    }
+
+    /// Runs brackets into `session` until `budget` total evaluations are
+    /// recorded, returning the survivors of every bracket (each bracket's
+    /// winners, in bracket order). Shared by [`Tuner::tune`] and the
+    /// warm-started `HyperbandBo` pipeline, which caps the Hyperband phase
+    /// below the session budget and finishes with BO.
+    pub(crate) fn run_into(
+        &mut self,
+        space: &dyn SearchSpace,
+        objective: &mut dyn Objective,
+        session: &mut TuningSession,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Survivor> {
+        self.accounting = MfAccounting::default();
+        let scheduler = ShaScheduler::new(self.opts.sha.clone());
+        let s_max = self.opts.sha.s_max();
+        let mut survivors = Vec::new();
+        let mut s = s_max;
+        let mut bracket = 0usize;
+        while session.len() < budget {
+            let n0 = self.opts.bracket_size(s);
+            let points = uniform(n0, space.dim(), rng);
+            let winners = scheduler.run_bracket(
+                bracket,
+                s,
+                points,
+                space,
+                objective,
+                session,
+                budget,
+                &mut self.accounting,
+            );
+            survivors.extend(winners.into_iter().filter(|w| w.value.is_finite()));
+            bracket += 1;
+            s = if s == 0 { s_max } else { s - 1 };
+        }
+        // Leave the objective where single-fidelity callers expect it.
+        objective.set_fidelity(Fidelity::FULL);
+        survivors
+    }
+}
+
+impl Tuner for HyperbandTuner {
+    fn name(&self) -> &str {
+        "Hyperband"
+    }
+
+    fn tune(
+        &mut self,
+        space: &dyn SearchSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> TuningSession {
+        let mut session = TuningSession::new(self.name());
+        self.run_into(space, objective, &mut session, budget, rng);
+        session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_space::spark::spark_space;
+    use robotune_stats::rng_from_seed;
+    use robotune_tuners::FnObjective;
+
+    #[test]
+    fn bracket_sizes_follow_the_hyperband_allocation() {
+        let opts = HyperbandOptions::default(); // η = 4, s_max = 2
+        assert_eq!(opts.bracket_size(2), 16); // 3·16/3
+        assert_eq!(opts.bracket_size(1), 6); // ⌈3·4/2⌉
+        assert_eq!(opts.bracket_size(0), 3); // 3·1/1
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let space = spark_space();
+        let mut obj = FnObjective::new(|c: &robotune_space::Configuration| {
+            50.0 + c.values().len() as f64
+        });
+        let mut tuner = HyperbandTuner::default();
+        let mut rng = rng_from_seed(3);
+        let session = tuner.tune(&space, &mut obj, 25, &mut rng);
+        assert_eq!(session.len(), 25);
+        assert_eq!(tuner.accounting().total_evals(), 25);
+    }
+
+    #[test]
+    fn no_fidelity_axis_degenerates_to_counts_only_halving() {
+        let space = spark_space();
+        // FnObjective has no fidelity axis: set_fidelity returns false.
+        let cores = space.index_of(robotune_space::spark::names::EXECUTOR_CORES).unwrap();
+        let mut obj = FnObjective::new(move |c: &robotune_space::Configuration| {
+            10.0 + 300.0 / (c.get(cores).as_int() as f64).max(1.0)
+        });
+        let mut tuner = HyperbandTuner::default();
+        let mut rng = rng_from_seed(5);
+        let session = tuner.tune(&space, &mut obj, 21, &mut rng);
+        assert!(session.records.iter().all(|r| r.fidelity.is_full()));
+        // With every record at FULL the session still ranks and promotes.
+        assert!(tuner.accounting().total_promotions() > 0);
+        assert!(session.best().is_some());
+    }
+
+    #[test]
+    fn accounting_sums_to_session_cost() {
+        let space = spark_space();
+        let cores = space.index_of(robotune_space::spark::names::EXECUTOR_CORES).unwrap();
+        let mut obj = FnObjective::new(move |c: &robotune_space::Configuration| {
+            20.0 + 300.0 / (c.get(cores).as_int() as f64).max(1.0)
+        });
+        let mut tuner = HyperbandTuner::default();
+        let mut rng = rng_from_seed(7);
+        let session = tuner.tune(&space, &mut obj, 40, &mut rng);
+        let ledger = tuner.accounting().total_cost_s();
+        assert!(
+            (ledger - session.search_cost()).abs() <= 1e-9 * session.search_cost().max(1.0),
+            "ledger {ledger} vs session {}",
+            session.search_cost()
+        );
+    }
+}

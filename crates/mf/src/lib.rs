@@ -1,0 +1,37 @@
+//! Multi-fidelity tuning: successive halving and Hyperband over the
+//! fidelity axis, beside (not inside) the BO engine.
+//!
+//! ROBOTune evaluates every probed configuration on the full dataset, so
+//! evaluation cost — not model quality — dominates tuning time. This
+//! crate adds the MFTune-style alternative: run most probes on small
+//! subsamples ([`robotune_tuners::Fidelity`], threaded through the Spark
+//! simulator), promote only survivors, and graduate the best to the full
+//! dataset. Three layers:
+//!
+//! * [`sha`] — [`sha::ShaScheduler`]: successive-halving brackets — rung
+//!   math, `total_cmp`-deterministic promotion, the [`sha::MfAccounting`]
+//!   spend ledger mirrored into the `mf.*` metrics;
+//! * [`hyperband`] — [`hyperband::HyperbandTuner`]: cycles brackets from
+//!   aggressive to conservative under one evaluation budget, a drop-in
+//!   [`robotune_tuners::Tuner`];
+//! * [`warmstart`] + [`tuner`] — [`tuner::HyperbandBo`]: bias-corrected
+//!   observation transfer from the low-fidelity rungs into a
+//!   full-fidelity [`robotune_bo::BoEngine`] finishing phase.
+//!
+//! Everything is deterministic per seed: the same seed yields
+//! bit-identical rung schedules, promotions, and traces, composable with
+//! `crates/faults`' scheduled fault plans.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod hyperband;
+pub mod sha;
+pub mod tuner;
+pub mod warmstart;
+
+pub use hyperband::{HyperbandOptions, HyperbandTuner};
+pub use sha::{MfAccounting, RungCost, RungSpec, ShaOptions, ShaScheduler, Survivor};
+pub use tuner::{HyperbandBo, HyperbandBoOptions};
+pub use warmstart::{bias_corrected_observations, seed_engine, TransferredObs};

@@ -1,0 +1,342 @@
+//! Successive halving: the rung scheduler Hyperband brackets are built
+//! from (Jamieson & Talwalkar, AISTATS '16; Li et al., JMLR '18).
+//!
+//! A bracket starts `n₀` configurations at a low fidelity, ranks them,
+//! promotes the top `1/η` to the next rung at `η×` the fidelity, and
+//! repeats until one rung runs at the full dataset. Everything here is
+//! deterministic given the candidate points: ranking uses
+//! `f64::total_cmp` with evaluation order as the tie-break, so two runs
+//! with the same seed produce bit-identical schedules and promotions.
+
+use robotune_space::SearchSpace;
+use robotune_tuners::{
+    evaluate_with_retry, Fidelity, Objective, RetryPolicy, ThresholdPolicy, TuningSession,
+};
+
+/// Options shared by every bracket of a multi-fidelity run.
+#[derive(Debug, Clone)]
+pub struct ShaOptions {
+    /// The halving rate η ≥ 2: rungs promote the top `1/η` and raise the
+    /// fidelity by `η×`. The default 4 walks the 1/16 → 1/4 → full ladder.
+    pub eta: usize,
+    /// The lowest fidelity any rung may run at. Together with `eta` this
+    /// fixes the deepest bracket: `s_max = ⌊log_η(1/min_fidelity)⌋`.
+    pub min_fidelity: Fidelity,
+    /// Per-run stop threshold (the full-fidelity cap; see
+    /// `scale_cap_with_fidelity`).
+    pub threshold: ThresholdPolicy,
+    /// Scale the cap by the rung's fidelity fraction (floored at
+    /// `min_cap_s`): a configuration that would be killed at 480 s on the
+    /// full dataset deserves killing at ~30 s on a 1/16 sample, and not
+    /// scaling would let bad configs burn full-size budget on tiny data.
+    pub scale_cap_with_fidelity: bool,
+    /// Floor for the fidelity-scaled cap, seconds.
+    pub min_cap_s: f64,
+    /// Retry policy for transient failures (faulted clusters). Retries
+    /// charge their burned time to the evaluation, exactly as in the
+    /// single-fidelity tuners.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ShaOptions {
+    fn default() -> Self {
+        ShaOptions {
+            eta: 4,
+            // 1/16 by construction of the constant; unreachable error arm.
+            min_fidelity: match Fidelity::new(1.0 / 16.0) {
+                Ok(f) => f,
+                Err(_) => Fidelity::FULL,
+            },
+            threshold: ThresholdPolicy::Static(480.0),
+            scale_cap_with_fidelity: true,
+            min_cap_s: 60.0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ShaOptions {
+    /// The deepest bracket index: how many halvings fit between
+    /// `min_fidelity` and full. `s_max = ⌊log_η(1/min_fidelity)⌋`.
+    pub fn s_max(&self) -> usize {
+        let eta = self.eta.max(2) as f64;
+        let inv = 1.0 / self.min_fidelity.fraction();
+        // Floating-point floor of a log can land one short of an exact
+        // power (log_4(16) computing 1.999…); nudge before flooring.
+        (inv.ln() / eta.ln() + 1e-9).floor().max(0.0) as usize
+    }
+
+    /// The rung ladder of bracket `s`: `s + 1` rungs, rung `i` running
+    /// `n_i = ⌊n₀ / η^i⌋` (≥ 1) configurations at fidelity `η^{i-s}`, so
+    /// the last rung always runs at exactly [`Fidelity::FULL`].
+    pub fn rungs(&self, s: usize, n0: usize) -> Vec<RungSpec> {
+        let eta = self.eta.max(2);
+        (0..=s)
+            .map(|i| {
+                let frac = 1.0 / (eta.pow((s - i) as u32) as f64);
+                let fidelity = if s == i {
+                    Fidelity::FULL
+                } else {
+                    // frac ∈ (0, 1) by construction; unreachable error arm.
+                    Fidelity::new(frac).unwrap_or(Fidelity::FULL)
+                };
+                RungSpec {
+                    rung: i,
+                    n: (n0 / eta.pow(i as u32)).max(1),
+                    fidelity,
+                }
+            })
+            .collect()
+    }
+
+    /// The cap for a rung at `fidelity`, derived from the threshold
+    /// policy's hard maximum.
+    pub fn rung_cap(&self, fidelity: Fidelity) -> f64 {
+        let base = self.threshold.max_cap();
+        if self.scale_cap_with_fidelity && !fidelity.is_full() {
+            (base * fidelity.fraction()).max(self.min_cap_s.min(base))
+        } else {
+            base
+        }
+    }
+}
+
+/// The `mf.budget_spent.<fidelity>` series a rung's burned seconds land
+/// on. Metric names must be `'static`, so the η = 2 and η = 4 ladders get
+/// dedicated series and anything exotic aggregates under `.other`.
+pub fn budget_metric(fidelity: Fidelity) -> &'static str {
+    if fidelity.is_full() {
+        return "mf.budget_spent.full";
+    }
+    let inv = 1.0 / fidelity.fraction();
+    let rounded = inv.round();
+    if (inv - rounded).abs() > 1e-9 {
+        return "mf.budget_spent.other";
+    }
+    match rounded as u64 {
+        2 => "mf.budget_spent.1_2",
+        4 => "mf.budget_spent.1_4",
+        8 => "mf.budget_spent.1_8",
+        16 => "mf.budget_spent.1_16",
+        32 => "mf.budget_spent.1_32",
+        64 => "mf.budget_spent.1_64",
+        _ => "mf.budget_spent.other",
+    }
+}
+
+/// One rung of a bracket: how many configurations run at which fidelity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RungSpec {
+    /// Zero-based rung index within its bracket.
+    pub rung: usize,
+    /// Number of configurations this rung evaluates.
+    pub n: usize,
+    /// The dataset fraction they run at.
+    pub fidelity: Fidelity,
+}
+
+/// What one executed rung cost — the ledger entry behind the
+/// `mf.budget_spent.<fidelity>` metric and the accounting proptests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungCost {
+    /// Zero-based bracket counter across the whole session.
+    pub bracket: usize,
+    /// Rung index within the bracket.
+    pub rung: usize,
+    /// Fidelity the rung ran at.
+    pub fidelity: Fidelity,
+    /// Evaluations charged against the session budget.
+    pub evals: usize,
+    /// Seconds charged (including retry burn and backoff).
+    pub cost_s: f64,
+    /// Configurations promoted out of this rung.
+    pub promoted: usize,
+}
+
+/// Ledger of everything a multi-fidelity session spent, mirrored into the
+/// `mf.*` metrics. Total charged cost is exactly the sum of the per-rung
+/// costs — the accounting invariant the proptests pin.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MfAccounting {
+    /// Every rung executed, in execution order.
+    pub rungs: Vec<RungCost>,
+}
+
+impl MfAccounting {
+    /// Total seconds charged across all rungs.
+    pub fn total_cost_s(&self) -> f64 {
+        self.rungs.iter().map(|r| r.cost_s).sum()
+    }
+
+    /// Total evaluations charged across all rungs.
+    pub fn total_evals(&self) -> usize {
+        self.rungs.iter().map(|r| r.evals).sum()
+    }
+
+    /// Total promotions across all rungs.
+    pub fn total_promotions(&self) -> usize {
+        self.rungs.iter().map(|r| r.promoted).sum()
+    }
+}
+
+/// A surviving configuration after a bracket: its point and the objective
+/// value it scored on its last (highest-fidelity) rung.
+#[derive(Debug, Clone)]
+pub struct Survivor {
+    /// Unit-cube point.
+    pub point: Vec<f64>,
+    /// Objective value (completed time, or the cap-floored penalty) at the
+    /// survivor's last rung.
+    pub value: f64,
+    /// Fidelity of that last rung.
+    pub fidelity: Fidelity,
+}
+
+/// Runs successive-halving brackets over a candidate set.
+#[derive(Debug, Clone, Default)]
+pub struct ShaScheduler {
+    opts: ShaOptions,
+}
+
+impl ShaScheduler {
+    /// Creates a scheduler.
+    pub fn new(opts: ShaOptions) -> Self {
+        ShaScheduler { opts }
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> &ShaOptions {
+        &self.opts
+    }
+
+    /// Runs one bracket `s` over `points`, recording every evaluation into
+    /// `session` (never exceeding `budget` total session evaluations) and
+    /// the spend into `accounting`. Returns the survivors of the last rung
+    /// that actually ran, best first.
+    ///
+    /// If the objective has no fidelity axis ([`Objective::set_fidelity`]
+    /// returns `false`) every rung runs at full fidelity — the schedule
+    /// degenerates to plain successive halving on evaluation counts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_bracket(
+        &self,
+        bracket: usize,
+        s: usize,
+        points: Vec<Vec<f64>>,
+        space: &dyn SearchSpace,
+        objective: &mut dyn Objective,
+        session: &mut TuningSession,
+        budget: usize,
+        accounting: &mut MfAccounting,
+    ) -> Vec<Survivor> {
+        // Candidates carry (point, last objective value) through the rungs.
+        let mut candidates: Vec<Survivor> = points
+            .into_iter()
+            .map(|p| Survivor { point: p, value: f64::INFINITY, fidelity: Fidelity::FULL })
+            .collect();
+
+        for spec in self.opts.rungs(s, candidates.len()) {
+            if session.len() >= budget || candidates.is_empty() {
+                break;
+            }
+            candidates.truncate(spec.n);
+            let fidelity_active = if objective.set_fidelity(spec.fidelity) {
+                spec.fidelity
+            } else {
+                Fidelity::FULL
+            };
+            let cap = self.opts.rung_cap(fidelity_active);
+
+            let mut cost_s = 0.0;
+            let mut evals = 0;
+            for cand in candidates.iter_mut() {
+                if session.len() >= budget {
+                    break;
+                }
+                let config = space.decode(&cand.point);
+                let eval = evaluate_with_retry(objective, &config, cap, &self.opts.retry);
+                session.push_at(cand.point.clone(), config, eval, cap, fidelity_active);
+                cand.value = eval.objective_value(cap);
+                cand.fidelity = fidelity_active;
+                cost_s += eval.time_s;
+                evals += 1;
+                robotune_obs::incr("mf.rung_evals", 1);
+                robotune_obs::record(budget_metric(fidelity_active), eval.time_s);
+            }
+            // Candidates the budget cut off never got a value on this rung:
+            // drop them from the ranking rather than carry a stale score.
+            candidates.truncate(evals);
+
+            // Rank: objective value ascending, evaluation order breaking
+            // ties (stable sort ⇒ deterministic bit-identical promotions).
+            candidates.sort_by(|a, b| a.value.total_cmp(&b.value));
+
+            // Promote the top 1/η into the next rung, if one remains.
+            let promoted = if spec.rung < s && !candidates.is_empty() {
+                let keep = (candidates.len() / self.opts.eta.max(2)).max(1);
+                candidates.truncate(keep);
+                robotune_obs::incr("mf.promotions", keep as u64);
+                keep
+            } else {
+                0
+            };
+            accounting.rungs.push(RungCost {
+                bracket,
+                rung: spec.rung,
+                fidelity: fidelity_active,
+                evals,
+                cost_s,
+                promoted,
+            });
+        }
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_max_matches_the_ladder() {
+        let opts = ShaOptions::default(); // η = 4, min 1/16
+        assert_eq!(opts.s_max(), 2);
+        let mut o = ShaOptions { eta: 2, ..ShaOptions::default() };
+        assert_eq!(o.s_max(), 4); // 1/16 = 2^-4
+        o.min_fidelity = Fidelity::new(0.5).unwrap();
+        assert_eq!(o.s_max(), 1);
+        o.min_fidelity = Fidelity::FULL;
+        assert_eq!(o.s_max(), 0);
+    }
+
+    #[test]
+    fn rung_ladder_ends_at_full_fidelity() {
+        let opts = ShaOptions::default();
+        let rungs = opts.rungs(2, 16);
+        assert_eq!(rungs.len(), 3);
+        assert_eq!(rungs[0].n, 16);
+        assert_eq!(rungs[0].fidelity.fraction(), 1.0 / 16.0);
+        assert_eq!(rungs[1].n, 4);
+        assert_eq!(rungs[1].fidelity.fraction(), 0.25);
+        assert_eq!(rungs[2].n, 1);
+        assert!(rungs[2].fidelity.is_full());
+    }
+
+    #[test]
+    fn rung_counts_never_hit_zero() {
+        let opts = ShaOptions::default();
+        let rungs = opts.rungs(2, 2);
+        assert!(rungs.iter().all(|r| r.n >= 1));
+    }
+
+    #[test]
+    fn caps_scale_with_fidelity_but_respect_the_floor() {
+        let opts = ShaOptions::default(); // static 480, floor 60
+        assert_eq!(opts.rung_cap(Fidelity::FULL), 480.0);
+        assert_eq!(opts.rung_cap(Fidelity::new(0.25).unwrap()), 120.0);
+        // 480/16 = 30 < floor 60.
+        assert_eq!(opts.rung_cap(Fidelity::new(1.0 / 16.0).unwrap()), 60.0);
+        let unscaled = ShaOptions { scale_cap_with_fidelity: false, ..ShaOptions::default() };
+        assert_eq!(unscaled.rung_cap(Fidelity::new(0.25).unwrap()), 480.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Bias-corrected observation transfer: turning low-fidelity measurements
+//! into usable full-fidelity GP observations.
+//!
+//! A 1/16-sample runtime is *systematically* smaller than the full-dataset
+//! runtime of the same configuration, so raw low-fidelity observations
+//! would teach the GP an absurdly optimistic surface. But successive
+//! halving re-evaluates every promoted configuration at the next fidelity,
+//! which hands us paired measurements `(y_lo, y_hi)` of the *same* config
+//! at adjacent fidelities. The median of the `y_hi / y_lo` ratios over a
+//! fidelity step is a robust estimate of that step's multiplicative bias;
+//! chaining the medians up the ladder yields a correction factor to full
+//! fidelity for every level. This observation-transfer design (rather
+//! than adding a fidelity input dimension to the kernel) is deliberate:
+//! see DESIGN.md "Multi-fidelity tuning" for the trade-off.
+
+use robotune_bo::BoEngine;
+use robotune_tuners::{Fidelity, TuningSession};
+
+/// A unit-cube observation ready to seed a full-fidelity GP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferredObs {
+    /// The observed point.
+    pub point: Vec<f64>,
+    /// Bias-corrected (estimated full-fidelity) runtime, seconds.
+    pub y: f64,
+    /// The fidelity the underlying measurement actually ran at. FULL means
+    /// the value is a real measurement, not an extrapolation.
+    pub fidelity: Fidelity,
+}
+
+/// Estimates, for each fidelity level present in `session`, the
+/// multiplicative correction to full fidelity, then emits one corrected
+/// observation per unique point (keeping each point's highest-fidelity
+/// completed measurement). Failed, capped, and non-finite records never
+/// transfer.
+///
+/// When a fidelity step has no paired measurements (every promotion
+/// crashed, say), the step's ratio falls back to the cost model's own
+/// prior: runtime ≈ proportional to fidelity, i.e. `f_hi / f_lo`.
+pub fn bias_corrected_observations(session: &TuningSession) -> Vec<TransferredObs> {
+    let completed: Vec<(&Vec<f64>, f64, Fidelity)> = session
+        .records
+        .iter()
+        .filter(|r| r.eval.completed && !r.eval.failed && r.eval.time_s.is_finite())
+        .map(|r| (&r.point, r.eval.time_s, r.fidelity))
+        .collect();
+    if completed.is_empty() {
+        return Vec::new();
+    }
+
+    // Distinct fidelity levels, ascending.
+    let mut levels: Vec<Fidelity> = Vec::new();
+    for (_, _, f) in &completed {
+        if !levels.contains(f) {
+            levels.push(*f);
+        }
+    }
+    levels.sort_by(Fidelity::total_cmp);
+
+    // Per-step median ratio y_hi / y_lo between adjacent levels.
+    let mut step_ratio: Vec<f64> = Vec::new();
+    for w in levels.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let mut ratios: Vec<f64> = Vec::new();
+        for (p_lo, y_lo, _) in completed.iter().filter(|(_, _, f)| *f == lo) {
+            if let Some((_, y_hi, _)) = completed
+                .iter()
+                .find(|(p_hi, _, f_hi)| *f_hi == hi && p_hi == p_lo)
+            {
+                if *y_lo > 0.0 {
+                    ratios.push(*y_hi / *y_lo);
+                }
+            }
+        }
+        if ratios.is_empty() {
+            step_ratio.push(hi.fraction() / lo.fraction());
+        } else {
+            step_ratio.push(robotune_stats::median(&ratios));
+        }
+    }
+    // Correction to full for levels[i] = product of the step ratios above it.
+    let mut corr = vec![1.0; levels.len()];
+    for i in (0..levels.len().saturating_sub(1)).rev() {
+        corr[i] = corr[i + 1] * step_ratio[i];
+    }
+    // The top level might itself be sub-full (Hyperband truncated by
+    // budget): extrapolate the remaining distance with the linear prior.
+    if let Some(top) = levels.last() {
+        if !top.is_full() {
+            let to_full = 1.0 / top.fraction();
+            for c in corr.iter_mut() {
+                *c *= to_full;
+            }
+        }
+    }
+
+    // One observation per unique point: its highest-fidelity measurement.
+    let mut out: Vec<TransferredObs> = Vec::new();
+    for (point, y, fid) in &completed {
+        let level = levels
+            .iter()
+            .position(|l| l == fid)
+            .unwrap_or(levels.len() - 1);
+        let corrected = *y * corr[level];
+        if !corrected.is_finite() {
+            continue;
+        }
+        match out.iter_mut().find(|o| o.point == **point) {
+            Some(existing) => {
+                if *fid > existing.fidelity {
+                    existing.y = corrected;
+                    existing.fidelity = *fid;
+                }
+            }
+            None => out.push(TransferredObs {
+                point: (*point).clone(),
+                y: corrected,
+                fidelity: *fid,
+            }),
+        }
+    }
+    out
+}
+
+/// Seeds `bo` with transferred observations. Returns how many the engine
+/// accepted; rejects (dimension mismatch, non-finite) are counted on
+/// `mf.warmstart_dropped` and skipped — a bad seed observation must never
+/// abort a session.
+pub fn seed_engine(bo: &mut BoEngine, observations: &[TransferredObs]) -> usize {
+    let mut accepted = 0;
+    for obs in observations {
+        if bo.observe(obs.point.clone(), obs.y).is_ok() {
+            accepted += 1;
+        } else {
+            robotune_obs::incr("mf.warmstart_dropped", 1);
+        }
+    }
+    robotune_obs::incr("mf.warmstart_obs", accepted as u64);
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robotune_space::{Configuration, ParamValue};
+    use robotune_tuners::Evaluation;
+
+    fn cfg() -> Configuration {
+        Configuration::new(vec![ParamValue::Int(1)])
+    }
+
+    fn push(
+        s: &mut TuningSession,
+        point: Vec<f64>,
+        t: f64,
+        fid: Fidelity,
+        completed: bool,
+    ) {
+        let e = if completed {
+            Evaluation::completed(t)
+        } else {
+            Evaluation::capped(t)
+        };
+        s.push_at(point, cfg(), e, 480.0, fid);
+    }
+
+    #[test]
+    fn paired_measurements_estimate_the_bias() {
+        let mut s = TuningSession::new("mf");
+        let q = Fidelity::new(0.25).unwrap();
+        // Two configs measured at 1/4 and again at full, both 4.0× slower
+        // at full; a third config only measured at 1/4.
+        push(&mut s, vec![0.1], 10.0, q, true);
+        push(&mut s, vec![0.2], 20.0, q, true);
+        push(&mut s, vec![0.3], 30.0, q, true);
+        push(&mut s, vec![0.1], 40.0, Fidelity::FULL, true);
+        push(&mut s, vec![0.2], 80.0, Fidelity::FULL, true);
+        let obs = bias_corrected_observations(&s);
+        assert_eq!(obs.len(), 3);
+        // Full-fidelity measurements pass through uncorrected.
+        let o1 = obs.iter().find(|o| o.point == vec![0.1]).unwrap();
+        assert_eq!(o1.y, 40.0);
+        assert!(o1.fidelity.is_full());
+        // The unpaired config is corrected by the median ratio (4.0).
+        let o3 = obs.iter().find(|o| o.point == vec![0.3]).unwrap();
+        assert!((o3.y - 120.0).abs() < 1e-9);
+        assert_eq!(o3.fidelity, q);
+    }
+
+    #[test]
+    fn no_pairs_falls_back_to_the_linear_prior() {
+        let mut s = TuningSession::new("mf");
+        let q = Fidelity::new(0.25).unwrap();
+        push(&mut s, vec![0.1], 10.0, q, true);
+        push(&mut s, vec![0.2], 100.0, Fidelity::FULL, true);
+        let obs = bias_corrected_observations(&s);
+        // Ratio falls back to 1.0 / 0.25 = 4.
+        let o1 = obs.iter().find(|o| o.point == vec![0.1]).unwrap();
+        assert!((o1.y - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_and_failed_records_never_transfer() {
+        let mut s = TuningSession::new("mf");
+        let q = Fidelity::new(0.25).unwrap();
+        push(&mut s, vec![0.1], 60.0, q, false);
+        s.push_at(vec![0.2], cfg(), Evaluation::failed(5.0), 480.0, q);
+        assert!(bias_corrected_observations(&s).is_empty());
+    }
+
+    #[test]
+    fn all_low_fidelity_sessions_extrapolate_to_full() {
+        let mut s = TuningSession::new("mf");
+        let q = Fidelity::new(0.25).unwrap();
+        push(&mut s, vec![0.1], 10.0, q, true);
+        let obs = bias_corrected_observations(&s);
+        assert_eq!(obs.len(), 1);
+        // No level above 1/4 in the session: linear extrapolation ×4.
+        assert!((obs[0].y - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeding_feeds_the_engine() {
+        let mut bo = BoEngine::new(2, robotune_bo::BoOptions::default());
+        let obs = vec![
+            TransferredObs { point: vec![0.1, 0.2], y: 50.0, fidelity: Fidelity::FULL },
+            TransferredObs { point: vec![0.3, 0.4], y: 60.0, fidelity: Fidelity::FULL },
+            // Wrong dimension: dropped, not fatal.
+            TransferredObs { point: vec![0.5], y: 70.0, fidelity: Fidelity::FULL },
+        ];
+        assert_eq!(seed_engine(&mut bo, &obs), 2);
+        assert_eq!(bo.n_observations(), 2);
+    }
+}

@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use robotune_faults::{EvalFaults, FaultPlan};
 use robotune_space::{ConfigSpace, Configuration};
 use robotune_stats::{lognormal, rng_from_seed};
-use robotune_tuners::{Evaluation, Objective};
+use robotune_tuners::{Evaluation, Fidelity, Objective};
 
 use crate::cluster::Cluster;
 use crate::event::simulate_event;
@@ -43,6 +43,11 @@ pub struct SparkJob {
     noise_sigma: f64,
     rng: StdRng,
     evaluations: usize,
+    /// The fraction of `dataset` each evaluation processes. FULL unless a
+    /// multi-fidelity tuner switches it (see [`Objective::set_fidelity`]);
+    /// switching never touches the noise or fault streams, so the same
+    /// seed replays the same schedule whatever fidelities were requested.
+    fidelity: Fidelity,
     /// When set, each evaluation is perturbed by the plan's schedule for
     /// its (global) evaluation index. Independent of the noise stream, so
     /// every tuner sharing a plan seed sees the same fault at the same
@@ -66,8 +71,16 @@ impl SparkJob {
             noise_sigma: Self::DEFAULT_NOISE_SIGMA,
             rng: rng_from_seed(seed),
             evaluations: 0,
+            fidelity: Fidelity::FULL,
             faults: None,
         }
+    }
+
+    /// Starts the job at `fidelity` (see [`Objective::set_fidelity`] for
+    /// switching mid-stream).
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
     }
 
     /// Seconds burned by a cluster-side submit rejection: the gateway
@@ -139,12 +152,24 @@ impl SparkJob {
     }
 
     /// Runs the deterministic simulator without noise or cap — useful for
-    /// inspecting the model itself.
+    /// inspecting the model itself. Honours the current fidelity.
     pub fn dry_run(&self, config: &Configuration) -> RunReport {
         let p = SparkParams::extract(&self.space, config);
         match &self.custom_plan {
-            Some(plan) => crate::sim::simulate_plan(&self.cluster, &p, plan),
-            None => simulate(&self.cluster, &p, self.workload, self.dataset),
+            Some(plan) if self.fidelity.is_full() => {
+                crate::sim::simulate_plan(&self.cluster, &p, plan)
+            }
+            Some(plan) => {
+                crate::sim::simulate_plan(&self.cluster, &p, &plan.at_fidelity(self.fidelity))
+            }
+            None if self.fidelity.is_full() => {
+                simulate(&self.cluster, &p, self.workload, self.dataset)
+            }
+            None => crate::sim::simulate_plan(
+                &self.cluster,
+                &p,
+                &self.workload.plan_at(self.dataset, self.fidelity),
+            ),
         }
     }
 
@@ -159,10 +184,10 @@ impl SparkJob {
             SimEngine::Event { task_sigma } => {
                 let seed = self.rng.gen::<u64>();
                 let p = SparkParams::extract(&self.space, config);
-                let plan = self
-                    .custom_plan
-                    .clone()
-                    .unwrap_or_else(|| self.workload.plan(self.dataset));
+                let plan = match &self.custom_plan {
+                    Some(plan) => plan.at_fidelity(self.fidelity),
+                    None => self.workload.plan_at(self.dataset, self.fidelity),
+                };
                 simulate_event(&self.cluster, &p, &plan, seed, task_sigma)
             }
         };
@@ -176,6 +201,15 @@ impl SparkJob {
 }
 
 impl Objective for SparkJob {
+    fn set_fidelity(&mut self, fidelity: Fidelity) -> bool {
+        self.fidelity = fidelity;
+        true
+    }
+
+    fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
     fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation {
         let fault = match &self.faults {
             Some(plan) => plan.for_eval(self.evaluations as u64),
@@ -348,6 +382,7 @@ mod tests {
             object_factor: 0.5,
             iter_partitions_by_parallelism: false,
             iter_fetches_over_network: false,
+            hdfs_partition_mb: crate::sim::consts::HDFS_BLOCK_MB,
         };
         let job = SparkJob::new(space.clone(), Workload::TeraSort, Dataset::D1, 8)
             .with_custom_plan(plan);
@@ -437,6 +472,78 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(faulted.evaluate(&cfg, 480.0), clean.evaluate(&cfg, 480.0));
         }
+    }
+
+    #[test]
+    fn fidelity_cuts_cost_roughly_proportionally() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        for w in crate::workload::ALL_WORKLOADS {
+            let full = SparkJob::new(space.clone(), w, Dataset::D2, 1)
+                .dry_run(&cfg)
+                .elapsed_s();
+            let sixteenth = SparkJob::new(space.clone(), w, Dataset::D2, 1)
+                .with_fidelity(Fidelity::new(1.0 / 16.0).unwrap())
+                .dry_run(&cfg)
+                .elapsed_s();
+            // Fixed overheads (app startup, scheduling) don't shrink, so the
+            // ratio lands between the data fraction and ~1/2.
+            let ratio = sixteenth / full;
+            assert!(
+                ratio > 1.0 / 32.0 && ratio < 0.5,
+                "{w:?}: 1/16 fidelity ratio {ratio:.3} (full {full:.1}s, sub {sixteenth:.1}s)"
+            );
+        }
+    }
+
+    #[test]
+    fn fidelity_switching_preserves_the_noise_and_fault_streams() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        let half = Fidelity::new(0.5).unwrap();
+        // Stream A: evaluate twice at FULL. Stream B: one half-fidelity
+        // probe first, then FULL. The shared noise RNG must hand the same
+        // multiplier to evaluation #2 either way.
+        let plan = || FaultPlan::from_profile(robotune_faults::FaultProfile::Hostile, 21);
+        let mut a = SparkJob::new(space.clone(), Workload::PageRank, Dataset::D1, 13)
+            .with_faults(plan());
+        let mut b = SparkJob::new(space.clone(), Workload::PageRank, Dataset::D1, 13)
+            .with_faults(plan());
+        let _ = a.evaluate(&cfg, 480.0);
+        assert!(b.set_fidelity(half));
+        assert_eq!(b.fidelity(), half);
+        let _ = b.evaluate(&cfg, 480.0);
+        assert!(b.set_fidelity(Fidelity::FULL));
+        assert_eq!(a.evaluate(&cfg, 480.0), b.evaluate(&cfg, 480.0));
+    }
+
+    #[test]
+    fn full_fidelity_job_is_bit_identical_to_the_default_path() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        let mut plain = SparkJob::new(space.clone(), Workload::KMeans, Dataset::D3, 17);
+        let mut tagged = SparkJob::new(space.clone(), Workload::KMeans, Dataset::D3, 17)
+            .with_fidelity(Fidelity::FULL);
+        for _ in 0..5 {
+            assert_eq!(plain.evaluate(&cfg, 480.0), tagged.evaluate(&cfg, 480.0));
+        }
+    }
+
+    #[test]
+    fn custom_plans_scale_with_fidelity_too() {
+        let space = spark_space();
+        let cfg = tuned_config(&space);
+        let plan = Workload::TeraSort.plan(Dataset::D1);
+        let full = SparkJob::new(space.clone(), Workload::TeraSort, Dataset::D1, 8)
+            .with_custom_plan(plan.clone())
+            .dry_run(&cfg)
+            .elapsed_s();
+        let quarter = SparkJob::new(space, Workload::TeraSort, Dataset::D1, 8)
+            .with_custom_plan(plan)
+            .with_fidelity(Fidelity::new(0.25).unwrap())
+            .dry_run(&cfg)
+            .elapsed_s();
+        assert!(quarter < full, "quarter {quarter:.1}s vs full {full:.1}s");
     }
 
     #[test]

@@ -288,8 +288,13 @@ fn stage_profile(ctx: &StageContext<'_>, stage: &Stage) -> Result<StageProfile, 
     let obj_factor = ctx.plan.object_factor;
 
     // --- Partitioning ------------------------------------------------------
+    // HDFS stages split on the plan's block size — normally the 128 MiB
+    // HDFS block; fractional-fidelity plans shrink it in step with the
+    // subsample (a `sample(f)` keeps its parent's partitioning, so a
+    // 1/16 run has the *same* task count with 1/16 the data per task).
+    let block_mb = ctx.plan.hdfs_partition_mb;
     let partitions = match stage.source {
-        Source::Hdfs => (stage.input_mb / consts::HDFS_BLOCK_MB).ceil().max(1.0),
+        Source::Hdfs => (stage.input_mb / block_mb).ceil().max(1.0),
         // Cached RDDs keep their lineage partitioning; shuffled stages are
         // partitioned by spark.default.parallelism. Graph iterations
         // re-partition through their joins, so they follow parallelism too.
@@ -297,7 +302,7 @@ fn stage_profile(ctx: &StageContext<'_>, stage: &Stage) -> Result<StageProfile, 
             if ctx.plan.iter_partitions_by_parallelism {
                 p.default_parallelism as f64
             } else {
-                (ctx.plan.load.input_mb / consts::HDFS_BLOCK_MB).ceil().max(1.0)
+                (ctx.plan.load.input_mb / block_mb).ceil().max(1.0)
             }
         }
         Source::Shuffle => p.default_parallelism as f64,

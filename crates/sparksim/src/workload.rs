@@ -1,5 +1,7 @@
 //! The five SparkBench workloads and their Table-1 datasets.
 
+use robotune_tuners::Fidelity;
+
 /// A tunable workload (paper Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
@@ -50,6 +52,16 @@ impl Dataset {
             (_, Dataset::D2) => 1.5,
             (_, Dataset::D3) => 2.0,
         }
+    }
+
+    /// Scale of a *fractional subsample* of this dataset relative to D1:
+    /// [`Dataset::scale`] times the fidelity fraction. The fraction was
+    /// validated at [`Fidelity::new`] — finite, in `(0, 1]` — so the
+    /// result is always a positive multiplier with no clamping and no
+    /// panic path; a 1/16 subsample of D1 really is `1/16` of D1, below
+    /// every Table-1 point.
+    pub fn scale_at(self, workload: Workload, fidelity: Fidelity) -> f64 {
+        self.scale(workload) * fidelity.fraction()
     }
 
     /// Index (0 for D1, 1 for D2, 2 for D3) — handy for seeding and
@@ -123,6 +135,48 @@ pub struct Plan {
     /// Whether iteration stages fetch shuffle blocks over the network in
     /// addition to reading the cache (graph message exchange).
     pub iter_fetches_over_network: bool,
+    /// Split size of HDFS-sourced stages, MiB per partition. The 128 MiB
+    /// HDFS block for full-fidelity plans; fractional-fidelity plans
+    /// shrink it with the subsample, because `sample(f)` keeps its
+    /// parent's partition count and thins each partition's data instead.
+    pub hdfs_partition_mb: f64,
+}
+
+impl Stage {
+    fn scaled(&self, fraction: f64) -> Stage {
+        Stage {
+            name: self.name,
+            input_mb: self.input_mb * fraction,
+            source: self.source,
+            shuffle_out_mb: self.shuffle_out_mb * fraction,
+            cpu_per_mb: self.cpu_per_mb,
+            output_mb: self.output_mb * fraction,
+        }
+    }
+}
+
+impl Plan {
+    /// This plan on a `fidelity` fraction of its input: every data volume
+    /// (stage inputs, shuffle and HDFS outputs, the cached RDD) scales by
+    /// the fraction; per-MiB CPU rates, iteration counts and the shape
+    /// parameters stay put. This is how *custom* plans (the ones not built
+    /// from a [`Workload`]) join the fidelity axis.
+    pub fn at_fidelity(&self, fidelity: Fidelity) -> Plan {
+        let f = fidelity.fraction();
+        Plan {
+            load: self.load.scaled(f),
+            iter: self.iter.as_ref().map(|s| s.scaled(f)),
+            iterations: self.iterations,
+            finish: self.finish.as_ref().map(|s| s.scaled(f)),
+            cache_mb: self.cache_mb * f,
+            balance_sensitivity: self.balance_sensitivity,
+            recompute_cpu_per_mb: self.recompute_cpu_per_mb,
+            object_factor: self.object_factor,
+            iter_partitions_by_parallelism: self.iter_partitions_by_parallelism,
+            iter_fetches_over_network: self.iter_fetches_over_network,
+            hdfs_partition_mb: self.hdfs_partition_mb * f,
+        }
+    }
 }
 
 impl Workload {
@@ -137,9 +191,22 @@ impl Workload {
         }
     }
 
-    /// Builds the stage plan for `dataset`.
+    /// Builds the stage plan for the full `dataset`.
     pub fn plan(self, dataset: Dataset) -> Plan {
-        let s = dataset.scale(self);
+        self.plan_at(dataset, Fidelity::FULL)
+    }
+
+    /// Builds the stage plan for a `fidelity` fraction of `dataset`. Data
+    /// volumes (inputs, shuffles, cache) scale linearly with the fraction;
+    /// iteration counts do not — a subsampled KMeans still makes ten
+    /// passes, just over 1/16 of the points — so simulated cost is roughly
+    /// proportional to fidelity on top of the fixed per-run overheads.
+    pub fn plan_at(self, dataset: Dataset, fidelity: Fidelity) -> Plan {
+        let s = dataset.scale_at(self, fidelity);
+        // A subsample keeps its parent's partition count: the effective
+        // split shrinks with the fraction so task counts stay put while
+        // per-task data thins.
+        let split_mb = crate::sim::consts::HDFS_BLOCK_MB * fidelity.fraction();
         match self {
             Workload::PageRank => {
                 // 5 M pages ≈ 6 GiB of edges+vertices on HDFS; the links
@@ -170,6 +237,7 @@ impl Workload {
                     object_factor: 1.5,
                     iter_partitions_by_parallelism: true,
                     iter_fetches_over_network: true,
+                    hdfs_partition_mb: split_mb,
                 }
             }
             Workload::ConnectedComponents => {
@@ -199,6 +267,7 @@ impl Workload {
                     object_factor: 1.5,
                     iter_partitions_by_parallelism: true,
                     iter_fetches_over_network: true,
+                    hdfs_partition_mb: split_mb,
                 }
             }
             Workload::KMeans => {
@@ -232,6 +301,7 @@ impl Workload {
                     object_factor: 0.55,
                     iter_partitions_by_parallelism: false,
                     iter_fetches_over_network: false,
+                    hdfs_partition_mb: split_mb,
                 }
             }
             Workload::LogisticRegression => {
@@ -265,6 +335,7 @@ impl Workload {
                     object_factor: 0.55,
                     iter_partitions_by_parallelism: false,
                     iter_fetches_over_network: false,
+                    hdfs_partition_mb: split_mb,
                 }
             }
             Workload::TeraSort => {
@@ -296,6 +367,7 @@ impl Workload {
                     object_factor: 0.75,
                     iter_partitions_by_parallelism: false,
                     iter_fetches_over_network: false,
+                    hdfs_partition_mb: split_mb,
                 }
             }
         }
@@ -330,6 +402,68 @@ mod tests {
         assert_eq!(Dataset::D3.scale(Workload::LogisticRegression), 3.0); // 300/100
         assert_eq!(Dataset::D3.scale(Workload::TeraSort), 2.0); // 40/20
         assert_eq!(Dataset::D1.scale(Workload::KMeans), 1.0);
+    }
+
+    #[test]
+    fn fractional_fidelity_scales_below_d1_without_clamping() {
+        // Satellite pin: 1/16, 1/4, 1/2 of each dataset, plus the
+        // existing D1–D3 points at full fidelity.
+        let f16 = Fidelity::new(1.0 / 16.0).unwrap();
+        let f4 = Fidelity::new(0.25).unwrap();
+        let f2 = Fidelity::new(0.5).unwrap();
+        assert_eq!(Dataset::D1.scale_at(Workload::PageRank, f16), 1.0 / 16.0);
+        assert_eq!(Dataset::D1.scale_at(Workload::KMeans, f4), 0.25);
+        assert_eq!(Dataset::D1.scale_at(Workload::TeraSort, f2), 0.5);
+        // Fidelity composes multiplicatively with the Table-1 scale…
+        assert_eq!(Dataset::D2.scale_at(Workload::PageRank, f2), 0.75);
+        assert_eq!(Dataset::D3.scale_at(Workload::LogisticRegression, f4), 0.75);
+        assert_eq!(Dataset::D3.scale_at(Workload::TeraSort, f16), 2.0 / 16.0);
+        // …and FULL fidelity reproduces Table 1 exactly.
+        for w in ALL_WORKLOADS {
+            for d in ALL_DATASETS {
+                assert_eq!(d.scale_at(w, Fidelity::FULL), d.scale(w));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_at_scales_data_volumes_not_iterations() {
+        let f4 = Fidelity::new(0.25).unwrap();
+        for w in ALL_WORKLOADS {
+            let full = w.plan(Dataset::D2);
+            let quarter = w.plan_at(Dataset::D2, f4);
+            assert_eq!(quarter.load.input_mb, full.load.input_mb * 0.25, "{w:?}");
+            assert_eq!(quarter.cache_mb, full.cache_mb * 0.25, "{w:?}");
+            assert_eq!(quarter.iterations, full.iterations, "{w:?}");
+            assert_eq!(quarter.load.cpu_per_mb, full.load.cpu_per_mb, "{w:?}");
+            // plan_at(FULL) is bit-identical to plan().
+            assert_eq!(w.plan_at(Dataset::D2, Fidelity::FULL), full, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn custom_plan_at_fidelity_matches_workload_path() {
+        let f16 = Fidelity::new(1.0 / 16.0).unwrap();
+        // Workloads whose stage volumes all scale with input size: the
+        // generic Plan::at_fidelity is exactly the builder's own scaling.
+        for w in [Workload::PageRank, Workload::ConnectedComponents, Workload::TeraSort] {
+            let via_workload = w.plan_at(Dataset::D3, f16);
+            let via_plan = w.plan(Dataset::D3).at_fidelity(f16);
+            assert_eq!(via_workload, via_plan, "{w:?}");
+        }
+        // KM/LR carry tiny constant shuffle terms (centroid/gradient
+        // aggregation does not shrink with the sample); everything that
+        // represents data volume still matches.
+        for w in [Workload::KMeans, Workload::LogisticRegression] {
+            let via_workload = w.plan_at(Dataset::D3, f16);
+            let via_plan = w.plan(Dataset::D3).at_fidelity(f16);
+            assert_eq!(via_workload.load.input_mb, via_plan.load.input_mb, "{w:?}");
+            assert_eq!(via_workload.cache_mb, via_plan.cache_mb, "{w:?}");
+            assert_eq!(
+                via_workload.hdfs_partition_mb, via_plan.hdfs_partition_mb,
+                "{w:?}"
+            );
+        }
     }
 
     #[test]

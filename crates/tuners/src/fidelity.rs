@@ -1,0 +1,158 @@
+//! The fidelity axis: what fraction of the target dataset an evaluation
+//! actually processes.
+//!
+//! Multi-fidelity tuners (MFTune-style successive halving, Hyperband)
+//! probe most configurations on a small subsample of the real input and
+//! promote only survivors to larger fractions. [`Fidelity`] is that
+//! fraction, validated once at construction so the rest of the stack can
+//! trust it: finite, `> 0`, `≤ 1`. There is no clamping anywhere — an
+//! out-of-range fraction is an error at the call site, never a silent
+//! full-fidelity run.
+
+/// A fraction of the target dataset, in `(0, 1]`.
+///
+/// `Fidelity::FULL` (fraction 1.0) is the implicit fidelity of every
+/// single-fidelity evaluation; the ordinary tuners never see anything
+/// else. Ordering and equality are plain `f64` comparisons on the
+/// fraction, which is safe because construction rejects NaN.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Fidelity(f64);
+
+/// Why a fraction was rejected by [`Fidelity::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FidelityError {
+    /// NaN or infinite.
+    NotFinite,
+    /// `≤ 0`: an evaluation must process *some* data.
+    NotPositive,
+    /// `> 1`: fidelity is a subsample, never an upsample.
+    AboveFull,
+}
+
+impl std::fmt::Display for FidelityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FidelityError::NotFinite => write!(f, "fidelity fraction must be finite"),
+            FidelityError::NotPositive => write!(f, "fidelity fraction must be > 0"),
+            FidelityError::AboveFull => write!(f, "fidelity fraction must be <= 1"),
+        }
+    }
+}
+
+impl std::error::Error for FidelityError {}
+
+impl Fidelity {
+    /// The full target dataset: the fidelity of every ordinary evaluation.
+    pub const FULL: Fidelity = Fidelity(1.0);
+
+    /// Validates `fraction` into a fidelity. Rejects (rather than clamps)
+    /// anything outside `(0, 1]`.
+    pub fn new(fraction: f64) -> Result<Fidelity, FidelityError> {
+        if !fraction.is_finite() {
+            Err(FidelityError::NotFinite)
+        } else if fraction <= 0.0 {
+            Err(FidelityError::NotPositive)
+        } else if fraction > 1.0 {
+            Err(FidelityError::AboveFull)
+        } else {
+            Ok(Fidelity(fraction))
+        }
+    }
+
+    /// The validated fraction in `(0, 1]`.
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this is the full dataset.
+    pub fn is_full(self) -> bool {
+        self.0 == 1.0
+    }
+
+    /// A short human label: `full`, or the fraction as `1/16`-style text
+    /// when it is (close to) a unit fraction, else the decimal. Used as a
+    /// metric-name suffix (`mf.budget_spent.<label>`), so it avoids
+    /// characters the Prometheus sanitiser would mangle ambiguously.
+    pub fn label(self) -> String {
+        if self.is_full() {
+            return "full".to_owned();
+        }
+        let inv = 1.0 / self.0;
+        let rounded = inv.round();
+        if rounded >= 2.0 && (inv - rounded).abs() < 1e-9 {
+            format!("1_{}", rounded as u64)
+        } else {
+            format!("{:.4}", self.0)
+        }
+    }
+
+    /// Total order on fidelities (fraction order); safe because NaN cannot
+    /// be constructed.
+    pub fn total_cmp(&self, other: &Fidelity) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_full() {
+            write!(f, "full")
+        } else {
+            let inv = 1.0 / self.0;
+            let rounded = inv.round();
+            if rounded >= 2.0 && (inv - rounded).abs() < 1e-9 {
+                write!(f, "1/{}", rounded as u64)
+            } else {
+                write!(f, "{:.4}", self.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_range() {
+        assert!(Fidelity::new(1.0).is_ok());
+        assert!(Fidelity::new(1.0 / 16.0).is_ok());
+        assert_eq!(Fidelity::new(0.0), Err(FidelityError::NotPositive));
+        assert_eq!(Fidelity::new(-0.5), Err(FidelityError::NotPositive));
+        assert_eq!(Fidelity::new(1.5), Err(FidelityError::AboveFull));
+        assert_eq!(Fidelity::new(f64::NAN), Err(FidelityError::NotFinite));
+        assert_eq!(Fidelity::new(f64::INFINITY), Err(FidelityError::NotFinite));
+    }
+
+    #[test]
+    fn full_is_full() {
+        assert!(Fidelity::FULL.is_full());
+        assert_eq!(Fidelity::FULL.fraction(), 1.0);
+        assert!(!Fidelity::new(0.5).unwrap().is_full());
+    }
+
+    #[test]
+    fn labels_are_metric_safe() {
+        assert_eq!(Fidelity::FULL.label(), "full");
+        assert_eq!(Fidelity::new(0.0625).unwrap().label(), "1_16");
+        assert_eq!(Fidelity::new(0.25).unwrap().label(), "1_4");
+        assert_eq!(Fidelity::new(0.5).unwrap().label(), "1_2");
+        assert_eq!(Fidelity::new(0.3).unwrap().label(), "0.3000");
+    }
+
+    #[test]
+    fn display_is_human() {
+        assert_eq!(Fidelity::FULL.to_string(), "full");
+        assert_eq!(Fidelity::new(0.0625).unwrap().to_string(), "1/16");
+        assert_eq!(Fidelity::new(0.3).unwrap().to_string(), "0.3000");
+    }
+
+    #[test]
+    fn ordering_follows_fraction() {
+        let lo = Fidelity::new(0.25).unwrap();
+        let hi = Fidelity::new(0.5).unwrap();
+        assert!(lo < hi);
+        assert_eq!(lo.total_cmp(&hi), std::cmp::Ordering::Less);
+        assert_eq!(hi.total_cmp(&Fidelity::FULL), std::cmp::Ordering::Less);
+    }
+}

@@ -7,6 +7,10 @@
 //!   [`robotune_space::Configuration`] under a time cap and report what
 //!   happened (the Spark simulator implements it; so can closures in
 //!   tests);
+//! * [`fidelity`] — [`fidelity::Fidelity`]: the fraction of the target
+//!   dataset an evaluation processes, the axis multi-fidelity tuners
+//!   (crates/mf) schedule over; single-fidelity tuners always run at
+//!   [`fidelity::Fidelity::FULL`];
 //! * [`session`] — [`session::TuningSession`]: the complete evaluation
 //!   trace of one tuning run, with the derived metrics every experiment in
 //!   the paper reports (best configuration, search cost, best-so-far
@@ -28,6 +32,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bestconfig;
+pub mod fidelity;
 pub mod gunther;
 pub mod objective;
 pub mod pattern;
@@ -38,6 +43,7 @@ pub mod threshold;
 pub mod tuner;
 
 pub use bestconfig::BestConfig;
+pub use fidelity::{Fidelity, FidelityError};
 pub use gunther::Gunther;
 pub use objective::{Evaluation, FnObjective, Objective};
 pub use pattern::PatternSearch;

@@ -2,6 +2,8 @@
 
 use robotune_space::Configuration;
 
+use crate::fidelity::Fidelity;
+
 /// Outcome of evaluating one configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Evaluation {
@@ -88,6 +90,21 @@ pub trait Objective {
     /// Evaluates `config`, stopping the run once `cap_s` seconds have been
     /// consumed (the "guard against bad configurations" of §4).
     fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation;
+
+    /// Switches subsequent evaluations to run on a `fidelity` fraction of
+    /// the target dataset. Returns `false` (the default) if this objective
+    /// has no fidelity axis — multi-fidelity tuners must then fall back to
+    /// full-fidelity evaluation rather than assume the switch took effect.
+    fn set_fidelity(&mut self, fidelity: Fidelity) -> bool {
+        let _ = fidelity;
+        false
+    }
+
+    /// The fidelity subsequent evaluations will run at. Objectives without
+    /// a fidelity axis always report [`Fidelity::FULL`].
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::FULL
+    }
 }
 
 /// Adapter turning a plain `FnMut(&Configuration) -> f64` (an idealised,

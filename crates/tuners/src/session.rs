@@ -2,6 +2,7 @@
 
 use robotune_space::Configuration;
 
+use crate::fidelity::Fidelity;
 use crate::objective::Evaluation;
 
 /// One evaluated configuration inside a session.
@@ -18,6 +19,11 @@ pub struct EvalRecord {
     pub eval: Evaluation,
     /// The cap that was in force for this run.
     pub cap_s: f64,
+    /// The dataset fraction the run processed. [`Fidelity::FULL`] for
+    /// every single-fidelity tuner; multi-fidelity schedules tag each
+    /// record so derived metrics can tell a 1/16-sample probe from a
+    /// real measurement.
+    pub fidelity: Fidelity,
 }
 
 /// The complete trace of one tuning run.
@@ -38,14 +44,29 @@ impl TuningSession {
         }
     }
 
-    /// Appends an evaluation.
+    /// Appends a full-fidelity evaluation.
     pub fn push(&mut self, point: Vec<f64>, config: Configuration, eval: Evaluation, cap_s: f64) {
+        self.push_at(point, config, eval, cap_s, Fidelity::FULL);
+    }
+
+    /// Appends an evaluation that ran at `fidelity`. Partial-fidelity
+    /// completions never count as session improvements (their times are
+    /// not comparable with full-dataset runs), but their burned time is
+    /// charged like everything else.
+    pub fn push_at(
+        &mut self,
+        point: Vec<f64>,
+        config: Configuration,
+        eval: Evaluation,
+        cap_s: f64,
+        fidelity: Fidelity,
+    ) {
         if eval.failed {
             robotune_obs::incr("eval.failed", 1);
         } else if !eval.completed {
             // Capped = killed by the threshold policy before completing.
             robotune_obs::incr("threshold.kill", 1);
-        } else {
+        } else if fidelity.is_full() {
             let prior_best = self.best_time();
             if prior_best.is_none_or(|b| eval.time_s < b) {
                 robotune_obs::incr("session.improvement", 1);
@@ -58,6 +79,7 @@ impl TuningSession {
             config,
             eval,
             cap_s,
+            fidelity,
         });
     }
 
@@ -73,13 +95,19 @@ impl TuningSession {
 
     /// The best (fastest **completed**) evaluation, if any run completed.
     ///
-    /// Only runs that completed with a finite measured time are eligible:
-    /// a run killed by the threshold policy or crashed by a fault can
+    /// Only runs that completed with a finite measured time *at full
+    /// fidelity* are eligible: a run killed by the threshold policy,
+    /// crashed by a fault, or executed on a fractional subsample can
     /// never be reported as the incumbent, whatever its recorded time.
     pub fn best(&self) -> Option<&EvalRecord> {
         self.records
             .iter()
-            .filter(|r| r.eval.completed && !r.eval.failed && r.eval.time_s.is_finite())
+            .filter(|r| {
+                r.eval.completed
+                    && !r.eval.failed
+                    && r.eval.time_s.is_finite()
+                    && r.fidelity.is_full()
+            })
             .min_by(|a, b| a.eval.time_s.total_cmp(&b.eval.time_s))
     }
 
@@ -100,14 +128,16 @@ impl TuningSession {
         self.records.iter().map(|r| r.eval.time_s).collect()
     }
 
-    /// Best *completed* time seen up to and including each iteration
-    /// (`f64::INFINITY` until the first completion) — Fig. 6's curves.
+    /// Best *completed, full-fidelity* time seen up to and including each
+    /// iteration (`f64::INFINITY` until the first such completion) —
+    /// Fig. 6's curves. Subsampled probes burn budget without ever moving
+    /// the curve: only full-dataset measurements count as results.
     pub fn best_so_far(&self) -> Vec<f64> {
         let mut best = f64::INFINITY;
         self.records
             .iter()
             .map(|r| {
-                if r.eval.completed {
+                if r.eval.completed && r.fidelity.is_full() {
                     best = best.min(r.eval.time_s);
                 }
                 best
@@ -125,6 +155,39 @@ impl TuningSession {
             .iter()
             .position(|&t| t <= target)
             .map(|i| i + 1)
+    }
+
+    /// Search cost broken down by fidelity level, sorted from the smallest
+    /// fraction to full. Single-fidelity sessions report one `(FULL, …)`
+    /// entry; multi-fidelity schedules use this (and the mirrored
+    /// `mf.budget_spent.<fidelity>` metric) to show where the budget went.
+    pub fn cost_by_fidelity(&self) -> Vec<(Fidelity, f64)> {
+        let mut groups: Vec<(Fidelity, f64)> = Vec::new();
+        for r in &self.records {
+            match groups.iter_mut().find(|(f, _)| *f == r.fidelity) {
+                Some((_, cost)) => *cost += r.eval.time_s,
+                None => groups.push((r.fidelity, r.eval.time_s)),
+            }
+        }
+        groups.sort_by(|a, b| a.0.total_cmp(&b.0));
+        groups
+    }
+
+    /// Cumulative search cost (seconds, *all* fidelities) spent up to and
+    /// including the first full-fidelity completed run within `frac` of
+    /// `target_s` — the evaluation-cost-to-target metric of the
+    /// multi-fidelity comparison. `None` if the session never got there.
+    pub fn cost_to_within_of(&self, target_s: f64, frac: f64) -> Option<f64> {
+        let threshold = target_s * (1.0 + frac);
+        let mut spent = 0.0;
+        for r in &self.records {
+            spent += r.eval.time_s;
+            if r.eval.completed && !r.eval.failed && r.fidelity.is_full() && r.eval.time_s <= threshold
+            {
+                return Some(spent);
+            }
+        }
+        None
     }
 }
 
@@ -200,5 +263,53 @@ mod tests {
         let s = session_with(&[(480.0, false), (480.0, false)]);
         assert!(s.best_time().is_none());
         assert!((s.search_cost() - 960.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_fidelity_runs_never_become_the_incumbent() {
+        let mut s = TuningSession::new("mf");
+        let quarter = Fidelity::new(0.25).unwrap();
+        // A 1/4-sample run is much faster than any full run — it must not win.
+        s.push_at(vec![0.1], cfg(), Evaluation::completed(9.0), 480.0, quarter);
+        s.push(vec![0.2], cfg(), Evaluation::completed(80.0), 480.0);
+        assert_eq!(s.best_time(), Some(80.0));
+        assert_eq!(s.best().unwrap().index, 1);
+        // …but its cost is still charged.
+        assert!((s.search_cost() - 89.0).abs() < 1e-12);
+        // And the best-so-far curve ignores it too.
+        assert!(s.best_so_far()[0].is_infinite());
+        assert_eq!(s.best_so_far()[1], 80.0);
+    }
+
+    #[test]
+    fn cost_by_fidelity_groups_and_sorts() {
+        let mut s = TuningSession::new("mf");
+        let lo = Fidelity::new(0.25).unwrap();
+        s.push(vec![0.2], cfg(), Evaluation::completed(100.0), 480.0);
+        s.push_at(vec![0.1], cfg(), Evaluation::completed(10.0), 480.0, lo);
+        s.push_at(vec![0.3], cfg(), Evaluation::capped(5.0), 480.0, lo);
+        let by_fid = s.cost_by_fidelity();
+        assert_eq!(by_fid.len(), 2);
+        assert_eq!(by_fid[0].0, lo);
+        assert!((by_fid[0].1 - 15.0).abs() < 1e-12);
+        assert_eq!(by_fid[1].0, Fidelity::FULL);
+        assert!((by_fid[1].1 - 100.0).abs() < 1e-12);
+        let total: f64 = by_fid.iter().map(|(_, c)| c).sum();
+        assert!((total - s.search_cost()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_to_within_counts_all_burned_time() {
+        let mut s = TuningSession::new("mf");
+        let lo = Fidelity::new(0.25).unwrap();
+        s.push_at(vec![0.1], cfg(), Evaluation::completed(10.0), 480.0, lo);
+        s.push(vec![0.2], cfg(), Evaluation::completed(200.0), 480.0);
+        s.push(vec![0.3], cfg(), Evaluation::completed(100.0), 480.0);
+        // Target 100 ± 5%: the low-fidelity probe at 10 s does not qualify
+        // (not full fidelity), the 200 s run is above threshold; the 100 s
+        // run hits it with 310 s cumulative spend.
+        assert_eq!(s.cost_to_within_of(100.0, 0.05), Some(310.0));
+        // Unreachable target.
+        assert!(s.cost_to_within_of(10.0, 0.05).is_none());
     }
 }

@@ -28,7 +28,8 @@ pub trait Tuner {
 }
 
 /// Shared helper: evaluate a unit-cube point (retrying transient failures
-/// under `retry`) and record the budget-charged result.
+/// under `retry`) and record the budget-charged result, tagged with the
+/// fidelity the objective is currently running at.
 pub(crate) fn evaluate_point(
     session: &mut TuningSession,
     space: &dyn SearchSpace,
@@ -39,6 +40,6 @@ pub(crate) fn evaluate_point(
 ) -> crate::objective::Evaluation {
     let config = space.decode(&point);
     let eval = crate::retry::evaluate_with_retry(objective, &config, cap_s, retry);
-    session.push(point, config, eval, cap_s);
+    session.push_at(point, config, eval, cap_s, objective.fidelity());
     eval
 }

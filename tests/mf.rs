@@ -1,0 +1,158 @@
+//! Integration of the multi-fidelity engine with the Spark simulator and
+//! the fault layer: deterministic rung schedules, conservation of the
+//! charged budget, and the headline cost-to-target win over Random
+//! Search under a hostile cluster.
+
+use proptest::prelude::*;
+use robotune_mf::{HyperbandBo, HyperbandBoOptions, HyperbandOptions, HyperbandTuner};
+use robotune_space::spark::spark_space;
+use robotune_sparksim::{Dataset, FaultPlan, FaultProfile, SparkJob, Workload};
+use robotune_stats::rng_from_seed;
+use robotune_tuners::{Tuner, TuningSession};
+
+fn hostile_job(workload: Workload, dataset: Dataset, seed: u64) -> SparkJob {
+    SparkJob::new(spark_space(), workload, dataset, seed)
+        .with_faults(FaultPlan::from_profile(FaultProfile::Hostile, seed ^ 0xFA17))
+}
+
+fn run_hyperband(workload: Workload, dataset: Dataset, seed: u64, budget: usize) -> (TuningSession, robotune_mf::MfAccounting) {
+    let space = spark_space();
+    let mut job = hostile_job(workload, dataset, seed);
+    let mut tuner = HyperbandTuner::new(HyperbandOptions::default());
+    let mut rng = rng_from_seed(seed);
+    let session = tuner.tune(&space, &mut job, budget, &mut rng);
+    (session, tuner.accounting().clone())
+}
+
+#[test]
+fn same_seed_gives_bit_identical_rung_schedules_and_promotions() {
+    for workload in [Workload::PageRank, Workload::TeraSort] {
+        let (a, acc_a) = run_hyperband(workload, Dataset::D1, 42, 40);
+        let (b, acc_b) = run_hyperband(workload, Dataset::D1, 42, 40);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.point, rb.point, "suggested points must replay bit-identically");
+            assert_eq!(
+                ra.fidelity.fraction().to_bits(),
+                rb.fidelity.fraction().to_bits(),
+                "rung fidelities must replay bit-identically"
+            );
+            assert_eq!(
+                ra.eval.time_s.to_bits(),
+                rb.eval.time_s.to_bits(),
+                "evaluation times must replay bit-identically"
+            );
+            assert_eq!(ra.eval.completed, rb.eval.completed);
+            assert_eq!(ra.eval.attempts, rb.eval.attempts);
+        }
+        // The whole spend ledger — brackets, rungs, per-rung cost and
+        // promotion counts — is part of the reproducibility contract.
+        assert_eq!(acc_a.rungs, acc_b.rungs, "rung ledgers must be identical");
+    }
+}
+
+#[test]
+fn budget_cost_is_conserved_under_hostile_faults() {
+    // The ledger the scheduler keeps must equal the session's own
+    // definition of search cost: every retry burn and every partial-
+    // fidelity rung charged exactly once.
+    let (session, acc) = run_hyperband(Workload::KMeans, Dataset::D2, 7, 40);
+    let ledger = acc.total_cost_s();
+    let charged = session.search_cost();
+    assert!(
+        (ledger - charged).abs() <= 1e-9 * charged.max(1.0),
+        "ledger {ledger} vs session {charged}"
+    );
+    // And the per-fidelity breakdown reconciles with the session's.
+    let by_fid = session.cost_by_fidelity();
+    for (fid, cost) in &by_fid {
+        let from_ledger: f64 = acc
+            .rungs
+            .iter()
+            .filter(|r| r.fidelity.fraction().to_bits() == fid.fraction().to_bits())
+            .map(|r| r.cost_s)
+            .sum();
+        assert!(
+            (from_ledger - cost).abs() <= 1e-9 * cost.max(1.0),
+            "fidelity {fid}: ledger {from_ledger} vs session {cost}"
+        );
+    }
+}
+
+#[test]
+fn hyperband_bo_beats_random_search_on_cost_to_target_under_hostile_faults() {
+    // The mf-smoke CI gate: on the same hostile cluster (same fault
+    // schedule, same seed derivation), the multi-fidelity pipeline must
+    // reach within 5% of Random Search's best find while burning less
+    // simulated time than RS took to get there.
+    let space = spark_space();
+    let (workload, dataset, seed, budget) = (Workload::TeraSort, Dataset::D1, 11, 40);
+
+    let mut rs_job = hostile_job(workload, dataset, seed);
+    let mut rs = robotune_tuners::RandomSearch::default();
+    let rs_session = rs.tune(&space, &mut rs_job, budget, &mut rng_from_seed(seed));
+    let target = rs_session
+        .best()
+        .map(|r| r.eval.time_s)
+        .expect("RS finds at least one completing configuration");
+    let rs_cost = rs_session
+        .cost_to_within_of(target, 0.05)
+        .expect("RS reaches its own best");
+
+    let mut mf_job = hostile_job(workload, dataset, seed);
+    let mut hb = HyperbandBo::new(HyperbandBoOptions::fast());
+    let mf_session = hb.tune(&space, &mut mf_job, budget, &mut rng_from_seed(seed));
+    let mf_cost = mf_session
+        .cost_to_within_of(target, 0.05)
+        .expect("Hyperband+BO reaches the RS target");
+
+    assert!(
+        mf_cost < rs_cost,
+        "Hyperband+BO cost-to-target {mf_cost:.0}s must undercut RS {rs_cost:.0}s"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No double-charging: for arbitrary seeds, workloads, and fault
+    /// profiles, the total charged budget equals the sum of the
+    /// per-rung fidelity-weighted costs — retries and faults included.
+    #[test]
+    fn total_charge_equals_the_sum_of_rung_costs(
+        seed in 0u64..1000,
+        widx in 0usize..5,
+        profile_idx in 0usize..3,
+        budget in 5usize..45,
+    ) {
+        let workload = [
+            Workload::PageRank,
+            Workload::KMeans,
+            Workload::ConnectedComponents,
+            Workload::LogisticRegression,
+            Workload::TeraSort,
+        ][widx];
+        let profile = FaultProfile::ALL[profile_idx];
+        let space = spark_space();
+        let mut job = SparkJob::new(spark_space(), workload, Dataset::D1, seed);
+        if profile != FaultProfile::None {
+            job = job.with_faults(FaultPlan::from_profile(profile, seed ^ 0xFA17));
+        }
+        let mut tuner = HyperbandTuner::new(HyperbandOptions::default());
+        let mut rng = rng_from_seed(seed);
+        let session = tuner.tune(&space, &mut job, budget, &mut rng);
+        prop_assert_eq!(session.len(), budget);
+
+        let acc = tuner.accounting();
+        prop_assert_eq!(acc.total_evals(), budget);
+        let rung_sum: f64 = acc.rungs.iter().map(|r| r.cost_s).sum();
+        let charged = session.search_cost();
+        prop_assert!(
+            (rung_sum - charged).abs() <= 1e-9 * charged.max(1.0),
+            "rung-cost sum {} vs charged budget {}", rung_sum, charged
+        );
+        // Every record's burn is accounted to exactly one rung.
+        let evals: usize = acc.rungs.iter().map(|r| r.evals).sum();
+        prop_assert_eq!(evals, session.len());
+    }
+}
