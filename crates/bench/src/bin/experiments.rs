@@ -31,10 +31,21 @@
 //!                     [--rate R] [--hold S] [--budget N] [--poll-ms N]
 //!                     [--seed N] [--slo-suggest-p99-ms MS]
 //!                     [--slo-observe-p99-ms MS] [--shutdown]
+//!                     [--json PATH]
 //! experiments top     [--addr HOST:PORT] [--interval-ms N] [--once]
+//! experiments doctor  [--addr HOST:PORT] [--session ID]... [--json]
+//!                     [--expect RULE]... [--slo-ms MS]
 //! experiments store   <inspect|verify|compact> --dir PATH
 //! experiments flightcheck <flight.jsonl>...
 //! ```
+//!
+//! `experiments doctor` fetches each session's `diagnose` payload plus
+//! the server `health` frame and runs the rule-based tuner-health
+//! detectors (stalled convergence, ill-conditioned kernels, fallback
+//! storms, lengthscale collapse, WAL lag, SLO burn); `--expect RULE`
+//! makes the run an assertion that the named rule fired, and
+//! `--slo-ms MS` sets the suggest-p99 target the `slo_burn` rule
+//! checks against (default 1000).
 //!
 //! Every grid-backed command accepts `--faults <none|transient|hostile>`
 //! to run the whole evaluation under deterministic cluster fault
@@ -122,6 +133,7 @@ fn main() {
         "serve" => std::process::exit(robotune_bench::loadgen::serve_main(rest)),
         "loadgen" => std::process::exit(robotune_bench::loadgen::loadgen_main(rest)),
         "top" => std::process::exit(robotune_bench::introspect::top_main(rest)),
+        "doctor" => std::process::exit(robotune_bench::doctor::doctor_main(rest)),
         "store" => std::process::exit(robotune_bench::storecmd::store_main(rest)),
         "flightcheck" => std::process::exit(robotune_bench::introspect::flightcheck_main(rest)),
         _ => {}

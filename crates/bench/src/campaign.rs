@@ -157,6 +157,25 @@ impl MachineInfo {
     }
 }
 
+/// Renders one summarised series in the manifest's metric-series
+/// shape. Shared by the manifest writer and every other machine-read
+/// report that records metric series (e.g. `loadgen --open-loop`'s
+/// `openloop.json`), so downstream tooling parses one schema.
+pub fn series_to_json(s: &SeriesSummary) -> Value {
+    json!({
+        "name": &s.name,
+        "unit": &s.unit,
+        "direction": s.direction.as_str(),
+        "reps": s.reps,
+        "rejected": s.rejected,
+        "median": s.median,
+        "mad": s.mad,
+        "p95": s.p95,
+        "min": s.min,
+        "max": s.max,
+    })
+}
+
 /// One versioned benchmark manifest: the unit of the perf trajectory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
@@ -185,24 +204,7 @@ impl Manifest {
 
     /// Renders the manifest as its JSON document.
     pub fn to_json(&self) -> Value {
-        let series: Vec<Value> = self
-            .series
-            .iter()
-            .map(|s| {
-                json!({
-                    "name": &s.name,
-                    "unit": &s.unit,
-                    "direction": s.direction.as_str(),
-                    "reps": s.reps,
-                    "rejected": s.rejected,
-                    "median": s.median,
-                    "mad": s.mad,
-                    "p95": s.p95,
-                    "min": s.min,
-                    "max": s.max,
-                })
-            })
-            .collect();
+        let series: Vec<Value> = self.series.iter().map(series_to_json).collect();
         json!({
             "kind": MANIFEST_KIND,
             "schema_version": MANIFEST_SCHEMA_VERSION,

@@ -2,15 +2,20 @@
 //! monitor and the `experiments flightcheck` dump validator.
 //!
 //! `top` polls a running daemon over the ordinary protocol — `status`
-//! for the session roster, `health` for pressure/SLO/store gauges, and
-//! per-session `metrics` for each tenant's scoped counters — and
-//! renders one table per refresh. With `--once` it prints a single
-//! frame and exits, which is how the CI smoke job asserts that live
-//! per-tenant introspection works end to end.
+//! for the session roster, `health` for pressure/SLO/store gauges,
+//! per-session `metrics` for each tenant's scoped counters, and
+//! per-session `diagnose` for the `health` column (the doctor's rules,
+//! rendered as one word) — and renders one table per refresh. With
+//! `--once` it prints a single frame and exits, which is how the CI
+//! smoke job asserts that live per-tenant introspection works end to
+//! end.
 //!
 //! `flightcheck` parses a failure flight-recorder dump (see
 //! `robotune_service::flight` for the line schema), validates its
-//! structure, and summarises the post-mortem; a malformed dump exits
+//! structure — including the `diag` tuner-health lines, whose
+//! per-series iteration numbers must be strictly increasing, and the
+//! embedded telemetry events, whose kinds must come from the known
+//! schema — and summarises the post-mortem; a malformed dump exits
 //! non-zero.
 
 use robotune_service::{TuningClient, FLIGHT_FORMAT_VERSION};
@@ -117,10 +122,11 @@ fn render_frame(client: &mut TuningClient, addr: &str) -> Result<String, String>
     ));
 
     out.push_str(&format!(
-        "{:<8} {:<10} {:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>6} {:>6} {:>9} {:>12} {:>12}\n",
+        "{:<8} {:<10} {:<10} {:<6} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>6} {:>6} {:>9} {:>12} {:>12}\n",
         "session",
         "state",
         "workload",
+        "health",
         "asked",
         "observed",
         "failed",
@@ -155,6 +161,12 @@ fn render_frame(client: &mut TuningClient, addr: &str) -> Result<String, String>
         };
         let (sp50, sp99) = req("service.req_ns.suggest");
         let (op50, op99) = req("service.req_ns.observe");
+        // The health word runs the doctor's per-session rules over the
+        // diagnose payload; best-effort like the scoped metrics.
+        let health_word = match client.diagnose(sid) {
+            Ok(diag) => crate::doctor::health_word(&crate::doctor::run_session_rules(&diag)),
+            Err(_) => "—",
+        };
         // Simulated seconds burned on partial- and full-fidelity rungs:
         // the sum across every `mf.budget_spent.<fidelity>` histogram.
         let mf_spent: f64 = metrics["hists"]
@@ -168,10 +180,11 @@ fn render_frame(client: &mut TuningClient, addr: &str) -> Result<String, String>
             })
             .unwrap_or(0.0);
         out.push_str(&format!(
-            "{:<8} {:<10} {:<10} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>6} {:>6} {:>9} {:>12} {:>12}\n",
+            "{:<8} {:<10} {:<10} {:<6} {:>5} {:>8} {:>7} {:>8} {:>7} {:>8} {:>6} {:>6} {:>9} {:>12} {:>12}\n",
             sid,
             s["state"].as_str().unwrap_or("?"),
             s["workload"].as_str().unwrap_or("?"),
+            health_word,
             s["asked"].as_u64().unwrap_or(0),
             s["observed"].as_u64().unwrap_or(0),
             s["failed"].as_u64().unwrap_or(0),
@@ -223,6 +236,7 @@ pub fn top_main(rest: &[String]) -> i32 {
 }
 
 /// Validation summary of one flight dump.
+#[derive(Debug)]
 struct FlightSummary {
     session: String,
     reason: String,
@@ -230,12 +244,19 @@ struct FlightSummary {
     asks: usize,
     tells: usize,
     events: usize,
+    diags: usize,
     fault_total: u64,
     events_dropped: u64,
     trajectory_dropped: u64,
     /// Streaming summary of the recorded `tell` evaluation times.
     eval_times: OnlineStats,
 }
+
+/// Event kinds the telemetry JSONL schema can emit; an `event` line
+/// with any other kind means the dump and the reader disagree about
+/// the schema, which is exactly what flightcheck exists to catch.
+const KNOWN_EVENT_KINDS: [&str; 6] =
+    ["span_start", "span_end", "counter", "hist", "mark", "diag"];
 
 /// Parses and validates one flight-recorder dump.
 fn check_flight(text: &str, path: &str) -> Result<FlightSummary, String> {
@@ -272,12 +293,16 @@ fn check_flight(text: &str, path: &str) -> Result<FlightSummary, String> {
         asks: 0,
         tells: 0,
         events: 0,
+        diags: 0,
         fault_total: 0,
         events_dropped: footer["events_dropped"].as_u64().unwrap_or(0),
         trajectory_dropped: footer["trajectory_dropped"].as_u64().unwrap_or(0),
         eval_times: OnlineStats::new(),
     };
     let (mut saw_stats, mut saw_counters) = (false, false);
+    // Per-series high-water mark for diag iteration numbers: every
+    // series must be strictly increasing within one dump.
+    let mut diag_iters: Vec<(String, u64)> = Vec::new();
     for v in &lines[1..lines.len() - 1] {
         match v["kind"].as_str().unwrap_or("") {
             "stats" => saw_stats = true,
@@ -297,7 +322,38 @@ fn check_flight(text: &str, path: &str) -> Result<FlightSummary, String> {
                     summary.eval_times.push(t);
                 }
             }
-            "event" => summary.events += 1,
+            "diag" => {
+                let name = v["name"]
+                    .as_str()
+                    .ok_or_else(|| format!("{path}: diag line without a name"))?;
+                let iter = v["iter"]
+                    .as_u64()
+                    .ok_or_else(|| format!("{path}: diag {name:?} without an iter"))?;
+                if v["data"].as_object().is_none() {
+                    return Err(format!("{path}: diag {name:?} without a data object"));
+                }
+                match diag_iters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, last)) => {
+                        if iter <= *last {
+                            return Err(format!(
+                                "{path}: diag {name:?} iter {iter} not after {last}"
+                            ));
+                        }
+                        *last = iter;
+                    }
+                    None => diag_iters.push((name.to_string(), iter)),
+                }
+                summary.diags += 1;
+            }
+            "event" => {
+                let kind = v["event"]["kind"]
+                    .as_str()
+                    .ok_or_else(|| format!("{path}: event line without an event kind"))?;
+                if !KNOWN_EVENT_KINDS.contains(&kind) {
+                    return Err(format!("{path}: unknown event kind {kind:?}"));
+                }
+                summary.events += 1;
+            }
             other => return Err(format!("{path}: unknown line kind {other:?}")),
         }
     }
@@ -337,7 +393,8 @@ pub fn flightcheck_main(rest: &[String]) -> i32 {
                 };
                 println!(
                     "{path}: ok — session {} (v{}), reason {}, {} asks / {} tells, \
-                     {} events ({} dropped), {} trajectory dropped, {} fault/retry events{evals}",
+                     {} events ({} dropped), {} diag samples, {} trajectory dropped, \
+                     {} fault/retry events{evals}",
                     s.session,
                     s.version,
                     s.reason,
@@ -345,6 +402,7 @@ pub fn flightcheck_main(rest: &[String]) -> i32 {
                     s.tells,
                     s.events,
                     s.events_dropped,
+                    s.diags,
                     s.trajectory_dropped,
                     s.fault_total,
                 );
@@ -375,15 +433,76 @@ mod tests {
             r#"{"kind":"stats","asked":2,"observed":1,"completed":1,"failed":0,"capped":0,"best_time_s":10.0}"#,
             r#"{"kind":"counters","counters":{"bo.suggest":2}}"#,
             r#"{"kind":"fault_counters","counters":{"fault.straggler":1},"total":1}"#,
+            r#"{"kind":"diag","name":"diag.gp.fit","iter":3,"data":{"cond":1.5,"fallback":false}}"#,
+            r#"{"kind":"diag","name":"diag.bo.observe","iter":0,"data":{"y":10.0,"best":10.0}}"#,
+            r#"{"kind":"diag","name":"diag.gp.fit","iter":7,"data":{"cond":2.0,"fallback":false}}"#,
             r#"{"kind":"ask","index":0,"cap_s":480.0,"config":{"a":1}}"#,
             r#"{"kind":"tell","index":0,"time_s":10.0,"status":"completed"}"#,
-            r#"{"kind":"event","event":{"type":"counter","name":"bo.suggest"}}"#,
+            r#"{"kind":"event","event":{"kind":"counter","name":"bo.suggest"}}"#,
             r#"{"kind":"recorder","events_dropped":0,"trajectory_dropped":0}"#,
         ]);
         let s = check_flight(&text, "t.jsonl").map_err(|e| e.to_string()).unwrap();
         assert_eq!((s.asks, s.tells, s.events), (1, 1, 1));
+        assert_eq!(s.diags, 3);
         assert_eq!(s.fault_total, 1);
         assert_eq!(s.session, "s-1");
+    }
+
+    #[test]
+    fn flightcheck_rejects_non_monotone_diag_iters_and_bad_schemas() {
+        let head = [
+            r#"{"kind":"flight","version":1,"session":"s-1","reason":"x"}"#,
+            r#"{"kind":"stats","asked":0}"#,
+            r#"{"kind":"counters","counters":{}}"#,
+        ];
+        let foot = r#"{"kind":"recorder","events_dropped":0,"trajectory_dropped":0}"#;
+
+        // Repeated iter within one series: not strictly increasing.
+        let mut lines: Vec<&str> = head.to_vec();
+        lines.push(r#"{"kind":"diag","name":"diag.gp.fit","iter":5,"data":{}}"#);
+        lines.push(r#"{"kind":"diag","name":"diag.gp.fit","iter":5,"data":{}}"#);
+        lines.push(foot);
+        let err = check_flight(&dump(&lines), "t").unwrap_err();
+        assert!(err.contains("not after"), "{err}");
+
+        // Independent series keep independent watermarks.
+        let mut lines: Vec<&str> = head.to_vec();
+        lines.push(r#"{"kind":"diag","name":"diag.gp.fit","iter":5,"data":{}}"#);
+        lines.push(r#"{"kind":"diag","name":"diag.mf.rung","iter":0,"data":{}}"#);
+        lines.push(foot);
+        assert!(check_flight(&dump(&lines), "t").is_ok());
+
+        // A diag line without iter or data is malformed.
+        let mut lines: Vec<&str> = head.to_vec();
+        lines.push(r#"{"kind":"diag","name":"diag.gp.fit","data":{}}"#);
+        lines.push(foot);
+        assert!(check_flight(&dump(&lines), "t").is_err());
+        let mut lines: Vec<&str> = head.to_vec();
+        lines.push(r#"{"kind":"diag","name":"diag.gp.fit","iter":1}"#);
+        lines.push(foot);
+        assert!(check_flight(&dump(&lines), "t").is_err());
+    }
+
+    #[test]
+    fn flightcheck_rejects_unknown_event_kinds() {
+        let text = dump(&[
+            r#"{"kind":"flight","version":1,"session":"s-1","reason":"x"}"#,
+            r#"{"kind":"stats","asked":0}"#,
+            r#"{"kind":"counters","counters":{}}"#,
+            r#"{"kind":"event","event":{"kind":"hologram","name":"x"}}"#,
+            r#"{"kind":"recorder","events_dropped":0,"trajectory_dropped":0}"#,
+        ]);
+        let err = check_flight(&text, "t").unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+        // An event line with no kind at all is just as malformed.
+        let text = dump(&[
+            r#"{"kind":"flight","version":1,"session":"s-1","reason":"x"}"#,
+            r#"{"kind":"stats","asked":0}"#,
+            r#"{"kind":"counters","counters":{}}"#,
+            r#"{"kind":"event","event":{"name":"x"}}"#,
+            r#"{"kind":"recorder","events_dropped":0,"trajectory_dropped":0}"#,
+        ]);
+        assert!(check_flight(&text, "t").is_err());
     }
 
     #[test]

@@ -8,13 +8,16 @@
 //! versioned `BENCH_*.json` trajectory manifests; [`loadgen`] boots
 //! and drives the tuning daemon over real TCP, with [`openloop`]
 //! providing the single-threaded multiplexed generator behind
-//! `loadgen --open-loop` for reactor-scale (10k+ tenant) runs.
+//! `loadgen --open-loop` for reactor-scale (10k+ tenant) runs;
+//! [`doctor`] runs rule-based tuner-health detectors over the daemon's
+//! `diagnose`/`health` payloads (`experiments doctor`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod campaign;
+pub mod doctor;
 pub mod exp;
 pub mod introspect;
 pub mod loadgen;

@@ -71,6 +71,9 @@ pub struct OpenLoopArgs {
     pub slo_observe_p99_ms: Option<f64>,
     /// Send `shutdown` when the run completes.
     pub shutdown: bool,
+    /// Also write the machine-readable report (`openloop.json` shape)
+    /// to this path.
+    pub json_path: Option<std::path::PathBuf>,
 }
 
 impl Default for OpenLoopArgs {
@@ -86,6 +89,7 @@ impl Default for OpenLoopArgs {
             slo_suggest_p99_ms: None,
             slo_observe_p99_ms: None,
             shutdown: false,
+            json_path: None,
         }
     }
 }
@@ -122,6 +126,7 @@ pub fn parse_open_loop_args(rest: &[String]) -> OpenLoopArgs {
                 args.slo_observe_p99_ms = Some(parse_next!("--slo-observe-p99-ms MS"));
             }
             "--shutdown" => args.shutdown = true,
+            "--json" => args.json_path = Some(take_value("--json PATH", it.next()).into()),
             other => fatal(format!("loadgen --open-loop: unknown flag {other}")),
         }
     }
@@ -360,6 +365,99 @@ impl OpenLoopReport {
             }
         }
         md
+    }
+
+    /// Renders the machine-readable report (`openloop.json`): the
+    /// tenant/wedge census, per-verb RTT p50/p99, and the client RTT
+    /// distributions in the BENCH manifest's metric-series shape (via
+    /// [`crate::campaign::series_to_json`]) so the same tooling that
+    /// reads `BENCH_*.json` series can read a load run.
+    pub fn to_json(&self) -> Value {
+        use crate::campaign::{series_to_json, summarize, Direction, SeriesSamples};
+        let s = &self.stats;
+        let mut census = serde_json::Map::new();
+        for (k, v) in [
+            ("tenants_connect_failed", s.connect_failures),
+            ("connections_dropped", s.dropped),
+            ("requests_wedged", s.wedged),
+            ("protocol_errors", s.protocol_errors),
+            ("sessions_overloaded", s.overloaded),
+            ("sessions_created", s.created),
+            ("sessions_finished", s.finished),
+        ] {
+            census.insert(k.into(), Value::from(v as u64));
+        }
+        census.insert("evals_observed".into(), Value::from(s.evals));
+        census.insert("queued_polls".into(), Value::from(s.queued_polls));
+        census.insert("requests_sent".into(), Value::from(s.requests));
+        census.insert("responses".into(), Value::from(s.responses));
+        census.insert("peak_open_sessions".into(), Value::from(s.peak_open.max(0) as u64));
+
+        let mut rtt = serde_json::Map::new();
+        let mut series = Vec::new();
+        for (name, samples) in [
+            ("openloop.create_rtt_ms", &s.create_rtt_ms),
+            ("openloop.suggest_rtt_ms", &s.suggest_rtt_ms),
+            ("openloop.observe_rtt_ms", &s.observe_rtt_ms),
+        ] {
+            let verb = name
+                .trim_start_matches("openloop.")
+                .trim_end_matches("_rtt_ms");
+            let mut v = serde_json::Map::new();
+            v.insert("n".into(), Value::from(samples.len() as u64));
+            v.insert(
+                "p50_ms".into(),
+                if samples.is_empty() {
+                    Value::Null
+                } else {
+                    Value::from(percentile(samples, 50.0))
+                },
+            );
+            v.insert(
+                "p99_ms".into(),
+                if samples.is_empty() {
+                    Value::Null
+                } else {
+                    Value::from(percentile(samples, 99.0))
+                },
+            );
+            rtt.insert(verb.to_string(), Value::Object(v));
+            series.push(series_to_json(&summarize(&SeriesSamples {
+                name,
+                unit: "ms",
+                direction: Direction::Lower,
+                samples: samples.clone(),
+            })));
+        }
+        series.push(series_to_json(&summarize(&SeriesSamples {
+            name: "openloop.throughput_req_per_s",
+            unit: "req/s",
+            direction: Direction::Higher,
+            samples: vec![s.responses as f64 / self.wall_s.max(1e-9)],
+        })));
+
+        let mut m = serde_json::Map::new();
+        m.insert("kind".into(), Value::from("robotune.openloop"));
+        m.insert("schema_version".into(), Value::from(1u64));
+        m.insert("args".into(), Value::from(self.args_summary.as_str()));
+        m.insert("wall_s".into(), Value::from(self.wall_s));
+        m.insert(
+            "req_per_s".into(),
+            Value::from(s.responses as f64 / self.wall_s.max(1e-9)),
+        );
+        m.insert("census".into(), Value::Object(census));
+        m.insert("rtt_ms".into(), Value::Object(rtt));
+        m.insert("series".into(), Value::Array(series));
+        m.insert(
+            "server_health".into(),
+            self.health.clone().unwrap_or(Value::Null),
+        );
+        m.insert(
+            "failures".into(),
+            Value::Array(self.failures.iter().map(|f| Value::from(f.as_str())).collect()),
+        );
+        m.insert("passed".into(), Value::Bool(self.failures.is_empty()));
+        Value::Object(m)
     }
 }
 
@@ -782,6 +880,15 @@ pub fn open_loop_main(rest: &[String]) -> i32 {
     match run_open_loop(&args) {
         Ok(report) => {
             print!("{}", report.render());
+            if let Some(path) = &args.json_path {
+                let text = serde_json::to_string(&report.to_json())
+                    .unwrap_or_else(|e| format!("{{\"error\":\"render: {e}\"}}"));
+                if let Err(e) = std::fs::write(path, text + "\n") {
+                    eprintln!("loadgen --open-loop: write {}: {e}", path.display());
+                    return 1;
+                }
+                println!("wrote {}", path.display());
+            }
             i32::from(!report.failures.is_empty())
         }
         Err(e) => {

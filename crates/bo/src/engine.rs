@@ -145,9 +145,20 @@ impl BoEngine {
         // The incumbent scan is only worth paying for when tracing is on.
         if robotune_obs::is_enabled() {
             robotune_obs::incr("bo.observe", 1);
-            if self.ys.iter().all(|&v| y < v) {
+            let improvement = self.ys.iter().all(|&v| y < v);
+            if improvement {
                 robotune_obs::incr("bo.improvement", 1);
             }
+            // Per-round incumbent series: the raw material of the
+            // stalled-convergence detector in `experiments doctor`.
+            let best = self.ys.iter().copied().fold(y, f64::min);
+            robotune_obs::diag("diag.bo.observe", self.ys.len() as u64, || {
+                serde_json::json!({
+                    "y": y,
+                    "best": best,
+                    "improvement": improvement,
+                })
+            });
         }
         self.xs.push(x);
         self.ys.push(y);
@@ -324,6 +335,24 @@ impl BoEngine {
             .position(|&k| k == chosen_kind)
             .unwrap_or(0);
         let mut chosen = nominees[idx].clone();
+        // Acquisition-health diagnostics: the hedge mixture plus the
+        // chosen point's acquisition value under the fresh posterior.
+        // Pure telemetry — reads the model, never the RNG.
+        if robotune_obs::is_enabled() {
+            let p = self.hedge.probabilities();
+            let (mu, var) = model.predict(&chosen);
+            let acq = chosen_kind.score(mu, var.sqrt(), best, xi, kappa);
+            robotune_obs::diag("diag.bo.suggest", self.ys.len() as u64, || {
+                serde_json::json!({
+                    "chosen": chosen_kind.name(),
+                    "p_pi": p[0],
+                    "p_ei": p[1],
+                    "p_lcb": p[2],
+                    "acq": acq,
+                    "incumbent": best,
+                })
+            });
+        }
         self.pending_nominees = Some(nominees);
 
         // De-duplicate against existing observations.

@@ -18,13 +18,43 @@
 //!   any thread spawns, so the RNG stream (and with it the whole tuning
 //!   trajectory) matches the historical serial implementation bit for bit.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::Rng;
 
 use crate::error::GpError;
-use crate::kernel::{Matern52, Matern52Ard};
+use crate::kernel::{Kernel, Matern52, Matern52Ard};
 use crate::model::GpModel;
 use crate::opt::{nelder_mead, NmResult};
 use crate::prepared::PreparedData;
+
+/// Monotone sequence number shared by every `diag.gp.fit` event in the
+/// process, so per-session subsequences of the series stay monotone too.
+/// Telemetry only: touched exclusively while tracing is enabled.
+static FIT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Emits one structured `diag.gp.fit` tuner-health event for a
+/// successful fit: the learned hyperparameters plus the kernel's
+/// numerical conditioning (jitter consumed, condition estimate) and
+/// whether the documented fallback values had to be used. Free when
+/// tracing is disabled.
+fn emit_fit_diag<K: Kernel>(scales: &[f64], variance: f64, fallback: bool, m: &GpModel<K>) {
+    if !robotune_obs::is_enabled() {
+        return;
+    }
+    let iter = FIT_SEQ.fetch_add(1, Ordering::Relaxed);
+    robotune_obs::diag("diag.gp.fit", iter, || {
+        serde_json::json!({
+            "lengthscales": scales,
+            "variance": variance,
+            "noise": m.noise(),
+            "n": m.n_observations() as u64,
+            "jitter": m.jitter(),
+            "cond": m.cond_estimate(),
+            "fallback": fallback,
+        })
+    });
+}
 
 /// Documented safe-fallback length scale used when optimisation produces
 /// no usable candidate.
@@ -109,10 +139,20 @@ where
         1
     };
     let results: Vec<NmResult> = if workers > 1 && starts.len() > 1 {
+        // Carry the caller's trace context across the scoped-thread
+        // boundary so each restart's span links back to the enclosing
+        // `gp.hyperfit` span instead of rendering as an orphan.
+        let ctx = robotune_obs::TraceCtx::current();
         std::thread::scope(|s| {
             let handles: Vec<_> = starts
                 .iter()
-                .map(|st| s.spawn(move || nelder_mead(neg_lml, st, 0.7, evals, 1e-8)))
+                .map(|st| {
+                    s.spawn(move || {
+                        let _trace = robotune_obs::adopt(ctx);
+                        let _span = robotune_obs::span("gp.hyperfit_restart");
+                        nelder_mead(neg_lml, st, 0.7, evals, 1e-8)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -194,28 +234,36 @@ pub fn fit_gp<R: Rng + ?Sized>(
 
     let parallel = opts.strategy == FitStrategy::Parallel;
     let results = run_restarts(&starts, parallel, opts.evals_per_restart, &neg_lml);
+    let mut fallback = false;
     let theta = select_best(results).unwrap_or_else(|| {
         // No restart produced a finite likelihood: every degraded fit is
         // accounted for, including this one.
         robotune_obs::incr("gp.hyperfit_fallback", 1);
+        fallback = true;
         vec![FALLBACK_LENGTH_SCALE.ln(), FALLBACK_VARIANCE.ln(), FALLBACK_NOISE.ln()]
     });
     let (ll, lv, ln) = clamp3(&theta, opts);
-    GpModel::fit_prepared(&data, Matern52::new(ll.exp(), lv.exp()), ln.exp()).or_else(|_| {
-        // Optimised hyperparameters failed to factor: retry once with the
-        // safe defaults, then report the typed failure instead of
-        // panicking — the caller degrades to a non-surrogate proposal.
-        robotune_obs::incr("gp.hyperfit_fallback", 1);
-        GpModel::fit_prepared(
-            &data,
-            Matern52::new(FALLBACK_LENGTH_SCALE, FALLBACK_VARIANCE),
-            FALLBACK_NOISE,
-        )
-        .map_err(|e| match e {
-            GpError::Singular(le) => GpError::HyperFitFailed(le),
-            other => other,
-        })
-    })
+    let fitted = GpModel::fit_prepared(&data, Matern52::new(ll.exp(), lv.exp()), ln.exp())
+        .or_else(|_| {
+            // Optimised hyperparameters failed to factor: retry once with
+            // the safe defaults, then report the typed failure instead of
+            // panicking — the caller degrades to a non-surrogate proposal.
+            robotune_obs::incr("gp.hyperfit_fallback", 1);
+            fallback = true;
+            GpModel::fit_prepared(
+                &data,
+                Matern52::new(FALLBACK_LENGTH_SCALE, FALLBACK_VARIANCE),
+                FALLBACK_NOISE,
+            )
+            .map_err(|e| match e {
+                GpError::Singular(le) => GpError::HyperFitFailed(le),
+                other => other,
+            })
+        });
+    if let Ok(m) = &fitted {
+        emit_fit_diag(&[m.kernel().length_scale], m.kernel().variance, fallback, m);
+    }
+    fitted
 }
 
 /// The historical `fit_gp` body: one full `GpModel::fit` per likelihood
@@ -346,10 +394,18 @@ pub fn fit_gp_ard<R: Rng + ?Sized>(
     };
     let parallel = opts.strategy == FitStrategy::Parallel;
     let results = run_restarts(&starts, parallel, evals, &neg_lml);
-    let theta = select_best(results).unwrap_or_else(fallback_theta);
+    let mut fallback = false;
+    let theta = match select_best(results) {
+        Some(t) => t,
+        None => {
+            fallback = true;
+            fallback_theta()
+        }
+    };
     let (scales, v, n) = clamp(&theta);
-    GpModel::fit_prepared(&data, Matern52Ard::new(scales, v), n).or_else(|_| {
+    let fitted = GpModel::fit_prepared(&data, Matern52Ard::new(scales, v), n).or_else(|_| {
         robotune_obs::incr("gp.hyperfit_fallback", 1);
+        fallback = true;
         GpModel::fit_prepared(
             &data,
             Matern52Ard::new(vec![FALLBACK_LENGTH_SCALE; d], FALLBACK_VARIANCE),
@@ -359,7 +415,11 @@ pub fn fit_gp_ard<R: Rng + ?Sized>(
             GpError::Singular(le) => GpError::HyperFitFailed(le),
             other => other,
         })
-    })
+    });
+    if let Ok(m) = &fitted {
+        emit_fit_diag(&m.kernel().length_scales, m.kernel().variance, fallback, m);
+    }
+    fitted
 }
 
 #[cfg(test)]

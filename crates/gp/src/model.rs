@@ -6,7 +6,7 @@ use robotune_linalg::{Cholesky, Matrix};
 
 use crate::error::GpError;
 use crate::kernel::Kernel;
-use crate::prepared::{factor_with_jitter, CachedKernel, PreparedData};
+use crate::prepared::{factor_with_jitter_tracked, CachedKernel, PreparedData};
 
 /// Smallest batch worth spreading over scoped threads in
 /// [`GpModel::predict_batch`]; below this the spawn overhead dominates.
@@ -26,6 +26,8 @@ pub struct GpModel<K: Kernel> {
     kernel: K,
     noise: f64,
     chol: Cholesky,
+    /// Total diagonal jitter the factorisation needed (0 when none).
+    jitter: f64,
     /// `K⁻¹ ỹ` over standardised targets.
     alpha: Vec<f64>,
     y_mean: f64,
@@ -77,7 +79,7 @@ impl<K: Kernel> GpModel<K> {
             k[(i, i)] = kernel.diag(&x[i]) + noise;
         }
 
-        let chol = factor_with_jitter(&mut k)?;
+        let (chol, jitter) = factor_with_jitter_tracked(&mut k)?;
         let alpha = chol.solve(&y_norm);
         if let Some(t) = t0 {
             robotune_obs::record("gp.fit_ns", t.elapsed().as_nanos() as f64);
@@ -88,6 +90,7 @@ impl<K: Kernel> GpModel<K> {
             kernel,
             noise,
             chol,
+            jitter,
             alpha,
             y_mean,
             y_std,
@@ -108,6 +111,34 @@ impl<K: Kernel> GpModel<K> {
     /// The white-noise variance (standardised-target units).
     pub fn noise(&self) -> f64 {
         self.noise
+    }
+
+    /// Total numerical jitter the Cholesky factorisation had to add to
+    /// the kernel diagonal (`0.0` for a cleanly conditioned fit).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Cheap condition-number estimate of the kernel matrix: the squared
+    /// ratio of the largest to smallest Cholesky diagonal entry. Exact
+    /// for diagonal matrices, a useful order-of-magnitude indicator
+    /// otherwise — large values flag near-singular kernels (lengthscale
+    /// collapse, duplicated observations).
+    pub fn cond_estimate(&self) -> f64 {
+        let l = self.chol.l();
+        let n = l.rows();
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for i in 0..n {
+            let d = l[(i, i)].abs();
+            min = min.min(d);
+            max = max.max(d);
+        }
+        if min > 0.0 && min.is_finite() {
+            (max / min) * (max / min)
+        } else {
+            f64::INFINITY
+        }
     }
 
     /// Posterior mean and variance of the *latent* function at `q`, in the
@@ -227,7 +258,7 @@ impl<K: CachedKernel> GpModel<K> {
         }
         robotune_obs::incr("gp.distcache_hit", 1);
         let mut k = data.kernel_matrix(&kernel, noise);
-        let chol = factor_with_jitter(&mut k)?;
+        let (chol, jitter) = factor_with_jitter_tracked(&mut k)?;
         let alpha = chol.solve(&data.y_norm);
         if let Some(t) = t0 {
             robotune_obs::record("gp.fit_ns", t.elapsed().as_nanos() as f64);
@@ -237,6 +268,7 @@ impl<K: CachedKernel> GpModel<K> {
             kernel,
             noise,
             chol,
+            jitter,
             alpha,
             y_mean: data.y_mean,
             y_std: data.y_std,

@@ -197,16 +197,26 @@ impl PreparedData {
 /// `1e-10` by ×10 up to `1e-2` when the matrix is numerically singular —
 /// the shared retry loop of every GP fit path.
 pub(crate) fn factor_with_jitter(k: &mut Matrix) -> Result<Cholesky, GpError> {
+    factor_with_jitter_tracked(k).map(|(c, _)| c)
+}
+
+/// Like [`factor_with_jitter`], additionally reporting the total jitter
+/// that had to be added to the diagonal before the factorisation
+/// succeeded (`0.0` when it worked first try) — the raw material of the
+/// `diag.gp.fit` conditioning diagnostics.
+pub(crate) fn factor_with_jitter_tracked(k: &mut Matrix) -> Result<(Cholesky, f64), GpError> {
     let mut jitter = 1e-10;
+    let mut added = 0.0;
     loop {
         match Cholesky::factor(k) {
-            Ok(c) => return Ok(c),
+            Ok(c) => return Ok((c, added)),
             Err(e) => {
                 robotune_obs::incr("gp.chol_retry", 1);
                 if jitter > 1e-2 {
                     return Err(GpError::Singular(e));
                 }
                 k.add_diagonal(jitter);
+                added += jitter;
                 jitter *= 10.0;
             }
         }

@@ -280,6 +280,19 @@ impl ShaScheduler {
             } else {
                 0
             };
+            // Rung-promotion diagnostics: iter is the cumulative rung
+            // count across the session's accounting ledger, monotone by
+            // construction.
+            robotune_obs::diag("diag.mf.rung", accounting.rungs.len() as u64, || {
+                serde_json::json!({
+                    "bracket": bracket as u64,
+                    "rung": spec.rung as u64,
+                    "fidelity": fidelity_active.fraction(),
+                    "evals": evals as u64,
+                    "promoted": promoted as u64,
+                    "cost_s": cost_s,
+                })
+            });
             accounting.rungs.push(RungCost {
                 bracket,
                 rung: spec.rung,

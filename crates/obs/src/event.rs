@@ -27,6 +27,14 @@ pub enum EventData {
         id: u64,
         /// Id of the enclosing span on the same thread, if any.
         parent: Option<u64>,
+        /// The causal trace this span belongs to (0 = none). Minted per
+        /// request by [`crate::TraceCtx::mint`] and inherited through
+        /// span nesting and adopted contexts.
+        trace: u64,
+        /// Causal parent span id when it differs from the local
+        /// `parent` — i.e. the span that handed work to this thread
+        /// (0 = none). Rendered as a Chrome trace flow arrow.
+        link: u64,
     },
     /// A span closed.
     SpanEnd {
@@ -60,6 +68,19 @@ pub enum EventData {
         /// Arbitrary structured payload.
         data: Value,
     },
+    /// A tuner-health diagnostic sample: a named series point with a
+    /// monotone per-series iteration number and a structured payload.
+    /// Diag events never fold into aggregates; they live in scope rings
+    /// and flight dumps so `diagnose`/`experiments doctor` can read the
+    /// optimizer's internal state after the fact.
+    Diag {
+        /// Series name (e.g. `diag.bo.observe`).
+        name: &'static str,
+        /// Monotone iteration number within the series.
+        iter: u64,
+        /// Structured payload.
+        data: Value,
+    },
 }
 
 impl Event {
@@ -71,6 +92,7 @@ impl Event {
             EventData::Counter { .. } => "counter",
             EventData::Hist { .. } => "hist",
             EventData::Mark { .. } => "mark",
+            EventData::Diag { .. } => "diag",
         }
     }
 
@@ -81,15 +103,17 @@ impl Event {
             | EventData::SpanEnd { name, .. }
             | EventData::Counter { name, .. }
             | EventData::Hist { name, .. }
-            | EventData::Mark { name, .. } => name,
+            | EventData::Mark { name, .. }
+            | EventData::Diag { name, .. } => name,
         }
     }
 
     /// Renders the event as one JSON object (the JSONL schema).
     ///
     /// Common fields: `seq`, `t_us`, `thread`, `kind`, `name`; variant
-    /// fields: `id`/`parent` (span_start), `id`/`dur_us` (span_end),
-    /// `delta`/`total` (counter), `value` (hist), `data` (mark).
+    /// fields: `id`/`parent` plus `trace`/`link` when causally tagged
+    /// (span_start), `id`/`dur_us` (span_end), `delta`/`total`
+    /// (counter), `value` (hist), `data` (mark), `iter`/`data` (diag).
     pub fn to_json(&self) -> Value {
         let mut m = Map::new();
         m.insert("seq".into(), Value::from(self.seq));
@@ -98,9 +122,15 @@ impl Event {
         m.insert("kind".into(), Value::from(self.kind()));
         m.insert("name".into(), Value::from(self.name()));
         match &self.data {
-            EventData::SpanStart { id, parent, .. } => {
+            EventData::SpanStart { id, parent, trace, link, .. } => {
                 m.insert("id".into(), Value::from(*id));
                 m.insert("parent".into(), Value::from(*parent));
+                if *trace != 0 {
+                    m.insert("trace".into(), Value::from(*trace));
+                }
+                if *link != 0 {
+                    m.insert("link".into(), Value::from(*link));
+                }
             }
             EventData::SpanEnd { id, dur_us, .. } => {
                 m.insert("id".into(), Value::from(*id));
@@ -114,6 +144,10 @@ impl Event {
                 m.insert("value".into(), Value::from(*value));
             }
             EventData::Mark { data, .. } => {
+                m.insert("data".into(), data.clone());
+            }
+            EventData::Diag { iter, data, .. } => {
+                m.insert("iter".into(), Value::from(*iter));
                 m.insert("data".into(), data.clone());
             }
         }

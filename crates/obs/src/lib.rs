@@ -29,6 +29,13 @@
 //!   the event stream and renders it as Chrome trace-event JSON for
 //!   Perfetto/`chrome://tracing` (the `--profile` format), plus a
 //!   per-span self-time breakdown.
+//! - **Trace contexts** ([`tracectx`]) — a per-request [`TraceCtx`]
+//!   baton (trace id + causal parent span) that survives thread
+//!   crossings; adopted contexts tag spans with `trace`/`link` fields
+//!   that render as Chrome trace flow arrows.
+//! - **Diagnostics** ([`diag`]) — structured tuner-health series points
+//!   (kernel conditioning, fallback storms, regret curves) that flow to
+//!   scope rings and flight dumps without touching the aggregates.
 //!
 //! Tracing is **off by default**: every instrumentation call first
 //! checks one relaxed atomic and returns immediately when disabled, so
@@ -61,19 +68,21 @@ pub mod scope;
 pub mod sink;
 pub mod slo;
 pub mod trace;
+pub mod tracectx;
 
 pub use event::{Event, EventData};
 pub use expo::{render_prometheus, render_prometheus_labeled};
 pub use histogram::{HistSummary, Histogram, P2Quantile};
 pub use registry::{
-    disable, enable, enable_null, enable_ring, flush, global, incr, is_enabled, mark, record,
-    reset, snapshot, span, Registry, Snapshot, SpanGuard,
+    diag, disable, enable, enable_null, enable_ring, flush, global, incr, is_enabled, mark,
+    record, reset, snapshot, span, Registry, Snapshot, SpanGuard,
 };
 pub use report::Report;
 pub use scope::{Scope, ScopeGuard, ScopeLabels};
 pub use sink::{EventSink, JsonlSink, NullSink, RingBufferSink, TeeSink};
 pub use slo::RollingWindow;
 pub use trace::{render_chrome_trace, render_self_time, self_times, ChromeTraceSink, SelfTime};
+pub use tracectx::{adopt, set_ambient, AdoptGuard, TraceCtx};
 
 use std::path::Path;
 use std::sync::Arc;

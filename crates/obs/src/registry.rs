@@ -24,7 +24,29 @@ static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    // (span id, trace id) per open span; the trace id is inherited from
+    // the enclosing span or the adopted TraceCtx at span start.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost open span id on this thread (0 = none). Feeds
+/// [`crate::TraceCtx::mint`]/[`crate::TraceCtx::current`].
+pub(crate) fn current_span_id() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().map_or(0, |&(id, _)| id))
+}
+
+/// The causal context covering this thread right now: the innermost
+/// open span as parent under its trace, falling back to the adopted
+/// ambient context when no local span carries a trace.
+pub(crate) fn current_ctx() -> crate::tracectx::TraceCtx {
+    let ambient = crate::tracectx::ambient();
+    SPAN_STACK.with(|s| match s.borrow().last() {
+        Some(&(id, trace)) => crate::tracectx::TraceCtx {
+            trace: if trace != 0 { trace } else { ambient.trace },
+            parent: id,
+        },
+        None => ambient,
+    })
 }
 
 /// Point-in-time copy of all aggregated metrics.
@@ -84,7 +106,7 @@ impl Aggregates {
             EventData::SpanEnd { name, dur_us, .. } => {
                 self.spans.entry(name).or_default().record(*dur_us as f64);
             }
-            EventData::SpanStart { .. } | EventData::Mark { .. } => {}
+            EventData::SpanStart { .. } | EventData::Mark { .. } | EventData::Diag { .. } => {}
         }
     }
 
@@ -207,15 +229,38 @@ impl Registry {
         self.emit(EventData::Mark { name, data });
     }
 
+    /// Emits a tuner-health diagnostic series point.
+    pub fn diag(&self, name: &'static str, iter: u64, data: Value) {
+        self.emit(EventData::Diag { name, iter, data });
+    }
+
     fn span_start(&self, name: &'static str) -> u64 {
         let id = self.next_span.fetch_add(1, Ordering::Relaxed);
-        let parent = SPAN_STACK.with(|s| {
+        let ambient = crate::tracectx::ambient();
+        let (parent, trace, link) = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            let parent = s.last().copied();
-            s.push(id);
-            parent
+            let (parent, trace, link) = match s.last() {
+                // Nested span: local parent. It stays in the enclosing
+                // trace unless the adopted context has moved on to a
+                // newer request — then this span joins the new trace
+                // and records the cross-thread handoff as its link.
+                Some(&(pid, ptrace)) => {
+                    if ambient.trace != 0 && ambient.trace != ptrace {
+                        (Some(pid), ambient.trace, ambient.parent)
+                    } else {
+                        (Some(pid), ptrace, 0)
+                    }
+                }
+                // Root span on this thread: the adopted context is the
+                // only causal anchor.
+                None => (None, ambient.trace, ambient.parent),
+            };
+            s.push((id, trace));
+            (parent, trace, link)
         });
-        self.emit(EventData::SpanStart { name, id, parent });
+        // A link equal to the local parent adds nothing.
+        let link = if Some(link) == parent { 0 } else { link };
+        self.emit(EventData::SpanStart { name, id, parent, trace, link });
         id
     }
 
@@ -224,9 +269,9 @@ impl Registry {
             let mut s = s.borrow_mut();
             // Guards drop in LIFO order on each thread, so the top of
             // the stack is this span; be defensive anyway.
-            if s.last() == Some(&id) {
+            if s.last().map(|&(sid, _)| sid) == Some(id) {
                 s.pop();
-            } else if let Some(pos) = s.iter().rposition(|&x| x == id) {
+            } else if let Some(pos) = s.iter().rposition(|&(sid, _)| sid == id) {
                 s.remove(pos);
             }
         });
@@ -379,6 +424,17 @@ pub fn record(name: &'static str, value: f64) {
 pub fn mark<F: FnOnce() -> Value>(name: &'static str, data: F) {
     if is_enabled() {
         global().mark(name, data());
+    }
+}
+
+/// Emits a tuner-health diagnostic series point. `iter` must be
+/// monotone within the named series (flight dumps are validated on
+/// that). The closure runs only when tracing is enabled, so payload
+/// construction is free when disabled.
+#[inline]
+pub fn diag<F: FnOnce() -> Value>(name: &'static str, iter: u64, data: F) {
+    if is_enabled() {
+        global().diag(name, iter, data());
     }
 }
 

@@ -113,11 +113,22 @@ impl EventSink for ChromeTraceSink {
 /// by timestamp (stable, so per-thread emission order breaks ties),
 /// which Perfetto requires for well-formed nesting.
 pub fn render_chrome_trace(events: &[Event]) -> String {
-    // First pass: pair up span endpoints by id.
+    // First pass: pair up span endpoints by id, and index the start
+    // events of completed spans so flow arrows can anchor on them.
     let mut ends: std::collections::BTreeMap<u64, (u64, u64)> = std::collections::BTreeMap::new();
     for e in events {
         if let EventData::SpanEnd { id, dur_us, .. } = e.data {
             ends.insert(id, (dur_us, e.seq));
+        }
+    }
+    // id → (start t_us, start seq, thread) for spans that completed.
+    let mut starts: std::collections::BTreeMap<u64, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        if let EventData::SpanStart { id, .. } = e.data {
+            if ends.contains_key(&id) {
+                starts.insert(id, (e.t_us, e.seq, e.thread));
+            }
         }
     }
 
@@ -127,13 +138,41 @@ pub fn render_chrome_trace(events: &[Event]) -> String {
     let mut records: Vec<(u64, u64, Value)> = Vec::new();
     for e in events {
         match &e.data {
-            EventData::SpanStart { name, id, .. } => {
+            EventData::SpanStart { name, id, link, .. } => {
                 let Some(&(dur_us, end_seq)) = ends.get(id) else { continue };
                 records.push((
                     e.t_us,
                     e.seq,
                     trace_record(name, "B", e.t_us, e.thread, None),
                 ));
+                // A causal link to a span on another thread renders as
+                // a flow arrow: `s` anchored inside the producing span,
+                // `f` (binding to the enclosing slice) at this span's
+                // start. Perfetto matches the pair by (cat, name, id);
+                // the consuming span's id is unique, so use it.
+                if *link != 0 {
+                    if let Some(&(lt, _lseq, ltid)) = starts.get(link) {
+                        if ltid != e.thread {
+                            let mut s = trace_record("handoff", "s", lt, ltid, None);
+                            let mut f = trace_record("handoff", "f", e.t_us, e.thread, None);
+                            for rec in [&mut s, &mut f] {
+                                if let Value::Object(m) = rec {
+                                    m.insert("cat".into(), Value::from("flow"));
+                                    m.insert("id".into(), Value::from(*id));
+                                }
+                            }
+                            if let Value::Object(m) = &mut f {
+                                m.insert("bp".into(), Value::from("e"));
+                            }
+                            // The `s` sorts after the producing B (same
+                            // ts, larger seq); the `f` sorts after this
+                            // span's own B (same ts, same seq, stable
+                            // sort keeps push order).
+                            records.push((lt, e.seq, s));
+                            records.push((e.t_us, e.seq, f));
+                        }
+                    }
+                }
                 // The E closes exactly dur_us later; it carries the end
                 // event's stream position so that when a child and its
                 // parent close at the same microsecond the child (which
@@ -153,6 +192,19 @@ pub fn render_chrome_trace(events: &[Event]) -> String {
             }
             EventData::Mark { name, data } => {
                 let mut rec = trace_record(name, "i", e.t_us, e.thread, Some(data.clone()));
+                if let Value::Object(m) = &mut rec {
+                    m.insert("s".into(), Value::from("t"));
+                }
+                records.push((e.t_us, e.seq, rec));
+            }
+            EventData::Diag { name, iter, data } => {
+                let mut rec = trace_record(
+                    name,
+                    "i",
+                    e.t_us,
+                    e.thread,
+                    Some(json!({ "iter": *iter, "data": data.clone() })),
+                );
                 if let Value::Object(m) = &mut rec {
                     m.insert("s".into(), Value::from("t"));
                 }
@@ -211,7 +263,7 @@ pub fn self_times(events: &[Event]) -> Vec<SelfTime> {
     let mut acc: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
     for e in events {
         match e.data {
-            EventData::SpanStart { name, id, parent } => {
+            EventData::SpanStart { name, id, parent, .. } => {
                 meta.insert(id, (name, parent));
             }
             EventData::SpanEnd { name, id, dur_us } => {
@@ -290,15 +342,19 @@ mod tests {
         Event { seq, t_us, thread, data }
     }
 
+    fn start(name: &'static str, id: u64, parent: Option<u64>) -> EventData {
+        EventData::SpanStart { name, id, parent, trace: 0, link: 0 }
+    }
+
     fn nested_fixture() -> Vec<Event> {
         vec![
-            ev(0, 10, 0, EventData::SpanStart { name: "outer", id: 1, parent: None }),
-            ev(1, 20, 0, EventData::SpanStart { name: "inner", id: 2, parent: Some(1) }),
+            ev(0, 10, 0, start("outer", 1, None)),
+            ev(1, 20, 0, start("inner", 2, Some(1))),
             ev(2, 25, 0, EventData::Counter { name: "hits", delta: 1, total: 1 }),
             ev(3, 60, 0, EventData::SpanEnd { name: "inner", id: 2, dur_us: 40 }),
             ev(4, 110, 0, EventData::SpanEnd { name: "outer", id: 1, dur_us: 100 }),
             // An unclosed span must not appear in the trace.
-            ev(5, 120, 1, EventData::SpanStart { name: "dangling", id: 3, parent: None }),
+            ev(5, 120, 1, start("dangling", 3, None)),
         ]
     }
 
@@ -330,6 +386,53 @@ mod tests {
         let table = render_self_time(&st);
         assert!(table.contains("outer"));
         assert!(table.contains("60.0"), "{table}");
+    }
+
+    #[test]
+    fn cross_thread_links_render_as_flow_pairs() {
+        // A request span on thread 0 hands work to a span on thread 1;
+        // the consuming span carries the producer as its link.
+        let events = vec![
+            ev(0, 10, 0, start("dispatch", 1, None)),
+            ev(
+                1,
+                30,
+                1,
+                EventData::SpanStart { name: "work", id: 2, parent: None, trace: 7, link: 1 },
+            ),
+            ev(2, 90, 1, EventData::SpanEnd { name: "work", id: 2, dur_us: 60 }),
+            ev(3, 100, 0, EventData::SpanEnd { name: "dispatch", id: 1, dur_us: 90 }),
+        ];
+        let text = render_chrome_trace(&events);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let recs = doc["traceEvents"].as_array().unwrap();
+        let phases: Vec<&str> = recs.iter().map(|e| e["ph"].as_str().unwrap()).collect();
+        assert_eq!(phases, ["B", "s", "B", "f", "E", "E"]);
+        let s = &recs[1];
+        let f = &recs[3];
+        assert_eq!(s["id"].as_u64(), f["id"].as_u64(), "flow pair shares the consuming span id");
+        assert_eq!(s["cat"].as_str(), Some("flow"));
+        assert_eq!(s["tid"].as_u64(), Some(0), "s anchors on the producing thread");
+        assert_eq!(f["tid"].as_u64(), Some(1), "f lands on the consuming thread");
+        assert_eq!(f["bp"].as_str(), Some("e"), "f binds to the enclosing slice");
+        assert!(s["ts"].as_u64() <= f["ts"].as_u64(), "arrow points forward in time");
+
+        // Same-thread links add nothing: nesting already shows them.
+        let same = vec![
+            ev(0, 10, 0, start("a", 1, None)),
+            ev(1, 20, 0, EventData::SpanStart { name: "b", id: 2, parent: None, trace: 7, link: 1 }),
+            ev(2, 40, 0, EventData::SpanEnd { name: "b", id: 2, dur_us: 20 }),
+            ev(3, 50, 0, EventData::SpanEnd { name: "a", id: 1, dur_us: 40 }),
+        ];
+        assert!(!render_chrome_trace(&same).contains("handoff"));
+
+        // A link to an incomplete span is dropped, not dangled.
+        let incomplete = vec![
+            ev(0, 10, 0, start("open", 1, None)),
+            ev(1, 30, 1, EventData::SpanStart { name: "work", id: 2, parent: None, trace: 7, link: 1 }),
+            ev(2, 90, 1, EventData::SpanEnd { name: "work", id: 2, dur_us: 60 }),
+        ];
+        assert!(!render_chrome_trace(&incomplete).contains("handoff"));
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn span_nesting_parents_and_monotone_time() {
     let mut inner_dur = None;
     for e in &events {
         match e.data {
-            EventData::SpanStart { name: "test.outer", id, parent } => {
+            EventData::SpanStart { name: "test.outer", id, parent, .. } => {
                 outer_id = Some(id);
                 assert_eq!(parent, None, "outer span must be a root");
             }

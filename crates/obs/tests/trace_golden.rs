@@ -22,13 +22,24 @@ fn ev(seq: u64, t_us: u64, thread: u64, data: EventData) -> Event {
     Event { seq, t_us, thread, data }
 }
 
+fn start(name: &'static str, id: u64, parent: Option<u64>) -> EventData {
+    EventData::SpanStart { name, id, parent, trace: 0, link: 0 }
+}
+
 fn fixture() -> Vec<Event> {
     vec![
-        ev(0, 100, 0, EventData::SpanStart { name: "session.tune", id: 1, parent: None }),
-        ev(1, 150, 0, EventData::SpanStart { name: "gp.hyperfit", id: 2, parent: Some(1) }),
+        ev(0, 100, 0, start("session.tune", 1, None)),
+        ev(1, 150, 0, start("gp.hyperfit", 2, Some(1))),
         ev(2, 200, 0, EventData::Counter { name: "gp.fit", delta: 1, total: 1 }),
         ev(3, 900, 0, EventData::SpanEnd { name: "gp.hyperfit", id: 2, dur_us: 750 }),
-        ev(4, 950, 1, EventData::SpanStart { name: "bo.suggest", id: 3, parent: None }),
+        // Cross-thread handoff: the suggest on thread 1 was caused by
+        // the session span on thread 0 — rendered as an s/f flow pair.
+        ev(
+            4,
+            950,
+            1,
+            EventData::SpanStart { name: "bo.suggest", id: 3, parent: None, trace: 5, link: 1 },
+        ),
         ev(5, 980, 1, EventData::Hist { name: "eval.time_s", value: 12.5 }),
         ev(
             6,
@@ -36,10 +47,20 @@ fn fixture() -> Vec<Event> {
             1,
             EventData::Mark { name: "phase.switch", data: serde_json::json!({"to": "bo"}) },
         ),
-        ev(7, 1200, 1, EventData::SpanEnd { name: "bo.suggest", id: 3, dur_us: 250 }),
-        ev(8, 1500, 0, EventData::SpanEnd { name: "session.tune", id: 1, dur_us: 1400 }),
+        ev(
+            7,
+            1100,
+            1,
+            EventData::Diag {
+                name: "diag.bo.observe",
+                iter: 3,
+                data: serde_json::json!({"best": 41.5}),
+            },
+        ),
+        ev(8, 1200, 1, EventData::SpanEnd { name: "bo.suggest", id: 3, dur_us: 250 }),
+        ev(9, 1500, 0, EventData::SpanEnd { name: "session.tune", id: 1, dur_us: 1400 }),
         // Still open at export time: must be excluded from the trace.
-        ev(9, 1600, 0, EventData::SpanStart { name: "unclosed", id: 4, parent: None }),
+        ev(10, 1600, 0, start("unclosed", 4, None)),
     ]
 }
 
@@ -71,6 +92,9 @@ fn assert_well_formed(text: &str) -> BTreeMap<String, u64> {
     // Per-tid stack of open span names: B pushes, E must pop its own name.
     let mut open: BTreeMap<u64, Vec<String>> = BTreeMap::new();
     let mut spans: BTreeMap<String, u64> = BTreeMap::new();
+    // Flow pairing: every `f` (finish) must follow a matching `s`
+    // (start) with the same id, and every `s` must be consumed.
+    let mut flow_started: BTreeMap<u64, u64> = BTreeMap::new();
     for e in events {
         let ts = e["ts"].as_u64().expect("every event has a u64 ts");
         assert!(ts >= last_ts, "timestamps must be monotone: {ts} after {last_ts}");
@@ -84,12 +108,32 @@ fn assert_well_formed(text: &str) -> BTreeMap<String, u64> {
                 assert_eq!(top.as_deref(), Some(name.as_str()), "E must close the innermost B");
                 *spans.entry(name).or_insert(0) += 1;
             }
+            "s" => {
+                let id = e["id"].as_u64().expect("flow s has an id");
+                *flow_started.entry(id).or_insert(0) += 1;
+            }
+            "f" => {
+                let id = e["id"].as_u64().expect("flow f has an id");
+                assert_eq!(e["bp"].as_str(), Some("e"), "flow f binds to its enclosing slice");
+                let pending = flow_started.get_mut(&id);
+                let Some(n) = pending.filter(|n| **n > 0) else {
+                    panic!("flow f id {id} without a preceding matching s");
+                };
+                *n -= 1;
+                assert!(
+                    open.get(&tid).is_some_and(|s| !s.is_empty()),
+                    "flow f id {id} must land inside an open span on tid {tid}"
+                );
+            }
             "C" | "i" => {}
             other => panic!("unexpected phase {other:?}"),
         }
     }
     for (tid, stack) in &open {
         assert!(stack.is_empty(), "unbalanced B events on tid {tid}: {stack:?}");
+    }
+    for (id, n) in &flow_started {
+        assert_eq!(*n, 0, "flow s id {id} never consumed by an f");
     }
     spans
 }

@@ -258,6 +258,13 @@ impl TuningClient {
         self.request(Self::verb("health"))
     }
 
+    /// One session's tuner-health diagnostics (`diag.*` series,
+    /// whitelisted counters, derived summary) under the versioned
+    /// diagnose schema.
+    pub fn diagnose(&mut self, session: &str) -> Result<Value, ClientError> {
+        self.request(Self::session_verb("diagnose", session))
+    }
+
     /// Asks the server to drain, checkpoint, and exit.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(Self::verb("shutdown")).map(|_| ())

@@ -1,0 +1,145 @@
+//! The `diagnose` verb: a tuner-health view of one session.
+//!
+//! Where `metrics` answers "how fast", `diagnose` answers "is the
+//! optimizer healthy": it extracts the structured `diag.*` series the
+//! gp/bo/mf layers emit (kernel conditioning + jitter per fit,
+//! lengthscale vectors, acquisition scores and hedge probabilities,
+//! incumbent series, rung promotion outcomes) from the session's
+//! telemetry scope ring and renders them under a versioned schema, plus
+//! a whitelisted set of deterministic tuner counters and a derived
+//! scalar summary. `experiments doctor` runs its rule-based detectors
+//! over exactly this payload.
+//!
+//! Determinism: series points are listed oldest-first with a normalized
+//! per-series index `i` (ring position), never the raw emission `iter`
+//! — fit sequence numbers are process-global, so raw values would vary
+//! run to run while the *content* of each point is deterministic at a
+//! fixed seed. Flight dumps keep the raw iters for monotonicity checks.
+
+use crate::session::ServedSession;
+use robotune_obs::EventData;
+use serde_json::{Map, Value};
+
+/// Version tag carried by every diagnose response.
+pub const DIAGNOSE_SCHEMA: &str = "robotune.diagnose.v1";
+
+/// Counter prefixes included in a diagnose response: deterministic
+/// tuner-side event counts. Timing histograms and service counters are
+/// deliberately excluded — they vary run to run.
+const COUNTER_PREFIXES: [&str; 4] = ["gp.", "bo.", "mf.", "tuner."];
+
+/// Extends an `ok` frame with the diagnose payload for `s`.
+pub fn extend_diagnose(m: &mut Map, s: &ServedSession) {
+    m.insert("schema".into(), Value::from(DIAGNOSE_SCHEMA));
+    m.insert("session".into(), Value::from(s.id.as_str()));
+    m.insert("workload".into(), Value::from(s.spec.workload.as_str()));
+    m.insert("state".into(), Value::from(s.state().as_str()));
+    m.insert("seed".into(), Value::from(s.spec.seed));
+    m.insert("budget".into(), Value::from(s.spec.budget as u64));
+    m.insert("profile".into(), Value::from(s.spec.profile.as_str()));
+    m.insert("tracing_enabled".into(), Value::Bool(robotune_obs::is_enabled()));
+
+    let stats = s.stats();
+    let mut st = Map::new();
+    st.insert("asked".into(), Value::from(stats.asked));
+    st.insert("observed".into(), Value::from(stats.observed));
+    st.insert("completed".into(), Value::from(stats.completed));
+    st.insert("failed".into(), Value::from(stats.failed));
+    st.insert("capped".into(), Value::from(stats.capped));
+    st.insert("best_time_s".into(), stats.best_time_s.map_or(Value::Null, Value::from));
+    m.insert("stats".into(), Value::Object(st));
+
+    let snap = s.scope().snapshot();
+    let mut counters = Map::new();
+    for (name, total) in &snap.counters {
+        if COUNTER_PREFIXES.iter().any(|p| name.starts_with(p)) {
+            counters.insert(name.clone(), Value::from(*total));
+        }
+    }
+    m.insert("counters".into(), Value::Object(counters));
+
+    // Group diag events by series name, oldest first (ring order), and
+    // re-index each series from 0 so the payload is stable at a fixed
+    // seed even though emission iters are process-global.
+    let mut series: Vec<(&'static str, Vec<Value>)> = Vec::new();
+    for event in s.scope().recent_events() {
+        if let EventData::Diag { name, data, .. } = event.data {
+            let pos = series.iter().position(|(n, _)| *n == name).unwrap_or_else(|| {
+                series.push((name, Vec::new()));
+                series.len() - 1
+            });
+            let points = &mut series[pos].1;
+            let mut point = Map::new();
+            point.insert("i".into(), Value::from(points.len() as u64));
+            if let Some(obj) = data.as_object() {
+                for (k, v) in obj.iter() {
+                    point.insert(k.clone(), v.clone());
+                }
+            } else {
+                point.insert("data".into(), data);
+            }
+            points.push(Value::Object(point));
+        }
+    }
+    series.sort_by(|a, b| a.0.cmp(b.0));
+    m.insert("summary".into(), Value::Object(summarize(&series)));
+    let mut sm = Map::new();
+    for (name, points) in series {
+        sm.insert(name.to_string(), Value::Array(points));
+    }
+    m.insert("series".into(), Value::Object(sm));
+    m.insert("dropped_events".into(), Value::from(s.scope().dropped_events()));
+}
+
+/// Derived scalars over the diag series: what `experiments top` shows
+/// in its `health` column and what the doctor's cheap checks read
+/// without walking every point.
+fn summarize(series: &[(&'static str, Vec<Value>)]) -> Map {
+    let get = |name: &str| series.iter().find(|(n, _)| *n == name).map(|(_, p)| p.as_slice());
+    let mut m = Map::new();
+
+    let fits = get("diag.gp.fit").unwrap_or(&[]);
+    m.insert("gp_fits".into(), Value::from(fits.len() as u64));
+    let fallbacks =
+        fits.iter().filter(|p| p.get("fallback").and_then(Value::as_bool) == Some(true)).count();
+    m.insert("gp_fallbacks".into(), Value::from(fallbacks as u64));
+    m.insert("gp_max_cond".into(), fold_f64(fits, "cond", f64::max));
+    m.insert("gp_max_jitter".into(), fold_f64(fits, "jitter", f64::max));
+    let min_scale = fits
+        .iter()
+        .filter_map(|p| p.get("lengthscales").and_then(Value::as_array))
+        .flat_map(|ls| ls.iter().filter_map(Value::as_f64))
+        .fold(f64::INFINITY, f64::min);
+    m.insert(
+        "gp_min_lengthscale".into(),
+        if min_scale.is_finite() { Value::from(min_scale) } else { Value::Null },
+    );
+
+    let observes = get("diag.bo.observe").unwrap_or(&[]);
+    m.insert("bo_rounds".into(), Value::from(observes.len() as u64));
+    m.insert(
+        "incumbent".into(),
+        observes.last().and_then(|p| p.get("best")).cloned().unwrap_or(Value::Null),
+    );
+
+    let rungs = get("diag.mf.rung").unwrap_or(&[]);
+    m.insert("mf_rungs".into(), Value::from(rungs.len() as u64));
+    let promoted: u64 =
+        rungs.iter().filter_map(|p| p.get("promoted").and_then(Value::as_u64)).sum();
+    m.insert("mf_promoted".into(), Value::from(promoted));
+    m
+}
+
+/// Folds a numeric field across series points; `Null` when absent.
+fn fold_f64(points: &[Value], key: &str, f: fn(f64, f64) -> f64) -> Value {
+    let mut acc: Option<f64> = None;
+    for p in points {
+        if let Some(v) = p.get(key).and_then(Value::as_f64) {
+            acc = Some(match acc {
+                Some(a) => f(a, v),
+                None => v,
+            });
+        }
+    }
+    acc.map_or(Value::Null, Value::from)
+}

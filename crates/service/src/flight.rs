@@ -21,12 +21,17 @@
 //!    `fault.*`/`retry.*` subset of the same totals (per
 //!    [`robotune_faults::telemetry`]), pulled out so a post-mortem reader
 //!    sees the failure story without scanning the full counter map;
-//! 5. `{"kind":"ask","index":…,"cap_s":…,"config":{…}}` /
+//! 5. `{"kind":"diag","name":…,"iter":…,"data":{…}}` — the tuner-health
+//!    diagnostic series from the scope ring (GP fits, acquisition
+//!    rounds, rung outcomes), one line per sample in emission order with
+//!    the *raw* iteration numbers so `experiments flightcheck` can
+//!    verify per-series monotonicity;
+//! 6. `{"kind":"ask","index":…,"cap_s":…,"config":{…}}` /
 //!    `{"kind":"tell","index":…,"time_s":…,"status":…}` — the config
 //!    trajectory in order;
-//! 6. `{"kind":"event","event":{…}}` — the recent telemetry events
+//! 7. `{"kind":"event","event":{…}}` — the recent telemetry events
 //!    (same schema as the `--trace` JSONL);
-//! 7. `{"kind":"recorder","events_dropped":…,"trajectory_dropped":…}`
+//! 8. `{"kind":"recorder","events_dropped":…,"trajectory_dropped":…}`
 //!    — footer recording what the bounded buffers had to evict.
 //!
 //! Files are written to a temp name and renamed into place, so a
@@ -133,6 +138,21 @@ impl FlightRecorder {
         fc.insert("counters".into(), Value::Object(fault_counters));
         fc.insert("total".into(), Value::from(fault_total));
         lines.push(Value::Object(fc));
+
+        // Tuner-health samples get their own lines (in addition to the
+        // raw `event` lines below) so a post-mortem reader — and
+        // `experiments flightcheck` — can walk the series without
+        // filtering the full event stream.
+        for event in session.scope().recent_events() {
+            if let robotune_obs::EventData::Diag { name, iter, data } = event.data {
+                let mut m = Map::new();
+                m.insert("kind".into(), Value::from("diag"));
+                m.insert("name".into(), Value::from(name));
+                m.insert("iter".into(), Value::from(iter));
+                m.insert("data".into(), data);
+                lines.push(Value::Object(m));
+            }
+        }
 
         let (trajectory, trajectory_dropped) = session.trajectory();
         for entry in &trajectory {

@@ -23,6 +23,10 @@
 //!   lifecycle, per-session accounting);
 //! - [`manager`] — [`SessionManager`]: the bounded worker pool, the
 //!   admission queue with backpressure, and request dispatch;
+//! - [`diagnose`] — the tuner-health view behind the `diagnose` verb:
+//!   `diag.*` series (GP conditioning, acquisition/hedge state, regret,
+//!   rung outcomes) extracted from the session's scope ring under a
+//!   versioned schema;
 //! - [`framing`] — [`FrameDecoder`]: incremental, capped NDJSON frame
 //!   reassembly shared by the server reactor and pipelined clients;
 //! - [`server`] — the nonblocking reactor ([`serve`]): one event-loop
@@ -52,6 +56,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod diagnose;
 pub mod flight;
 pub mod framing;
 pub mod manager;
@@ -61,6 +66,7 @@ pub mod session;
 pub mod store;
 
 pub use client::{ClientError, DriveReport, Suggestion, TuningClient};
+pub use diagnose::DIAGNOSE_SCHEMA;
 pub use flight::{FlightRecorder, FLIGHT_FORMAT_VERSION};
 pub use framing::{DecodedFrame, FrameDecoder};
 pub use manager::{ServiceOptions, SessionManager};

@@ -368,6 +368,14 @@ impl SessionManager {
             },
             Request::Metrics { session, format } => self.metrics(id, session.as_deref(), format),
             Request::Health => self.health(id),
+            Request::Diagnose { session } => match self.session(&session) {
+                Err(e) => error_frame(id, &e),
+                Ok(s) => {
+                    let mut m = ok_frame(id);
+                    crate::diagnose::extend_diagnose(&mut m, &s);
+                    Value::Object(m)
+                }
+            },
             Request::Shutdown => {
                 self.begin_shutdown();
                 let mut m = ok_frame(id);
@@ -718,6 +726,7 @@ fn verb_metric(req: &Request) -> &'static str {
         Request::CloseSession { .. } => "service.req_ns.close_session",
         Request::Metrics { .. } => "service.req_ns.metrics",
         Request::Health => "service.req_ns.health",
+        Request::Diagnose { .. } => "service.req_ns.diagnose",
         Request::Shutdown => "service.req_ns.shutdown",
     }
 }

@@ -291,6 +291,12 @@ pub enum Request {
     /// Liveness/SLO view: worker utilization, queue depth, rolling
     /// suggest/observe percentiles, store WAL/checkpoint health.
     Health,
+    /// Tuner-health diagnostics for one session: GP conditioning,
+    /// acquisition/hedge state, regret series, rung outcomes.
+    Diagnose {
+        /// Session id.
+        session: String,
+    },
     /// Drain, checkpoint the store, and exit.
     Shutdown,
 }
@@ -302,6 +308,7 @@ impl Request {
             Request::Suggest { session }
             | Request::Observe { session, .. }
             | Request::Best { session }
+            | Request::Diagnose { session }
             | Request::CloseSession { session } => Some(session),
             Request::Status { session } | Request::Metrics { session, .. } => session.as_deref(),
             Request::CreateSession { .. } | Request::Health | Request::Shutdown => None,
@@ -435,6 +442,7 @@ impl Request {
                 Ok(Request::Metrics { session, format })
             }
             "health" => Ok(Request::Health),
+            "diagnose" => Ok(Request::Diagnose { session: need_str(obj, "session")? }),
             "shutdown" => Ok(Request::Shutdown),
             other => {
                 Err(ProtoError::new(ErrorCode::UnknownVerb, format!("unknown verb {other:?}")))
@@ -620,6 +628,7 @@ mod tests {
             (r#"{"verb":"close_session","session":"s-4"}"#, Some("s-4")),
             (r#"{"verb":"status","session":"s-5"}"#, Some("s-5")),
             (r#"{"verb":"metrics","session":"s-6"}"#, Some("s-6")),
+            (r#"{"verb":"diagnose","session":"s-7"}"#, Some("s-7")),
             (r#"{"verb":"status"}"#, None),
             (r#"{"verb":"health"}"#, None),
             (r#"{"verb":"shutdown"}"#, None),

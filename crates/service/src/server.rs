@@ -96,10 +96,14 @@ enum InboxItem {
     BadUtf8,
 }
 
-/// A request handed to the dispatch pool.
+/// A request handed to the dispatch pool. `ctx` is the causal trace
+/// context minted when the frame left the wire; the dispatch worker
+/// adopts it so the handler's spans link back to the reactor's
+/// `service.frame_read` span across the thread crossing.
 struct Job {
     token: usize,
     line: String,
+    ctx: robotune_obs::TraceCtx,
 }
 
 /// Dispatch-pool results funneled back to the reactor.
@@ -282,7 +286,11 @@ fn dispatch_loop(
             Ok(job) => job,
             Err(_) => return, // reactor dropped the sender: drained
         };
-        let response = manager.handle_line(&job.line);
+        let response = {
+            let _trace = robotune_obs::adopt(job.ctx);
+            let _span = robotune_obs::span("service.dispatch");
+            manager.handle_line(&job.line)
+        };
         lock(&done.ready).push((job.token, response));
         let _ = done.waker.wake();
     }
@@ -471,8 +479,15 @@ impl<'m> Reactor<'m> {
                     ));
                 }
                 Some(InboxItem::Request(line)) => {
+                    // Mint the request's causal context under a
+                    // `service.frame_read` span: the span is the trace
+                    // root every downstream span links back to.
+                    let ctx = {
+                        let _read = robotune_obs::span("service.frame_read");
+                        robotune_obs::TraceCtx::mint()
+                    };
                     conn.in_flight = true;
-                    if self.job_tx.send(Job { token, line }).is_err() {
+                    if self.job_tx.send(Job { token, line, ctx }).is_err() {
                         // Dispatch pool gone: only possible mid-teardown.
                         conn.in_flight = false;
                         conn.dead = true;

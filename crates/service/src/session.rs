@@ -175,10 +175,20 @@ pub enum SuggestReply {
     Finished(SessionOutcome),
 }
 
+/// One measurement travelling back to the pipeline, together with the
+/// causal trace context of the `observe` request that carried it. The
+/// worker thread re-roots its ambient context to `ctx` so the spans of
+/// the continuation (the GP fit feeding the *next* ask) link back to
+/// the observing request across the thread crossing.
+struct Tell {
+    eval: Evaluation,
+    ctx: robotune_obs::TraceCtx,
+}
+
 /// The channel-backed [`Objective`] the pipeline runs against.
 struct ChannelObjective {
     ask_tx: SyncSender<Ask>,
-    tell_rx: Receiver<Evaluation>,
+    tell_rx: Receiver<Tell>,
     /// Shared with the session's cancel flag: once set, evaluations
     /// short-circuit to deterministic failures so the selector or
     /// engine can wind down without further client input.
@@ -198,7 +208,12 @@ impl Objective for ChannelObjective {
             return Evaluation::failed(0.0);
         }
         match self.tell_rx.recv() {
-            Ok(eval) => eval,
+            Ok(tell) => {
+                // The "current request" of this worker thread is now the
+                // observe that delivered the measurement.
+                robotune_obs::set_ambient(tell.ctx);
+                tell.eval
+            }
             Err(_) => {
                 // The server dropped the tell sender: session closed.
                 self.aborted.store(true, Ordering::Relaxed);
@@ -219,7 +234,10 @@ pub struct ServedSession {
     state_cv: Condvar,
     cancel: Arc<AtomicBool>,
     ask_rx: Mutex<Option<Receiver<Ask>>>,
-    tell_tx: Mutex<Option<SyncSender<Evaluation>>>,
+    tell_tx: Mutex<Option<SyncSender<Tell>>>,
+    /// Causal context of the `create_session` request; the worker thread
+    /// adopts it as its ambient context when the pipeline starts.
+    created_ctx: robotune_obs::TraceCtx,
     pending: Mutex<Option<Ask>>,
     stats: Mutex<SessionStats>,
     outcome: Mutex<Option<SessionOutcome>>,
@@ -245,6 +263,7 @@ impl ServedSession {
             cancel: Arc::new(AtomicBool::new(false)),
             ask_rx: Mutex::new(None),
             tell_tx: Mutex::new(None),
+            created_ctx: robotune_obs::TraceCtx::current(),
             pending: Mutex::new(None),
             stats: Mutex::new(SessionStats::default()),
             outcome: Mutex::new(None),
@@ -290,7 +309,7 @@ impl ServedSession {
     /// Returns immediately if the session was closed while queued.
     pub fn run(&self, store: SharedMemoStore) {
         let (ask_tx, ask_rx) = mpsc::sync_channel::<Ask>(1);
-        let (tell_tx, tell_rx) = mpsc::sync_channel::<Evaluation>(1);
+        let (tell_tx, tell_rx) = mpsc::sync_channel::<Tell>(1);
         {
             // Install the channel ends *before* announcing `Running`,
             // so a racing `suggest` never observes a running session
@@ -309,6 +328,11 @@ impl ServedSession {
         // eval.*) to this session's scope. A no-op while tracing is
         // disabled, so served trajectories stay bit-identical either way.
         let _scope = self.scope.enter();
+        // The worker's ambient trace context starts at the creating
+        // request and is re-rooted to each observe's context as tells
+        // arrive, so pipeline spans always link to the request that
+        // caused them. Telemetry only — never touches the RNG or data.
+        robotune_obs::set_ambient(self.created_ctx);
         let mut objective = ChannelObjective {
             ask_tx,
             tell_rx,
@@ -336,6 +360,9 @@ impl ServedSession {
             selection_cost_s: out.selection_cost_s,
             search_cost_s: out.session.search_cost() + out.selection_cost_s,
         });
+        // The worker thread outlives the session: clear its ambient
+        // context so the next session starts with a clean slate.
+        robotune_obs::set_ambient(robotune_obs::TraceCtx::NONE);
         // Drop our tell sender so late `observe`s get a typed
         // session_closed/finished answer instead of feeding a dead loop.
         lock(&self.tell_tx).take();
@@ -458,7 +485,9 @@ impl ServedSession {
             pending.take();
             return Err(ProtoError::new(ErrorCode::SessionClosed, "session is closed"));
         };
-        if tx.send(status.to_evaluation(time_s)).is_err() {
+        let tell =
+            Tell { eval: status.to_evaluation(time_s), ctx: robotune_obs::TraceCtx::current() };
+        if tx.send(tell).is_err() {
             pending.take();
             return Err(ProtoError::new(ErrorCode::SessionClosed, "session is closed"));
         }

@@ -1,0 +1,254 @@
+//! Tentpole acceptance tests for the diagnostics layer.
+//!
+//! Three bars, all over the real TCP protocol:
+//!
+//! 1. **Bit transparency** — running the same seeded session with the
+//!    full telemetry stack on (Chrome trace sink, causal trace
+//!    propagation, diag emission) must not move a single bit of the
+//!    served trajectory relative to a telemetry-off run.
+//! 2. **Connected flow** — the trace minted at `service.frame_read`
+//!    must be observable on the GP hyperfit spans deep inside the
+//!    session worker, every cross-thread `link` must resolve to a real
+//!    span, and the rendered Chrome trace must pair every flow `f`
+//!    with its `s`.
+//! 3. **Schema stability** — the `diagnose` answer's key skeleton is
+//!    pinned by a golden file (`tests/golden/diagnose_schema.txt`).
+//!    Regenerate with
+//!    `UPDATE_GOLDEN=1 cargo test -p robotune-service --test diagnostics`
+//!    and review the diff.
+//!
+//! The budget is set past the 20-point initial design so the served
+//! loop reaches real BO iterations (GP fits, acquisition suggests) and
+//! the diag series have something to say.
+
+mod common;
+
+use robotune::InMemoryMemoStore;
+use robotune_service::client::drive_session;
+use robotune_service::{Profile, ServiceOptions, TuningClient, DIAGNOSE_SCHEMA};
+use robotune_space::spark::spark_space;
+use robotune_space::{ConfigSpace, Configuration};
+use robotune_sparksim::{Dataset, SparkJob, Workload};
+use robotune_tuners::{Evaluation, Objective};
+use serde_json::Value;
+use std::sync::{Arc, Mutex, OnceLock};
+
+const SEED: u64 = 2024;
+const BUDGET: usize = 24;
+const JOB_SEED: u64 = 42;
+
+/// One evaluation, in exactly-comparable form.
+type LogEntry = (String, u64, u64, bool, bool, bool);
+
+struct Recorder<'a> {
+    inner: &'a mut SparkJob,
+    space: &'a ConfigSpace,
+    log: Vec<LogEntry>,
+}
+
+impl Objective for Recorder<'_> {
+    fn evaluate(&mut self, config: &Configuration, cap_s: f64) -> Evaluation {
+        let eval = self.inner.evaluate(config, cap_s);
+        self.log.push((
+            config.render(self.space),
+            cap_s.to_bits(),
+            eval.time_s.to_bits(),
+            eval.completed,
+            eval.failed,
+            eval.transient,
+        ));
+        eval
+    }
+}
+
+/// Tests in this file flip process-global telemetry state; serialize
+/// them so parallel test threads cannot observe each other's sinks.
+fn telemetry_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Drives one served session and returns the evaluation log, the
+/// best-time bits, and the server's `diagnose` answer for it.
+fn served_run(space: &Arc<ConfigSpace>) -> (Vec<LogEntry>, Option<u64>, Value) {
+    let server = common::start(
+        ServiceOptions { workers: 1, ..ServiceOptions::default() },
+        InMemoryMemoStore::new().into_shared(),
+    );
+    let mut served_job = SparkJob::new((**space).clone(), Workload::KMeans, Dataset::D1, JOB_SEED);
+    let mut served = Recorder { inner: &mut served_job, space, log: Vec::new() };
+    let mut client = TuningClient::connect(server.addr).expect("connect");
+    let report = drive_session(&mut client, space, &mut served, "km", SEED, BUDGET, Profile::Fast)
+        .expect("served session completes");
+    let diag = client.diagnose(&report.session).expect("diagnose answer");
+    server.shutdown();
+    (served.log, report.best_time_s.map(f64::to_bits), diag)
+}
+
+#[test]
+fn tracing_and_diag_are_bit_transparent_and_causally_connected() {
+    let _guard = telemetry_lock();
+    let space = Arc::new(spark_space());
+
+    robotune_obs::disable();
+    let (log_off, best_off, diag_off) = served_run(&space);
+
+    let sink = Arc::new(robotune_obs::ChromeTraceSink::default());
+    robotune_obs::enable(sink.clone());
+    let (log_on, best_on, diag_on) = served_run(&space);
+    robotune_obs::disable();
+
+    // --- Bit transparency ---------------------------------------------
+    assert_eq!(log_off.len(), log_on.len(), "same number of evaluations");
+    for (i, (off, on)) in log_off.iter().zip(&log_on).enumerate() {
+        assert_eq!(off, on, "evaluation {i} diverged with tracing + diag on");
+    }
+    assert_eq!(best_off, best_on, "best time must agree to the bit");
+
+    // --- The diagnostics themselves must be live on the on arm --------
+    assert_eq!(diag_on["schema"].as_str(), Some(DIAGNOSE_SCHEMA));
+    assert_eq!(diag_off["schema"].as_str(), Some(DIAGNOSE_SCHEMA));
+    let series = diag_on["series"].as_object().expect("series object");
+    for name in ["diag.gp.fit", "diag.bo.suggest", "diag.bo.observe"] {
+        let points = series
+            .get(name)
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| panic!("series {name} present: {diag_on:?}"));
+        assert!(!points.is_empty(), "series {name} non-empty");
+    }
+    assert!(diag_on["summary"]["gp_fits"].as_u64().unwrap_or(0) > 0, "summary counts GP fits");
+    assert!(diag_on["summary"]["bo_rounds"].as_u64().unwrap_or(0) > 0, "summary counts BO rounds");
+    assert!(
+        diag_on["summary"]["incumbent"].as_f64().is_some(),
+        "summary carries the incumbent best"
+    );
+    // The off arm records nothing — the scope ring only fills while
+    // tracing is enabled.
+    assert_eq!(
+        diag_off["series"].as_object().map_or(0, |s| s.len()),
+        0,
+        "off arm must have no diag series: {diag_off:?}"
+    );
+
+    // --- Connected causal flow ----------------------------------------
+    // The `service.frame_read` span is each trace's root: it opens
+    // *before* the mint, so its own start carries trace 0 and every
+    // downstream span links back to its id. A trace is "wire-rooted"
+    // when some span under it links directly to a frame-read span.
+    let events = sink.events();
+    let mut span_ids = std::collections::BTreeSet::new();
+    let mut frame_ids = std::collections::BTreeSet::new();
+    let mut links = Vec::new();
+    let mut gp_fit_traces = std::collections::BTreeSet::new();
+    for e in &events {
+        if let robotune_obs::EventData::SpanStart { name, id, trace, link, .. } = e.data {
+            span_ids.insert(id);
+            if link != 0 {
+                links.push((trace, link));
+            }
+            if name == "service.frame_read" {
+                frame_ids.insert(id);
+            }
+            if name.starts_with("gp.hyperfit") && trace != 0 {
+                gp_fit_traces.insert(trace);
+            }
+        }
+    }
+    let wire_traces: std::collections::BTreeSet<u64> = links
+        .iter()
+        .filter(|(trace, link)| *trace != 0 && frame_ids.contains(link))
+        .map(|(trace, _)| *trace)
+        .collect();
+    assert!(!frame_ids.is_empty(), "served run must record frame reads");
+    assert!(!wire_traces.is_empty(), "dispatch spans must link back to frame reads");
+    assert!(!gp_fit_traces.is_empty(), "served run must record traced GP fits");
+    assert!(
+        gp_fit_traces.iter().any(|t| wire_traces.contains(t)),
+        "a trace minted at the wire must reach a GP fit: \
+         wire={wire_traces:?} gp={gp_fit_traces:?}"
+    );
+    assert!(!links.is_empty(), "cross-thread handoffs must record links");
+    for (name, link) in &links {
+        assert!(span_ids.contains(link), "span {name} links to unknown span id {link}");
+    }
+
+    // --- Rendered Chrome trace pairs every flow f with its s ----------
+    let rendered: Value =
+        serde_json::from_str(&sink.render()).expect("trace renders as valid JSON");
+    let records = rendered["traceEvents"].as_array().expect("traceEvents array");
+    let ids_of = |ph: &str| -> Vec<u64> {
+        records
+            .iter()
+            .filter(|r| r["ph"].as_str() == Some(ph))
+            .filter_map(|r| r["id"].as_u64())
+            .collect()
+    };
+    let flow_starts = ids_of("s");
+    let flow_ends = ids_of("f");
+    assert!(!flow_ends.is_empty(), "trace must contain flow arrows");
+    for id in &flow_ends {
+        assert!(flow_starts.contains(id), "flow f id {id} has no matching s");
+    }
+}
+
+/// Renders the recursive key skeleton of a JSON value: object keys in
+/// sorted order, arrays collapsed to their first element's skeleton.
+/// Scalar leaves render as `.` so the golden pins structure, not the
+/// (numeric, seed-dependent) payloads.
+fn skeleton(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Object(m) => {
+            let mut keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+            keys.sort();
+            for k in keys {
+                let child = m.get(k).expect("key just listed");
+                match child {
+                    Value::Object(_) | Value::Array(_) => {
+                        out.push_str(&format!("{pad}{k}:\n"));
+                        skeleton(child, indent + 1, out);
+                    }
+                    _ => out.push_str(&format!("{pad}{k}: .\n")),
+                }
+            }
+        }
+        Value::Array(items) => match items.first() {
+            Some(first) => {
+                out.push_str(&format!("{pad}[{}]\n", items.len().min(1)));
+                skeleton(first, indent + 1, out);
+            }
+            None => out.push_str(&format!("{pad}[]\n")),
+        },
+        _ => out.push_str(&format!("{pad}.\n")),
+    }
+}
+
+#[test]
+fn diagnose_schema_matches_golden() {
+    let _guard = telemetry_lock();
+    let space = Arc::new(spark_space());
+
+    let _ring = robotune_obs::enable_ring(4096);
+    let (_, _, diag) = served_run(&space);
+    robotune_obs::disable();
+
+    let mut got = String::new();
+    skeleton(&diag, 0, &mut got);
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/diagnose_schema.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path).expect(
+        "golden missing: regenerate with UPDATE_GOLDEN=1 \
+         cargo test -p robotune-service --test diagnostics",
+    );
+    assert_eq!(
+        got, want,
+        "diagnose answer skeleton drifted from tests/golden/diagnose_schema.txt \
+         (regenerate with UPDATE_GOLDEN=1 and review the diff)"
+    );
+}
